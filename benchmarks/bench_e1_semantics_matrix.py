@@ -1,0 +1,47 @@
+"""E1 — Semantics comparison matrix (Examples 4–9).
+
+Regenerates the qualitative table of Example 4: the same database is
+consistent or inconsistent depending on the null semantics, and the
+paper's semantics agrees with SQL's simple match on the constraints that
+commercial DBMSs support.  The timed portion measures one full
+consistency check per semantics over the Example 5 (Course/Exp) scenario.
+"""
+
+import pytest
+
+from repro.core.semantics import Semantics, is_consistent_under, semantics_matrix
+from repro.workloads import scenarios
+from harness import print_table
+
+
+SCENARIOS = {
+    "example_4 (psi1)": scenarios.example_4(),
+    "example_4 (psi2)": scenarios.example_4_psi2(),
+    "example_5": scenarios.example_5(),
+    "example_6": scenarios.example_6(),
+    "example_9": scenarios.example_9(),
+}
+
+
+def _verdict(value: bool) -> str:
+    return "consistent" if value else "INCONSISTENT"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    headers = ["scenario"] + [semantics.value for semantics in Semantics]
+    rows = []
+    for name, scenario in SCENARIOS.items():
+        matrix = semantics_matrix(scenario.instance, scenario.constraints)
+        rows.append([name] + [_verdict(matrix[semantics]) for semantics in Semantics])
+    print_table("E1: consistency verdict per null semantics (Example 4)", headers, rows)
+    yield
+
+
+@pytest.mark.parametrize("semantics", list(Semantics), ids=lambda s: s.value)
+def bench_consistency_check(benchmark, semantics):
+    scenario = scenarios.example_5()
+    result = benchmark(
+        is_consistent_under, scenario.instance, scenario.constraints, semantics
+    )
+    assert isinstance(result, bool)

@@ -1,0 +1,53 @@
+"""E2 — Classical repairs blow up, null-based repairs stay at two (Examples 14–15).
+
+The classical (ABC 1999) semantics repairs the dangling Course(34, C18)
+tuple by inserting Student(34, µ) for *every* value µ of the domain, so
+the number of repairs grows linearly with the domain (and is infinite for
+an infinite domain); the paper's null-based semantics always has exactly
+two repairs.  The series below reproduces that contrast; the timed part
+measures both repair enumerations at the largest domain size.
+"""
+
+import pytest
+
+from repro.core.classic import classic_repair_count_by_domain_size, classic_repairs
+from repro.core.repairs import repairs
+from repro.workloads import scenarios
+from harness import print_table
+
+
+DOMAIN_SIZES = [8, 12, 16, 24]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    scenario = scenarios.example_14()
+    null_count = len(repairs(scenario.instance, scenario.constraints))
+    classic_counts = classic_repair_count_by_domain_size(
+        scenario.instance, scenario.constraints, DOMAIN_SIZES
+    )
+    rows = [
+        [size, classic_counts[size], null_count, f"{classic_counts[size] / null_count:.1f}x"]
+        for size in DOMAIN_SIZES
+    ]
+    print_table(
+        "E2: number of repairs vs. insertion-domain size (Example 14/15)",
+        ["domain size", "classical repairs", "null-based repairs", "blow-up"],
+        rows,
+    )
+    yield
+
+
+def bench_null_based_repairs(benchmark):
+    scenario = scenarios.example_14()
+    result = benchmark(repairs, scenario.instance, scenario.constraints)
+    assert len(result) == 2
+
+
+def bench_classical_repairs_domain_24(benchmark):
+    scenario = scenarios.example_14()
+    domain = [f"v{i}" for i in range(24)]
+    result = benchmark(
+        classic_repairs, scenario.instance, scenario.constraints, domain
+    )
+    assert len(result) == 25  # one deletion repair + one per domain constant

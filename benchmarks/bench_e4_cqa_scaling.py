@@ -1,0 +1,72 @@
+"""E4 — Consistent query answering is decidable and its cost scales with
+database size and with the number of violations (Theorems 2–3).
+
+The workload is the Course/Student schema of Example 14 scaled up.  The
+series shows (i) that CQA terminates for every configuration — the
+decidability claim — and (ii) that the cost is driven by the number of
+independent violations (each doubles the repair set), not by the raw
+database size, matching the Π^p₂ complexity picture.
+"""
+
+import time
+
+import pytest
+
+from repro.constraints.parser import parse_query
+from repro.core.cqa import consistent_answers_report
+from repro.workloads import scaled_course_student
+from harness import print_table
+
+
+QUERY = parse_query("ans(c) <- Course(i, c)")
+SIZE_SWEEP = [10, 20, 40]
+VIOLATION_SWEEP = [0.0, 0.2, 0.4]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    rows = []
+    for n_courses in SIZE_SWEEP:
+        # Keep the *number* of violations roughly constant across sizes (each
+        # independent violation doubles the repair set), so the size sweep
+        # isolates the cost of the database size itself.
+        for ratio in [0.0, min(0.4, 4.0 / n_courses)]:
+            instance, constraints = scaled_course_student(
+                n_courses=n_courses, dangling_ratio=ratio, seed=17
+            )
+            started = time.perf_counter()
+            result = consistent_answers_report(instance, constraints, QUERY)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                [
+                    n_courses,
+                    f"{ratio:.1f}",
+                    result.repair_count,
+                    len(result.answers),
+                    f"{elapsed * 1000:.1f} ms",
+                ]
+            )
+    print_table(
+        "E4: CQA cost vs. database size and violation ratio (Theorems 2–3)",
+        ["courses", "violation ratio", "repairs", "certain answers", "time"],
+        rows,
+    )
+    yield
+
+
+@pytest.mark.parametrize("n_courses", SIZE_SWEEP)
+def bench_cqa_clean_database(benchmark, n_courses):
+    instance, constraints = scaled_course_student(
+        n_courses=n_courses, dangling_ratio=0.0, seed=17
+    )
+    result = benchmark(consistent_answers_report, instance, constraints, QUERY)
+    assert result.repair_count == 1
+
+
+@pytest.mark.parametrize("ratio", VIOLATION_SWEEP)
+def bench_cqa_with_violations(benchmark, ratio):
+    instance, constraints = scaled_course_student(
+        n_courses=16, dangling_ratio=ratio, seed=17
+    )
+    result = benchmark(consistent_answers_report, instance, constraints, QUERY)
+    assert len(result.answers) <= 16

@@ -1,0 +1,68 @@
+"""E7 — How the fraction of nulls changes what counts as a violation (Section 3).
+
+Under the paper's semantics a tuple whose *relevant* attributes contain a
+null never causes an inconsistency, so raising the null ratio of a
+foreign-key workload monotonically (in expectation) removes violations —
+whereas the classical reading keeps flagging them.  The series sweeps the
+null ratio and reports the number of violations under both readings plus
+the number of repairs.
+"""
+
+import pytest
+
+from repro.core.repairs import repairs
+from repro.core.satisfaction import all_violations
+from repro.core.semantics import Semantics, violations_under
+from repro.workloads import foreign_key_workload
+from harness import print_table
+
+
+NULL_RATIOS = [0.0, 0.2, 0.4, 0.6, 0.8]
+
+
+def _workload(null_ratio: float):
+    return foreign_key_workload(
+        n_parents=8, n_children=14, violation_ratio=0.25, null_ratio=null_ratio, seed=31
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    rows = []
+    for ratio in NULL_RATIOS:
+        instance, constraints = _workload(ratio)
+        paper_violations = len(all_violations(instance, constraints))
+        classical_violations = sum(
+            len(violations_under(instance, constraint, Semantics.CLASSICAL))
+            for constraint in constraints
+        )
+        repair_count = len(repairs(instance, constraints))
+        rows.append(
+            [
+                f"{ratio:.1f}",
+                instance.null_count(),
+                paper_violations,
+                classical_violations,
+                repair_count,
+            ]
+        )
+    print_table(
+        "E7: violations and repairs vs. null ratio (paper semantics vs. classical)",
+        ["null ratio", "#nulls", "violations |=_N", "violations classical", "repairs"],
+        rows,
+    )
+    yield
+
+
+@pytest.mark.parametrize("ratio", NULL_RATIOS)
+def bench_violation_detection(benchmark, ratio):
+    instance, constraints = _workload(ratio)
+    found = benchmark(all_violations, instance, constraints)
+    assert isinstance(found, list)
+
+
+@pytest.mark.parametrize("ratio", [0.0, 0.4, 0.8])
+def bench_repair_enumeration_by_null_ratio(benchmark, ratio):
+    instance, constraints = _workload(ratio)
+    result = benchmark.pedantic(repairs, args=(instance, constraints), rounds=3, iterations=1)
+    assert result

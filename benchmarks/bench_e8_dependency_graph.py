@@ -1,0 +1,66 @@
+"""E8 — RIC-acyclicity analysis of constraint graphs (Definition 1, Examples 2–3).
+
+Random constraint sets of growing size are classified as RIC-acyclic or
+not; the series reports how often acyclicity holds (the precondition of
+Theorem 4) and how expensive the contracted-graph construction is.
+"""
+
+import pytest
+
+from repro.constraints.dependency_graph import (
+    contracted_dependency_graph,
+    dependency_graph,
+    is_ric_acyclic,
+)
+from repro.workloads import random_constraint_set
+from harness import print_table
+
+
+CONFIGURATIONS = [
+    {"n_predicates": 6, "n_uics": 4, "n_rics": 2},
+    {"n_predicates": 10, "n_uics": 8, "n_rics": 4},
+    {"n_predicates": 16, "n_uics": 14, "n_rics": 8},
+    {"n_predicates": 24, "n_uics": 20, "n_rics": 14},
+]
+SAMPLES = 20
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    rows = []
+    for config in CONFIGURATIONS:
+        acyclic = 0
+        vertices = 0
+        for seed in range(SAMPLES):
+            constraints = random_constraint_set(seed=seed, **config)
+            if is_ric_acyclic(constraints):
+                acyclic += 1
+            vertices = max(vertices, dependency_graph(constraints).number_of_nodes())
+        rows.append(
+            [
+                config["n_predicates"],
+                config["n_uics"],
+                config["n_rics"],
+                f"{acyclic}/{SAMPLES}",
+                vertices,
+            ]
+        )
+    print_table(
+        "E8: fraction of random constraint sets that are RIC-acyclic",
+        ["#predicates", "#UICs", "#RICs", "acyclic", "graph vertices"],
+        rows,
+    )
+    yield
+
+
+@pytest.mark.parametrize("index", range(len(CONFIGURATIONS)))
+def bench_ric_acyclicity_check(benchmark, index):
+    constraints = random_constraint_set(seed=0, **CONFIGURATIONS[index])
+    result = benchmark(is_ric_acyclic, constraints)
+    assert isinstance(result, bool)
+
+
+def bench_contracted_graph_construction(benchmark):
+    constraints = random_constraint_set(seed=1, **CONFIGURATIONS[-1])
+    graph = benchmark(contracted_dependency_graph, constraints)
+    assert graph.number_of_nodes() >= 1

@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark module reproduces one experiment of EXPERIMENTS.md: it
+prints the table/series the experiment is about (who wins, by what factor,
+where the crossover lies) and registers ``pytest-benchmark`` timings for
+the operations involved so that ``pytest benchmarks/ --benchmark-only``
+yields both the qualitative result and the timing table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a small aligned table; used for the per-experiment result series."""
+
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers))
+    separator = "-" * len(line)
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print(separator)
+    for row in materialised:
+        print("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    print(separator)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cyclic referential constraints: decidability where the classical semantics fails.
+
+With the classical repair semantics, cyclic sets of referential
+constraints make consistent query answering undecidable (Calì, Lembo &
+Rosati 2003) because repairs may have to invent infinitely many fresh
+values.  The paper's null-based repairs stay finite even for cyclic RICs
+(Example 18).  This script reproduces Example 18, shows the RIC-cycle in
+the contracted dependency graph, enumerates the four finite repairs, and
+answers a query consistently — something the classical semantics cannot
+do on this schema.
+
+Run with::
+
+    python examples/cyclic_references.py
+"""
+
+from repro.constraints.dependency_graph import (
+    contracted_dependency_graph,
+    is_ric_acyclic,
+    ric_cycles,
+)
+from repro.core.cqa import consistent_answers_report
+from repro.constraints.parser import parse_query
+from repro.core.repairs import RepairEngine
+from repro.workloads import cyclic_ric_workload, scenarios
+
+
+def main() -> None:
+    scenario = scenarios.example_18()
+    instance, constraints = scenario.instance, scenario.constraints
+
+    print("Instance (Example 18):")
+    print(instance.pretty())
+    print("\nConstraints:")
+    for constraint in constraints:
+        print(f"  {constraint!r}")
+
+    print(f"\nRIC-acyclic (Definition 1)? {is_ric_acyclic(constraints)}")
+    contracted = contracted_dependency_graph(constraints)
+    print(f"Contracted dependency graph vertices: {[sorted(v) for v in contracted.nodes]}")
+    print(f"Cycles: {[[sorted(v) for v in cycle] for cycle in ric_cycles(constraints)]}")
+
+    engine = RepairEngine(constraints)
+    found = engine.repairs(instance)
+    print(f"\nRepairs: {len(found)} (the paper lists four) — all finite:")
+    for index, repair in enumerate(found, start=1):
+        print(f"--- repair {index} ---")
+        print(repair.pretty())
+
+    query = parse_query("ans(y) <- P(x, y)")
+    report = consistent_answers_report(instance, constraints, query)
+    print(f"\nConsistent answers to {query!r}: {sorted(report.answers)}")
+    print(f"(computed over {report.repair_count} repairs — CQA is decidable here, Theorem 2)")
+
+    print("\nScaled-up cyclic workload (P(x, y) → T(x), T(x) → ∃y P(y, x)):")
+    big_instance, big_constraints = cyclic_ric_workload(n_rows=6, violation_ratio=0.4, seed=1)
+    big_engine = RepairEngine(big_constraints)
+    big_repairs = big_engine.repairs(big_instance)
+    print(
+        f"  {len(big_instance)} facts, {len(big_repairs)} repairs, "
+        f"{big_engine.statistics.states_explored} search states"
+    )
+
+
+if __name__ == "__main__":
+    main()

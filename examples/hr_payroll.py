@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""HR payroll audit: keys, check constraints and consistent query answering.
+
+A synthetic HR database with an employee key, a ``salary > 0`` check
+constraint and a department foreign key has been polluted by a botched
+import: duplicate employee ids, dangling department references and
+missing salaries.  The script audits it (which tuples violate what),
+repairs it, and answers payroll queries consistently — i.e. it reports
+only the facts that hold no matter how the inconsistencies are resolved.
+
+Run with::
+
+    python examples/hr_payroll.py
+"""
+
+from repro import (
+    ConstraintSet,
+    DatabaseInstance,
+    NULL,
+    all_violations,
+    consistent_answers_report,
+    foreign_key,
+    functional_dependency,
+    not_null,
+    parse_constraint,
+    parse_query,
+    repairs,
+)
+
+
+def build_database() -> DatabaseInstance:
+    """The polluted payroll snapshot."""
+
+    return DatabaseInstance.from_dict(
+        {
+            "Emp": [
+                (1, "Ann", "CS", 120),
+                (2, "Bob", "CS", 80),
+                (2, "Bobby", "CS", 95),      # duplicate employee id
+                (3, "Eve", "Math", NULL),    # unknown salary: never a violation
+                (4, "Zed", "Bio", 50),       # dangling department reference
+                (5, "Moe", NULL, 70),        # null department: FK is satisfied
+            ],
+            "Dept": [("CS", "carl"), ("Math", "mia")],
+        }
+    )
+
+
+def build_constraints() -> ConstraintSet:
+    """Key on Emp[1], NOT NULL on the id, salary check, FK Emp[3] → Dept[1]."""
+
+    constraints = ConstraintSet()
+    constraints.extend(functional_dependency("Emp", 4, determinant=[0], dependent=[1, 2, 3], name="emp_key"))
+    constraints.add(not_null("Emp", 0, arity=4, name="emp_id_not_null"))
+    constraints.add(parse_constraint("Emp(i, n, d, s) -> s > 0", name="positive_salary"))
+    constraints.add(foreign_key("Emp", 4, [2], "Dept", 2, [0], name="emp_dept_fk"))
+    return constraints
+
+
+def main() -> None:
+    database = build_database()
+    constraints = build_constraints()
+
+    print("Payroll snapshot:")
+    print(database.pretty())
+
+    print("\nAudit — violations under the null-aware semantics:")
+    for violation in all_violations(database, constraints):
+        name = getattr(violation.constraint, "name", None) or repr(violation.constraint)
+        facts = ", ".join(repr(fact) for fact in violation.body_facts)
+        print(f"  [{name}] {facts}")
+
+    print("\nRepairs:")
+    repaired = repairs(database, constraints)
+    print(f"  {len(repaired)} repairs (duplicate key x dangling FK resolutions)")
+    for index, repair in enumerate(repaired[:4], start=1):
+        print(f"--- repair {index} ---")
+        print(repair.pretty())
+    if len(repaired) > 4:
+        print(f"... and {len(repaired) - 4} more")
+
+    print("\nConsistent answers:")
+    queries = {
+        "employees with a guaranteed department": "ans(n, d) <- Emp(i, n, d, s), Dept(d, h)",
+        "employee names on the payroll": "ans(n) <- Emp(i, n, d, s)",
+        "departments that certainly exist": "ans(d) <- Dept(d, h)",
+    }
+    for label, text in queries.items():
+        query = parse_query(text)
+        report = consistent_answers_report(database, constraints, query)
+        print(f"  {label}: {sorted(report.answers)}")
+        print(f"      ({report.repair_count} repairs considered)")
+
+
+if __name__ == "__main__":
+    main()

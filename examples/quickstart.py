@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: repairs and consistent query answers on the paper's running example.
+
+The database violates the referential constraint
+``Course(ID, Code) → ∃Name Student(ID, Name)`` (Example 14 of the paper):
+course C18 is taught to student 34, who has no Student row.  The script
+shows the two null-based repairs (Example 15) and the consistent answers
+to a simple query under both evaluation strategies.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    DatabaseInstance,
+    consistent_answers,
+    is_consistent,
+    parse_constraint,
+    parse_query,
+    repairs,
+    violations,
+)
+
+
+def main() -> None:
+    database = DatabaseInstance.from_dict(
+        {
+            "Course": [(21, "C15"), (34, "C18")],
+            "Student": [(21, "Ann"), (45, "Paul")],
+        }
+    )
+    foreign_key = parse_constraint("Course(id, code) -> Student(id, name)", name="course_fk")
+
+    print("Database:")
+    print(database.pretty())
+    print()
+    print(f"Constraint: {foreign_key!r}")
+    print(f"Consistent under |=_N? {is_consistent(database, [foreign_key])}")
+    for violation in violations(database, foreign_key):
+        print(f"  violation: {violation!r}")
+
+    print("\nRepairs (Definition 7 — nulls fill the unknown attributes):")
+    for index, repair in enumerate(repairs(database, [foreign_key]), start=1):
+        print(f"--- repair {index} ---")
+        print(repair.pretty())
+
+    query = parse_query("ans(code) <- Course(id, code)")
+    print(f"\nQuery: {query!r}")
+    for method in ("direct", "program"):
+        answers = consistent_answers(database, [foreign_key], query, method=method)
+        print(f"Consistent answers ({method} method): {sorted(answers)}")
+
+
+if __name__ == "__main__":
+    main()

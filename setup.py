@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on offline machines where the ``wheel``
+package (required by PEP 517 editable builds) is unavailable and pip falls
+back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

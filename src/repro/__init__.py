@@ -1,0 +1,146 @@
+"""repro — Consistent query answering over databases with null values.
+
+A from-scratch reproduction of L. Bravo and L. Bertossi, *Semantically
+Correct Query Answers in the Presence of Null Values* (EDBT 2006 /
+arXiv:cs/0604076): a null-aware semantics of integrity-constraint
+satisfaction, database repairs that introduce nulls, consistent query
+answering over those repairs, and the disjunctive repair logic programs
+that compute them — together with every substrate the paper relies on
+(relational instances, a first-order evaluator, an answer-set solver and a
+SQL backend).
+
+Quickstart
+----------
+>>> from repro import DatabaseInstance, parse_constraint, parse_query
+>>> from repro import repairs, consistent_answers
+>>> db = DatabaseInstance.from_dict({
+...     "Course": [(21, "C15"), (34, "C18")],
+...     "Student": [(21, "Ann"), (45, "Paul")],
+... })
+>>> ric = parse_constraint("Course(i, c) -> Student(i, n)")
+>>> len(repairs(db, [ric]))
+2
+>>> query = parse_query("ans(c) <- Course(i, c)")
+>>> sorted(consistent_answers(db, [ric], query))
+[('C15',)]
+"""
+
+from repro.relational import (
+    NULL,
+    DatabaseInstance,
+    DatabaseSchema,
+    Fact,
+    RelationSchema,
+    Relation,
+    is_null,
+)
+from repro.constraints import (
+    Atom,
+    Comparison,
+    ConstraintSet,
+    IntegrityConstraint,
+    NotNullConstraint,
+    Variable,
+    check_constraint,
+    denial_constraint,
+    foreign_key,
+    functional_dependency,
+    inclusion_dependency,
+    is_ric_acyclic,
+    not_null,
+    parse_constraint,
+    parse_constraints,
+    parse_query,
+    primary_key,
+    referential_constraint,
+    universal_constraint,
+)
+from repro.logic import ConjunctiveQuery, FirstOrderQuery, Query
+from repro.core import (
+    RepairEngine,
+    Semantics,
+    Violation,
+    all_violations,
+    build_repair_program,
+    classic_repairs,
+    consistent_answers,
+    database_from_model,
+    is_consistent,
+    is_consistent_answer,
+    leq_d,
+    lt_d,
+    program_repairs,
+    project_instance,
+    relevant_attributes,
+    repairs,
+    satisfies,
+    violations,
+)
+from repro.core.cqa import CQAResult, consistent_answers_report, consistent_boolean_answer
+from repro.core.semantics import is_consistent_under, satisfies_under, semantics_matrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # relational substrate
+    "NULL",
+    "is_null",
+    "Fact",
+    "RelationSchema",
+    "DatabaseSchema",
+    "DatabaseInstance",
+    "Relation",
+    # constraint language
+    "Variable",
+    "Atom",
+    "Comparison",
+    "IntegrityConstraint",
+    "NotNullConstraint",
+    "ConstraintSet",
+    "universal_constraint",
+    "referential_constraint",
+    "denial_constraint",
+    "check_constraint",
+    "functional_dependency",
+    "primary_key",
+    "foreign_key",
+    "inclusion_dependency",
+    "not_null",
+    "parse_constraint",
+    "parse_constraints",
+    "parse_query",
+    "is_ric_acyclic",
+    # queries
+    "Query",
+    "ConjunctiveQuery",
+    "FirstOrderQuery",
+    # null-aware semantics
+    "Semantics",
+    "relevant_attributes",
+    "project_instance",
+    "satisfies",
+    "satisfies_under",
+    "violations",
+    "all_violations",
+    "is_consistent",
+    "is_consistent_under",
+    "semantics_matrix",
+    "Violation",
+    # repairs
+    "RepairEngine",
+    "repairs",
+    "classic_repairs",
+    "leq_d",
+    "lt_d",
+    # CQA
+    "consistent_answers",
+    "consistent_answers_report",
+    "consistent_boolean_answer",
+    "is_consistent_answer",
+    "CQAResult",
+    # repair programs
+    "build_repair_program",
+    "program_repairs",
+    "database_from_model",
+]

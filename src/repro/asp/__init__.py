@@ -1,0 +1,44 @@
+"""A small disjunctive logic-programming engine with stable-model semantics.
+
+The paper computes repairs as the stable models of disjunctive logic
+programs and suggests running them on DLV.  DLV is not available in this
+environment, so this package provides a from-scratch replacement with the
+pieces the reproduction needs:
+
+* :mod:`repro.asp.syntax` — rules (disjunctive heads, default negation,
+  built-in comparisons) and programs, with safety checking;
+* :mod:`repro.asp.grounding` — intelligent grounding over the atoms that
+  can possibly become true;
+* :mod:`repro.asp.stable` — stable models of ground disjunctive and normal
+  programs (Gelfond–Lifschitz reduct + minimality check), cautious and
+  brave consequences;
+* :mod:`repro.asp.shift` — the program dependency graph, the
+  head-cycle-free (HCF) test, and the shift transformation ``sh(Π)`` to an
+  equivalent normal program (Section 6 / Ben-Eliyahu & Dechter).
+"""
+
+from repro.asp.syntax import Program, Rule, SafetyError
+from repro.asp.grounding import GroundProgram, GroundRule, ground_program
+from repro.asp.stable import (
+    brave_consequences,
+    cautious_consequences,
+    is_stable_model,
+    stable_models,
+)
+from repro.asp.shift import is_head_cycle_free, shift_program, shift_rule
+
+__all__ = [
+    "Rule",
+    "Program",
+    "SafetyError",
+    "GroundRule",
+    "GroundProgram",
+    "ground_program",
+    "stable_models",
+    "is_stable_model",
+    "cautious_consequences",
+    "brave_consequences",
+    "is_head_cycle_free",
+    "shift_program",
+    "shift_rule",
+]

@@ -1,0 +1,175 @@
+"""Intelligent grounding of disjunctive programs.
+
+A naive grounding over the full Herbrand base explodes quickly; instead we
+compute an over-approximation of the atoms that can possibly become true
+(ignoring negation and treating every disjunct of a head as derivable) and
+instantiate rules only with positive bodies drawn from that set.  Negative
+literals over atoms that can never be true are simply removed from the
+ground rule (they are trivially satisfied), which keeps the ground program
+small without changing its stable models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.relational.domain import Constant
+from repro.constraints.atoms import Atom, BuiltinEvaluationError, Comparison
+from repro.constraints.terms import Variable, is_variable
+from repro.asp.syntax import Program, Rule
+
+
+Assignment = Dict[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """A ground rule (all atoms variable-free, comparisons already resolved)."""
+
+    head: Tuple[Atom, ...]
+    positive: Tuple[Atom, ...]
+    negative: Tuple[Atom, ...]
+
+    @property
+    def is_denial(self) -> bool:
+        """True iff the head is empty."""
+
+        return not self.head
+
+    def __repr__(self) -> str:
+        head = " | ".join(repr(a) for a in self.head) if self.head else ""
+        body = ", ".join(
+            [repr(a) for a in self.positive] + [f"not {a!r}" for a in self.negative]
+        )
+        if not body:
+            return f"{head}."
+        if not head:
+            return f":- {body}."
+        return f"{head} :- {body}."
+
+
+@dataclass
+class GroundProgram:
+    """The result of grounding: facts, ground rules, and the possible atoms."""
+
+    facts: FrozenSet[Atom]
+    rules: Tuple[GroundRule, ...]
+    possible_atoms: FrozenSet[Atom]
+
+    def atoms(self) -> FrozenSet[Atom]:
+        """Every atom mentioned anywhere in the ground program."""
+
+        mentioned: Set[Atom] = set(self.facts) | set(self.possible_atoms)
+        for rule in self.rules:
+            mentioned |= set(rule.head) | set(rule.positive) | set(rule.negative)
+        return frozenset(mentioned)
+
+
+def _atoms_by_predicate(atoms: Iterable[Atom]) -> Dict[Tuple[str, int], Set[Atom]]:
+    grouped: Dict[Tuple[str, int], Set[Atom]] = {}
+    for atom in atoms:
+        grouped.setdefault((atom.predicate, atom.arity), set()).add(atom)
+    return grouped
+
+
+def _match_atom(atom: Atom, ground: Atom, assignment: Assignment) -> Optional[Assignment]:
+    if atom.predicate != ground.predicate or atom.arity != ground.arity:
+        return None
+    extended = dict(assignment)
+    for term, value in zip(atom.terms, ground.terms):
+        if is_variable(term):
+            bound = extended.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extended
+
+
+class _Unbound:
+    """Sentinel distinguishing 'unbound' from a variable bound to None."""
+
+
+_UNBOUND = _Unbound()
+
+
+def _comparisons_hold(comparisons: Sequence[Comparison], assignment: Assignment) -> bool:
+    for comparison in comparisons:
+        try:
+            if not comparison.evaluate(assignment):
+                return False
+        except BuiltinEvaluationError:
+            return False
+    return True
+
+
+def _body_instantiations(
+    rule: Rule, available: Mapping[Tuple[str, int], Set[Atom]]
+) -> Iterator[Assignment]:
+    """All assignments matching the positive body against *available* atoms."""
+
+    def extend(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        if index == len(rule.positive):
+            if _comparisons_hold(rule.comparisons, assignment):
+                yield dict(assignment)
+            return
+        atom = rule.positive[index]
+        candidates = available.get((atom.predicate, atom.arity), set())
+        for ground in candidates:
+            extended = _match_atom(atom, ground, assignment)
+            if extended is not None:
+                yield from extend(index + 1, extended)
+
+    yield from extend(0, {})
+
+
+def possible_atoms(program: Program) -> FrozenSet[Atom]:
+    """Fixpoint over-approximation of the atoms derivable by the program."""
+
+    possible: Set[Atom] = set(program.facts)
+    changed = True
+    while changed:
+        changed = False
+        grouped = _atoms_by_predicate(possible)
+        for rule in program.rules:
+            if not rule.head:
+                continue
+            for assignment in _body_instantiations(rule, grouped):
+                for head_atom in rule.head:
+                    ground_head = head_atom.substitute(assignment)
+                    if not ground_head.is_ground():
+                        raise ValueError(
+                            f"rule {rule!r} produced a non-ground head {ground_head!r}"
+                        )
+                    if ground_head not in possible:
+                        possible.add(ground_head)
+                        changed = True
+    return frozenset(possible)
+
+
+def ground_program(program: Program) -> GroundProgram:
+    """Ground *program* over its possible atoms."""
+
+    possible = possible_atoms(program)
+    grouped = _atoms_by_predicate(possible)
+    facts = frozenset(program.facts)
+
+    ground_rules: List[GroundRule] = []
+    seen: Set[Tuple[Tuple[Atom, ...], Tuple[Atom, ...], Tuple[Atom, ...]]] = set()
+    for rule in program.rules:
+        for assignment in _body_instantiations(rule, grouped):
+            head = tuple(atom.substitute(assignment) for atom in rule.head)
+            positive = tuple(atom.substitute(assignment) for atom in rule.positive)
+            negative_all = [atom.substitute(assignment) for atom in rule.negative]
+            # Negative literals over atoms that can never hold are trivially
+            # satisfied; drop them.  (They are ground by safety.)
+            negative = tuple(atom for atom in negative_all if atom in possible)
+            key = (head, positive, negative)
+            if key in seen:
+                continue
+            seen.add(key)
+            ground_rules.append(GroundRule(head=head, positive=positive, negative=negative))
+    return GroundProgram(facts=facts, rules=tuple(ground_rules), possible_atoms=possible)

@@ -1,0 +1,141 @@
+"""Head-cycle-freeness and the shift transformation ``sh(Π)`` (Section 6).
+
+The dependency graph of a ground disjunctive program has the ground atoms
+as vertices and an edge from ``A`` to ``B`` whenever some rule has ``A``
+(positively) in its body and ``B`` in its head.  The program is
+head-cycle-free (HCF) iff no directed cycle passes through two atoms in
+the head of the same rule (Ben-Eliyahu & Dechter 1994).  A HCF program can
+be *shifted*: each disjunctive rule
+
+    P_1 ∨ … ∨ P_n ← body
+
+is replaced by the ``n`` normal rules ``P_i ← body, not P_1, …, not P_n``
+(all ``P_k`` with ``k ≠ i``), and the shifted program has the same stable
+models.  Query evaluation over the shifted program is only coNP instead of
+Π^p₂, which is the optimisation Theorem 5 / Corollary 1 exploit for repair
+programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+import networkx as nx
+
+from repro.constraints.atoms import Atom
+from repro.asp.grounding import GroundProgram, GroundRule, ground_program
+from repro.asp.syntax import Program, Rule
+
+
+ProgramLike = Union[Program, GroundProgram]
+
+
+def _ensure_ground(program: ProgramLike) -> GroundProgram:
+    if isinstance(program, GroundProgram):
+        return program
+    return ground_program(program)
+
+
+def ground_dependency_graph(program: ProgramLike) -> nx.DiGraph:
+    """The positive dependency graph of the ground program."""
+
+    ground = _ensure_ground(program)
+    graph = nx.DiGraph()
+    for atom in ground.atoms():
+        graph.add_node(atom)
+    for rule in ground.rules:
+        for body_atom in rule.positive:
+            for head_atom in rule.head:
+                graph.add_edge(body_atom, head_atom)
+    return graph
+
+
+def is_head_cycle_free(program: ProgramLike) -> bool:
+    """True iff no directed cycle passes through two head atoms of one rule."""
+
+    ground = _ensure_ground(program)
+    graph = ground_dependency_graph(ground)
+    component_of: Dict[Atom, int] = {}
+    for index, component in enumerate(nx.strongly_connected_components(graph)):
+        for atom in component:
+            component_of[atom] = index
+    for rule in ground.rules:
+        if len(rule.head) < 2:
+            continue
+        seen_components: Set[int] = set()
+        for atom in rule.head:
+            component = component_of.get(atom)
+            if component is None:
+                continue
+            if component in seen_components:
+                # Two head atoms share a strongly connected component, hence
+                # a directed cycle passes through both.
+                if _component_has_cycle(graph, atom, component_of):
+                    return False
+            seen_components.add(component)
+    return True
+
+
+def _component_has_cycle(
+    graph: nx.DiGraph, atom: Atom, component_of: Dict[Atom, int]
+) -> bool:
+    """A strongly connected component with ≥ 2 atoms, or a self-loop, is a cycle."""
+
+    component = component_of[atom]
+    members = [a for a, c in component_of.items() if c == component]
+    if len(members) >= 2:
+        return True
+    return graph.has_edge(atom, atom)
+
+
+def shift_rule(rule: Union[Rule, GroundRule]) -> List[Union[Rule, GroundRule]]:
+    """Shift a single rule; normal rules are returned unchanged."""
+
+    if len(rule.head) <= 1:
+        return [rule]
+    shifted: List[Union[Rule, GroundRule]] = []
+    for index, head_atom in enumerate(rule.head):
+        others = tuple(atom for k, atom in enumerate(rule.head) if k != index)
+        if isinstance(rule, GroundRule):
+            shifted.append(
+                GroundRule(
+                    head=(head_atom,),
+                    positive=rule.positive,
+                    negative=rule.negative + others,
+                )
+            )
+        else:
+            shifted.append(
+                Rule(
+                    head=(head_atom,),
+                    positive=rule.positive,
+                    negative=rule.negative + others,
+                    comparisons=rule.comparisons,
+                )
+            )
+    return shifted
+
+
+def shift_program(program: ProgramLike) -> ProgramLike:
+    """``sh(Π)``: shift every disjunctive rule of the program.
+
+    The result is of the same kind as the input (a non-ground
+    :class:`Program` stays non-ground).  Shifting preserves the stable
+    models only for HCF programs; the caller is expected to check
+    :func:`is_head_cycle_free` first (the repair-program layer does).
+    """
+
+    if isinstance(program, GroundProgram):
+        shifted_rules: List[GroundRule] = []
+        for rule in program.rules:
+            shifted_rules.extend(shift_rule(rule))  # type: ignore[arg-type]
+        return GroundProgram(
+            facts=program.facts,
+            rules=tuple(shifted_rules),
+            possible_atoms=program.possible_atoms,
+        )
+    shifted = Program(facts=program.facts)
+    for rule in program.rules:
+        for new_rule in shift_rule(rule):
+            shifted.add_rule(new_rule)  # type: ignore[arg-type]
+    return shifted

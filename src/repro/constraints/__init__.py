@@ -1,0 +1,67 @@
+"""Integrity-constraint language of the paper (Section 2).
+
+Exposes the term/atom layer, the constraint classes (generic constraints of
+form (1), universal constraints, referential constraints and NOT-NULL
+constraints), convenience factories for the constraint shapes found in
+database practice (keys, functional dependencies, foreign keys, inclusion
+dependencies, denial and check constraints), a small textual parser, and
+the dependency-graph machinery of Definition 1 (RIC-acyclicity).
+"""
+
+from repro.constraints.terms import Variable, is_variable, variables_in
+from repro.constraints.atoms import Atom, Comparison, IsNullAtom, NEGATED_OPS
+from repro.constraints.ic import (
+    ConstraintError,
+    ConstraintSet,
+    IntegrityConstraint,
+    NotNullConstraint,
+)
+from repro.constraints.factories import (
+    check_constraint,
+    denial_constraint,
+    foreign_key,
+    full_inclusion_dependency,
+    functional_dependency,
+    inclusion_dependency,
+    not_null,
+    primary_key,
+    referential_constraint,
+    universal_constraint,
+)
+from repro.constraints.parser import ParseError, parse_constraint, parse_constraints, parse_query
+from repro.constraints.dependency_graph import (
+    contracted_dependency_graph,
+    dependency_graph,
+    is_ric_acyclic,
+)
+
+__all__ = [
+    "Variable",
+    "is_variable",
+    "variables_in",
+    "Atom",
+    "Comparison",
+    "IsNullAtom",
+    "NEGATED_OPS",
+    "ConstraintError",
+    "IntegrityConstraint",
+    "NotNullConstraint",
+    "ConstraintSet",
+    "universal_constraint",
+    "referential_constraint",
+    "denial_constraint",
+    "check_constraint",
+    "functional_dependency",
+    "primary_key",
+    "foreign_key",
+    "inclusion_dependency",
+    "full_inclusion_dependency",
+    "not_null",
+    "ParseError",
+    "parse_constraint",
+    "parse_constraints",
+    "parse_query",
+    "dependency_graph",
+    "contracted_dependency_graph",
+    "is_ric_acyclic",
+]

@@ -1,0 +1,221 @@
+"""Atoms: database atoms, built-in comparisons, and ``IsNull``.
+
+The paper's constraint language (Section 2) uses database atoms
+``P(x̄)`` with ``P ∈ R``, built-in comparison atoms from ``B``
+(``=, ≠, <, ≤, >, ≥`` and the propositional ``false``) and, for NOT-NULL
+constraints (Definition 5), the special predicate ``IsNull(·)`` which is
+true exactly of the ``null`` constant.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from repro.relational.domain import Constant, format_constant, is_null
+from repro.constraints.terms import (
+    Term,
+    Variable,
+    is_variable,
+    substitute_terms,
+    variables_in,
+)
+
+
+#: Comparison operators recognised in built-in atoms.
+COMPARISON_OPS: Dict[str, Callable[[Constant, Constant], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Negation of each comparison operator (used to build ``ϕ̄`` in Definition 9).
+NEGATED_OPS: Dict[str, str] = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+class BuiltinEvaluationError(ValueError):
+    """Raised when a built-in comparison is applied to incomparable values."""
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A database atom ``P(t_1, …, t_n)`` over variables and constants."""
+
+    predicate: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, predicate: str, terms: Sequence[Term]):
+        if not predicate:
+            raise ValueError("atom predicate must be a non-empty string")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        """Number of terms."""
+
+        return len(self.terms)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Variables occurring in the atom."""
+
+        return variables_in(self.terms)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Constants occurring in the atom."""
+
+        return frozenset(t for t in self.terms if not is_variable(t))
+
+    def is_ground(self) -> bool:
+        """True iff no variables occur."""
+
+        return not self.variables()
+
+    def positions_of(self, term: Term) -> Tuple[int, ...]:
+        """0-based positions at which *term* occurs (the paper's ``pos_R(ψ, t)``)."""
+
+        return tuple(i for i, t in enumerate(self.terms) if t == term)
+
+    def substitute(self, assignment: Mapping[Variable, Constant]) -> "Atom":
+        """Apply a variable assignment."""
+
+        return Atom(self.predicate, substitute_terms(self.terms, assignment))
+
+    def project(self, positions: Sequence[int]) -> "Atom":
+        """Restriction of the atom to *positions*, keeping the predicate name.
+
+        This is the syntactic counterpart of the paper's ``P^{A(ψ)}``.
+        """
+
+        return Atom(self.predicate, tuple(self.terms[i] for i in positions))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            t.name if is_variable(t) else format_constant(t) for t in self.terms
+        )
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A built-in comparison atom ``t1 op t2``."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(
+                f"unknown comparison operator {self.op!r}; valid: {sorted(COMPARISON_OPS)}"
+            )
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Variables occurring in the comparison."""
+
+        return variables_in((self.left, self.right))
+
+    def constants(self) -> FrozenSet[Constant]:
+        """Constants occurring in the comparison."""
+
+        return frozenset(t for t in (self.left, self.right) if not is_variable(t))
+
+    def negated(self) -> "Comparison":
+        """The complementary comparison (``x < y`` ↦ ``x >= y``)."""
+
+        return Comparison(NEGATED_OPS[self.op], self.left, self.right)
+
+    def substitute(self, assignment: Mapping[Variable, Constant]) -> "Comparison":
+        """Apply a variable assignment."""
+
+        left, right = substitute_terms((self.left, self.right), assignment)
+        return Comparison(self.op, left, right)
+
+    def evaluate(
+        self,
+        assignment: Optional[Mapping[Variable, Constant]] = None,
+        null_is_unknown: bool = False,
+    ) -> bool:
+        """Evaluate the (ground, after *assignment*) comparison.
+
+        With ``null_is_unknown=True`` any comparison involving ``null``
+        evaluates to ``False`` ("unknown" collapses to not-satisfied),
+        which is the SQL behaviour used when mimicking commercial DBMSs.
+        Otherwise ``null`` is treated as an ordinary constant: it is equal
+        to itself and order comparisons against non-null values raise
+        :class:`BuiltinEvaluationError` unless the operator is (in)equality.
+        """
+
+        ground = self.substitute(assignment or {})
+        if ground.variables():
+            raise BuiltinEvaluationError(
+                f"comparison {ground!r} is not ground after substitution"
+            )
+        left, right = ground.left, ground.right
+        if null_is_unknown and (is_null(left) or is_null(right)):
+            return False
+        if is_null(left) or is_null(right):
+            if ground.op == "=":
+                return is_null(left) and is_null(right)
+            if ground.op == "!=":
+                return not (is_null(left) and is_null(right))
+            # Order comparisons against null have no classical meaning; the
+            # null-aware semantics guards them with IsNull checks, so if we
+            # get here the caller asked for something undefined.
+            raise BuiltinEvaluationError(
+                f"order comparison {ground!r} involves null; "
+                "use null_is_unknown=True for SQL behaviour"
+            )
+        try:
+            return COMPARISON_OPS[ground.op](left, right)
+        except TypeError as exc:
+            raise BuiltinEvaluationError(
+                f"cannot compare {left!r} and {right!r} with {ground.op!r}"
+            ) from exc
+
+    def __repr__(self) -> str:
+        def fmt(term: Term) -> str:
+            return term.name if is_variable(term) else format_constant(term)
+
+        return f"{fmt(self.left)} {self.op} {fmt(self.right)}"
+
+
+@dataclass(frozen=True)
+class IsNullAtom:
+    """The special predicate ``IsNull(t)``, true iff ``t`` is ``null``."""
+
+    term: Term
+
+    def variables(self) -> FrozenSet[Variable]:
+        """Variables occurring in the atom (zero or one)."""
+
+        return variables_in((self.term,))
+
+    def substitute(self, assignment: Mapping[Variable, Constant]) -> "IsNullAtom":
+        """Apply a variable assignment."""
+
+        (term,) = substitute_terms((self.term,), assignment)
+        return IsNullAtom(term)
+
+    def evaluate(self, assignment: Optional[Mapping[Variable, Constant]] = None) -> bool:
+        """Evaluate the ground atom after *assignment*."""
+
+        ground = self.substitute(assignment or {})
+        if is_variable(ground.term):
+            raise BuiltinEvaluationError(f"IsNull({ground.term}) is not ground")
+        return is_null(ground.term)
+
+    def __repr__(self) -> str:
+        term = self.term.name if is_variable(self.term) else format_constant(self.term)
+        return f"IsNull({term})"

@@ -1,0 +1,141 @@
+"""Dependency graphs and RIC-acyclicity (Definition 1, Examples 2–3).
+
+``G(IC)`` has one vertex per database predicate mentioned in ``IC`` and a
+directed edge ``(P_i, P_j)`` whenever some constraint has ``P_i`` in its
+antecedent and ``P_j`` in its consequent.  The *contracted* graph
+``G^C(IC)`` collapses each connected component of the subgraph induced by
+the universal constraints ``IC_U`` into a single vertex, removes the UIC
+edges and keeps only the RIC edges.  ``IC`` is *RIC-acyclic* iff
+``G^C(IC)`` has no (directed) cycles — self-loops count as cycles
+(Example 3).
+
+The paper's wording of "connected component" ("for every pair there is a
+path from A to B or from B to A") does not yield a partition in general;
+Example 3's outcome corresponds to *weakly connected* components, which is
+what we compute (see DESIGN.md, faithfulness caveats).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+import networkx as nx
+
+from repro.constraints.ic import ConstraintSet, IntegrityConstraint, NotNullConstraint
+
+
+def dependency_graph(constraints: ConstraintSet) -> nx.MultiDiGraph:
+    """Build ``G(IC)``: one edge per (constraint, antecedent pred, consequent pred).
+
+    NNCs contribute their predicate as a vertex but no edges (their
+    consequent is ``false``).  Each edge carries the attribute
+    ``constraint`` referencing the originating constraint object and
+    ``kind`` in ``{"uic", "ric", "general"}``.
+    """
+
+    graph = nx.MultiDiGraph()
+    for constraint in constraints:
+        if isinstance(constraint, NotNullConstraint):
+            graph.add_node(constraint.predicate)
+            continue
+        assert isinstance(constraint, IntegrityConstraint)
+        for predicate in constraint.predicates():
+            graph.add_node(predicate)
+        if constraint.is_universal:
+            kind = "uic"
+        elif constraint.is_referential:
+            kind = "ric"
+        else:
+            kind = "general"
+        for source in constraint.body_predicates():
+            for target in constraint.head_predicates():
+                graph.add_edge(source, target, constraint=constraint, kind=kind)
+    return graph
+
+
+def universal_components(constraints: ConstraintSet) -> List[FrozenSet[str]]:
+    """Weakly connected components of ``G(IC_U)`` (the UIC-induced subgraph).
+
+    Predicates not mentioned by any UIC each form their own singleton
+    component, so the result is a partition of all predicates in ``IC``.
+    """
+
+    uic_graph = nx.MultiDiGraph()
+    all_predicates: Set[str] = set()
+    for constraint in constraints:
+        all_predicates |= set(constraint.predicates())
+        if isinstance(constraint, IntegrityConstraint) and constraint.is_universal:
+            for source in constraint.body_predicates():
+                for target in constraint.head_predicates():
+                    uic_graph.add_edge(source, target)
+            for predicate in constraint.predicates():
+                uic_graph.add_node(predicate)
+    components: List[FrozenSet[str]] = [
+        frozenset(component) for component in nx.weakly_connected_components(uic_graph)
+    ]
+    covered: Set[str] = set().union(*components) if components else set()
+    for predicate in sorted(all_predicates - covered):
+        components.append(frozenset({predicate}))
+    return components
+
+
+def contracted_dependency_graph(constraints: ConstraintSet) -> nx.MultiDiGraph:
+    """Build ``G^C(IC)``: contract UIC components, keep only non-UIC edges.
+
+    Vertices are frozensets of predicate names (the contracted components);
+    edges are the RIC edges (and edges of general, mixed-existential
+    constraints, which behave like RICs for cycle analysis because they can
+    introduce new tuples with nulls).
+    """
+
+    components = universal_components(constraints)
+    component_of: Dict[str, FrozenSet[str]] = {}
+    for component in components:
+        for predicate in component:
+            component_of[predicate] = component
+
+    contracted = nx.MultiDiGraph()
+    for component in components:
+        contracted.add_node(component)
+    for constraint in constraints:
+        if isinstance(constraint, NotNullConstraint):
+            continue
+        assert isinstance(constraint, IntegrityConstraint)
+        if constraint.is_universal:
+            continue
+        for source in constraint.body_predicates():
+            for target in constraint.head_predicates():
+                contracted.add_edge(
+                    component_of[source], component_of[target], constraint=constraint
+                )
+    return contracted
+
+
+def is_ric_acyclic(constraints: ConstraintSet) -> bool:
+    """True iff ``G^C(IC)`` has no directed cycles (self-loops included)."""
+
+    contracted = contracted_dependency_graph(constraints)
+    if any(source == target for source, target, _ in contracted.edges(keys=True)):
+        return False
+    return nx.is_directed_acyclic_graph(nx.DiGraph(contracted))
+
+
+def ric_cycles(constraints: ConstraintSet) -> List[List[FrozenSet[str]]]:
+    """The simple cycles of ``G^C(IC)`` (empty list iff RIC-acyclic)."""
+
+    contracted = nx.DiGraph(contracted_dependency_graph(constraints))
+    self_loops = [[node] for node in contracted.nodes if contracted.has_edge(node, node)]
+    cycles = [cycle for cycle in nx.simple_cycles(contracted) if len(cycle) > 1]
+    return self_loops + cycles
+
+
+def topological_component_order(constraints: ConstraintSet) -> List[FrozenSet[str]]:
+    """A topological order of the contracted components (RIC-acyclic sets only).
+
+    Raises ``networkx.NetworkXUnfeasible`` when the constraint set is not
+    RIC-acyclic.  The order is useful for the "local repair" strategies the
+    paper sketches as future work and for staged workload generation.
+    """
+
+    contracted = nx.DiGraph(contracted_dependency_graph(constraints))
+    return list(nx.topological_sort(contracted))

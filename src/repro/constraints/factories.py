@@ -1,0 +1,249 @@
+"""Convenience constructors for the constraint shapes of database practice.
+
+Section 2 of the paper observes that the general form (1) accommodates the
+usual constraints: functional dependencies and keys (several UICs with one
+equality each), partial inclusion dependencies (RICs), full inclusion
+dependencies (UICs), denial and single-row check constraints, and — with
+``IsNull`` — primary keys with NOT NULL and foreign keys.  The factories in
+this module build those shapes from compact, schema-level descriptions so
+that examples and workload generators read like DDL.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.ic import ConstraintError, IntegrityConstraint, NotNullConstraint
+from repro.constraints.terms import Variable
+
+
+def _vars(prefix: str, count: int) -> List[Variable]:
+    """``count`` fresh variables named ``prefix1 … prefixN``."""
+
+    return [Variable(f"{prefix}{i + 1}") for i in range(count)]
+
+
+def universal_constraint(
+    body: Sequence[Atom],
+    head_atoms: Sequence[Atom] = (),
+    head_comparisons: Sequence[Comparison] = (),
+    name: Optional[str] = None,
+) -> IntegrityConstraint:
+    """A universal constraint (form (2)); validates that no existentials appear."""
+
+    constraint = IntegrityConstraint(body, head_atoms, head_comparisons, name=name)
+    if not constraint.is_universal:
+        raise ConstraintError(
+            f"constraint {constraint!r} has existential variables; "
+            "use referential_constraint or the generic IntegrityConstraint"
+        )
+    return constraint
+
+
+def referential_constraint(
+    body_atom: Atom,
+    head_atom: Atom,
+    name: Optional[str] = None,
+) -> IntegrityConstraint:
+    """A referential constraint (form (3)) ``P(x̄) → ∃ȳ Q(x̄', ȳ)``."""
+
+    constraint = IntegrityConstraint([body_atom], [head_atom], name=name)
+    if not constraint.is_referential:
+        raise ConstraintError(
+            f"constraint {constraint!r} is not of the referential form (3)"
+        )
+    return constraint
+
+
+def denial_constraint(
+    body: Sequence[Atom],
+    comparisons: Sequence[Comparison] = (),
+    name: Optional[str] = None,
+) -> IntegrityConstraint:
+    """A denial constraint ``∀x̄ (∧ P_i(x̄_i) ∧ conditions → false)``.
+
+    *comparisons* are the conditions under which the combination is
+    forbidden; they are moved to the consequent in negated form so that the
+    result fits the paper's form (1), where ``ϕ`` is a disjunction of
+    built-ins.  For example ``P(x, y), R(y, z)`` with condition ``z = 2``
+    becomes ``P(x, y) ∧ R(y, z) → z ≠ 2``.
+    """
+
+    negated = tuple(c.negated() for c in comparisons)
+    return IntegrityConstraint(body, (), negated, name=name)
+
+
+def check_constraint(
+    atom: Atom,
+    comparisons: Sequence[Comparison],
+    name: Optional[str] = None,
+) -> IntegrityConstraint:
+    """A single-row check constraint ``P(x̄) → ϕ`` with ``ϕ`` a disjunction."""
+
+    if not comparisons:
+        raise ConstraintError("a check constraint needs at least one comparison")
+    return IntegrityConstraint([atom], (), tuple(comparisons), name=name)
+
+
+def functional_dependency(
+    predicate: str,
+    arity: int,
+    determinant: Sequence[int],
+    dependent: Sequence[int],
+    name: Optional[str] = None,
+) -> List[IntegrityConstraint]:
+    """Functional dependency ``determinant → dependent`` (0-based positions).
+
+    Returns one UIC per dependent position, each with a single equality in
+    the consequent, exactly as the paper describes:
+    ``P(x̄), P(x̄') with x̄, x̄' agreeing on the determinant → x_j = x'_j``.
+    """
+
+    if not determinant:
+        raise ConstraintError("a functional dependency needs a non-empty determinant")
+    for pos in list(determinant) + list(dependent):
+        if not 0 <= pos < arity:
+            raise ConstraintError(f"position {pos} out of range for arity {arity}")
+    constraints: List[IntegrityConstraint] = []
+    for index, dep in enumerate(dependent):
+        left_terms: List[Variable] = _vars("x", arity)
+        right_terms: List[Variable] = _vars("y", arity)
+        for pos in determinant:
+            right_terms[pos] = left_terms[pos]
+        equality = Comparison("=", left_terms[dep], right_terms[dep])
+        fd_name = name if name and len(dependent) == 1 else (f"{name}_{index + 1}" if name else None)
+        constraints.append(
+            IntegrityConstraint(
+                [Atom(predicate, left_terms), Atom(predicate, right_terms)],
+                (),
+                (equality,),
+                name=fd_name,
+            )
+        )
+    return constraints
+
+
+def primary_key(
+    predicate: str,
+    arity: int,
+    key_positions: Sequence[int],
+    with_not_null: bool = True,
+    name: Optional[str] = None,
+) -> List[object]:
+    """A primary key: the key functional dependency plus NOT NULL on key columns.
+
+    Commercial DBMSs require primary-key attributes to be non-null; the
+    paper models that with NNCs (Example 19).  Returns the FD constraints
+    followed by the NNCs.
+    """
+
+    non_key = [i for i in range(arity) if i not in set(key_positions)]
+    constraints: List[object] = []
+    if non_key:
+        constraints.extend(
+            functional_dependency(predicate, arity, key_positions, non_key, name=name)
+        )
+    else:
+        # A key over all attributes induces no FD; it only forbids nulls.
+        pass
+    if with_not_null:
+        for pos in key_positions:
+            constraints.append(
+                NotNullConstraint(predicate, pos, arity=arity, name=(f"{name}_nn{pos + 1}" if name else None))
+            )
+    return constraints
+
+
+def foreign_key(
+    child: str,
+    child_arity: int,
+    child_positions: Sequence[int],
+    parent: str,
+    parent_arity: int,
+    parent_positions: Sequence[int],
+    name: Optional[str] = None,
+) -> IntegrityConstraint:
+    """A foreign key ``child[child_positions] ⊆ parent[parent_positions]``.
+
+    Built as a referential constraint of form (3): the referencing columns
+    of the child must appear in the referenced columns of the parent, the
+    remaining parent columns being existentially quantified.  The key
+    constraint on the parent must be declared separately (as the paper does
+    in Example 19).
+    """
+
+    if len(child_positions) != len(parent_positions):
+        raise ConstraintError("foreign key column lists must have equal length")
+    if not child_positions:
+        raise ConstraintError("foreign key needs at least one column")
+    child_terms: List[Variable] = _vars("x", child_arity)
+    parent_terms: List[Variable] = _vars("z", parent_arity)
+    for c_pos, p_pos in zip(child_positions, parent_positions):
+        if not 0 <= c_pos < child_arity:
+            raise ConstraintError(f"child position {c_pos} out of range")
+        if not 0 <= p_pos < parent_arity:
+            raise ConstraintError(f"parent position {p_pos} out of range")
+        parent_terms[p_pos] = child_terms[c_pos]
+    constraint = IntegrityConstraint(
+        [Atom(child, child_terms)], [Atom(parent, parent_terms)], name=name
+    )
+    return constraint
+
+
+def inclusion_dependency(
+    child: str,
+    child_arity: int,
+    child_positions: Sequence[int],
+    parent: str,
+    parent_arity: int,
+    parent_positions: Sequence[int],
+    name: Optional[str] = None,
+) -> IntegrityConstraint:
+    """Partial inclusion dependency; alias of :func:`foreign_key` (a RIC) unless full.
+
+    If the parent positions cover all parent attributes the result is a
+    full inclusion dependency, which is a universal constraint.
+    """
+
+    constraint = foreign_key(
+        child, child_arity, child_positions, parent, parent_arity, parent_positions, name=name
+    )
+    return constraint
+
+
+def full_inclusion_dependency(
+    child: str,
+    child_arity: int,
+    child_positions: Sequence[int],
+    parent: str,
+    parent_positions: Sequence[int],
+    name: Optional[str] = None,
+) -> IntegrityConstraint:
+    """Full inclusion dependency ``child[positions] ⊆ parent`` (a UIC).
+
+    The parent's arity equals the number of referenced columns, so there
+    are no existential variables.
+    """
+
+    parent_arity = len(parent_positions)
+    child_terms: List[Variable] = _vars("x", child_arity)
+    parent_terms: List[Variable] = [Variable("_dummy")] * parent_arity
+    for c_pos, p_pos in zip(child_positions, parent_positions):
+        parent_terms[p_pos] = child_terms[c_pos]
+    if any(v.name == "_dummy" for v in parent_terms):
+        raise ConstraintError(
+            "full inclusion dependency must cover every parent attribute; "
+            "use inclusion_dependency/foreign_key for partial dependencies"
+        )
+    return IntegrityConstraint(
+        [Atom(child, child_terms)], [Atom(parent, parent_terms)], name=name
+    )
+
+
+def not_null(
+    predicate: str, position: int, arity: Optional[int] = None, name: Optional[str] = None
+) -> NotNullConstraint:
+    """A NOT NULL constraint on ``predicate[position]`` (0-based position)."""
+
+    return NotNullConstraint(predicate, position, arity=arity, name=name)

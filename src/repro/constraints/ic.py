@@ -1,0 +1,443 @@
+"""Integrity constraints of the paper's form (1), plus NOT-NULL constraints.
+
+The generic constraint class represents sentences
+
+    ∀x̄ ( P_1(x̄_1) ∧ … ∧ P_m(x̄_m)  →  ∃z̄ ( Q_1(ȳ_1, z̄_1) ∨ … ∨ Q_n(ȳ_n, z̄_n) ∨ ϕ ) )
+
+where the ``P_i`` and ``Q_j`` are database atoms, ``ϕ`` is a disjunction of
+built-in comparison atoms over antecedent variables, the ``ȳ_j`` are
+universally quantified (they appear in the antecedent) and the ``z̄_j`` are
+the existential variables of the consequent.  Universal constraints (UICs,
+form (2)) have no existential variables; referential constraints (RICs,
+form (3)) have a single antecedent atom, a single consequent atom and no
+built-ins.  NOT-NULL constraints (NNCs, Definition 5) are represented by a
+dedicated class because they mention ``IsNull`` and are interpreted
+classically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.relational.domain import Constant
+from repro.relational.schema import DatabaseSchema
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.terms import Variable, is_variable
+
+
+class ConstraintError(ValueError):
+    """Raised for syntactically malformed constraints."""
+
+
+@dataclass(frozen=True)
+class IntegrityConstraint:
+    """A constraint of the paper's general form (1)."""
+
+    body: Tuple[Atom, ...]
+    head_atoms: Tuple[Atom, ...] = ()
+    head_comparisons: Tuple[Comparison, ...] = ()
+    name: Optional[str] = None
+
+    def __init__(
+        self,
+        body: Sequence[Atom],
+        head_atoms: Sequence[Atom] = (),
+        head_comparisons: Sequence[Comparison] = (),
+        name: Optional[str] = None,
+    ):
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "head_atoms", tuple(head_atoms))
+        object.__setattr__(self, "head_comparisons", tuple(head_comparisons))
+        object.__setattr__(self, "name", name)
+        self._validate()
+
+    # ------------------------------------------------------------------ checks
+    def _validate(self) -> None:
+        if len(self.body) < 1:
+            raise ConstraintError("a constraint needs at least one antecedent atom (m ≥ 1)")
+        body_vars = self.body_variables()
+        for comparison in self.head_comparisons:
+            extra = comparison.variables() - body_vars
+            if extra:
+                raise ConstraintError(
+                    f"built-in {comparison!r} uses variables {sorted(v.name for v in extra)} "
+                    "that do not appear in the antecedent"
+                )
+        # Existential variables must not be shared between consequent atoms
+        # (z̄_i ∩ z̄_j = ∅ for i ≠ j) per the paper's standardisation.
+        seen: Set[Variable] = set()
+        for atom in self.head_atoms:
+            exist_here = atom.variables() - body_vars
+            overlap = exist_here & seen
+            if overlap:
+                raise ConstraintError(
+                    "existential variables may not be shared between consequent atoms: "
+                    f"{sorted(v.name for v in overlap)}"
+                )
+            seen |= exist_here
+
+    # ------------------------------------------------------------------ variables
+    def body_variables(self) -> FrozenSet[Variable]:
+        """``x̄``: the universally quantified variables (antecedent variables)."""
+
+        result: Set[Variable] = set()
+        for atom in self.body:
+            result |= atom.variables()
+        return frozenset(result)
+
+    def head_variables(self) -> FrozenSet[Variable]:
+        """All variables occurring in the consequent (atoms and built-ins)."""
+
+        result: Set[Variable] = set()
+        for atom in self.head_atoms:
+            result |= atom.variables()
+        for comparison in self.head_comparisons:
+            result |= comparison.variables()
+        return frozenset(result)
+
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """``z̄``: consequent variables that do not occur in the antecedent."""
+
+        return frozenset(self.head_variables() - self.body_variables())
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables of the constraint."""
+
+        return frozenset(self.body_variables() | self.head_variables())
+
+    def constants(self) -> FrozenSet[Constant]:
+        """All constants mentioned anywhere in the constraint (``const(IC)``)."""
+
+        result: Set[Constant] = set()
+        for atom in self.body + self.head_atoms:
+            result |= atom.constants()
+        for comparison in self.head_comparisons:
+            result |= comparison.constants()
+        return frozenset(result)
+
+    # ------------------------------------------------------------------ structure
+    def predicates(self) -> FrozenSet[str]:
+        """Database predicates mentioned in the constraint."""
+
+        return frozenset(a.predicate for a in self.body + self.head_atoms)
+
+    def body_predicates(self) -> FrozenSet[str]:
+        """Predicates of the antecedent."""
+
+        return frozenset(a.predicate for a in self.body)
+
+    def head_predicates(self) -> FrozenSet[str]:
+        """Predicates of the consequent."""
+
+        return frozenset(a.predicate for a in self.head_atoms)
+
+    @property
+    def is_universal(self) -> bool:
+        """True for UICs (form (2)): no existentially quantified variables."""
+
+        return not self.existential_variables()
+
+    @property
+    def is_referential(self) -> bool:
+        """True for RICs (form (3)).
+
+        One antecedent atom, one consequent atom, no built-ins, and the
+        consequent's universal terms are antecedent variables (``x̄' ⊆ x̄``).
+        A full inclusion dependency (no existential variables) is *not*
+        referential: it is a universal constraint.
+        """
+
+        if len(self.body) != 1 or len(self.head_atoms) != 1 or self.head_comparisons:
+            return False
+        if not self.existential_variables():
+            return False
+        head = self.head_atoms[0]
+        body_vars = self.body_variables()
+        for term in head.terms:
+            if is_variable(term) and term not in body_vars:
+                continue  # existential position
+            if is_variable(term) and term in body_vars:
+                continue  # referencing position
+            # Constants in the consequent of a RIC are unusual but harmless;
+            # the paper's form (3) does not include them, so reject.
+            return False
+        return True
+
+    @property
+    def is_denial(self) -> bool:
+        """True for denial constraints: an empty consequent (``→ false``)."""
+
+        return not self.head_atoms and not self.head_comparisons
+
+    @property
+    def is_check(self) -> bool:
+        """True for single-row check constraints: one body atom, built-ins only."""
+
+        return len(self.body) == 1 and not self.head_atoms and bool(self.head_comparisons)
+
+    def referenced_positions(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """For a RIC, the (antecedent, consequent) positions of the shared variables.
+
+        Returns two equally long tuples ``(p_body, p_head)`` such that the
+        variable at ``body[0].terms[p_body[k]]`` is the one required to
+        appear at ``head_atoms[0].terms[p_head[k]]``.
+        """
+
+        if not self.is_referential:
+            raise ConstraintError(f"{self!r} is not a referential constraint")
+        body_atom = self.body[0]
+        head_atom = self.head_atoms[0]
+        body_positions: List[int] = []
+        head_positions: List[int] = []
+        body_vars = self.body_variables()
+        for j, term in enumerate(head_atom.terms):
+            if is_variable(term) and term in body_vars:
+                occurrences = body_atom.positions_of(term)
+                if not occurrences:
+                    raise ConstraintError(
+                        f"variable {term} of the consequent does not occur in the antecedent"
+                    )
+                body_positions.append(occurrences[0])
+                head_positions.append(j)
+        return tuple(body_positions), tuple(head_positions)
+
+    def existential_positions(self) -> Tuple[int, ...]:
+        """For a RIC, the consequent positions holding existential variables."""
+
+        if not self.is_referential:
+            raise ConstraintError(f"{self!r} is not a referential constraint")
+        head_atom = self.head_atoms[0]
+        exist = self.existential_variables()
+        return tuple(
+            j for j, term in enumerate(head_atom.terms) if is_variable(term) and term in exist
+        )
+
+    # ------------------------------------------------------------------ misc
+    def with_name(self, name: str) -> "IntegrityConstraint":
+        """Return a copy of the constraint carrying *name* (for reporting)."""
+
+        return IntegrityConstraint(self.body, self.head_atoms, self.head_comparisons, name)
+
+    def __repr__(self) -> str:
+        body = " ∧ ".join(repr(a) for a in self.body)
+        head_parts = [repr(a) for a in self.head_atoms] + [
+            repr(c) for c in self.head_comparisons
+        ]
+        head = " ∨ ".join(head_parts) if head_parts else "false"
+        exist = self.existential_variables()
+        prefix = ""
+        if exist:
+            prefix = "∃" + " ".join(sorted(v.name for v in exist)) + " "
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{body} → {prefix}{head}"
+
+
+@dataclass(frozen=True)
+class NotNullConstraint:
+    """A NOT-NULL constraint ``∀x̄ (P(x̄) ∧ IsNull(x_i) → false)`` (Definition 5)."""
+
+    predicate: str
+    position: int
+    arity: Optional[int] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.position < 0:
+            raise ConstraintError("NOT NULL position must be non-negative (0-based)")
+        if self.arity is not None and self.position >= self.arity:
+            raise ConstraintError(
+                f"NOT NULL position {self.position} out of range for arity {self.arity}"
+            )
+
+    def predicates(self) -> FrozenSet[str]:
+        """The (single) predicate constrained."""
+
+        return frozenset({self.predicate})
+
+    def constants(self) -> FrozenSet[Constant]:
+        """NNCs mention no constants other than the implicit ``null``."""
+
+        return frozenset()
+
+    def attribute_name(self, schema: DatabaseSchema) -> str:
+        """Resolve the constrained attribute name against *schema*."""
+
+        return schema.relation(self.predicate).attribute(self.position)
+
+    def __repr__(self) -> str:
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}NOT NULL {self.predicate}[{self.position + 1}]"
+
+
+#: Anything accepted wherever "a constraint" is expected.
+AnyConstraint = Union[IntegrityConstraint, NotNullConstraint]
+
+
+class ConstraintSet:
+    """An ordered collection of ICs and NNCs with bulk queries.
+
+    The class groups the helpers the rest of the library needs repeatedly:
+    splitting into UICs / RICs / general ICs / NNCs, collecting constants,
+    checking the paper's *non-conflicting* assumption (no NNC on an
+    attribute that is existentially quantified in some IC), and computing
+    RIC-acyclicity via :mod:`repro.constraints.dependency_graph`.
+    """
+
+    def __init__(self, constraints: Iterable[AnyConstraint] = ()):  # noqa: D401
+        self._constraints: List[AnyConstraint] = list(constraints)
+
+    # ------------------------------------------------------------------ container
+    def add(self, constraint: AnyConstraint) -> None:
+        """Append a constraint."""
+
+        self._constraints.append(constraint)
+
+    def extend(self, constraints: Iterable[AnyConstraint]) -> None:
+        """Append several constraints."""
+
+        self._constraints.extend(constraints)
+
+    def __iter__(self) -> Iterator[AnyConstraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __getitem__(self, index: int) -> AnyConstraint:
+        return self._constraints[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstraintSet):
+            return NotImplemented
+        return self._constraints == other._constraints
+
+    def __repr__(self) -> str:
+        return "ConstraintSet([" + ", ".join(repr(c) for c in self._constraints) + "])"
+
+    # ------------------------------------------------------------------ views
+    @property
+    def integrity_constraints(self) -> List[IntegrityConstraint]:
+        """The constraints of form (1) (everything except NNCs)."""
+
+        return [c for c in self._constraints if isinstance(c, IntegrityConstraint)]
+
+    @property
+    def not_null_constraints(self) -> List[NotNullConstraint]:
+        """The NOT-NULL constraints."""
+
+        return [c for c in self._constraints if isinstance(c, NotNullConstraint)]
+
+    @property
+    def universal_constraints(self) -> List[IntegrityConstraint]:
+        """The UICs (the paper's ``IC_U``)."""
+
+        return [c for c in self.integrity_constraints if c.is_universal]
+
+    @property
+    def referential_constraints(self) -> List[IntegrityConstraint]:
+        """The RICs."""
+
+        return [c for c in self.integrity_constraints if c.is_referential]
+
+    @property
+    def general_constraints(self) -> List[IntegrityConstraint]:
+        """ICs of form (1) that are neither UICs nor RICs (mixed existential forms)."""
+
+        return [
+            c
+            for c in self.integrity_constraints
+            if not c.is_universal and not c.is_referential
+        ]
+
+    def predicates(self) -> FrozenSet[str]:
+        """All database predicates mentioned by some constraint."""
+
+        preds: Set[str] = set()
+        for constraint in self._constraints:
+            preds |= constraint.predicates()
+        return frozenset(preds)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """``const(IC)``: constants appearing in the constraints."""
+
+        consts: Set[Constant] = set()
+        for constraint in self._constraints:
+            consts |= constraint.constants()
+        return frozenset(consts)
+
+    # ------------------------------------------------------------------ analyses
+    def not_null_positions(self) -> Dict[str, FrozenSet[int]]:
+        """Map predicate → positions protected by a NOT-NULL constraint."""
+
+        result: Dict[str, Set[int]] = {}
+        for nnc in self.not_null_constraints:
+            result.setdefault(nnc.predicate, set()).add(nnc.position)
+        return {pred: frozenset(positions) for pred, positions in result.items()}
+
+    def existential_attribute_positions(self) -> Dict[str, FrozenSet[int]]:
+        """Map predicate → consequent positions holding existential variables."""
+
+        result: Dict[str, Set[int]] = {}
+        for ic in self.integrity_constraints:
+            exist = ic.existential_variables()
+            if not exist:
+                continue
+            for atom in ic.head_atoms:
+                for j, term in enumerate(atom.terms):
+                    if is_variable(term) and term in exist:
+                        result.setdefault(atom.predicate, set()).add(j)
+        return {pred: frozenset(positions) for pred, positions in result.items()}
+
+    def is_non_conflicting(self) -> bool:
+        """Check the paper's non-conflicting assumption (Section 4).
+
+        No NOT-NULL constraint may protect an attribute that is
+        existentially quantified in some IC of form (1); otherwise the
+        null-based repairs of Definition 7 are not guaranteed to exist
+        (Example 20).
+        """
+
+        existential = self.existential_attribute_positions()
+        for nnc in self.not_null_constraints:
+            if nnc.position in existential.get(nnc.predicate, frozenset()):
+                return False
+        return True
+
+    def conflicting_not_nulls(self) -> List[NotNullConstraint]:
+        """The NNCs that violate the non-conflicting assumption (may be empty)."""
+
+        existential = self.existential_attribute_positions()
+        return [
+            nnc
+            for nnc in self.not_null_constraints
+            if nnc.position in existential.get(nnc.predicate, frozenset())
+        ]
+
+    def is_ric_acyclic(self) -> bool:
+        """RIC-acyclicity per Definition 1 (delegates to the graph module)."""
+
+        from repro.constraints.dependency_graph import is_ric_acyclic
+
+        return is_ric_acyclic(self)
+
+    def named(self) -> Dict[str, AnyConstraint]:
+        """Map constraint name → constraint (unnamed constraints get ``ic<i>``)."""
+
+        result: Dict[str, AnyConstraint] = {}
+        for index, constraint in enumerate(self._constraints):
+            name = getattr(constraint, "name", None) or f"ic{index + 1}"
+            result[name] = constraint
+        return result

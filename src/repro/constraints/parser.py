@@ -1,0 +1,294 @@
+"""A small textual syntax for constraints and queries.
+
+The syntax keeps the paper's look and feel::
+
+    P(x, y), R(y, z, w) -> S(x) | z != 2 | w <= y        (universal, Example 1a)
+    P(x, y) -> R(x, y, z)                                  (referential, Example 1b)
+    Emp(id, name, salary) -> salary > 100                  (check, Example 6)
+    P(x, y), P(x, z) -> y = z                               (key as FD)
+    Q(x, y), isnull(y) -> false                             (NOT NULL, Definition 5)
+    P(x, y), R(y, z) -> false                               (denial)
+
+Conventions
+-----------
+* bare lowercase identifiers are **variables**;
+* constants are single- or double-quoted strings, numbers, or the keyword
+  ``null``; bare identifiers starting with an uppercase letter *inside an
+  atom's argument list* are also treated as string constants (so the
+  paper's ``Course(x, y, 'W04')`` can be written ``Course(x, y, W04)``);
+* existential variables are simply the head variables that do not occur in
+  the body — no explicit quantifier is written, matching the paper's
+  convention of leaving prefixes implicit;
+* ``false`` as the entire head denotes a denial constraint;
+* a body atom ``isnull(v)`` (case-insensitive) together with head
+  ``false`` produces a :class:`repro.constraints.ic.NotNullConstraint`.
+
+Queries use the same term syntax::
+
+    ans(x) <- Course(x, y, z), not Student(y, n), z != 'W04'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.relational.domain import NULL, Constant
+from repro.constraints.atoms import Atom, Comparison, COMPARISON_OPS
+from repro.constraints.ic import (
+    ConstraintError,
+    ConstraintSet,
+    IntegrityConstraint,
+    NotNullConstraint,
+)
+from repro.constraints.terms import Term, Variable
+
+
+class ParseError(ValueError):
+    """Raised when the textual constraint/query syntax cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        (?P<arrow><-|->)
+      | (?P<op>!=|>=|<=|=|<|>)
+      | (?P<punct>[(),|])
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<number>-?\d+\.\d+|-?\d+)
+      | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenise(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character at {text[position:position + 10]!r}")
+        position = match.end()
+        for kind in ("arrow", "op", "punct", "string", "number", "word"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _TokenStream:
+    """Tiny cursor over the token list with one-token lookahead."""
+
+    def __init__(self, tokens: Sequence[Tuple[str, str]], text: str):
+        self._tokens = list(tokens)
+        self._index = 0
+        self._text = text
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self._text!r}")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Tuple[str, str]:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise ParseError(
+                f"expected {value or kind!r} but found {token[1]!r} in {self._text!r}"
+            )
+        return token
+
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _parse_term(token: Tuple[str, str]) -> Term:
+    kind, value = token
+    if kind == "string":
+        return value[1:-1]
+    if kind == "number":
+        return float(value) if "." in value else int(value)
+    if kind == "word":
+        if value.lower() == "null":
+            return NULL
+        if value[0].isupper():
+            return value  # bare uppercase identifier → string constant
+        return Variable(value)
+    raise ParseError(f"cannot interpret token {value!r} as a term")
+
+
+def _parse_atom_or_comparison(stream: _TokenStream) -> Union[Atom, Comparison, str]:
+    """Parse one literal: an atom, a comparison, or the keyword ``false``."""
+
+    kind, value = stream.next()
+    if kind == "word" and value.lower() == "false" and (
+        stream.peek() is None or stream.peek()[1] != "("
+    ):
+        return "false"
+    if kind == "word" and stream.peek() is not None and stream.peek()[1] == "(":
+        predicate = value
+        stream.expect("punct", "(")
+        terms: List[Term] = []
+        if stream.peek() is not None and stream.peek()[1] == ")":
+            stream.next()  # empty argument list, e.g. a boolean query head ans()
+        else:
+            while True:
+                terms.append(_parse_term(stream.next()))
+                punct = stream.next()
+                if punct[1] == ")":
+                    break
+                if punct[1] != ",":
+                    raise ParseError(f"expected ',' or ')' but found {punct[1]!r}")
+        return Atom(predicate, terms)
+    # Otherwise this must be the left operand of a comparison.
+    left = _parse_term((kind, value))
+    op_token = stream.next()
+    if op_token[0] != "op":
+        raise ParseError(f"expected a comparison operator after {value!r}")
+    right = _parse_term(stream.next())
+    return Comparison(op_token[1], left, right)
+
+
+def _parse_literal_list(stream: _TokenStream, separator: str) -> List[Union[Atom, Comparison, str]]:
+    literals = [_parse_atom_or_comparison(stream)]
+    while stream.peek() is not None and stream.peek()[1] == separator:
+        stream.next()
+        literals.append(_parse_atom_or_comparison(stream))
+    return literals
+
+
+def parse_constraint(text: str, name: Optional[str] = None) -> Union[IntegrityConstraint, NotNullConstraint]:
+    """Parse a single constraint from *text* (see the module docstring)."""
+
+    tokens = _tokenise(text)
+    stream = _TokenStream(tokens, text)
+    body_literals = _parse_literal_list(stream, ",")
+    stream.expect("arrow", "->")
+    head_literals = _parse_literal_list(stream, "|")
+    if not stream.exhausted():
+        raise ParseError(f"trailing tokens after constraint in {text!r}")
+
+    body_atoms: List[Atom] = []
+    isnull_vars: List[Variable] = []
+    for literal in body_literals:
+        if isinstance(literal, Atom) and literal.predicate.lower() == "isnull":
+            if literal.arity != 1 or not isinstance(literal.terms[0], Variable):
+                raise ParseError("isnull(...) takes exactly one variable argument")
+            isnull_vars.append(literal.terms[0])
+        elif isinstance(literal, Atom):
+            body_atoms.append(literal)
+        else:
+            raise ParseError(
+                f"comparisons are not allowed in the antecedent of form (1): {literal!r}"
+            )
+
+    is_false_head = len(head_literals) == 1 and head_literals[0] == "false"
+    head_atoms: List[Atom] = []
+    head_comparisons: List[Comparison] = []
+    if not is_false_head:
+        for literal in head_literals:
+            if literal == "false":
+                raise ParseError("'false' cannot be combined with other head literals")
+            if isinstance(literal, Atom):
+                head_atoms.append(literal)
+            else:
+                head_comparisons.append(literal)
+
+    if isnull_vars:
+        if not is_false_head or len(body_atoms) != 1 or len(isnull_vars) != 1:
+            raise ParseError(
+                "NOT NULL constraints must have the form 'P(x1,...,xn), isnull(xi) -> false'"
+            )
+        atom = body_atoms[0]
+        variable = isnull_vars[0]
+        positions = atom.positions_of(variable)
+        if not positions:
+            raise ParseError(
+                f"isnull variable {variable} does not occur in the atom {atom!r}"
+            )
+        return NotNullConstraint(atom.predicate, positions[0], arity=atom.arity, name=name)
+
+    if not body_atoms:
+        raise ParseError("a constraint needs at least one database atom in the antecedent")
+    return IntegrityConstraint(body_atoms, head_atoms, head_comparisons, name=name)
+
+
+def parse_constraints(texts: Iterable[str]) -> ConstraintSet:
+    """Parse several constraints into a :class:`ConstraintSet`.
+
+    Each entry may optionally be prefixed with ``name:`` to name the
+    constraint (useful in reports).
+    """
+
+    constraints = ConstraintSet()
+    for text in texts:
+        name: Optional[str] = None
+        stripped = text.strip()
+        if ":" in stripped.split("(")[0] and "->" in stripped:
+            prefix, rest = stripped.split(":", 1)
+            if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", prefix.strip()):
+                name = prefix.strip()
+                stripped = rest.strip()
+        constraints.add(parse_constraint(stripped, name=name))
+    return constraints
+
+
+def parse_query(text: str):
+    """Parse a query ``ans(x, y) <- P(x, y), not R(y), y > 2``.
+
+    Returns a :class:`repro.logic.queries.ConjunctiveQuery`.  A boolean
+    query is written with an empty head: ``ans() <- P(x, y)``.
+    """
+
+    from repro.logic.queries import ConjunctiveQuery  # local import avoids a cycle
+
+    tokens = _tokenise(text)
+    stream = _TokenStream(tokens, text)
+    head = _parse_atom_or_comparison(stream)
+    if not isinstance(head, Atom):
+        raise ParseError(f"query head must be an atom, found {head!r}")
+    stream.expect("arrow", "<-")
+
+    positive: List[Atom] = []
+    negative: List[Atom] = []
+    comparisons: List[Comparison] = []
+    while True:
+        token = stream.peek()
+        negated = False
+        if token is not None and token == ("word", "not"):
+            stream.next()
+            negated = True
+        literal = _parse_atom_or_comparison(stream)
+        if isinstance(literal, Atom):
+            (negative if negated else positive).append(literal)
+        elif isinstance(literal, Comparison):
+            if negated:
+                comparisons.append(literal.negated())
+            else:
+                comparisons.append(literal)
+        else:
+            raise ParseError("'false' is not allowed in a query body")
+        if stream.peek() is not None and stream.peek()[1] == ",":
+            stream.next()
+            continue
+        break
+    if not stream.exhausted():
+        raise ParseError(f"trailing tokens after query in {text!r}")
+
+    head_vars = [t for t in head.terms if isinstance(t, Variable)]
+    return ConjunctiveQuery(
+        head_variables=tuple(head_vars),
+        positive_atoms=tuple(positive),
+        negative_atoms=tuple(negative),
+        comparisons=tuple(comparisons),
+        name=head.predicate,
+    )

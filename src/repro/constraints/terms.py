@@ -1,0 +1,74 @@
+"""Terms: variables and constants.
+
+A term is either a :class:`Variable` or a plain Python constant (a member
+of the database domain ``U``, possibly :data:`repro.relational.domain.NULL`).
+Keeping constants as plain values keeps the evaluator fast and the
+construction of constraints and queries pleasantly literal::
+
+    Atom("Course", (Variable("x"), Variable("y"), "W04"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterable, Mapping, Tuple, Union
+
+from repro.relational.domain import Constant
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A first-order variable, identified by its name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("variable name must be a non-empty string")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: A term: either a variable or a domain constant.
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: Any) -> bool:
+    """True iff *term* is a :class:`Variable`."""
+
+    return isinstance(term, Variable)
+
+
+def variables_in(terms: Iterable[Term]) -> FrozenSet[Variable]:
+    """The set of variables occurring in *terms*."""
+
+    return frozenset(t for t in terms if isinstance(t, Variable))
+
+
+def substitute_term(term: Term, assignment: Mapping[Variable, Constant]) -> Term:
+    """Apply *assignment* to a single term (constants pass through)."""
+
+    if isinstance(term, Variable):
+        return assignment.get(term, term)
+    return term
+
+
+def substitute_terms(
+    terms: Tuple[Term, ...], assignment: Mapping[Variable, Constant]
+) -> Tuple[Term, ...]:
+    """Apply *assignment* position-wise to a tuple of terms."""
+
+    return tuple(substitute_term(t, assignment) for t in terms)
+
+
+def fresh_variable(base: str, taken: Iterable[Variable]) -> Variable:
+    """A variable named after *base* that does not clash with *taken*."""
+
+    names = {v.name for v in taken}
+    if base not in names:
+        return Variable(base)
+    index = 1
+    while f"{base}_{index}" in names:
+        index += 1
+    return Variable(f"{base}_{index}")

@@ -1,0 +1,224 @@
+"""The classical repair semantics of Arenas–Bertossi–Chomicki 1999 (baseline).
+
+Under the classical semantics a repair minimises the symmetric difference
+``∆(D, D')`` under set inclusion, ``null`` has no special status, and a
+violated referential constraint can be repaired either by deleting the
+offending tuple or by inserting a witness whose existential attributes take
+*arbitrary* values from the (possibly infinite) database domain.  As the
+paper's Example 14 shows, that yields one repair per domain constant — and
+with cyclic referential constraints CQA becomes undecidable [Calì et al.
+2003].
+
+This module implements the baseline so that the benchmarks can reproduce
+the qualitative blow-up: repairs are enumerated with insertions drawn from
+a *finite* candidate domain supplied by the caller (by default the active
+domain plus the constraint constants), and the repair count is reported as
+a function of that domain's size.  A deletion-only mode covers the
+Chomicki–Marcinkowski tuple-deletion semantics used for denial constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.relational.domain import Constant, NULL, is_null
+from repro.relational.instance import DatabaseInstance, Fact
+from repro.constraints.ic import (
+    AnyConstraint,
+    ConstraintSet,
+    IntegrityConstraint,
+    NotNullConstraint,
+)
+from repro.constraints.terms import Variable, is_variable
+from repro.core.satisfaction import Violation
+from repro.core.semantics import Semantics, violations_under
+
+
+class ClassicRepairBudgetExceeded(RuntimeError):
+    """Raised when the classical enumeration exceeds its state budget."""
+
+
+def _all_violations_classical(
+    instance: DatabaseInstance, constraints: ConstraintSet
+) -> List[Violation]:
+    found: List[Violation] = []
+    for constraint in constraints:
+        found.extend(violations_under(instance, constraint, Semantics.CLASSICAL))
+    return found
+
+
+def _classical_insertions(
+    violation: Violation, domain: Sequence[Constant]
+) -> List[Fact]:
+    """Insertion fixes with existential positions ranging over *domain*."""
+
+    constraint = violation.constraint
+    if isinstance(constraint, NotNullConstraint):
+        return []
+    assignment = violation.assignment
+    fixes: List[Fact] = []
+    for atom in constraint.head_atoms:
+        existential_positions = [
+            index
+            for index, term in enumerate(atom.terms)
+            if is_variable(term) and term not in assignment
+        ]
+        # Group positions by the existential variable so repeated variables
+        # receive the same value.
+        exist_vars: List[Variable] = []
+        for index in existential_positions:
+            term = atom.terms[index]
+            if term not in exist_vars:
+                exist_vars.append(term)
+        if not exist_vars:
+            values = [
+                assignment.get(term, term) if is_variable(term) else term
+                for term in atom.terms
+            ]
+            fixes.append(Fact(atom.predicate, values))
+            continue
+        for combination in _combinations(domain, len(exist_vars)):
+            binding = dict(zip(exist_vars, combination))
+            values = []
+            for term in atom.terms:
+                if is_variable(term):
+                    values.append(assignment.get(term, binding.get(term)))
+                else:
+                    values.append(term)
+            fixes.append(Fact(atom.predicate, values))
+    return fixes
+
+
+def _combinations(domain: Sequence[Constant], count: int) -> Iterable[Tuple[Constant, ...]]:
+    if count == 0:
+        yield ()
+        return
+    for value in domain:
+        for rest in _combinations(domain, count - 1):
+            yield (value,) + rest
+
+
+def classic_repairs(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    insertion_domain: Optional[Sequence[Constant]] = None,
+    deletions_only: bool = False,
+    max_states: Optional[int] = 200_000,
+) -> List[DatabaseInstance]:
+    """Repairs under the classical (1999) semantics, restricted to a finite domain.
+
+    Parameters
+    ----------
+    insertion_domain:
+        The constants insertions may use for existentially quantified
+        attributes.  Defaults to ``adom(D) ∪ const(IC)`` (without ``null``:
+        the classical semantics predates null-based repairs).
+    deletions_only:
+        Restrict the repairs to tuple deletions (the semantics used for
+        denial constraints and keys in most of the CQA literature).
+    """
+
+    constraint_set = (
+        constraints if isinstance(constraints, ConstraintSet) else ConstraintSet(list(constraints))
+    )
+    if insertion_domain is None:
+        insertion_domain = sorted(
+            set(instance.active_domain()) | set(constraint_set.constants()),
+            key=lambda value: repr(value),
+        )
+
+    states_explored = 0
+    found: Dict[FrozenSet[Fact], DatabaseInstance] = {}
+    visited: Set[Tuple[FrozenSet[Fact], FrozenSet[Fact]]] = set()
+
+    def explore(
+        current: DatabaseInstance,
+        inserted: FrozenSet[Fact],
+        deleted: FrozenSet[Fact],
+    ) -> None:
+        nonlocal states_explored
+        state_key = (inserted, deleted)
+        if state_key in visited:
+            return
+        visited.add(state_key)
+        states_explored += 1
+        if max_states is not None and states_explored > max_states:
+            raise ClassicRepairBudgetExceeded(
+                f"classical repair search exceeded {max_states} states"
+            )
+        violations = _all_violations_classical(current, constraint_set)
+        if not violations:
+            key = current.fact_set()
+            if key not in found:
+                found[key] = current.copy()
+            return
+        violation = min(
+            violations,
+            key=lambda v: (repr(v.constraint), tuple(f.sort_key() for f in v.body_facts)),
+        )
+        for fact in dict.fromkeys(violation.body_facts):
+            if fact in inserted:
+                continue
+            next_instance = current.copy()
+            next_instance.discard(fact)
+            explore(next_instance, inserted, deleted | {fact})
+        if deletions_only:
+            return
+        for fact in _classical_insertions(violation, insertion_domain):
+            if fact in deleted or fact in current:
+                continue
+            next_instance = current.copy()
+            next_instance.add(fact)
+            explore(next_instance, inserted | {fact}, deleted)
+
+    explore(instance.copy(), frozenset(), frozenset())
+
+    # Minimality: subset-minimal symmetric difference.
+    candidates = list(found.values())
+    minimal: List[DatabaseInstance] = []
+    for candidate in candidates:
+        candidate_delta = instance.symmetric_difference(candidate)
+        dominated = any(
+            other is not candidate
+            and instance.symmetric_difference(other) < candidate_delta
+            for other in candidates
+        )
+        if not dominated:
+            minimal.append(candidate)
+    return minimal
+
+
+def classic_repair_count_by_domain_size(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    domain_sizes: Sequence[int],
+    value_prefix: str = "v",
+) -> Dict[int, int]:
+    """Number of classical repairs as the insertion domain grows (Example 14).
+
+    For each requested size ``n`` the insertion domain is the active domain
+    plus fresh constants ``v1 … vk`` until it has ``n`` elements; the
+    result maps ``n`` to the number of repairs, which grows linearly for
+    the Course/Student example while the null-based semantics stays at two.
+    """
+
+    constraint_set = (
+        constraints if isinstance(constraints, ConstraintSet) else ConstraintSet(list(constraints))
+    )
+    base = sorted(
+        set(instance.active_domain()) | set(constraint_set.constants()),
+        key=lambda value: repr(value),
+    )
+    counts: Dict[int, int] = {}
+    for size in domain_sizes:
+        domain = list(base)
+        index = 1
+        while len(domain) < size:
+            fresh = f"{value_prefix}{index}"
+            if fresh not in domain:
+                domain.append(fresh)
+            index += 1
+        counts[size] = len(
+            classic_repairs(instance, constraint_set, insertion_domain=domain[:size])
+        )
+    return counts

@@ -1,0 +1,160 @@
+"""Consistent query answering (Definition 8, Theorems 2–3).
+
+A ground tuple ``t̄`` is a *consistent answer* to a query ``Q(x̄)`` in ``D``
+w.r.t. ``IC`` iff ``t̄`` is an answer to ``Q`` in every repair of ``D``;
+for a boolean query the consistent answer is *yes* iff the sentence holds
+in every repair.  Two evaluation strategies are provided:
+
+* ``method="direct"`` — enumerate the repairs with the repair engine of
+  :mod:`repro.core.repairs` and intersect the per-repair answer sets;
+* ``method="program"`` — compute the repairs as the stable models of the
+  repair program ``Π(D, IC)`` (cautious reasoning over the program, as the
+  paper proposes) and intersect the same way.
+
+Both strategies return the same answers; the benchmarks compare their
+cost.  Query evaluation inside a repair uses the ``|=^q_N`` convention
+described in :mod:`repro.logic.queries` (``null`` as an ordinary constant
+by default, SQL-style unknown comparisons on request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.relational.domain import Constant
+from repro.relational.instance import DatabaseInstance
+from repro.constraints.ic import AnyConstraint, ConstraintSet
+from repro.logic.queries import Query
+from repro.core.repairs import RepairEngine
+from repro.core.repair_program import program_repairs
+
+
+AnswerTuple = Tuple[Constant, ...]
+
+
+@dataclass
+class CQAResult:
+    """The outcome of one consistent-query-answering computation."""
+
+    answers: FrozenSet[AnswerTuple]
+    repair_count: int
+    per_repair_answer_counts: List[int] = field(default_factory=list)
+    method: str = "direct"
+
+    @property
+    def certain(self) -> bool:
+        """For boolean queries: True iff the empty tuple is a consistent answer."""
+
+        return () in self.answers
+
+
+def _as_constraint_set(
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]]
+) -> ConstraintSet:
+    if isinstance(constraints, ConstraintSet):
+        return constraints
+    return ConstraintSet(list(constraints))
+
+
+def _repairs_for(
+    instance: DatabaseInstance,
+    constraints: ConstraintSet,
+    method: str,
+    max_states: Optional[int],
+) -> List[DatabaseInstance]:
+    if method == "direct":
+        return RepairEngine(constraints, max_states=max_states).repairs(instance)
+    if method == "program":
+        return program_repairs(instance, constraints).repairs
+    raise ValueError(f"unknown CQA method {method!r}; use 'direct' or 'program'")
+
+
+def consistent_answers_report(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    query: Query,
+    method: str = "direct",
+    null_is_unknown: bool = False,
+    max_states: Optional[int] = 200_000,
+) -> CQAResult:
+    """Full report: consistent answers plus repair statistics."""
+
+    constraint_set = _as_constraint_set(constraints)
+    repairs = _repairs_for(instance, constraint_set, method, max_states)
+    if not repairs:
+        # A non-conflicting constraint set always has at least one repair
+        # (Proposition 1); an empty repair set can only happen with
+        # conflicting NNCs, in which case nothing is certain.
+        return CQAResult(answers=frozenset(), repair_count=0, method=method)
+
+    per_repair: List[FrozenSet[AnswerTuple]] = []
+    if query.is_boolean:
+        for repair in repairs:
+            holds = query.holds(repair, null_is_unknown=null_is_unknown)
+            per_repair.append(frozenset({()}) if holds else frozenset())
+    else:
+        for repair in repairs:
+            per_repair.append(query.answers(repair, null_is_unknown=null_is_unknown))
+
+    answers = set(per_repair[0])
+    for answer_set in per_repair[1:]:
+        answers &= answer_set
+    return CQAResult(
+        answers=frozenset(answers),
+        repair_count=len(repairs),
+        per_repair_answer_counts=[len(a) for a in per_repair],
+        method=method,
+    )
+
+
+def consistent_answers(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    query: Query,
+    method: str = "direct",
+    null_is_unknown: bool = False,
+    max_states: Optional[int] = 200_000,
+) -> FrozenSet[AnswerTuple]:
+    """The consistent answers to *query* in *instance* w.r.t. *constraints*."""
+
+    return consistent_answers_report(
+        instance,
+        constraints,
+        query,
+        method=method,
+        null_is_unknown=null_is_unknown,
+        max_states=max_states,
+    ).answers
+
+
+def is_consistent_answer(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    query: Query,
+    candidate: Sequence[Constant],
+    method: str = "direct",
+    null_is_unknown: bool = False,
+) -> bool:
+    """Decision version of CQA: is *candidate* an answer in every repair?"""
+
+    return tuple(candidate) in consistent_answers(
+        instance, constraints, query, method=method, null_is_unknown=null_is_unknown
+    )
+
+
+def consistent_boolean_answer(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    query: Query,
+    method: str = "direct",
+    null_is_unknown: bool = False,
+) -> bool:
+    """Consistent answer to a boolean query: *yes* iff it holds in every repair."""
+
+    result = consistent_answers_report(
+        instance, constraints, query, method=method, null_is_unknown=null_is_unknown
+    )
+    if result.repair_count == 0:
+        return False
+    return result.certain

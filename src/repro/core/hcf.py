@@ -1,0 +1,133 @@
+"""Bilateral predicates and the head-cycle-free guarantee (Section 6).
+
+A predicate is *bilateral* w.r.t. a constraint set ``IC`` when it appears
+in the antecedent of some constraint and in the consequent of some (not
+necessarily different) constraint (Definition 11).  Theorem 5 gives a
+sufficient, syntactic condition under which the repair program
+``Π(D, IC)`` is head-cycle-free for every instance ``D``: every constraint
+either mentions no bilateral predicate, or mentions exactly one occurrence
+of a bilateral predicate.  Corollary 1 specialises this to denial-style
+constraints (no database atom in the consequent), which never have
+bilateral occurrences and therefore always yield HCF — hence coNP —
+programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple, Union
+
+from repro.relational.instance import DatabaseInstance
+from repro.constraints.ic import (
+    AnyConstraint,
+    ConstraintSet,
+    IntegrityConstraint,
+    NotNullConstraint,
+)
+
+
+def _as_constraint_set(
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]]
+) -> ConstraintSet:
+    if isinstance(constraints, ConstraintSet):
+        return constraints
+    return ConstraintSet(list(constraints))
+
+
+def bilateral_predicates(
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]]
+) -> FrozenSet[str]:
+    """Predicates appearing in some antecedent and in some consequent (Definition 11)."""
+
+    constraint_set = _as_constraint_set(constraints)
+    antecedent: Set[str] = set()
+    consequent: Set[str] = set()
+    for constraint in constraint_set:
+        if isinstance(constraint, NotNullConstraint):
+            antecedent.add(constraint.predicate)
+            continue
+        antecedent |= set(constraint.body_predicates())
+        consequent |= set(constraint.head_predicates())
+    return frozenset(antecedent & consequent)
+
+
+def bilateral_occurrences(
+    constraint: IntegrityConstraint, bilateral: FrozenSet[str]
+) -> int:
+    """Number of atom occurrences of bilateral predicates in *constraint*."""
+
+    return sum(
+        1
+        for atom in constraint.body + constraint.head_atoms
+        if atom.predicate in bilateral
+    )
+
+
+def guarantees_hcf(
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]]
+) -> bool:
+    """Theorem 5's sufficient condition for the repair program to be HCF.
+
+    Every constraint of form (1) must contain either no occurrence or
+    exactly one occurrence of a bilateral predicate.  The condition is
+    sufficient but not necessary (the paper gives ``P(x, a) → P(x, b)`` as
+    a constraint violating the condition whose program is nevertheless
+    HCF); use :func:`repair_program_is_hcf` for an instance-specific,
+    exact check on the ground program.
+    """
+
+    constraint_set = _as_constraint_set(constraints)
+    bilateral = bilateral_predicates(constraint_set)
+    for constraint in constraint_set:
+        if isinstance(constraint, NotNullConstraint):
+            continue
+        if bilateral_occurrences(constraint, bilateral) > 1:
+            return False
+    return True
+
+
+def is_denial_only(
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]]
+) -> bool:
+    """Corollary 1's constraint class: no database atoms in any consequent."""
+
+    constraint_set = _as_constraint_set(constraints)
+    for constraint in constraint_set:
+        if isinstance(constraint, NotNullConstraint):
+            continue
+        if constraint.head_atoms:
+            return False
+    return True
+
+
+def repair_program_is_hcf(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+) -> bool:
+    """Exact HCF check on the ground repair program for a concrete instance."""
+
+    from repro.asp.shift import is_head_cycle_free
+    from repro.core.repair_program import build_repair_program
+
+    program = build_repair_program(instance, _as_constraint_set(constraints))
+    return is_head_cycle_free(program)
+
+
+def hcf_report(
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]]
+) -> Dict[str, object]:
+    """A small structured report used by the benchmarks and examples."""
+
+    constraint_set = _as_constraint_set(constraints)
+    bilateral = bilateral_predicates(constraint_set)
+    per_constraint: List[Tuple[str, int]] = []
+    for index, constraint in enumerate(constraint_set):
+        if isinstance(constraint, NotNullConstraint):
+            continue
+        name = constraint.name or f"ic{index + 1}"
+        per_constraint.append((name, bilateral_occurrences(constraint, bilateral)))
+    return {
+        "bilateral_predicates": sorted(bilateral),
+        "occurrences_per_constraint": per_constraint,
+        "guarantees_hcf": guarantees_hcf(constraint_set),
+        "denial_only": is_denial_only(constraint_set),
+    }

@@ -1,0 +1,70 @@
+"""Projected instances ``D^A`` (Definition 3).
+
+Given a set ``A`` of relevant attributes and an instance ``D``, the
+projected instance ``D^A`` contains, for every fact ``P(t̄) ∈ D``, the fact
+``P^A(Π_A(t̄))`` — the tuple restricted to the relevant positions of ``P``.
+Relations not mentioned in ``A`` keep all their attributes only if the
+caller asks for them; by default they are omitted, because the rewritten
+constraint ``ψ_N`` never mentions them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.relational.instance import DatabaseInstance, Fact
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.constraints.ic import IntegrityConstraint
+from repro.core.relevant import relevant_positions
+
+
+def project_instance(
+    instance: DatabaseInstance,
+    positions_by_predicate: Mapping[str, Sequence[int]],
+) -> DatabaseInstance:
+    """Project *instance* onto the given positions, per predicate.
+
+    Predicates not listed in *positions_by_predicate* are dropped (the
+    rewritten constraint does not mention them).  A predicate mapped to an
+    empty position sequence becomes a 0-ary relation that contains the
+    empty tuple iff the original relation is non-empty.
+    """
+
+    schema = DatabaseSchema()
+    for predicate, positions in positions_by_predicate.items():
+        if predicate in instance.schema:
+            original = instance.schema.relation(predicate)
+            schema.add_relation(original.project(tuple(positions)))
+        else:
+            schema.add_relation(
+                RelationSchema(predicate, tuple(f"a{i + 1}" for i in range(len(positions))))
+            )
+
+    projected = DatabaseInstance(schema=schema)
+    for predicate, positions in positions_by_predicate.items():
+        for row in instance.tuples(predicate):
+            projected.add_tuple(predicate, tuple(row[i] for i in positions))
+    return projected
+
+
+def project_for_constraint(
+    instance: DatabaseInstance, constraint: IntegrityConstraint
+) -> DatabaseInstance:
+    """``D^{A(ψ)}`` for a single constraint ``ψ`` (Definition 3)."""
+
+    return project_instance(instance, relevant_positions(constraint))
+
+
+def projected_schema_for_constraint(
+    instance: DatabaseInstance, constraint: IntegrityConstraint
+) -> Dict[str, Tuple[str, ...]]:
+    """The attribute lists of the projected relations (useful for reporting)."""
+
+    result: Dict[str, Tuple[str, ...]] = {}
+    for predicate, positions in relevant_positions(constraint).items():
+        if predicate in instance.schema:
+            attributes = instance.schema.relation(predicate).attributes
+            result[predicate] = tuple(attributes[i] for i in positions)
+        else:
+            result[predicate] = tuple(f"a{i + 1}" for i in range(len(positions)))
+    return result

@@ -1,0 +1,138 @@
+"""Relevant attributes ``A(ψ)`` of a constraint (Definition 2).
+
+For a constraint ``ψ`` of form (1), the relevant attributes are the
+positions ``R[i]`` of database predicates where
+
+* a variable occurs that appears *at least twice* in ``ψ`` (counting every
+  occurrence in antecedent atoms, consequent atoms and built-ins), or
+* a constant occurs.
+
+Intuitively these are the attributes involved in joins, the attributes
+shared between antecedent and consequent, and the attributes constrained
+by ``ϕ`` — precisely the attributes a commercial DBMS would look at when
+checking the constraint (Examples 5, 6, 8, 9).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.constraints.atoms import Atom
+from repro.constraints.ic import IntegrityConstraint, NotNullConstraint
+from repro.constraints.terms import Variable, is_variable
+
+
+#: A relevant attribute: (predicate name, occurrence index, 0-based position).
+#: ``occurrence index`` distinguishes repeated uses of the same predicate in
+#: one constraint (e.g. ``P(x, y), P(y, z) → …``); Definition 2 is stated per
+#: predicate, so :func:`relevant_attributes` collapses occurrences, while
+#: :func:`relevant_positions` keeps the per-predicate union that Definition 3
+#: projects on.
+AttributeRef = Tuple[str, int]
+
+
+def _variable_occurrences(constraint: IntegrityConstraint) -> Counter:
+    """Count every occurrence of every variable in the constraint."""
+
+    counts: Counter = Counter()
+    for atom in constraint.body + constraint.head_atoms:
+        for term in atom.terms:
+            if is_variable(term):
+                counts[term] += 1
+    for comparison in constraint.head_comparisons:
+        for term in (comparison.left, comparison.right):
+            if is_variable(term):
+                counts[term] += 1
+    return counts
+
+
+def relevant_attributes(constraint: IntegrityConstraint) -> FrozenSet[AttributeRef]:
+    """The set ``A(ψ)`` as (predicate, 0-based position) pairs.
+
+    NOT-NULL constraints are handled separately (Definition 5) and should
+    not be passed here.
+    """
+
+    if isinstance(constraint, NotNullConstraint):  # defensive: misuse guard
+        raise TypeError("relevant_attributes applies to constraints of form (1), not NNCs")
+    counts = _variable_occurrences(constraint)
+    repeated: Set[Variable] = {v for v, count in counts.items() if count >= 2}
+    result: Set[AttributeRef] = set()
+    for atom in constraint.body + constraint.head_atoms:
+        for position, term in enumerate(atom.terms):
+            if is_variable(term):
+                if term in repeated:
+                    result.add((atom.predicate, position))
+            else:
+                # A constant occurrence always makes its position relevant.
+                result.add((atom.predicate, position))
+    return frozenset(result)
+
+
+def relevant_positions(constraint: IntegrityConstraint) -> Dict[str, Tuple[int, ...]]:
+    """Relevant positions grouped per predicate, sorted ascending.
+
+    This is the per-relation view Definition 3 projects on; a predicate
+    mentioned by the constraint but with no relevant position maps to an
+    empty tuple (its projection is a 0-ary relation that is non-empty iff
+    the original relation is).
+    """
+
+    relevant = relevant_attributes(constraint)
+    grouped: Dict[str, Set[int]] = {
+        atom.predicate: set() for atom in constraint.body + constraint.head_atoms
+    }
+    for predicate, position in relevant:
+        grouped.setdefault(predicate, set()).add(position)
+    return {predicate: tuple(sorted(positions)) for predicate, positions in grouped.items()}
+
+
+def relevant_body_variables(constraint: IntegrityConstraint) -> FrozenSet[Variable]:
+    """``A(ψ) ∩ x̄``: antecedent variables sitting at relevant positions.
+
+    These are exactly the variables the ``IsNull`` disjunction of the
+    rewritten constraint (formula (4)) ranges over: if any of them is bound
+    to ``null`` the constraint is satisfied for that assignment.
+    """
+
+    relevant = relevant_attributes(constraint)
+    result: Set[Variable] = set()
+    for atom in constraint.body:
+        for position, term in enumerate(atom.terms):
+            if is_variable(term) and (atom.predicate, position) in relevant:
+                result.add(term)
+    return frozenset(result)
+
+
+def relevant_existential_variables(constraint: IntegrityConstraint) -> FrozenSet[Variable]:
+    """Existential variables that occupy a relevant position of some consequent atom.
+
+    The paper notes (after Example 12) that ``ψ_N`` only keeps existential
+    quantifiers when some consequent atom repeats an existential variable —
+    that is the only way an existential variable can become relevant.
+    """
+
+    relevant = relevant_attributes(constraint)
+    existential = constraint.existential_variables()
+    result: Set[Variable] = set()
+    for atom in constraint.head_atoms:
+        for position, term in enumerate(atom.terms):
+            if (
+                is_variable(term)
+                and term in existential
+                and (atom.predicate, position) in relevant
+            ):
+                result.add(term)
+    return frozenset(result)
+
+
+def paper_attribute_names(
+    constraint: IntegrityConstraint,
+) -> FrozenSet[str]:
+    """``A(ψ)`` rendered in the paper's ``R[i]`` (1-based) notation, for reports."""
+
+    return frozenset(
+        f"{predicate}[{position + 1}]"
+        for predicate, position in relevant_attributes(constraint)
+    )

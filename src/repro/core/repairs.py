@@ -1,0 +1,357 @@
+"""Null-introducing database repairs (Definitions 6–7, Proposition 1).
+
+A repair of ``D`` w.r.t. ``IC`` is an instance over the same schema that
+satisfies ``IC`` under ``|=_N`` and is ``≤_D``-minimal, where ``≤_D``
+(Definition 6) compares instances through their symmetric difference with
+``D`` and treats atoms containing ``null`` specially: an atom with nulls
+in the difference of ``D'`` only requires *some* atom with the same
+non-null part in the difference of ``D''``.  This makes a repair that
+inserts ``Q(a, null)`` strictly preferable to one that inserts
+``Q(a, b)`` for an arbitrary domain constant ``b``, which is how the
+paper regains finitely many repairs and decidability of CQA.
+
+The enumeration engine mirrors the ground repair-program rules: it picks a
+ground violation and branches over its possible fixes — delete one of the
+participating antecedent facts, or insert one of the consequent atoms with
+``null`` in the existentially quantified positions — until the instance is
+consistent, and finally filters the candidates through ``≤_D``-minimality.
+A tuple inserted along a branch is never deleted on the same branch and
+vice versa (the analogue of the program denial ``← P(x̄, ta), P(x̄, fa)``),
+which guarantees termination because the universe of candidate atoms is
+finite (Proposition 1).
+
+For non-conflicting constraint sets (the paper's standing assumption, see
+:meth:`repro.constraints.ic.ConstraintSet.is_non_conflicting`) this
+computes exactly the repairs of Definition 7; a brute-force reference
+enumerator over the restricted domain is provided for cross-validation on
+tiny instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.relational.domain import Constant, NULL, is_null
+from repro.relational.instance import DatabaseInstance, Fact
+from repro.constraints.atoms import Atom
+from repro.constraints.ic import (
+    AnyConstraint,
+    ConstraintSet,
+    IntegrityConstraint,
+    NotNullConstraint,
+)
+from repro.constraints.terms import Variable, is_variable
+from repro.core.satisfaction import Violation, all_violations, is_consistent
+
+
+# --------------------------------------------------------------------------- ≤_D
+def delta(original: DatabaseInstance, other: DatabaseInstance) -> FrozenSet[Fact]:
+    """``∆(D, D')``: the symmetric difference as a set of facts."""
+
+    return original.symmetric_difference(other)
+
+
+def _null_atom_covered(
+    fact: Fact, delta_other: FrozenSet[Fact], delta_self: FrozenSet[Fact]
+) -> bool:
+    """Condition (b) of Definition 6 for one atom with nulls."""
+
+    non_null = fact.non_null_positions()
+    for candidate in delta_other:
+        if candidate.predicate != fact.predicate or candidate.arity != fact.arity:
+            continue
+        if candidate in delta_self:
+            continue
+        if all(candidate.values[i] == fact.values[i] for i in non_null):
+            return True
+    return False
+
+
+def leq_d(
+    original: DatabaseInstance,
+    first: DatabaseInstance,
+    second: DatabaseInstance,
+) -> bool:
+    """``first ≤_D second`` (Definition 6), with ``D = original``."""
+
+    delta_first = delta(original, first)
+    delta_second = delta(original, second)
+    for fact in delta_first:
+        if not fact.has_null():
+            if fact not in delta_second:
+                return False
+        else:
+            if not _null_atom_covered(fact, delta_second, delta_first):
+                return False
+    return True
+
+
+def lt_d(
+    original: DatabaseInstance,
+    first: DatabaseInstance,
+    second: DatabaseInstance,
+) -> bool:
+    """``first <_D second``: ``first ≤_D second`` but not ``second ≤_D first``."""
+
+    return leq_d(original, first, second) and not leq_d(original, second, first)
+
+
+# --------------------------------------------------------------------------- fixes
+def deletion_fixes(violation: Violation) -> List[Fact]:
+    """The antecedent facts whose deletion resolves *violation*."""
+
+    seen: Set[Fact] = set()
+    ordered: List[Fact] = []
+    for fact in violation.body_facts:
+        if fact not in seen:
+            seen.add(fact)
+            ordered.append(fact)
+    return ordered
+
+
+def insertion_fixes(violation: Violation) -> List[Fact]:
+    """The consequent atoms whose insertion resolves *violation*.
+
+    Universal variables take their value from the violation's assignment,
+    constants stay, and existential variables are filled with ``null`` —
+    the paper's way of repairing referential constraints without picking an
+    arbitrary domain value.  NOT-NULL and denial/check constraints have no
+    insertion fixes.
+    """
+
+    constraint = violation.constraint
+    if isinstance(constraint, NotNullConstraint):
+        return []
+    assignment = violation.assignment
+    fixes: List[Fact] = []
+    for atom in constraint.head_atoms:
+        values: List[Constant] = []
+        for term in atom.terms:
+            if is_variable(term):
+                values.append(assignment.get(term, NULL))
+            else:
+                values.append(term)
+        fixes.append(Fact(atom.predicate, values))
+    return fixes
+
+
+# --------------------------------------------------------------------------- engine
+class RepairSearchBudgetExceeded(RuntimeError):
+    """Raised when the repair search exceeds its configured state budget."""
+
+
+@dataclass
+class RepairStatistics:
+    """Counters describing one repair enumeration (used by the benchmarks)."""
+
+    states_explored: int = 0
+    candidates_found: int = 0
+    repairs_found: int = 0
+    dead_branches: int = 0
+
+
+class RepairEngine:
+    """Enumerate the repairs of Definition 7 for a fixed constraint set."""
+
+    def __init__(
+        self,
+        constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+        max_states: Optional[int] = 200_000,
+    ):
+        self._constraints = (
+            constraints
+            if isinstance(constraints, ConstraintSet)
+            else ConstraintSet(list(constraints))
+        )
+        self._max_states = max_states
+        self.statistics = RepairStatistics()
+
+    @property
+    def constraints(self) -> ConstraintSet:
+        """The constraint set the engine repairs against."""
+
+        return self._constraints
+
+    # ------------------------------------------------------------------ search
+    def candidates(self, instance: DatabaseInstance) -> List[DatabaseInstance]:
+        """All consistent instances reachable by resolving violations.
+
+        The result is a superset of the repairs; :meth:`repairs` filters it
+        through ``≤_D``-minimality.
+        """
+
+        self.statistics = RepairStatistics()
+        found: Dict[FrozenSet[Fact], DatabaseInstance] = {}
+        visited: Set[Tuple[FrozenSet[Fact], FrozenSet[Fact]]] = set()
+
+        def explore(
+            current: DatabaseInstance,
+            inserted: FrozenSet[Fact],
+            deleted: FrozenSet[Fact],
+        ) -> None:
+            state_key = (inserted, deleted)
+            if state_key in visited:
+                return
+            visited.add(state_key)
+            self.statistics.states_explored += 1
+            if self._max_states is not None and self.statistics.states_explored > self._max_states:
+                raise RepairSearchBudgetExceeded(
+                    f"repair search exceeded {self._max_states} states; "
+                    "raise max_states or simplify the instance"
+                )
+
+            violations = all_violations(current, self._constraints)
+            if not violations:
+                key = current.fact_set()
+                if key not in found:
+                    found[key] = current.copy()
+                    self.statistics.candidates_found += 1
+                return
+
+            violation = min(
+                violations,
+                key=lambda v: (repr(v.constraint), tuple(f.sort_key() for f in v.body_facts)),
+            )
+            branched = False
+            for fact in deletion_fixes(violation):
+                if fact in inserted:
+                    continue  # the program denial: never undo an insertion
+                next_instance = current.copy()
+                next_instance.discard(fact)
+                branched = True
+                explore(next_instance, inserted, deleted | {fact})
+            for fact in insertion_fixes(violation):
+                if fact in deleted or fact in current:
+                    continue
+                next_instance = current.copy()
+                next_instance.add(fact)
+                branched = True
+                explore(next_instance, inserted | {fact}, deleted)
+            if not branched:
+                self.statistics.dead_branches += 1
+
+        explore(instance.copy(), frozenset(), frozenset())
+        return list(found.values())
+
+    def repairs(self, instance: DatabaseInstance) -> List[DatabaseInstance]:
+        """The ``≤_D``-minimal consistent candidates (Definition 7)."""
+
+        candidates = self.candidates(instance)
+        minimal = minimal_under_leq_d(instance, candidates)
+        self.statistics.repairs_found = len(minimal)
+        return minimal
+
+
+def minimal_under_leq_d(
+    original: DatabaseInstance, candidates: Sequence[DatabaseInstance]
+) -> List[DatabaseInstance]:
+    """The candidates not strictly dominated (``<_D``) by another candidate."""
+
+    minimal: List[DatabaseInstance] = []
+    for candidate in candidates:
+        dominated = any(
+            other is not candidate and lt_d(original, other, candidate)
+            for other in candidates
+        )
+        if not dominated:
+            minimal.append(candidate)
+    return minimal
+
+
+def repairs(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    max_states: Optional[int] = 200_000,
+) -> List[DatabaseInstance]:
+    """Convenience wrapper: the repairs of *instance* w.r.t. *constraints*."""
+
+    return RepairEngine(constraints, max_states=max_states).repairs(instance)
+
+
+# --------------------------------------------------------------------------- Proposition 1
+def restricted_domain(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+) -> FrozenSet[Constant]:
+    """``adom(D) ∪ const(IC) ∪ {null}``: the domain repairs live in (Proposition 1)."""
+
+    constraint_set = (
+        constraints if isinstance(constraints, ConstraintSet) else ConstraintSet(list(constraints))
+    )
+    return frozenset(
+        set(instance.active_domain()) | set(constraint_set.constants()) | {NULL}
+    )
+
+
+def within_restricted_domain(
+    original: DatabaseInstance,
+    repaired: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+) -> bool:
+    """Check Proposition 1(a) for a candidate repair."""
+
+    allowed = restricted_domain(original, constraints)
+    return all(
+        value in allowed or is_null(value)
+        for fact in repaired.facts()
+        for value in fact.values
+    )
+
+
+# --------------------------------------------------------------------------- brute force
+def brute_force_repairs(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    max_insertable_atoms: int = 14,
+) -> List[DatabaseInstance]:
+    """Reference implementation of Definition 7 by exhaustive enumeration.
+
+    Enumerates every instance over the restricted domain of Proposition 1
+    whose facts are either original facts or atoms built from that domain,
+    keeps the consistent ones and filters them through ``≤_D``-minimality.
+    Exponential — only usable for very small instances; the property-based
+    tests use it to validate :class:`RepairEngine`.
+    """
+
+    constraint_set = (
+        constraints if isinstance(constraints, ConstraintSet) else ConstraintSet(list(constraints))
+    )
+    domain = sorted(restricted_domain(instance, constraint_set), key=lambda v: repr(v))
+
+    # Candidate atoms: every atom over the constrained predicates and the
+    # predicates of the instance, with values from the restricted domain.
+    predicates: Dict[str, int] = {}
+    for pred in instance.predicates:
+        predicates[pred] = instance.schema.arity(pred)
+    for constraint in constraint_set:
+        if isinstance(constraint, NotNullConstraint):
+            continue
+        for atom in constraint.body + constraint.head_atoms:
+            predicates.setdefault(atom.predicate, atom.arity)
+
+    insertable: List[Fact] = []
+    for pred, arity in sorted(predicates.items()):
+        for values in itertools.product(domain, repeat=arity):
+            fact = Fact(pred, values)
+            if fact not in instance:
+                insertable.append(fact)
+    if len(insertable) > max_insertable_atoms:
+        raise ValueError(
+            f"brute-force enumeration would consider {len(insertable)} insertable atoms; "
+            f"the limit is {max_insertable_atoms}"
+        )
+
+    original_facts = list(instance.facts())
+    consistent: List[DatabaseInstance] = []
+    for keep_mask in itertools.product((False, True), repeat=len(original_facts)):
+        kept = [fact for fact, keep in zip(original_facts, keep_mask) if keep]
+        for insert_mask in itertools.product((False, True), repeat=len(insertable)):
+            added = [fact for fact, add in zip(insertable, insert_mask) if add]
+            candidate = DatabaseInstance.from_facts(
+                kept + added, schema=instance.schema
+            )
+            if is_consistent(candidate, constraint_set):
+                consistent.append(candidate)
+    return minimal_under_leq_d(instance, consistent)

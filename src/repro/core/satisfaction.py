@@ -1,0 +1,252 @@
+"""The satisfaction relation ``|=_N`` (Definitions 4–5) and violation enumeration.
+
+Two implementations are provided:
+
+* the **faithful** one, :func:`satisfies_via_projection`, literally builds
+  ``D^{A(ψ)}`` and ``ψ_N`` and evaluates the formula with the generic
+  first-order evaluator — this is Definition 4 verbatim;
+* the **direct** one, :func:`violations`, enumerates the ground violations
+  of a constraint without materialising the projection.  It is what the
+  repair engine and the benchmarks use, because it also reports *which*
+  antecedent facts participate in each violation (the information the
+  repair search branches on, mirroring the ground repair-program rules).
+
+The two are equivalent and cross-validated by the test-suite:
+``satisfies(D, ψ)`` (no violations) iff ``satisfies_via_projection(D, ψ)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.relational.domain import Constant, is_null
+from repro.relational.instance import DatabaseInstance, Fact
+from repro.constraints.atoms import Atom, BuiltinEvaluationError, Comparison
+from repro.constraints.ic import (
+    AnyConstraint,
+    ConstraintSet,
+    IntegrityConstraint,
+    NotNullConstraint,
+)
+from repro.constraints.terms import Variable, is_variable
+from repro.core.projection import project_for_constraint
+from repro.core.relevant import relevant_body_variables, relevant_positions
+from repro.core.transform import null_aware_formula
+from repro.logic.evaluation import holds
+
+
+Assignment = Dict[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One ground violation of a constraint.
+
+    ``bindings`` is the assignment of the antecedent variables obtained by
+    matching the antecedent atoms against concrete facts; ``body_facts``
+    are those facts, in the order of the constraint's antecedent atoms.
+    For a NOT-NULL constraint the assignment is empty and ``body_facts``
+    holds the single offending fact.
+    """
+
+    constraint: AnyConstraint
+    bindings: Tuple[Tuple[Variable, Constant], ...]
+    body_facts: Tuple[Fact, ...]
+
+    @property
+    def assignment(self) -> Assignment:
+        """The variable assignment as a dictionary."""
+
+        return dict(self.bindings)
+
+    def __repr__(self) -> str:
+        assign = ", ".join(f"{v.name}={value!r}" for v, value in self.bindings)
+        return f"Violation({self.constraint!r}; {assign}; facts={list(self.body_facts)})"
+
+
+# --------------------------------------------------------------------------- joins
+def body_matches(
+    instance: DatabaseInstance, body: Sequence[Atom]
+) -> Iterator[Tuple[Assignment, Tuple[Fact, ...]]]:
+    """Enumerate the matches of the antecedent atoms against the instance.
+
+    ``null`` is treated as an ordinary constant (it joins with itself),
+    exactly as in the evaluation of ``ψ_N`` over ``D^A`` (Example 12).
+    """
+
+    def extend(
+        index: int, assignment: Assignment, facts: Tuple[Fact, ...]
+    ) -> Iterator[Tuple[Assignment, Tuple[Fact, ...]]]:
+        if index == len(body):
+            yield dict(assignment), facts
+            return
+        atom = body[index]
+        for row in instance.tuples(atom.predicate):
+            extended = _match_atom(atom, row, assignment)
+            if extended is None:
+                continue
+            yield from extend(index + 1, extended, facts + (Fact(atom.predicate, row),))
+
+    yield from extend(0, {}, ())
+
+
+def _match_atom(
+    atom: Atom, row: Tuple[Constant, ...], assignment: Assignment
+) -> Optional[Assignment]:
+    if len(row) != atom.arity:
+        return None
+    extended = dict(assignment)
+    for term, value in zip(atom.terms, row):
+        if is_variable(term):
+            if term in extended:
+                if extended[term] != value:
+                    return None
+            else:
+                extended[term] = value
+        elif term != value:
+            return None
+    return extended
+
+
+def _head_atom_has_witness(
+    instance: DatabaseInstance,
+    atom: Atom,
+    assignment: Assignment,
+    positions: Sequence[int],
+) -> bool:
+    """Does some tuple of ``atom.predicate`` match the atom on *positions*?
+
+    Universal variables take their value from *assignment*; existential
+    variables merely have to be consistent across their occurrences within
+    the atom (Example 13); constants must match literally.  Positions not
+    listed are ignored — they were projected away.
+    """
+
+    for row in instance.tuples(atom.predicate):
+        if len(row) != atom.arity:
+            continue
+        existential_binding: Dict[Variable, Constant] = {}
+        matched = True
+        for position in positions:
+            term = atom.terms[position]
+            value = row[position]
+            if is_variable(term):
+                if term in assignment:
+                    if assignment[term] != value:
+                        matched = False
+                        break
+                else:
+                    bound = existential_binding.get(term)
+                    if bound is None and term not in existential_binding:
+                        existential_binding[term] = value
+                    elif bound != value:
+                        matched = False
+                        break
+            elif term != value:
+                matched = False
+                break
+        if matched:
+            return True
+    return False
+
+
+def _comparison_disjunction_holds(
+    comparisons: Sequence[Comparison], assignment: Assignment
+) -> bool:
+    """Evaluate the built-in disjunction ``ϕ`` under *assignment*.
+
+    Every variable of ``ϕ`` is relevant, so when this is reached none of
+    them is ``null``; a comparison that still cannot be evaluated (e.g.
+    a string compared with a number) counts as not satisfied.
+    """
+
+    for comparison in comparisons:
+        try:
+            if comparison.evaluate(assignment):
+                return True
+        except BuiltinEvaluationError:
+            continue
+    return False
+
+
+# --------------------------------------------------------------------------- |=_N
+def violations(
+    instance: DatabaseInstance, constraint: AnyConstraint
+) -> List[Violation]:
+    """All ground violations of *constraint* in *instance* under ``|=_N``."""
+
+    if isinstance(constraint, NotNullConstraint):
+        return not_null_violations(instance, constraint)
+    return _ic_violations(instance, constraint)
+
+
+def not_null_violations(
+    instance: DatabaseInstance, constraint: NotNullConstraint
+) -> List[Violation]:
+    """Facts of the constrained predicate with ``null`` at the protected position."""
+
+    found: List[Violation] = []
+    for fact in instance.facts(constraint.predicate):
+        if constraint.position < fact.arity and is_null(fact.values[constraint.position]):
+            found.append(Violation(constraint, (), (fact,)))
+    return found
+
+
+def _ic_violations(
+    instance: DatabaseInstance, constraint: IntegrityConstraint
+) -> List[Violation]:
+    positions = relevant_positions(constraint)
+    relevant_vars = relevant_body_variables(constraint)
+    found: List[Violation] = []
+    for assignment, facts in body_matches(instance, constraint.body):
+        if any(is_null(assignment[v]) for v in relevant_vars):
+            continue  # a null in a relevant antecedent attribute: satisfied
+        if _comparison_disjunction_holds(constraint.head_comparisons, assignment):
+            continue
+        witnessed = False
+        for atom in constraint.head_atoms:
+            kept = positions.get(atom.predicate, tuple(range(atom.arity)))
+            if _head_atom_has_witness(instance, atom, assignment, kept):
+                witnessed = True
+                break
+        if witnessed:
+            continue
+        bindings = tuple(sorted(assignment.items(), key=lambda item: item[0].name))
+        found.append(Violation(constraint, bindings, facts))
+    return found
+
+
+def satisfies(instance: DatabaseInstance, constraint: AnyConstraint) -> bool:
+    """``D |=_N ψ``: no violations under the null-aware semantics."""
+
+    return not violations(instance, constraint)
+
+
+def satisfies_via_projection(
+    instance: DatabaseInstance, constraint: IntegrityConstraint
+) -> bool:
+    """Definition 4 verbatim: ``D^{A(ψ)} |= ψ_N`` via the generic evaluator."""
+
+    projected = project_for_constraint(instance, constraint)
+    formula = null_aware_formula(constraint)
+    return holds(projected, formula)
+
+
+def all_violations(
+    instance: DatabaseInstance, constraints: Union[ConstraintSet, Iterable[AnyConstraint]]
+) -> List[Violation]:
+    """Violations of every constraint, in constraint order."""
+
+    found: List[Violation] = []
+    for constraint in constraints:
+        found.extend(violations(instance, constraint))
+    return found
+
+
+def is_consistent(
+    instance: DatabaseInstance, constraints: Union[ConstraintSet, Iterable[AnyConstraint]]
+) -> bool:
+    """``D |=_N IC``: the instance satisfies every constraint."""
+
+    return all(satisfies(instance, constraint) for constraint in constraints)

@@ -1,0 +1,116 @@
+"""The rewritten constraint ``ψ_N`` (formula (4)) and its classical variant.
+
+Definition 4 reduces null-aware satisfaction to classical satisfaction:
+
+    D |=_N ψ   iff   D^{A(ψ)} |= ψ_N
+
+where ``ψ_N`` keeps only the relevant attributes of every atom, adds a
+disjunct ``IsNull(v_j)`` for every relevant antecedent variable ``v_j``,
+and otherwise mirrors ``ψ``.  This module builds ``ψ_N`` as a first-order
+formula over the *projected* predicates so that it can be fed directly to
+the generic evaluator (:func:`repro.logic.evaluation.holds`) applied to
+``D^{A(ψ)}``; the fast path used in production is the direct violation
+checker in :mod:`repro.core.satisfaction`, and the two are cross-validated
+in the test-suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.constraints.atoms import Atom, Comparison, IsNullAtom
+from repro.constraints.ic import IntegrityConstraint
+from repro.constraints.terms import Variable, is_variable
+from repro.core.relevant import (
+    relevant_body_variables,
+    relevant_existential_variables,
+    relevant_positions,
+)
+from repro.logic.formula import (
+    AtomFormula,
+    ComparisonFormula,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    IsNullFormula,
+    conjunction,
+    disjunction,
+)
+
+
+def _projected_atom(atom: Atom, positions: Dict[str, Tuple[int, ...]]) -> Atom:
+    """The atom restricted to the relevant positions of its predicate."""
+
+    kept = positions.get(atom.predicate, tuple(range(atom.arity)))
+    return atom.project(kept)
+
+
+def null_aware_formula(constraint: IntegrityConstraint) -> Formula:
+    """Build ``ψ_N`` (formula (4)) over the projected predicates.
+
+    The result is a closed formula: antecedent variables that survive the
+    projection are universally quantified, relevant existential variables
+    are existentially quantified inside the consequent.
+    """
+
+    positions = relevant_positions(constraint)
+    body_atoms = [_projected_atom(atom, positions) for atom in constraint.body]
+    head_atoms = [_projected_atom(atom, positions) for atom in constraint.head_atoms]
+
+    antecedent = conjunction([AtomFormula(atom) for atom in body_atoms])
+
+    null_disjuncts: List[Formula] = [
+        IsNullFormula(IsNullAtom(variable))
+        for variable in sorted(relevant_body_variables(constraint), key=lambda v: v.name)
+    ]
+
+    consequent_atoms: List[Formula] = [AtomFormula(atom) for atom in head_atoms]
+    comparisons: List[Formula] = [
+        ComparisonFormula(comparison) for comparison in constraint.head_comparisons
+    ]
+    inner_consequent = disjunction(consequent_atoms + comparisons)
+
+    existential = sorted(relevant_existential_variables(constraint), key=lambda v: v.name)
+    if existential:
+        inner_consequent = Exists(tuple(existential), inner_consequent)
+
+    consequent = disjunction(null_disjuncts + [inner_consequent])
+    implication = Implies(antecedent, consequent)
+
+    universal = sorted(
+        {
+            term
+            for atom in body_atoms
+            for term in atom.terms
+            if is_variable(term)
+        },
+        key=lambda v: v.name,
+    )
+    if universal:
+        return ForAll(tuple(universal), implication)
+    return implication
+
+
+def classical_formula(constraint: IntegrityConstraint) -> Formula:
+    """The constraint as a plain first-order sentence (no projection, no IsNull).
+
+    This is the reading used by the *classical* comparison semantics
+    (``null`` treated as an ordinary constant) and by the null-free case,
+    where Definition 4 coincides with first-order satisfaction.
+    """
+
+    antecedent = conjunction([AtomFormula(atom) for atom in constraint.body])
+    consequent_parts: List[Formula] = [AtomFormula(atom) for atom in constraint.head_atoms]
+    consequent_parts += [
+        ComparisonFormula(comparison) for comparison in constraint.head_comparisons
+    ]
+    consequent = disjunction(consequent_parts)
+    existential = sorted(constraint.existential_variables(), key=lambda v: v.name)
+    if existential:
+        consequent = Exists(tuple(existential), consequent)
+    implication = Implies(antecedent, consequent)
+    universal = sorted(constraint.body_variables(), key=lambda v: v.name)
+    if universal:
+        return ForAll(tuple(universal), implication)
+    return implication

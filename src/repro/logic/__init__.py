@@ -1,0 +1,48 @@
+"""First-order logic substrate: formulas, evaluation and queries.
+
+This package supplies what the paper takes for granted: a first-order
+language ``L(Σ)`` over the database schema, classical (active-domain)
+satisfaction of sentences in finite instances — used to check the
+rewritten constraints ``ψ_N`` over the projected instances ``D^A`` — and
+safe queries whose answers are computed per repair for consistent query
+answering (Definition 8).
+"""
+
+from repro.logic.formula import (
+    And,
+    AtomFormula,
+    ComparisonFormula,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Implies,
+    IsNullFormula,
+    Not,
+    Or,
+    TrueFormula,
+)
+from repro.logic.evaluation import EvaluationError, evaluate, holds, query_answers
+from repro.logic.queries import ConjunctiveQuery, FirstOrderQuery, Query
+
+__all__ = [
+    "Formula",
+    "AtomFormula",
+    "ComparisonFormula",
+    "IsNullFormula",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Exists",
+    "ForAll",
+    "TrueFormula",
+    "FalseFormula",
+    "EvaluationError",
+    "evaluate",
+    "holds",
+    "query_answers",
+    "Query",
+    "ConjunctiveQuery",
+    "FirstOrderQuery",
+]

@@ -1,0 +1,253 @@
+"""Classical (active-domain) evaluation of formulas over finite instances.
+
+The evaluator implements the notion of satisfaction the paper relies on
+when it writes ``D^{A(ψ)} |= ψ_N``: classical first-order satisfaction in
+which ``null`` is treated as any other constant of the domain, and
+quantifiers range over the *active domain* of the instance extended with
+the constants of the formula and ``null`` (the rewritten constraints are
+domain independent, so this restriction is sound — Section 3).
+
+Comparisons involving ``null`` and an ordinary constant are only
+meaningful for (in)equality; the null-aware rewriting guards every other
+comparison with ``IsNull`` disjuncts, so order comparisons against null
+are treated as *false* here (and a dedicated strict mode raises instead,
+which the tests use to confirm the guards are in place).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.relational.domain import Constant, NULL, is_null
+from repro.relational.instance import DatabaseInstance
+from repro.constraints.atoms import Atom, BuiltinEvaluationError, Comparison, IsNullAtom
+from repro.constraints.terms import Variable, is_variable
+from repro.logic.formula import (
+    And,
+    AtomFormula,
+    ComparisonFormula,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Formula,
+    Implies,
+    IsNullFormula,
+    Not,
+    Or,
+    TrueFormula,
+)
+
+
+class EvaluationError(ValueError):
+    """Raised when a formula cannot be evaluated (unbound variable, bad comparison)."""
+
+
+Assignment = Dict[Variable, Constant]
+
+
+def _formula_constants(formula: Formula) -> Set[Constant]:
+    """Constants syntactically occurring in *formula*."""
+
+    constants: Set[Constant] = set()
+    stack: List[Formula] = [formula]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, AtomFormula):
+            constants |= set(node.atom.constants())
+        elif isinstance(node, ComparisonFormula):
+            constants |= set(node.comparison.constants())
+        elif isinstance(node, IsNullFormula):
+            if not is_variable(node.atom.term):
+                constants.add(node.atom.term)
+        elif isinstance(node, Not):
+            stack.append(node.operand)
+        elif isinstance(node, (And, Or)):
+            stack.extend(node.operands)
+        elif isinstance(node, Implies):
+            stack.extend((node.antecedent, node.consequent))
+        elif isinstance(node, (Exists, ForAll)):
+            stack.append(node.body)
+    return constants
+
+
+def evaluation_domain(
+    instance: DatabaseInstance,
+    formula: Formula,
+    extra_constants: Iterable[Constant] = (),
+) -> FrozenSet[Constant]:
+    """The domain quantifiers range over: adom(D) ∪ const(formula) ∪ {null}."""
+
+    domain: Set[Constant] = set(instance.active_domain(include_null=True))
+    domain |= _formula_constants(formula)
+    domain |= set(extra_constants)
+    domain.add(NULL)
+    return frozenset(domain)
+
+
+def _atom_holds(instance: DatabaseInstance, atom: Atom, assignment: Assignment) -> bool:
+    values: List[Constant] = []
+    for term in atom.terms:
+        if is_variable(term):
+            if term not in assignment:
+                raise EvaluationError(
+                    f"variable {term} of atom {atom!r} is not bound; "
+                    "quantify it or provide it in the assignment"
+                )
+            values.append(assignment[term])
+        else:
+            values.append(term)
+    return instance.contains_tuple(atom.predicate, values)
+
+
+def _comparison_holds(
+    comparison: Comparison, assignment: Assignment, null_is_unknown: bool
+) -> bool:
+    try:
+        return comparison.evaluate(assignment, null_is_unknown=null_is_unknown)
+    except BuiltinEvaluationError:
+        if null_is_unknown:
+            return False
+        # Order comparison against null without the SQL mode: the null-aware
+        # rewriting guards these with IsNull; evaluating them as false keeps
+        # the evaluator total (and matches "unknown ⇒ not satisfied").
+        ground = comparison.substitute(assignment)
+        if is_null(ground.left) or is_null(ground.right):
+            return False
+        raise
+
+
+def evaluate(
+    instance: DatabaseInstance,
+    formula: Formula,
+    assignment: Optional[Mapping[Variable, Constant]] = None,
+    domain: Optional[Iterable[Constant]] = None,
+    null_is_unknown: bool = False,
+) -> bool:
+    """Evaluate *formula* over *instance* under *assignment*.
+
+    Parameters
+    ----------
+    instance:
+        The database instance.
+    formula:
+        The formula; its free variables must be covered by *assignment*.
+    assignment:
+        Values for the free variables.
+    domain:
+        Values quantifiers range over; defaults to the active domain of the
+        instance plus the constants of the formula plus ``null``.
+    null_is_unknown:
+        When true, comparisons involving ``null`` are unsatisfied (SQL
+        three-valued logic collapsed to two values), which is how the
+        simple-match semantics of commercial DBMSs behaves.
+    """
+
+    env: Assignment = dict(assignment or {})
+    quantifier_domain: Tuple[Constant, ...] = tuple(
+        domain if domain is not None else evaluation_domain(instance, formula)
+    )
+
+    def rec(node: Formula, env: Assignment) -> bool:
+        if isinstance(node, TrueFormula):
+            return True
+        if isinstance(node, FalseFormula):
+            return False
+        if isinstance(node, AtomFormula):
+            return _atom_holds(instance, node.atom, env)
+        if isinstance(node, ComparisonFormula):
+            return _comparison_holds(node.comparison, env, null_is_unknown)
+        if isinstance(node, IsNullFormula):
+            term = node.atom.term
+            value = env.get(term, term) if is_variable(term) else term
+            if is_variable(value):
+                raise EvaluationError(f"variable {value} in IsNull is not bound")
+            return is_null(value)
+        if isinstance(node, Not):
+            return not rec(node.operand, env)
+        if isinstance(node, And):
+            return all(rec(op, env) for op in node.operands)
+        if isinstance(node, Or):
+            return any(rec(op, env) for op in node.operands)
+        if isinstance(node, Implies):
+            return (not rec(node.antecedent, env)) or rec(node.consequent, env)
+        if isinstance(node, Exists):
+            return _eval_quantifier(node.variables, node.body, env, existential=True)
+        if isinstance(node, ForAll):
+            return _eval_quantifier(node.variables, node.body, env, existential=False)
+        raise EvaluationError(f"unknown formula node {node!r}")
+
+    def _eval_quantifier(
+        variables: Tuple[Variable, ...],
+        body: Formula,
+        env: Assignment,
+        existential: bool,
+    ) -> bool:
+        if not variables:
+            return rec(body, env)
+        head, rest = variables[0], variables[1:]
+        for value in quantifier_domain:
+            env2 = dict(env)
+            env2[head] = value
+            result = _eval_quantifier(rest, body, env2, existential)
+            if existential and result:
+                return True
+            if not existential and not result:
+                return False
+        return not existential
+
+    return rec(formula, env)
+
+
+def holds(
+    instance: DatabaseInstance,
+    sentence: Formula,
+    null_is_unknown: bool = False,
+) -> bool:
+    """Evaluate a sentence (no free variables allowed)."""
+
+    free = sentence.free_variables()
+    if free:
+        raise EvaluationError(
+            f"sentence expected, but variables {sorted(v.name for v in free)} are free"
+        )
+    return evaluate(instance, sentence, null_is_unknown=null_is_unknown)
+
+
+def query_answers(
+    instance: DatabaseInstance,
+    head_variables: Sequence[Variable],
+    formula: Formula,
+    null_is_unknown: bool = False,
+) -> FrozenSet[Tuple[Constant, ...]]:
+    """All tuples of domain values for *head_variables* that satisfy *formula*.
+
+    The search enumerates the evaluation domain for the head variables,
+    which is adequate for safe queries (their answers are contained in the
+    active domain).  Conjunctive queries should prefer the join-based
+    evaluator in :mod:`repro.logic.queries`, which is much faster; this
+    generic routine exists for arbitrary first-order queries.
+    """
+
+    free = formula.free_variables()
+    missing = free - set(head_variables)
+    if missing:
+        raise EvaluationError(
+            f"free variables {sorted(v.name for v in missing)} are not part of the query head"
+        )
+    domain = tuple(evaluation_domain(instance, formula))
+    answers: Set[Tuple[Constant, ...]] = set()
+
+    def assign(index: int, env: Assignment) -> None:
+        if index == len(head_variables):
+            if evaluate(
+                instance, formula, env, domain=domain, null_is_unknown=null_is_unknown
+            ):
+                answers.add(tuple(env[v] for v in head_variables))
+            return
+        for value in domain:
+            env[head_variables[index]] = value
+            assign(index + 1, env)
+        env.pop(head_variables[index], None)
+
+    assign(0, {})
+    return frozenset(answers)

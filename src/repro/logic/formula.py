@@ -1,0 +1,243 @@
+"""First-order formula abstract syntax tree.
+
+The constructors cover exactly what the reproduction needs: database
+atoms, built-in comparisons, the ``IsNull`` predicate, the propositional
+constants, the Boolean connectives and the two quantifiers.  Formulas are
+immutable and hashable so they can appear in sets and memoisation caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Sequence, Set, Tuple, Union
+
+from repro.relational.domain import Constant
+from repro.constraints.atoms import Atom, Comparison, IsNullAtom
+from repro.constraints.terms import Variable
+
+
+class Formula:
+    """Base class of all formula nodes."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        """The free variables of the formula."""
+
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The propositional constant ``true``."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The propositional constant ``false`` (always false in a database)."""
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class AtomFormula(Formula):
+    """A database atom used as a formula."""
+
+    atom: Atom
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.atom.variables()
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+
+@dataclass(frozen=True)
+class ComparisonFormula(Formula):
+    """A built-in comparison used as a formula."""
+
+    comparison: Comparison
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.comparison.variables()
+
+    def __repr__(self) -> str:
+        return repr(self.comparison)
+
+
+@dataclass(frozen=True)
+class IsNullFormula(Formula):
+    """``IsNull(t)`` used as a formula."""
+
+    atom: IsNullAtom
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.atom.variables()
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    operand: Formula
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.operand.free_variables()
+
+    def __repr__(self) -> str:
+        return f"¬({self.operand!r})"
+
+
+class _NaryFormula(Formula):
+    """Shared behaviour of conjunction and disjunction."""
+
+    symbol = "?"
+
+    def __init__(self, operands: Sequence[Formula]):
+        self._operands: Tuple[Formula, ...] = tuple(operands)
+
+    @property
+    def operands(self) -> Tuple[Formula, ...]:
+        """The immediate sub-formulas."""
+
+        return self._operands
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        result: Set[Variable] = set()
+        for operand in self._operands:
+            result |= operand.free_variables()
+        return frozenset(result)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._operands == other._operands  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._operands))
+
+    def __repr__(self) -> str:
+        if not self._operands:
+            return "true" if isinstance(self, And) else "false"
+        return "(" + f" {self.symbol} ".join(repr(op) for op in self._operands) + ")"
+
+
+class And(_NaryFormula):
+    """Conjunction; the empty conjunction is ``true``."""
+
+    symbol = "∧"
+
+
+class Or(_NaryFormula):
+    """Disjunction; the empty disjunction is ``false``."""
+
+    symbol = "∨"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication ``antecedent → consequent``."""
+
+    antecedent: Formula
+    consequent: Formula
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return self.antecedent.free_variables() | self.consequent.free_variables()
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} → {self.consequent!r})"
+
+
+class _Quantified(Formula):
+    """Shared behaviour of the quantifiers."""
+
+    symbol = "?"
+
+    def __init__(self, variables: Sequence[Variable], body: Formula):
+        self._variables: Tuple[Variable, ...] = tuple(variables)
+        self._body = body
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """The quantified variables."""
+
+        return self._variables
+
+    @property
+    def body(self) -> Formula:
+        """The formula in the scope of the quantifier."""
+
+        return self._body
+
+    def free_variables(self) -> FrozenSet[Variable]:
+        return frozenset(self._body.free_variables() - set(self._variables))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self._variables == other._variables  # type: ignore[attr-defined]
+            and self._body == other._body  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._variables, self._body))
+
+    def __repr__(self) -> str:
+        names = " ".join(v.name for v in self._variables)
+        return f"{self.symbol}{names} ({self._body!r})"
+
+
+class Exists(_Quantified):
+    """Existential quantification."""
+
+    symbol = "∃"
+
+
+class ForAll(_Quantified):
+    """Universal quantification."""
+
+    symbol = "∀"
+
+
+def conjunction(operands: Sequence[Formula]) -> Formula:
+    """Conjunction that simplifies the 0- and 1-operand cases."""
+
+    flattened = [op for op in operands if not isinstance(op, TrueFormula)]
+    if any(isinstance(op, FalseFormula) for op in flattened):
+        return FalseFormula()
+    if not flattened:
+        return TrueFormula()
+    if len(flattened) == 1:
+        return flattened[0]
+    return And(tuple(flattened))
+
+
+def disjunction(operands: Sequence[Formula]) -> Formula:
+    """Disjunction that simplifies the 0- and 1-operand cases."""
+
+    flattened = [op for op in operands if not isinstance(op, FalseFormula)]
+    if any(isinstance(op, TrueFormula) for op in flattened):
+        return TrueFormula()
+    if not flattened:
+        return FalseFormula()
+    if len(flattened) == 1:
+        return flattened[0]
+    return Or(tuple(flattened))

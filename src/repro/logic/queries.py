@@ -1,0 +1,217 @@
+"""Queries: conjunctive queries with negation/comparisons and generic FO queries.
+
+Consistent query answering (Definition 8) evaluates a fixed query in every
+repair and keeps the answers common to all of them.  The repair sets can
+be sizeable, so the per-repair evaluation must be cheap; conjunctive
+queries therefore get a dedicated join-based evaluator, while arbitrary
+first-order queries fall back to the generic active-domain evaluator of
+:mod:`repro.logic.evaluation`.
+
+Following Section 4 of the paper, the query-answering semantics ``|=^q_N``
+is kept orthogonal to the IC-satisfaction semantics: by default ``null``
+is treated as an ordinary constant (so a query can retrieve tuples
+containing nulls), and ``null_is_unknown=True`` switches built-in
+comparisons to the SQL behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.relational.domain import Constant, is_null
+from repro.relational.instance import DatabaseInstance
+from repro.constraints.atoms import Atom, BuiltinEvaluationError, Comparison
+from repro.constraints.terms import Variable, is_variable
+from repro.logic.evaluation import EvaluationError, query_answers
+from repro.logic.formula import Formula
+
+
+AnswerSet = FrozenSet[Tuple[Constant, ...]]
+
+
+class Query:
+    """Common protocol of all query classes.
+
+    Concrete subclasses provide ``head_variables`` (a tuple of output
+    variables, empty for a boolean query), ``name`` and ``answers``.
+    """
+
+    name: str = "ans"
+    head_variables: Tuple[Variable, ...]
+
+    @property
+    def is_boolean(self) -> bool:
+        """True iff the query has no output variables."""
+
+        return not self.head_variables
+
+    def answers(self, instance: DatabaseInstance, null_is_unknown: bool = False) -> AnswerSet:
+        """The set of answer tuples in *instance*."""
+
+        raise NotImplementedError
+
+    def holds(self, instance: DatabaseInstance, null_is_unknown: bool = False) -> bool:
+        """For a boolean query: True iff the query is satisfied in *instance*."""
+
+        if not self.is_boolean:
+            raise EvaluationError("holds() is only defined for boolean queries")
+        return bool(self.answers(instance, null_is_unknown=null_is_unknown))
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery(Query):
+    """``ans(x̄) ← P_1(…), …, not N_1(…), …, comparisons``.
+
+    Safety requirements: every head variable and every variable used in a
+    negated atom or a comparison must occur in some positive atom.
+    """
+
+    head_variables: Tuple[Variable, ...] = ()
+    positive_atoms: Tuple[Atom, ...] = ()
+    negative_atoms: Tuple[Atom, ...] = ()
+    comparisons: Tuple[Comparison, ...] = ()
+    name: str = "ans"
+
+    def __post_init__(self) -> None:
+        if not self.positive_atoms:
+            raise EvaluationError("a conjunctive query needs at least one positive atom")
+        positive_vars: Set[Variable] = set()
+        for atom in self.positive_atoms:
+            positive_vars |= atom.variables()
+        unsafe: Set[Variable] = set(self.head_variables) - positive_vars
+        for atom in self.negative_atoms:
+            unsafe |= atom.variables() - positive_vars
+        for comparison in self.comparisons:
+            unsafe |= comparison.variables() - positive_vars
+        if unsafe:
+            raise EvaluationError(
+                "unsafe query: variables "
+                f"{sorted(v.name for v in unsafe)} do not occur in a positive atom"
+            )
+
+    # ------------------------------------------------------------------ helpers
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables of the query."""
+
+        result: Set[Variable] = set(self.head_variables)
+        for atom in self.positive_atoms + self.negative_atoms:
+            result |= atom.variables()
+        for comparison in self.comparisons:
+            result |= comparison.variables()
+        return frozenset(result)
+
+    def predicates(self) -> FrozenSet[str]:
+        """Database predicates used by the query."""
+
+        return frozenset(a.predicate for a in self.positive_atoms + self.negative_atoms)
+
+    # ------------------------------------------------------------------ evaluation
+    def answers(self, instance: DatabaseInstance, null_is_unknown: bool = False) -> AnswerSet:
+        """Join-based evaluation of the query over *instance*."""
+
+        bindings: List[Dict[Variable, Constant]] = [{}]
+        # Order positive atoms by the number of tuples (cheap greedy join order).
+        ordered = sorted(
+            self.positive_atoms, key=lambda atom: len(instance.tuples(atom.predicate))
+        )
+        for atom in ordered:
+            rows = instance.tuples(atom.predicate)
+            new_bindings: List[Dict[Variable, Constant]] = []
+            for binding in bindings:
+                for row in rows:
+                    extended = _match(atom, row, binding)
+                    if extended is not None:
+                        new_bindings.append(extended)
+            bindings = new_bindings
+            if not bindings:
+                return frozenset()
+
+        results: Set[Tuple[Constant, ...]] = set()
+        for binding in bindings:
+            if not _comparisons_hold(self.comparisons, binding, null_is_unknown):
+                continue
+            if any(_negated_atom_holds(instance, atom, binding) for atom in self.negative_atoms):
+                continue
+            results.add(tuple(binding[v] for v in self.head_variables))
+        return frozenset(results)
+
+    def __repr__(self) -> str:
+        head = f"{self.name}({', '.join(v.name for v in self.head_variables)})"
+        parts = [repr(a) for a in self.positive_atoms]
+        parts += [f"not {a!r}" for a in self.negative_atoms]
+        parts += [repr(c) for c in self.comparisons]
+        return f"{head} <- {', '.join(parts)}"
+
+
+@dataclass(frozen=True)
+class FirstOrderQuery(Query):
+    """An arbitrary first-order query given by a formula and a head-variable list."""
+
+    head_variables: Tuple[Variable, ...]
+    formula: Formula
+    name: str = "ans"
+
+    def answers(self, instance: DatabaseInstance, null_is_unknown: bool = False) -> AnswerSet:
+        """Evaluate via the generic active-domain evaluator."""
+
+        return query_answers(
+            instance,
+            self.head_variables,
+            self.formula,
+            null_is_unknown=null_is_unknown,
+        )
+
+    def __repr__(self) -> str:
+        head = f"{self.name}({', '.join(v.name for v in self.head_variables)})"
+        return f"{head} <- {self.formula!r}"
+
+
+# ---------------------------------------------------------------------- helpers
+def _match(
+    atom: Atom, row: Tuple[Constant, ...], binding: Mapping[Variable, Constant]
+) -> Optional[Dict[Variable, Constant]]:
+    """Extend *binding* so that *atom* matches *row*; None if impossible."""
+
+    if len(row) != atom.arity:
+        return None
+    extended = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if is_variable(term):
+            bound = extended.get(term)
+            if bound is None and term not in extended:
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extended
+
+
+def _comparisons_hold(
+    comparisons: Sequence[Comparison],
+    binding: Mapping[Variable, Constant],
+    null_is_unknown: bool,
+) -> bool:
+    for comparison in comparisons:
+        try:
+            if not comparison.evaluate(binding, null_is_unknown=null_is_unknown):
+                return False
+        except BuiltinEvaluationError:
+            ground = comparison.substitute(binding)
+            if is_null(ground.left) or is_null(ground.right):
+                return False
+            raise
+    return True
+
+
+def _negated_atom_holds(
+    instance: DatabaseInstance, atom: Atom, binding: Mapping[Variable, Constant]
+) -> bool:
+    values: List[Constant] = []
+    for term in atom.terms:
+        if is_variable(term):
+            values.append(binding[term])
+        else:
+            values.append(term)
+    return instance.contains_tuple(atom.predicate, values)

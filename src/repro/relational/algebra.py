@@ -1,0 +1,221 @@
+"""A small named-attribute relational-algebra layer.
+
+The constraint checker and query evaluator mostly work directly on
+:class:`repro.relational.instance.DatabaseInstance`, but the workload
+generators, the SQL backend tests and a couple of examples benefit from a
+conventional relational-algebra toolkit (selection, projection, natural
+join, renaming, union, difference) over relations with named attributes.
+
+Null handling follows the paper's convention for ``D^A``-style reasoning:
+``null`` is an ordinary constant for set operations and joins *unless* the
+caller requests SQL three-valued behaviour with ``sql_nulls=True`` in
+:meth:`Relation.select` and :meth:`Relation.natural_join` (in which case a
+comparison involving ``null`` never holds, mirroring the simple-match
+behaviour of commercial DBMSs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.relational.domain import Constant, constant_sort_key, is_null
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import SchemaError
+
+
+Row = Tuple[Constant, ...]
+
+
+class Relation:
+    """An immutable relation: attribute names plus a set of rows."""
+
+    def __init__(self, attributes: Sequence[str], rows: Iterable[Sequence[Constant]] = ()):  # noqa: D401
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attribute names: {attrs}")
+        self._attributes = attrs
+        normalised: Set[Row] = set()
+        for row in rows:
+            row_t = tuple(row)
+            if len(row_t) != len(attrs):
+                raise SchemaError(
+                    f"row {row_t} does not match attributes {attrs}"
+                )
+            normalised.add(row_t)
+        self._rows: FrozenSet[Row] = frozenset(normalised)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Attribute names, in order."""
+
+        return self._attributes
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        """The set of rows."""
+
+        return self._rows
+
+    def sorted_rows(self) -> List[Row]:
+        """Rows in a deterministic order (for display and golden tests)."""
+
+        return sorted(
+            self._rows, key=lambda row: tuple(constant_sort_key(v) for v in row)
+        )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self.sorted_rows())
+
+    def __contains__(self, row: object) -> bool:
+        return row in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._attributes == other._attributes and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._attributes, self._rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self._attributes)}, {self.sorted_rows()})"
+
+    def _position(self, attribute: str) -> int:
+        try:
+            return self._attributes.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(
+                f"unknown attribute {attribute!r}; have {self._attributes}"
+            ) from exc
+
+    # ------------------------------------------------------------------ algebra
+    def select(
+        self,
+        predicate: Callable[[Mapping[str, Constant]], bool],
+        sql_nulls: bool = False,
+    ) -> "Relation":
+        """Rows for which *predicate* (a function of an attr→value mapping) holds.
+
+        With ``sql_nulls=True`` any row containing a ``null`` among the
+        attributes *accessed* cannot be distinguished, so the caller's
+        predicate receives the row as usual but any exception due to null
+        comparisons is treated as "unknown" (row filtered out).
+        """
+
+        kept: List[Row] = []
+        for row in self._rows:
+            mapping = dict(zip(self._attributes, row))
+            try:
+                keep = predicate(mapping)
+            except TypeError:
+                if sql_nulls:
+                    keep = False
+                else:
+                    raise
+            if keep:
+                kept.append(row)
+        return Relation(self._attributes, kept)
+
+    def where_equals(self, attribute: str, value: Constant, sql_nulls: bool = False) -> "Relation":
+        """Shorthand selection ``σ_{attribute = value}``."""
+
+        pos = self._position(attribute)
+        if sql_nulls and is_null(value):
+            return Relation(self._attributes, [])
+        rows = [
+            row
+            for row in self._rows
+            if (not (sql_nulls and is_null(row[pos]))) and row[pos] == value
+        ]
+        return Relation(self._attributes, rows)
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """Projection ``π_attributes`` (duplicates collapse, set semantics)."""
+
+        positions = [self._position(a) for a in attributes]
+        rows = {tuple(row[p] for p in positions) for row in self._rows}
+        return Relation(tuple(attributes), rows)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename attributes according to *mapping* (missing names unchanged)."""
+
+        attrs = tuple(mapping.get(a, a) for a in self._attributes)
+        return Relation(attrs, self._rows)
+
+    def natural_join(self, other: "Relation", sql_nulls: bool = False) -> "Relation":
+        """Natural join on the shared attribute names.
+
+        With ``sql_nulls=True`` a shared attribute valued ``null`` never
+        joins (SQL behaviour); otherwise ``null`` joins with ``null`` like
+        any other constant (the behaviour needed for ``D^A |= ψ_N``,
+        cf. Example 12 of the paper).
+        """
+
+        shared = [a for a in self._attributes if a in other._attributes]
+        other_only = [a for a in other._attributes if a not in shared]
+        out_attrs = self._attributes + tuple(other_only)
+        self_pos = {a: self._position(a) for a in shared}
+        other_pos = {a: other._position(a) for a in shared}
+        other_only_pos = [other._position(a) for a in other_only]
+
+        # Hash join on the shared attributes.
+        index: Dict[Tuple[Constant, ...], List[Row]] = {}
+        for row in other._rows:
+            key = tuple(row[other_pos[a]] for a in shared)
+            if sql_nulls and any(is_null(v) for v in key):
+                continue
+            index.setdefault(key, []).append(row)
+
+        out_rows: List[Row] = []
+        for row in self._rows:
+            key = tuple(row[self_pos[a]] for a in shared)
+            if sql_nulls and any(is_null(v) for v in key):
+                continue
+            for other_row in index.get(key, []):
+                out_rows.append(row + tuple(other_row[p] for p in other_only_pos))
+        return Relation(out_attrs, out_rows)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; attribute lists must match exactly."""
+
+        if self._attributes != other._attributes:
+            raise SchemaError(
+                f"union of incompatible relations: {self._attributes} vs {other._attributes}"
+            )
+        return Relation(self._attributes, self._rows | other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference; attribute lists must match exactly."""
+
+        if self._attributes != other._attributes:
+            raise SchemaError(
+                f"difference of incompatible relations: {self._attributes} vs {other._attributes}"
+            )
+        return Relation(self._attributes, self._rows - other._rows)
+
+    def cross(self, other: "Relation") -> "Relation":
+        """Cartesian product; attribute names must be disjoint."""
+
+        overlap = set(self._attributes) & set(other._attributes)
+        if overlap:
+            raise SchemaError(f"cross product with overlapping attributes: {overlap}")
+        rows = [a + b for a in self._rows for b in other._rows]
+        return Relation(self._attributes + other._attributes, rows)
+
+    # ------------------------------------------------------------------ bridges
+    @classmethod
+    def from_instance(cls, instance: DatabaseInstance, predicate: str) -> "Relation":
+        """Extract relation *predicate* of *instance* with its schema attributes."""
+
+        rel_schema = instance.schema.relation(predicate)
+        return cls(rel_schema.attributes, instance.tuples(predicate))
+
+
+def instance_relation(instance: DatabaseInstance, predicate: str) -> Relation:
+    """Module-level convenience wrapper around :meth:`Relation.from_instance`."""
+
+    return Relation.from_instance(instance, predicate)

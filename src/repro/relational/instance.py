@@ -1,0 +1,322 @@
+"""Database instances as finite sets of ground atoms.
+
+An instance ``D`` compatible with a schema ``Σ`` is a finite collection of
+ground atoms ``R(c_1, …, c_n)`` with ``R ∈ R`` and ``c_i ∈ U`` (possibly
+``null``).  Following the paper we use the *set* semantics (Example 7
+discusses why the SQL bag semantics cannot be enforced with first-order
+constraints): duplicate tuples collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.relational.domain import (
+    Constant,
+    NULL,
+    constant_sort_key,
+    format_constant,
+    is_null,
+    normalise_constant,
+)
+from repro.relational.schema import DatabaseSchema, RelationSchema, SchemaError
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground database atom ``R(c_1, …, c_n)``."""
+
+    predicate: str
+    values: Tuple[Constant, ...]
+
+    def __init__(self, predicate: str, values: Sequence[Constant]):
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(
+            self, "values", tuple(normalise_constant(v) for v in values)
+        )
+
+    @property
+    def arity(self) -> int:
+        """Number of values in the atom."""
+
+        return len(self.values)
+
+    def has_null(self) -> bool:
+        """True iff any value of the atom is ``null``."""
+
+        return any(is_null(v) for v in self.values)
+
+    def null_positions(self) -> Tuple[int, ...]:
+        """0-based positions whose value is ``null``."""
+
+        return tuple(i for i, v in enumerate(self.values) if is_null(v))
+
+    def non_null_positions(self) -> Tuple[int, ...]:
+        """0-based positions whose value is not ``null``."""
+
+        return tuple(i for i, v in enumerate(self.values) if not is_null(v))
+
+    def project(self, positions: Sequence[int]) -> "Fact":
+        """Projection of the atom onto *positions*, keeping the predicate name."""
+
+        return Fact(self.predicate, tuple(self.values[i] for i in positions))
+
+    def agrees_on(self, other: "Fact", positions: Iterable[int]) -> bool:
+        """True iff *other* has the same predicate and equal values at *positions*."""
+
+        if self.predicate != other.predicate or self.arity != other.arity:
+            return False
+        return all(self.values[i] == other.values[i] for i in positions)
+
+    def sort_key(self) -> Tuple[Any, ...]:
+        """Deterministic ordering key for reporting."""
+
+        return (self.predicate,) + tuple(constant_sort_key(v) for v in self.values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(format_constant(v) for v in self.values)
+        return f"{self.predicate}({inner})"
+
+
+class DatabaseInstance:
+    """A finite set of :class:`Fact` objects over a :class:`DatabaseSchema`.
+
+    The instance is mutable (facts can be added and removed) but cheap to
+    copy; the repair engine works on copies.  Equality is extensional:
+    two instances are equal iff they contain the same facts (the schema is
+    compared by the relations actually populated).
+    """
+
+    def __init__(
+        self,
+        schema: Optional[DatabaseSchema] = None,
+        facts: Iterable[Fact] = (),
+    ):
+        self._schema = schema if schema is not None else DatabaseSchema()
+        self._tuples: Dict[str, Set[Tuple[Constant, ...]]] = {}
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def from_dict(
+        cls,
+        data: Mapping[str, Iterable[Sequence[Constant]]],
+        schema: Optional[DatabaseSchema] = None,
+    ) -> "DatabaseInstance":
+        """Build an instance from ``{"P": [(a, b), (c, None)], ...}``.
+
+        ``None`` entries are converted to :data:`repro.relational.domain.NULL`.
+        When *schema* is omitted one is inferred with generic attribute names.
+        """
+
+        instance = cls(schema=schema.copy() if schema is not None else DatabaseSchema())
+        for predicate, rows in data.items():
+            for row in rows:
+                instance.add_tuple(predicate, row)
+        return instance
+
+    @classmethod
+    def from_facts(
+        cls, facts: Iterable[Fact], schema: Optional[DatabaseSchema] = None
+    ) -> "DatabaseInstance":
+        """Build an instance from an iterable of :class:`Fact`."""
+
+        instance = cls(schema=schema.copy() if schema is not None else DatabaseSchema())
+        for fact in facts:
+            instance.add(fact)
+        return instance
+
+    # ------------------------------------------------------------------ mutate
+    def add(self, fact: Fact) -> None:
+        """Insert *fact* (no-op if already present)."""
+
+        rel = self._schema.relation_from_arity(fact.predicate, fact.arity)
+        if rel.arity != fact.arity:
+            raise SchemaError(
+                f"fact {fact} does not match schema {rel!r} (arity {rel.arity})"
+            )
+        self._tuples.setdefault(fact.predicate, set()).add(fact.values)
+
+    def add_tuple(self, predicate: str, values: Sequence[Constant]) -> None:
+        """Insert ``predicate(values)``."""
+
+        self.add(Fact(predicate, values))
+
+    def remove(self, fact: Fact) -> None:
+        """Delete *fact*; raises ``KeyError`` if absent."""
+
+        rows = self._tuples.get(fact.predicate, set())
+        if fact.values not in rows:
+            raise KeyError(f"fact {fact} not present in the instance")
+        rows.remove(fact.values)
+        if not rows:
+            del self._tuples[fact.predicate]
+
+    def discard(self, fact: Fact) -> None:
+        """Delete *fact* if present (no error otherwise)."""
+
+        rows = self._tuples.get(fact.predicate)
+        if rows is None:
+            return
+        rows.discard(fact.values)
+        if not rows:
+            del self._tuples[fact.predicate]
+
+    # ------------------------------------------------------------------ access
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The schema the instance conforms to."""
+
+        return self._schema
+
+    def __contains__(self, fact: object) -> bool:
+        if not isinstance(fact, Fact):
+            return False
+        return fact.values in self._tuples.get(fact.predicate, set())
+
+    def contains_tuple(self, predicate: str, values: Sequence[Constant]) -> bool:
+        """True iff ``predicate(values)`` is in the instance."""
+
+        return Fact(predicate, values) in self
+
+    def tuples(self, predicate: str) -> FrozenSet[Tuple[Constant, ...]]:
+        """All value tuples of *predicate* (empty frozenset if none)."""
+
+        return frozenset(self._tuples.get(predicate, set()))
+
+    def facts(self, predicate: Optional[str] = None) -> Iterator[Fact]:
+        """Iterate over facts, optionally restricted to one predicate."""
+
+        predicates: Iterable[str]
+        if predicate is None:
+            predicates = sorted(self._tuples)
+        else:
+            predicates = [predicate] if predicate in self._tuples else []
+        for pred in predicates:
+            for values in sorted(self._tuples[pred], key=lambda vs: tuple(constant_sort_key(v) for v in vs)):
+                yield Fact(pred, values)
+
+    def fact_set(self) -> FrozenSet[Fact]:
+        """The instance as a frozen set of facts."""
+
+        return frozenset(self.facts())
+
+    @property
+    def predicates(self) -> List[str]:
+        """Sorted names of the relations with at least one tuple."""
+
+        return sorted(self._tuples)
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._tuples.values())
+
+    def __iter__(self) -> Iterator[Fact]:
+        return self.facts()
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    # ------------------------------------------------------------------ domain
+    def active_domain(self, include_null: bool = False) -> FrozenSet[Constant]:
+        """``adom(D)``: the constants occurring in the instance.
+
+        Per the paper's convention, ``null`` is excluded unless
+        *include_null* is true (Proposition 1 adds it back explicitly).
+        """
+
+        values: Set[Constant] = set()
+        for rows in self._tuples.values():
+            for row in rows:
+                for value in row:
+                    if include_null or not is_null(value):
+                        values.add(value)
+        return frozenset(values)
+
+    def has_nulls(self) -> bool:
+        """True iff any fact contains a ``null`` value."""
+
+        return any(fact.has_null() for fact in self.facts())
+
+    def null_count(self) -> int:
+        """Total number of ``null`` occurrences in the instance."""
+
+        return sum(len(fact.null_positions()) for fact in self.facts())
+
+    # ------------------------------------------------------------------ set ops
+    def copy(self) -> "DatabaseInstance":
+        """Deep enough copy: new tuple sets, shared (immutable) schemas."""
+
+        clone = DatabaseInstance(schema=self._schema.copy())
+        clone._tuples = {pred: set(rows) for pred, rows in self._tuples.items()}
+        return clone
+
+    def union(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        """Instance containing the facts of both operands."""
+
+        result = self.copy()
+        for fact in other.facts():
+            result.add(fact)
+        return result
+
+    def difference(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        """Facts of ``self`` not present in *other*."""
+
+        result = DatabaseInstance(schema=self._schema.copy())
+        for fact in self.facts():
+            if fact not in other:
+                result.add(fact)
+        return result
+
+    def symmetric_difference(self, other: "DatabaseInstance") -> FrozenSet[Fact]:
+        """``∆(self, other)`` as a frozen set of facts (the paper's distance)."""
+
+        return frozenset(self.fact_set() ^ other.fact_set())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseInstance):
+            return NotImplemented
+        return self.fact_set() == other.fact_set()
+
+    def __hash__(self) -> int:
+        return hash(self.fact_set())
+
+    # ------------------------------------------------------------------ export
+    def to_dict(self) -> Dict[str, List[Tuple[Constant, ...]]]:
+        """Plain-Python view ``{"P": [rows...]}`` in deterministic order."""
+
+        return {
+            pred: [fact.values for fact in self.facts(pred)]
+            for pred in self.predicates
+        }
+
+    def pretty(self) -> str:
+        """Multi-line, table-per-relation rendering used by the examples."""
+
+        lines: List[str] = []
+        for pred in self.predicates:
+            rel = self._schema.relation(pred) if pred in self._schema else None
+            header = (
+                f"{pred}({', '.join(rel.attributes)})" if rel is not None else pred
+            )
+            lines.append(header)
+            for fact in self.facts(pred):
+                lines.append("  " + ", ".join(format_constant(v) for v in fact.values))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(fact) for fact in self.facts())
+        return "{" + inner + "}"

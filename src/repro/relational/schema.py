@@ -1,0 +1,188 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` is a predicate name together with a finite,
+ordered list of attribute names (the paper's ``R ∈ R`` with positions
+``R[1] … R[n]``; we use 0-based positions internally and expose helpers to
+translate from the paper's 1-based notation).  A :class:`DatabaseSchema`
+is a collection of relation schemas sharing the common domain ``U``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or schema/instance mismatches."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A named relation with a fixed, ordered tuple of attribute names."""
+
+    name: str
+    attributes: Tuple[str, ...]
+
+    def __init__(self, name: str, attributes: Sequence[str]):
+        if not name or not isinstance(name, str):
+            raise SchemaError("relation name must be a non-empty string")
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"relation {name!r} has duplicate attribute names: {attrs}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+
+        return len(self.attributes)
+
+    def position(self, attribute: str) -> int:
+        """0-based position of *attribute*; raises ``SchemaError`` if unknown."""
+
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"known attributes: {self.attributes}"
+            ) from exc
+
+    def attribute(self, position: int) -> str:
+        """Attribute name at 0-based *position*."""
+
+        if not 0 <= position < self.arity:
+            raise SchemaError(
+                f"position {position} out of range for relation {self.name!r} "
+                f"of arity {self.arity}"
+            )
+        return self.attributes[position]
+
+    def paper_position(self, position_1based: int) -> int:
+        """Translate the paper's 1-based ``R[i]`` notation to a 0-based index."""
+
+        if not 1 <= position_1based <= self.arity:
+            raise SchemaError(
+                f"{self.name}[{position_1based}] out of range (arity {self.arity})"
+            )
+        return position_1based - 1
+
+    def project(self, positions: Sequence[int], name: Optional[str] = None) -> "RelationSchema":
+        """Schema of the projection of this relation onto *positions*.
+
+        Used to build the projected instance ``D^A`` of Definition 3.  The
+        projected relation keeps the original attribute names (restricted
+        to the kept positions) and, by default, the original relation name,
+        mirroring the paper's notation ``P^A``.
+        """
+
+        attrs = tuple(self.attributes[i] for i in positions)
+        return RelationSchema(name or self.name, attrs)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(self.attributes)
+        return f"{self.name}({cols})"
+
+
+class DatabaseSchema:
+    """A set of relation schemas keyed by relation name."""
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):  # noqa: D401
+        self._relations: Dict[str, RelationSchema] = {}
+        for rel in relations:
+            self.add_relation(rel)
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Sequence[str]]) -> "DatabaseSchema":
+        """Build a schema from ``{"P": ["A", "B"], ...}``."""
+
+        return cls(RelationSchema(name, attrs) for name, attrs in spec.items())
+
+    def add_relation(self, relation: RelationSchema) -> None:
+        """Register a relation schema; duplicate names must be identical."""
+
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing != relation:
+            raise SchemaError(
+                f"conflicting definitions for relation {relation.name!r}: "
+                f"{existing} vs {relation}"
+            )
+        self._relations[relation.name] = relation
+
+    def relation_from_arity(self, name: str, arity: int) -> RelationSchema:
+        """Return the relation *name*, creating a generic one if unknown.
+
+        Convenience used by parsers and the ASP bridge: attributes are named
+        ``a1 … an`` when the relation was never declared explicitly.
+        """
+
+        if name in self._relations:
+            rel = self._relations[name]
+            if rel.arity != arity:
+                raise SchemaError(
+                    f"relation {name!r} declared with arity {rel.arity}, used with {arity}"
+                )
+            return rel
+        rel = RelationSchema(name, tuple(f"a{i + 1}" for i in range(arity)))
+        self.add_relation(rel)
+        return rel
+
+    # ------------------------------------------------------------------ access
+    def relation(self, name: str) -> RelationSchema:
+        """Return the schema of relation *name* (``SchemaError`` if missing)."""
+
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"unknown relation {name!r}; known relations: {sorted(self._relations)}"
+            ) from exc
+
+    def arity(self, name: str) -> int:
+        """Arity of relation *name*."""
+
+        return self.relation(name).arity
+
+    @property
+    def relation_names(self) -> List[str]:
+        """Sorted list of relation names."""
+
+        return sorted(self._relations)
+
+    def relations(self) -> Iterator[RelationSchema]:
+        """Iterate over relation schemas in name order."""
+
+        for name in self.relation_names:
+            yield self._relations[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        rels = "; ".join(repr(r) for r in self.relations())
+        return f"DatabaseSchema({rels})"
+
+    # ------------------------------------------------------------------ misc
+    def copy(self) -> "DatabaseSchema":
+        """Shallow copy (relation schemas are immutable)."""
+
+        return DatabaseSchema(self.relations())
+
+    def merged_with(self, other: "DatabaseSchema") -> "DatabaseSchema":
+        """Union of two schemas; conflicting relation definitions raise."""
+
+        merged = self.copy()
+        for rel in other.relations():
+            merged.add_relation(rel)
+        return merged

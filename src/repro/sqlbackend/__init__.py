@@ -1,0 +1,28 @@
+"""SQL backend: SQLite as the stand-in for a commercial DBMS.
+
+The paper repeatedly compares its semantics with the behaviour of
+commercial database systems (IBM DB2 in Examples 5–7): nulls in attributes
+that are not relevant to a constraint never cause rejections, foreign keys
+follow the SQL simple-match rule, check constraints accept rows whose
+condition evaluates to *unknown*.  This package reproduces that comparison
+infrastructure on top of the standard library's ``sqlite3``:
+
+* :mod:`repro.sqlbackend.ddl` generates ``CREATE TABLE`` statements with
+  native PRIMARY KEY / FOREIGN KEY / CHECK / NOT NULL clauses from a
+  schema and a constraint set;
+* :mod:`repro.sqlbackend.backend` loads instances into an in-memory
+  SQLite database, generates violation-detection SQL that implements the
+  paper's ``|=_N`` semantics, evaluates conjunctive queries in SQL, and
+  checks whether an instance would be accepted by the native constraint
+  enforcement of the engine.
+"""
+
+from repro.sqlbackend.ddl import create_table_statements, insert_statements
+from repro.sqlbackend.backend import SQLiteBackend, violation_sql
+
+__all__ = [
+    "SQLiteBackend",
+    "violation_sql",
+    "create_table_statements",
+    "insert_statements",
+]

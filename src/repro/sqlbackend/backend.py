@@ -1,0 +1,356 @@
+"""SQLite-backed consistency checking and query evaluation.
+
+The backend serves three purposes:
+
+1. **Violation SQL** — :func:`violation_sql` compiles a constraint into a
+   ``SELECT`` that returns one row per ground violation under the paper's
+   null-aware semantics ``|=_N``; :meth:`SQLiteBackend.is_consistent`
+   checks that every such query is empty.  This demonstrates that the
+   semantics of Definition 4 is implementable by query rewriting on a
+   stock SQL engine (the sqlglot/sqlalchemy-style rewriting the
+   reproduction plan calls for, written by hand against the stdlib).
+2. **Native acceptance** — :meth:`SQLiteBackend.accepts_natively` loads the
+   instance into tables created with native PRIMARY KEY / FOREIGN KEY /
+   CHECK / NOT NULL clauses and reports whether the engine accepts it,
+   reproducing the DB2 behaviour discussed in Examples 5–7 and the claim
+   that the paper's repairs are accepted by commercial implementations.
+3. **Query evaluation** — conjunctive queries are compiled to SQL and
+   evaluated by SQLite, cross-validating the in-memory evaluator.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.relational.domain import Constant, NULL, is_null
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.ic import (
+    AnyConstraint,
+    ConstraintSet,
+    IntegrityConstraint,
+    NotNullConstraint,
+)
+from repro.constraints.terms import Variable, is_variable
+from repro.core.relevant import relevant_body_variables, relevant_positions
+from repro.logic.queries import ConjunctiveQuery
+from repro.sqlbackend.ddl import create_table_statements, insert_statements
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _literal(value: object) -> str:
+    if is_null(value):
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+def _operator(op: str) -> str:
+    return "<>" if op == "!=" else op
+
+
+class SQLGenerationError(ValueError):
+    """Raised when a constraint or query cannot be rendered as SQL."""
+
+
+# --------------------------------------------------------------------------- violation SQL
+def violation_sql(
+    constraint: AnyConstraint, schema: DatabaseSchema
+) -> str:
+    """A ``SELECT`` returning one row per violation of *constraint* under ``|=_N``."""
+
+    if isinstance(constraint, NotNullConstraint):
+        relation = schema.relation(constraint.predicate)
+        column = _quote(relation.attribute(constraint.position))
+        return (
+            f"SELECT * FROM {_quote(relation.name)} WHERE {column} IS NULL"
+        )
+    return _ic_violation_sql(constraint, schema)
+
+
+def _column(schema: DatabaseSchema, predicate: str, position: int, alias: str) -> str:
+    attribute = schema.relation(predicate).attribute(position)
+    return f"{alias}.{_quote(attribute)}"
+
+
+def _ic_violation_sql(constraint: IntegrityConstraint, schema: DatabaseSchema) -> str:
+    positions = relevant_positions(constraint)
+    relevant_vars = relevant_body_variables(constraint)
+
+    from_parts: List[str] = []
+    conditions: List[str] = []
+    variable_columns: Dict[Variable, str] = {}
+
+    for index, atom in enumerate(constraint.body):
+        alias = f"t{index}"
+        from_parts.append(f"{_quote(atom.predicate)} AS {alias}")
+        for position, term in enumerate(atom.terms):
+            column = _column(schema, atom.predicate, position, alias)
+            if is_variable(term):
+                bound = variable_columns.get(term)
+                if bound is None:
+                    variable_columns[term] = column
+                else:
+                    conditions.append(f"{column} = {bound}")
+            else:
+                conditions.append(f"{column} = {_literal(term)}")
+
+    for variable in sorted(relevant_vars, key=lambda v: v.name):
+        conditions.append(f"{variable_columns[variable]} IS NOT NULL")
+
+    for atom in constraint.head_atoms:
+        conditions.append(
+            "NOT EXISTS (" + _witness_subquery(constraint, atom, schema, positions, variable_columns) + ")"
+        )
+
+    if constraint.head_comparisons:
+        comparison_parts = []
+        for comparison in constraint.head_comparisons:
+            left = (
+                variable_columns[comparison.left]
+                if is_variable(comparison.left)
+                else _literal(comparison.left)
+            )
+            right = (
+                variable_columns[comparison.right]
+                if is_variable(comparison.right)
+                else _literal(comparison.right)
+            )
+            comparison_parts.append(f"{left} {_operator(comparison.op)} {right}")
+        conditions.append("NOT (" + " OR ".join(comparison_parts) + ")")
+
+    where = " AND ".join(conditions) if conditions else "1 = 1"
+    return f"SELECT * FROM {', '.join(from_parts)} WHERE {where}"
+
+
+def _witness_subquery(
+    constraint: IntegrityConstraint,
+    atom: Atom,
+    schema: DatabaseSchema,
+    positions: Mapping[str, Tuple[int, ...]],
+    variable_columns: Mapping[Variable, str],
+) -> str:
+    alias = "w"
+    kept = positions.get(atom.predicate, tuple(range(atom.arity)))
+    body_vars = constraint.body_variables()
+    conditions: List[str] = []
+    existential_first: Dict[Variable, str] = {}
+    for position in kept:
+        term = atom.terms[position]
+        column = _column(schema, atom.predicate, position, alias)
+        if is_variable(term):
+            if term in body_vars:
+                conditions.append(f"{column} = {variable_columns[term]}")
+            else:
+                first = existential_first.get(term)
+                if first is None:
+                    existential_first[term] = column
+                else:
+                    # Repeated existential variable: the witness columns must
+                    # agree; null agrees with null under |=_N (Example 13).
+                    conditions.append(
+                        f"({column} = {first} OR ({column} IS NULL AND {first} IS NULL))"
+                    )
+        else:
+            conditions.append(f"{column} = {_literal(term)}")
+    where = " AND ".join(conditions) if conditions else "1 = 1"
+    return f"SELECT 1 FROM {_quote(atom.predicate)} AS {alias} WHERE {where}"
+
+
+# --------------------------------------------------------------------------- query SQL
+def conjunctive_query_sql(query: ConjunctiveQuery, schema: DatabaseSchema) -> str:
+    """Compile a conjunctive query (with negation and comparisons) to SQL."""
+
+    from_parts: List[str] = []
+    conditions: List[str] = []
+    variable_columns: Dict[Variable, str] = {}
+
+    for index, atom in enumerate(query.positive_atoms):
+        alias = f"t{index}"
+        from_parts.append(f"{_quote(atom.predicate)} AS {alias}")
+        for position, term in enumerate(atom.terms):
+            column = _column(schema, atom.predicate, position, alias)
+            if is_variable(term):
+                bound = variable_columns.get(term)
+                if bound is None:
+                    variable_columns[term] = column
+                else:
+                    conditions.append(f"{column} = {bound}")
+            else:
+                conditions.append(f"{column} = {_literal(term)}")
+
+    for negated_index, atom in enumerate(query.negative_atoms):
+        alias = f"n{negated_index}"
+        sub_conditions: List[str] = []
+        for position, term in enumerate(atom.terms):
+            column = _column(schema, atom.predicate, position, alias)
+            if is_variable(term):
+                sub_conditions.append(f"{column} = {variable_columns[term]}")
+            else:
+                sub_conditions.append(f"{column} = {_literal(term)}")
+        where = " AND ".join(sub_conditions) if sub_conditions else "1 = 1"
+        conditions.append(
+            f"NOT EXISTS (SELECT 1 FROM {_quote(atom.predicate)} AS {alias} WHERE {where})"
+        )
+
+    for comparison in query.comparisons:
+        left = (
+            variable_columns[comparison.left]
+            if is_variable(comparison.left)
+            else _literal(comparison.left)
+        )
+        right = (
+            variable_columns[comparison.right]
+            if is_variable(comparison.right)
+            else _literal(comparison.right)
+        )
+        conditions.append(f"{left} {_operator(comparison.op)} {right}")
+
+    if query.head_variables:
+        select = ", ".join(variable_columns[v] for v in query.head_variables)
+    else:
+        select = "1"
+    where = " AND ".join(conditions) if conditions else "1 = 1"
+    return f"SELECT DISTINCT {select} FROM {', '.join(from_parts)} WHERE {where}"
+
+
+# --------------------------------------------------------------------------- backend
+class SQLiteBackend:
+    """An in-memory SQLite database mirroring a :class:`DatabaseInstance`."""
+
+    def __init__(
+        self,
+        instance: DatabaseInstance,
+        constraints: Union[ConstraintSet, Iterable[AnyConstraint], None] = None,
+    ):
+        self._instance = instance
+        if constraints is None:
+            self._constraints = ConstraintSet()
+        elif isinstance(constraints, ConstraintSet):
+            self._constraints = constraints
+        else:
+            self._constraints = ConstraintSet(list(constraints))
+        self._connection = sqlite3.connect(":memory:")
+        self._load(enforce=False)
+
+    # ------------------------------------------------------------------ loading
+    def _load(self, enforce: bool) -> None:
+        cursor = self._connection.cursor()
+        for statement in create_table_statements(
+            self._instance.schema, self._constraints, enforce_constraints=enforce
+        ):
+            cursor.execute(statement)
+        for fact in self._instance.facts():
+            placeholders = ", ".join("?" for _ in fact.values)
+            values = tuple(None if is_null(v) else v for v in fact.values)
+            cursor.execute(
+                f"INSERT INTO {_quote(fact.predicate)} VALUES ({placeholders})", values
+            )
+        self._connection.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+
+        self._connection.close()
+
+    def __enter__(self) -> "SQLiteBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ queries
+    def execute(self, sql: str) -> List[Tuple[object, ...]]:
+        """Run raw SQL and fetch all rows."""
+
+        cursor = self._connection.cursor()
+        return list(cursor.execute(sql).fetchall())
+
+    def violations(self, constraint: AnyConstraint) -> List[Tuple[object, ...]]:
+        """Rows witnessing violations of *constraint* under ``|=_N``."""
+
+        return self.execute(violation_sql(constraint, self._instance.schema))
+
+    def is_consistent(self) -> bool:
+        """True iff no constraint has a violation according to the SQL rewriting."""
+
+        return all(not self.violations(constraint) for constraint in self._constraints)
+
+    def answers(self, query: ConjunctiveQuery) -> FrozenSet[Tuple[Constant, ...]]:
+        """Evaluate a conjunctive query through SQL (nulls are returned as ``NULL``)."""
+
+        rows = self.execute(conjunctive_query_sql(query, self._instance.schema))
+        if query.is_boolean:
+            return frozenset({()} if rows else set())
+        return frozenset(
+            tuple(NULL if value is None else value for value in row) for row in rows
+        )
+
+    # ------------------------------------------------------------------ native acceptance
+    def accepts_natively(self) -> bool:
+        """Would SQLite accept the instance with native constraint enforcement?
+
+        Recreates the tables with PRIMARY KEY / UNIQUE, FOREIGN KEY, CHECK
+        and NOT NULL clauses derived from the constraint set, turns on
+        foreign-key enforcement, and attempts to insert every row.  Returns
+        False on the first rejected insert.
+        """
+
+        connection = sqlite3.connect(":memory:")
+        try:
+            cursor = connection.cursor()
+            cursor.execute("PRAGMA foreign_keys = ON")
+            for statement in create_table_statements(
+                self._instance.schema, self._constraints, enforce_constraints=True
+            ):
+                cursor.execute(statement)
+            # Parents before children so that foreign keys can be satisfied.
+            ordered = self._parents_first_order()
+            for predicate in ordered:
+                for values in sorted(self._instance.tuples(predicate), key=repr):
+                    placeholders = ", ".join("?" for _ in values)
+                    row = tuple(None if is_null(v) else v for v in values)
+                    try:
+                        cursor.execute(
+                            f"INSERT INTO {_quote(predicate)} VALUES ({placeholders})",
+                            row,
+                        )
+                    except sqlite3.IntegrityError:
+                        return False
+            connection.commit()
+            return True
+        finally:
+            connection.close()
+
+
+    def _parents_first_order(self) -> List[str]:
+        """Order relations so that referenced relations are inserted first."""
+
+        referenced_by: Dict[str, Set[str]] = {}
+        for constraint in self._constraints:
+            if isinstance(constraint, IntegrityConstraint) and constraint.is_referential:
+                child = constraint.body[0].predicate
+                parent = constraint.head_atoms[0].predicate
+                referenced_by.setdefault(child, set()).add(parent)
+        ordered: List[str] = []
+        remaining = list(self._instance.schema.relation_names)
+        while remaining:
+            progressed = False
+            for name in list(remaining):
+                parents = referenced_by.get(name, set())
+                if all(parent in ordered or parent not in remaining for parent in parents):
+                    ordered.append(name)
+                    remaining.remove(name)
+                    progressed = True
+            if not progressed:  # a referential cycle: append the rest as-is
+                ordered.extend(remaining)
+                break
+        return ordered

@@ -1,0 +1,30 @@
+"""Workload generators and the paper's example scenarios.
+
+:mod:`repro.workloads.scenarios` encodes, once and for all, the worked
+examples of the paper (databases, constraints, and — where the paper
+states them — the expected repairs), so that the tests, the examples and
+the benchmarks all draw from the same definitions.
+
+:mod:`repro.workloads.generators` produces parametric synthetic databases
+(foreign-key chains, key/denial workloads, cyclic referential schemas)
+with controllable size, null ratio and violation ratio, which the scaling
+experiments sweep.
+"""
+
+from repro.workloads.generators import (
+    foreign_key_workload,
+    key_violation_workload,
+    cyclic_ric_workload,
+    random_constraint_set,
+    scaled_course_student,
+)
+from repro.workloads import scenarios
+
+__all__ = [
+    "foreign_key_workload",
+    "key_violation_workload",
+    "cyclic_ric_workload",
+    "random_constraint_set",
+    "scaled_course_student",
+    "scenarios",
+]

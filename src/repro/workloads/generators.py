@@ -1,0 +1,227 @@
+"""Parametric synthetic workloads for the scaling experiments.
+
+All generators take a ``seed`` and are fully deterministic.  They return
+``(instance, constraints)`` pairs (or just a constraint set for the graph
+experiment) with knobs for the dimensions the paper's claims depend on:
+database size, fraction of violating tuples, fraction of nulls, and the
+shape of the constraint graph (acyclic foreign-key chains vs. cyclic
+referential sets).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.factories import (
+    check_constraint,
+    functional_dependency,
+    not_null,
+    referential_constraint,
+    universal_constraint,
+)
+from repro.constraints.ic import ConstraintSet
+from repro.constraints.terms import Variable
+
+
+def _v(name: str) -> Variable:
+    return Variable(name)
+
+
+def foreign_key_workload(
+    n_parents: int = 20,
+    n_children: int = 40,
+    violation_ratio: float = 0.1,
+    null_ratio: float = 0.1,
+    seed: int = 0,
+) -> Tuple[DatabaseInstance, ConstraintSet]:
+    """A parent/child schema with a foreign key, injected violations and nulls.
+
+    ``Parent(pid, payload)`` and ``Child(cid, pid, payload)`` with the
+    foreign key ``Child[pid] ⊆ Parent[pid]`` (a RIC), a key on ``Parent``
+    and NOT NULL on ``Parent[pid]``.  A ``violation_ratio`` fraction of the
+    children reference a parent id that does not exist; a ``null_ratio``
+    fraction of child foreign keys and payloads are ``null``.
+    """
+
+    rng = random.Random(seed)
+    schema = DatabaseSchema.from_dict(
+        {"Parent": ["pid", "pdata"], "Child": ["cid", "pid", "cdata"]}
+    )
+    instance = DatabaseInstance(schema=schema)
+    parent_ids = [f"p{i}" for i in range(n_parents)]
+    for pid in parent_ids:
+        instance.add_tuple("Parent", (pid, f"data_{pid}"))
+    for index in range(n_children):
+        cid = f"c{index}"
+        if rng.random() < null_ratio:
+            pid: object = NULL
+        elif rng.random() < violation_ratio or not parent_ids:
+            pid = f"missing{index}"
+        else:
+            pid = rng.choice(parent_ids)
+        payload: object = NULL if rng.random() < null_ratio else f"data_{cid}"
+        instance.add_tuple("Child", (cid, pid, payload))
+
+    fk = referential_constraint(
+        Atom("Child", (_v("c"), _v("p"), _v("d"))),
+        Atom("Parent", (_v("p"), _v("q"))),
+        name="child_parent_fk",
+    )
+    key = functional_dependency("Parent", 2, determinant=[0], dependent=[1], name="parent_key")[0]
+    constraints = ConstraintSet([fk, key, not_null("Parent", 0, 2, name="parent_pid_nn")])
+    return instance, constraints
+
+
+def key_violation_workload(
+    n_rows: int = 30,
+    duplicate_ratio: float = 0.2,
+    null_ratio: float = 0.1,
+    seed: int = 0,
+) -> Tuple[DatabaseInstance, ConstraintSet]:
+    """A single relation with a key and a check constraint, plus injected duplicates.
+
+    ``Emp(eid, dept, salary)`` with key ``eid`` and the check constraint
+    ``salary > 0``.  ``duplicate_ratio`` of the rows reuse an earlier key
+    with a different payload (a key violation); ``null_ratio`` of the
+    salaries are ``null`` (never a violation of the check constraint).
+    """
+
+    rng = random.Random(seed)
+    schema = DatabaseSchema.from_dict({"Emp": ["eid", "dept", "salary"]})
+    instance = DatabaseInstance(schema=schema)
+    used_ids: List[str] = []
+    for index in range(n_rows):
+        if used_ids and rng.random() < duplicate_ratio:
+            eid = rng.choice(used_ids)
+            dept = f"dept{rng.randrange(5)}_dup"
+        else:
+            eid = f"e{index}"
+            used_ids.append(eid)
+            dept = f"dept{rng.randrange(5)}"
+        salary: object = NULL if rng.random() < null_ratio else rng.randrange(1, 200) * 10
+        instance.add_tuple("Emp", (eid, dept, salary))
+
+    key_constraints = functional_dependency(
+        "Emp", 3, determinant=[0], dependent=[1, 2], name="emp_key"
+    )
+    check = check_constraint(
+        Atom("Emp", (_v("e"), _v("d"), _v("s"))),
+        [Comparison(">", _v("s"), 0)],
+        name="positive_salary",
+    )
+    constraints = ConstraintSet([*key_constraints, check])
+    return instance, constraints
+
+
+def cyclic_ric_workload(
+    n_rows: int = 10,
+    violation_ratio: float = 0.3,
+    seed: int = 0,
+) -> Tuple[DatabaseInstance, ConstraintSet]:
+    """Example 18 scaled up: a UIC and a RIC forming a cycle between P and T.
+
+    ``P(x, y) → T(x)`` and ``T(x) → ∃y P(y, x)``.  The generator creates
+    ``n_rows`` P-tuples and T-tuples, dropping the counterpart required by
+    the constraints for a ``violation_ratio`` fraction of them.
+    """
+
+    rng = random.Random(seed)
+    schema = DatabaseSchema.from_dict({"P": ["A", "B"], "T": ["A"]})
+    instance = DatabaseInstance(schema=schema)
+    for index in range(n_rows):
+        value = f"a{index}"
+        # P(a_i, a_i) together with T(a_i) satisfies both constraints; dropping
+        # the T tuple violates the UIC, an extra dangling T tuple violates the RIC.
+        instance.add_tuple("P", (value, value))
+        if rng.random() >= violation_ratio:
+            instance.add_tuple("T", (value,))
+    for index in range(n_rows):
+        value = f"t{index}"
+        if rng.random() < violation_ratio:
+            instance.add_tuple("T", (value,))
+
+    uic = universal_constraint(
+        [Atom("P", (_v("x"), _v("y")))], [Atom("T", (_v("x"),))], name="p_t"
+    )
+    ric = referential_constraint(
+        Atom("T", (_v("x"),)), Atom("P", (_v("y"), _v("x"))), name="t_p"
+    )
+    return instance, ConstraintSet([uic, ric])
+
+
+def scaled_course_student(
+    n_courses: int = 20,
+    dangling_ratio: float = 0.25,
+    seed: int = 0,
+) -> Tuple[DatabaseInstance, ConstraintSet]:
+    """The Example 14 schema scaled to ``n_courses`` courses.
+
+    A ``dangling_ratio`` fraction of the courses reference a student id
+    with no Student tuple, each contributing one independent violation of
+    the referential constraint (so the number of repairs is
+    ``2 ** ceil(n_courses * dangling_ratio)``).
+    """
+
+    rng = random.Random(seed)
+    schema = DatabaseSchema.from_dict(
+        {"Course": ["ID", "Code"], "Student": ["ID", "Name"]}
+    )
+    instance = DatabaseInstance(schema=schema)
+    for index in range(n_courses):
+        student_id = index
+        instance.add_tuple("Course", (student_id, f"C{index}"))
+        if rng.random() >= dangling_ratio:
+            instance.add_tuple("Student", (student_id, f"name{index}"))
+    ric = referential_constraint(
+        Atom("Course", (_v("i"), _v("c"))),
+        Atom("Student", (_v("i"), _v("n"))),
+        name="course_student",
+    )
+    return instance, ConstraintSet([ric])
+
+
+def random_constraint_set(
+    n_predicates: int = 8,
+    n_uics: int = 6,
+    n_rics: int = 4,
+    arity: int = 2,
+    seed: int = 0,
+) -> ConstraintSet:
+    """A random set of UICs and RICs over ``n_predicates`` binary predicates.
+
+    Used by the dependency-graph experiment (E8) to measure how often
+    random constraint sets are RIC-acyclic and how expensive the check is.
+    """
+
+    rng = random.Random(seed)
+    predicates = [f"R{i}" for i in range(n_predicates)]
+    constraints = ConstraintSet()
+    variables = [_v(f"x{i}") for i in range(arity)]
+    for index in range(n_uics):
+        source, target = rng.sample(predicates, 2)
+        constraints.add(
+            universal_constraint(
+                [Atom(source, tuple(variables))],
+                [Atom(target, tuple(variables))],
+                name=f"uic{index}",
+            )
+        )
+    for index in range(n_rics):
+        source, target = rng.sample(predicates, 2)
+        body_vars = tuple(variables)
+        head_terms = (variables[0],) + tuple(
+            _v(f"z{index}_{i}") for i in range(arity - 1)
+        )
+        constraints.add(
+            referential_constraint(
+                Atom(source, body_vars),
+                Atom(target, head_terms),
+                name=f"ric{index}",
+            )
+        )
+    return constraints

@@ -1,0 +1,583 @@
+"""The paper's worked examples as reusable scenarios.
+
+Every function returns a :class:`Scenario` whose fields name the database
+instance, the constraint set and, when the paper spells them out, the
+expected outcome (consistency verdicts, repairs, stable-model databases).
+The integration tests assert those outcomes; the examples and benchmarks
+reuse the same objects so that the repository tells a single, consistent
+story about each example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.factories import (
+    check_constraint,
+    foreign_key,
+    functional_dependency,
+    not_null,
+    referential_constraint,
+    universal_constraint,
+)
+from repro.constraints.ic import ConstraintSet, IntegrityConstraint
+from repro.constraints.terms import Variable
+
+
+@dataclass
+class Scenario:
+    """A named example: instance, constraints and (optionally) expected outcomes."""
+
+    name: str
+    description: str
+    instance: DatabaseInstance
+    constraints: ConstraintSet
+    expected_consistent: Optional[bool] = None
+    expected_repairs: List[DatabaseInstance] = field(default_factory=list)
+    notes: str = ""
+
+
+def _v(name: str) -> Variable:
+    return Variable(name)
+
+
+# --------------------------------------------------------------------------- Example 4
+def example_4() -> Scenario:
+    """Example 4: ``D = {P(a, b, null)}`` against ``P(x, y, z) → R(y, z)``."""
+
+    schema = DatabaseSchema.from_dict({"P": ["A", "B", "C"], "R": ["A", "B"]})
+    instance = DatabaseInstance.from_dict({"P": [("a", "b", NULL)]}, schema=schema)
+    psi1 = universal_constraint(
+        [Atom("P", (_v("x"), _v("y"), _v("z")))],
+        [Atom("R", (_v("y"), _v("z")))],
+        name="psi1",
+    )
+    return Scenario(
+        name="example_4",
+        description="Null in a relevant attribute: consistent under the paper/simple-match "
+        "semantics, inconsistent under partial- and full-match.",
+        instance=instance,
+        constraints=ConstraintSet([psi1]),
+        expected_consistent=True,
+    )
+
+
+def example_4_psi2() -> Scenario:
+    """Example 4 (second constraint): ``P(x, y, z) → R(x, y)`` — the null is irrelevant."""
+
+    schema = DatabaseSchema.from_dict({"P": ["A", "B", "C"], "R": ["A", "B"]})
+    instance = DatabaseInstance.from_dict({"P": [("a", "b", NULL)]}, schema=schema)
+    psi2 = universal_constraint(
+        [Atom("P", (_v("x"), _v("y"), _v("z")))],
+        [Atom("R", (_v("x"), _v("y")))],
+        name="psi2",
+    )
+    return Scenario(
+        name="example_4_psi2",
+        description="The null sits in an irrelevant attribute, so only the liberal semantics "
+        "of [10] accepts the database.",
+        instance=instance,
+        constraints=ConstraintSet([psi2]),
+        expected_consistent=False,
+    )
+
+
+# --------------------------------------------------------------------------- Example 5
+def example_5() -> Scenario:
+    """Example 5: Course/Exp with a foreign key; accepted by DB2 (simple match)."""
+
+    schema = DatabaseSchema.from_dict(
+        {"Course": ["Code", "ID", "Term"], "Exp": ["ID", "Code", "Times"]}
+    )
+    instance = DatabaseInstance.from_dict(
+        {
+            "Course": [
+                ("CS27", 21, "W04"),
+                ("CS18", 34, NULL),
+                ("CS50", NULL, "W05"),
+            ],
+            "Exp": [
+                (21, "CS27", 3),
+                (34, "CS18", NULL),
+                (45, "CS32", 2),
+            ],
+        },
+        schema=schema,
+    )
+    # ∀xyz (Course(x, y, z) → ∃w Exp(y, x, w))
+    ric = referential_constraint(
+        Atom("Course", (_v("x"), _v("y"), _v("z"))),
+        Atom("Exp", (_v("y"), _v("x"), _v("w"))),
+        name="course_exp_fk",
+    )
+    key = functional_dependency("Exp", 3, determinant=[0, 1], dependent=[2], name="exp_key")
+    constraints = ConstraintSet([ric, *key, not_null("Exp", 0, 3), not_null("Exp", 1, 3)])
+    return Scenario(
+        name="example_5",
+        description="Foreign key Course(ID, Code) → Exp(ID, Code): the nulls in Term/Times "
+        "and the null ID in Course are irrelevant (simple match), so DB2 accepts D.",
+        instance=instance,
+        constraints=constraints,
+        expected_consistent=True,
+    )
+
+
+def example_5_rejected_insert() -> DatabaseInstance:
+    """The instance of Example 5 after the insert DB2 would reject: Course(CS41, 18, null)."""
+
+    scenario = example_5()
+    instance = scenario.instance.copy()
+    instance.add_tuple("Course", ("CS41", 18, NULL))
+    return instance
+
+
+# --------------------------------------------------------------------------- Example 6
+def example_6() -> Scenario:
+    """Example 6: single-row check constraint ``Emp(id, name, salary) → salary > 100``."""
+
+    schema = DatabaseSchema.from_dict({"Emp": ["ID", "Name", "Salary"]})
+    instance = DatabaseInstance.from_dict(
+        {"Emp": [(32, NULL, 1000), (41, "Paul", NULL)]}, schema=schema
+    )
+    check = check_constraint(
+        Atom("Emp", (_v("i"), _v("n"), _v("s"))),
+        [Comparison(">", _v("s"), 100)],
+        name="salary_check",
+    )
+    return Scenario(
+        name="example_6",
+        description="Check constraints accept rows whose condition is true or unknown; only "
+        "Salary is relevant.",
+        instance=instance,
+        constraints=ConstraintSet([check]),
+        expected_consistent=True,
+    )
+
+
+def example_6_violating_row() -> DatabaseInstance:
+    """Example 6's rejected insert: (32, null, 50) violates the check constraint."""
+
+    scenario = example_6()
+    instance = scenario.instance.copy()
+    instance.add_tuple("Emp", (32, NULL, 50))
+    return instance
+
+
+# --------------------------------------------------------------------------- Example 8
+def example_8() -> Scenario:
+    """Example 8: multi-row check constraint over Person (parent at least 15 years older)."""
+
+    schema = DatabaseSchema.from_dict({"Person": ["Name", "Dad", "Mom", "Age"]})
+    instance = DatabaseInstance.from_dict(
+        {
+            "Person": [
+                ("Lee", "Rod", "Mary", 27),
+                ("Rod", "Joe", "Tess", 55),
+                ("Mary", "Adam", "Ann", NULL),
+            ]
+        },
+        schema=schema,
+    )
+    x, y, z, s, t, u, w = (_v(n) for n in "xyzstuw")
+    constraint = universal_constraint(
+        [Atom("Person", (x, y, z, w)), Atom("Person", (z, s, t, u))],
+        [],
+        [Comparison(">", u, w)],
+        name="mom_older",
+    )
+    return Scenario(
+        name="example_8",
+        description="The mother's unknown age makes the comparison unknown, so the database "
+        "is consistent; relevant attributes are Name, Mom and Age.",
+        instance=instance,
+        constraints=ConstraintSet([constraint]),
+        expected_consistent=True,
+        notes="The paper's condition is u > w + 15; the constraint language restricts "
+        "built-ins to comparisons between terms, so the scenario uses u > w, which has "
+        "the same relevant attributes and the same verdict on this instance.",
+    )
+
+
+# --------------------------------------------------------------------------- Example 9
+def example_9() -> Scenario:
+    """Example 9: full inclusion dependency with a null in the referenced relation."""
+
+    schema = DatabaseSchema.from_dict(
+        {"Course9": ["Code", "Term", "ID"], "Employee": ["Term", "ID"]}
+    )
+    instance = DatabaseInstance.from_dict(
+        {"Course9": [("CS18", "W04", 34)], "Employee": [("W04", NULL)]}, schema=schema
+    )
+    constraint = universal_constraint(
+        [Atom("Course9", (_v("x"), _v("y"), _v("z")))],
+        [Atom("Employee", (_v("y"), _v("z")))],
+        name="course_employee",
+    )
+    return Scenario(
+        name="example_9",
+        description="(W04, 34) is not subsumed by (W04, null): the database is inconsistent.",
+        instance=instance,
+        constraints=ConstraintSet([constraint]),
+        expected_consistent=False,
+    )
+
+
+# --------------------------------------------------------------------------- Example 11
+def example_11() -> Scenario:
+    """Example 11: consistent database with nulls; adding P(f, d, null) breaks it."""
+
+    schema = DatabaseSchema.from_dict(
+        {"P": ["A", "B", "C"], "R": ["D", "E"], "T": ["F"]}
+    )
+    instance = DatabaseInstance.from_dict(
+        {
+            "P": [("a", "d", "e"), ("b", NULL, "g")],
+            "R": [("a", "d")],
+            "T": [("b",)],
+        },
+        schema=schema,
+    )
+    a = universal_constraint(
+        [Atom("P", (_v("x"), _v("y"), _v("z")))],
+        [Atom("R", (_v("x"), _v("y")))],
+        name="a",
+    )
+    b = referential_constraint(
+        Atom("T", (_v("x"),)),
+        Atom("P", (_v("x"), _v("y"), _v("z"))),
+        name="b",
+    )
+    return Scenario(
+        name="example_11",
+        description="Both constraints are satisfied thanks to the null in P(b, null, g).",
+        instance=instance,
+        constraints=ConstraintSet([a, b]),
+        expected_consistent=True,
+    )
+
+
+def example_11_extended() -> DatabaseInstance:
+    """Example 11 after adding P(f, d, null), which violates constraint (a)."""
+
+    scenario = example_11()
+    instance = scenario.instance.copy()
+    instance.add_tuple("P", ("f", "d", NULL))
+    return instance
+
+
+# --------------------------------------------------------------------------- Example 12
+def example_12() -> Scenario:
+    """Example 12: a general constraint with two antecedent atoms and an existential head."""
+
+    schema = DatabaseSchema.from_dict(
+        {"P1": ["A", "B", "C"], "P2": ["D", "E"], "Q": ["F", "G", "H"]}
+    )
+    instance = DatabaseInstance.from_dict(
+        {
+            "P1": [
+                ("a", "b", "c"),
+                ("d", NULL, "c"),
+                ("b", "e", NULL),
+                (NULL, "b", "b"),
+            ],
+            "P2": [("b", "a"), ("e", "c"), ("d", NULL), (NULL, "b")],
+            "Q": [("a", "a", "c"), ("b", NULL, "c"), ("b", "c", "d"), (NULL, "c", "a")],
+        },
+        schema=schema,
+    )
+    x, y, z, w, u = (_v(n) for n in "xyzwu")
+    constraint = IntegrityConstraint(
+        [Atom("P1", (x, y, w)), Atom("P2", (y, z))],
+        [Atom("Q", (x, z, u))],
+        name="example12",
+    )
+    return Scenario(
+        name="example_12",
+        description="Relevant attributes are P1[1], P1[2], P2[1], P2[2], Q[1], Q[2]; the "
+        "database satisfies the constraint.",
+        instance=instance,
+        constraints=ConstraintSet([constraint]),
+        expected_consistent=True,
+    )
+
+
+# --------------------------------------------------------------------------- Example 13
+def example_13() -> Scenario:
+    """Example 13: repeated existential variable, witnessed by a null tuple."""
+
+    schema = DatabaseSchema.from_dict({"P": ["A", "B"], "Q": ["C", "D", "E"]})
+    instance = DatabaseInstance.from_dict(
+        {"P": [("a", "b"), (NULL, "c")], "Q": [("a", NULL, NULL)]}, schema=schema
+    )
+    x, y, z = _v("x"), _v("y"), _v("z")
+    constraint = IntegrityConstraint(
+        [Atom("P", (x, y))],
+        [Atom("Q", (x, z, z))],
+        name="example13",
+    )
+    return Scenario(
+        name="example_13",
+        description="Q(a, null, null) provides the witness z = null; P(null, c) is guarded "
+        "by IsNull(x).",
+        instance=instance,
+        constraints=ConstraintSet([constraint]),
+        expected_consistent=True,
+    )
+
+
+# --------------------------------------------------------------------------- Examples 14/15
+def example_14() -> Scenario:
+    """Examples 14–15: the Course/Student referential constraint, repaired with nulls."""
+
+    schema = DatabaseSchema.from_dict(
+        {"Course": ["ID", "Code"], "Student": ["ID", "Name"]}
+    )
+    instance = DatabaseInstance.from_dict(
+        {
+            "Course": [(21, "C15"), (34, "C18")],
+            "Student": [(21, "Ann"), (45, "Paul")],
+        },
+        schema=schema,
+    )
+    ric = referential_constraint(
+        Atom("Course", (_v("i"), _v("c"))),
+        Atom("Student", (_v("i"), _v("n"))),
+        name="course_student",
+    )
+    repair_1 = DatabaseInstance.from_dict(
+        {"Course": [(21, "C15")], "Student": [(21, "Ann"), (45, "Paul")]}, schema=schema
+    )
+    repair_2 = DatabaseInstance.from_dict(
+        {
+            "Course": [(21, "C15"), (34, "C18")],
+            "Student": [(21, "Ann"), (45, "Paul"), (34, NULL)],
+        },
+        schema=schema,
+    )
+    return Scenario(
+        name="example_14",
+        description="Inconsistent Course/Student database; with nulls there are exactly two "
+        "repairs (Example 15), whereas the classical semantics has one repair per domain value.",
+        instance=instance,
+        constraints=ConstraintSet([ric]),
+        expected_consistent=False,
+        expected_repairs=[repair_1, repair_2],
+    )
+
+
+# --------------------------------------------------------------------------- Example 16
+def example_16() -> Scenario:
+    """Example 16: interaction of a RIC with a non-generic check constraint."""
+
+    schema = DatabaseSchema.from_dict({"Q": ["A", "B"], "P": ["A", "B"]})
+    instance = DatabaseInstance.from_dict(
+        {"Q": [("a", "b")], "P": [("a", "c")]}, schema=schema
+    )
+    psi1 = referential_constraint(
+        Atom("P", (_v("x"), _v("y"))),
+        Atom("Q", (_v("x"), _v("z"))),
+        name="psi1",
+    )
+    psi2 = check_constraint(
+        Atom("Q", (_v("x"), _v("y"))),
+        [Comparison("!=", _v("y"), "b")],
+        name="psi2",
+    )
+    repair_1 = DatabaseInstance.from_dict({}, schema=schema)
+    repair_2 = DatabaseInstance.from_dict(
+        {"P": [("a", "c")], "Q": [("a", NULL)]}, schema=schema
+    )
+    return Scenario(
+        name="example_16",
+        description="Two repairs: delete everything, or delete Q(a, b) and insert Q(a, null).",
+        instance=instance,
+        constraints=ConstraintSet([psi1, psi2]),
+        expected_consistent=False,
+        expected_repairs=[repair_1, repair_2],
+    )
+
+
+# --------------------------------------------------------------------------- Example 17
+def example_17() -> Scenario:
+    """Example 17: a RIC repaired by a null insertion or a deletion."""
+
+    schema = DatabaseSchema.from_dict({"P": ["A", "B"], "R": ["A", "B"]})
+    instance = DatabaseInstance.from_dict(
+        {"P": [("a", NULL), ("b", "c")], "R": [("a", "b")]}, schema=schema
+    )
+    ric = referential_constraint(
+        Atom("P", (_v("x"), _v("y"))),
+        Atom("R", (_v("x"), _v("z"))),
+        name="p_r",
+    )
+    repair_1 = DatabaseInstance.from_dict(
+        {"P": [("a", NULL), ("b", "c")], "R": [("a", "b"), ("b", NULL)]}, schema=schema
+    )
+    repair_2 = DatabaseInstance.from_dict(
+        {"P": [("a", NULL)], "R": [("a", "b")]}, schema=schema
+    )
+    return Scenario(
+        name="example_17",
+        description="Repairs insert R(b, null) or delete P(b, c); R(b, d) for a non-null d is "
+        "dominated and is not a repair.",
+        instance=instance,
+        constraints=ConstraintSet([ric]),
+        expected_consistent=False,
+        expected_repairs=[repair_1, repair_2],
+    )
+
+
+# --------------------------------------------------------------------------- Example 18
+def example_18() -> Scenario:
+    """Example 18: a RIC-cyclic constraint set with four repairs."""
+
+    schema = DatabaseSchema.from_dict({"P": ["A", "B"], "T": ["A"]})
+    instance = DatabaseInstance.from_dict(
+        {"P": [("a", "b"), (NULL, "a")], "T": [("c",)]}, schema=schema
+    )
+    uic = universal_constraint(
+        [Atom("P", (_v("x"), _v("y")))],
+        [Atom("T", (_v("x"),))],
+        name="p_t",
+    )
+    ric = referential_constraint(
+        Atom("T", (_v("x"),)),
+        Atom("P", (_v("y"), _v("x"))),
+        name="t_p",
+    )
+    repair_1 = DatabaseInstance.from_dict(
+        {"P": [("a", "b"), (NULL, "a"), (NULL, "c")], "T": [("c",), ("a",)]}, schema=schema
+    )
+    repair_2 = DatabaseInstance.from_dict(
+        {"P": [("a", "b"), (NULL, "a")], "T": [("a",)]}, schema=schema
+    )
+    repair_3 = DatabaseInstance.from_dict(
+        {"P": [(NULL, "a"), (NULL, "c")], "T": [("c",)]}, schema=schema
+    )
+    repair_4 = DatabaseInstance.from_dict({"P": [(NULL, "a")]}, schema=schema)
+    return Scenario(
+        name="example_18",
+        description="Cyclic RICs are fine under the null-based repair semantics: four finite "
+        "repairs.",
+        instance=instance,
+        constraints=ConstraintSet([uic, ric]),
+        expected_consistent=False,
+        expected_repairs=[repair_1, repair_2, repair_3, repair_4],
+    )
+
+
+# --------------------------------------------------------------------------- Example 19 / 21 / 23
+def example_19() -> Scenario:
+    """Examples 19, 21 and 23: key + foreign key + NOT NULL, four repairs."""
+
+    schema = DatabaseSchema.from_dict({"R": ["X", "Y"], "S": ["U", "V"]})
+    instance = DatabaseInstance.from_dict(
+        {"R": [("a", "b"), ("a", "c")], "S": [("e", "f"), (NULL, "a")]}, schema=schema
+    )
+    key = functional_dependency("R", 2, determinant=[0], dependent=[1], name="r_key")[0]
+    ric = referential_constraint(
+        Atom("S", (_v("u"), _v("v"))),
+        Atom("R", (_v("v"), _v("y"))),
+        name="s_r_fk",
+    )
+    nnc = not_null("R", 0, 2, name="r_x_not_null")
+    repair_1 = DatabaseInstance.from_dict(
+        {"R": [("a", "b"), ("f", NULL)], "S": [("e", "f"), (NULL, "a")]}, schema=schema
+    )
+    repair_2 = DatabaseInstance.from_dict(
+        {"R": [("a", "c"), ("f", NULL)], "S": [("e", "f"), (NULL, "a")]}, schema=schema
+    )
+    repair_3 = DatabaseInstance.from_dict(
+        {"R": [("a", "b")], "S": [(NULL, "a")]}, schema=schema
+    )
+    repair_4 = DatabaseInstance.from_dict(
+        {"R": [("a", "c")], "S": [(NULL, "a")]}, schema=schema
+    )
+    return Scenario(
+        name="example_19",
+        description="Primary key R[1], foreign key S[2] → R[1], NOT NULL on R[1]: four repairs, "
+        "matching the four stable models of the repair program (Example 23).",
+        instance=instance,
+        constraints=ConstraintSet([key, ric, nnc]),
+        expected_consistent=False,
+        expected_repairs=[repair_1, repair_2, repair_3, repair_4],
+    )
+
+
+# --------------------------------------------------------------------------- Example 20
+def example_20() -> Scenario:
+    """Example 20: a conflicting NOT NULL on an existential attribute."""
+
+    schema = DatabaseSchema.from_dict({"P": ["A"], "Q": ["A", "B"]})
+    instance = DatabaseInstance.from_dict(
+        {"P": [("a",), ("b",)], "Q": [("b", "c")]}, schema=schema
+    )
+    ric = referential_constraint(
+        Atom("P", (_v("x"),)),
+        Atom("Q", (_v("x"), _v("y"))),
+        name="p_q",
+    )
+    nnc = not_null("Q", 1, 2, name="q_b_not_null")
+    return Scenario(
+        name="example_20",
+        description="The NNC protects the existentially quantified attribute Q[2], so the "
+        "constraint set is *conflicting*: null-based repairs are not guaranteed to exist.",
+        instance=instance,
+        constraints=ConstraintSet([ric, nnc]),
+        expected_consistent=False,
+        notes="The library's repair engine assumes non-conflicting sets; "
+        "ConstraintSet.is_non_conflicting() returns False here.",
+    )
+
+
+# --------------------------------------------------------------------------- Example 22
+def example_22() -> Scenario:
+    """Example 22: a UIC with a disjunctive consequent plus an NNC."""
+
+    schema = DatabaseSchema.from_dict({"P": ["A", "B"], "R": ["A"], "S": ["B"]})
+    instance = DatabaseInstance.from_dict(
+        {"P": [("a", "b"), ("c", NULL)]}, schema=schema
+    )
+    uic = universal_constraint(
+        [Atom("P", (_v("x"), _v("y")))],
+        [Atom("R", (_v("x"),)), Atom("S", (_v("y"),))],
+        name="p_r_or_s",
+    )
+    nnc = not_null("P", 1, 2, name="p_b_not_null")
+    return Scenario(
+        name="example_22",
+        description="Used to illustrate the Q'/Q'' splits of the repair-program rules.",
+        instance=instance,
+        constraints=ConstraintSet([uic, nnc]),
+        expected_consistent=False,
+    )
+
+
+def all_scenarios() -> Dict[str, Scenario]:
+    """Every named scenario, keyed by name."""
+
+    factories = [
+        example_4,
+        example_4_psi2,
+        example_5,
+        example_6,
+        example_8,
+        example_9,
+        example_11,
+        example_12,
+        example_13,
+        example_14,
+        example_16,
+        example_17,
+        example_18,
+        example_19,
+        example_20,
+        example_22,
+    ]
+    scenarios = [factory() for factory in factories]
+    return {scenario.name: scenario for scenario in scenarios}

@@ -1,0 +1,101 @@
+"""Tests for head-cycle-freeness and the shift transformation sh(Π)."""
+
+import pytest
+
+from repro.constraints.atoms import Atom
+from repro.constraints.terms import Variable
+from repro.asp.grounding import GroundRule, ground_program
+from repro.asp.shift import (
+    ground_dependency_graph,
+    is_head_cycle_free,
+    shift_program,
+    shift_rule,
+)
+from repro.asp.stable import stable_models
+from repro.asp.syntax import Program, Rule
+
+x = Variable("x")
+p, q, r = Atom("p", ()), Atom("q", ()), Atom("r", ())
+
+
+def model_sets(models):
+    return {frozenset(model) for model in models}
+
+
+class TestHeadCycleFreeness:
+    def test_plain_disjunction_is_hcf(self):
+        program = Program(facts=[r])
+        program.add_rule(Rule(head=(p, q), positive=(r,)))
+        assert is_head_cycle_free(program)
+
+    def test_mutual_recursion_through_disjunctive_head_is_not_hcf(self):
+        program = Program()
+        program.add_rule(Rule(head=(p, q)))
+        program.add_rule(Rule(head=(p,), positive=(q,)))
+        program.add_rule(Rule(head=(q,), positive=(p,)))
+        assert not is_head_cycle_free(program)
+
+    def test_normal_programs_are_always_hcf(self):
+        program = Program(facts=[Atom("e", ("a", "b"))])
+        program.add_rule(
+            Rule(head=(Atom("t", (x,)),), positive=(Atom("e", (x, x)),))
+        )
+        assert is_head_cycle_free(program)
+
+    def test_dependency_graph_edges(self):
+        program = Program(facts=[r])
+        program.add_rule(Rule(head=(p,), positive=(r,)))
+        graph = ground_dependency_graph(program)
+        assert graph.has_edge(r, p)
+        assert not graph.has_edge(p, r)
+
+
+class TestShiftTransformation:
+    def test_shift_rule_produces_one_rule_per_disjunct(self):
+        rule = Rule(head=(p, q), positive=(r,))
+        shifted = shift_rule(rule)
+        assert len(shifted) == 2
+        first, second = shifted
+        assert first.head == (p,) and q in first.negative
+        assert second.head == (q,) and p in second.negative
+
+    def test_shift_rule_keeps_normal_rules(self):
+        rule = Rule(head=(p,), positive=(r,))
+        assert shift_rule(rule) == [rule]
+
+    def test_shift_ground_rule(self):
+        rule = GroundRule(head=(p, q), positive=(r,), negative=())
+        shifted = shift_rule(rule)
+        assert all(isinstance(new_rule, GroundRule) for new_rule in shifted)
+        assert len(shifted) == 2
+
+    def test_shift_preserves_stable_models_for_hcf_programs(self):
+        program = Program(facts=[r])
+        program.add_rule(Rule(head=(p, q), positive=(r,)))
+        assert is_head_cycle_free(program)
+        original_models = stable_models(program)
+        shifted_models = stable_models(shift_program(program))
+        assert model_sets(original_models) == model_sets(shifted_models)
+        shifted = shift_program(program)
+        assert shifted.is_normal
+
+    def test_shift_changes_models_of_non_hcf_programs(self):
+        """The classic counterexample: shifting a head-cycle loses the joint model."""
+
+        program = Program()
+        program.add_rule(Rule(head=(p, q)))
+        program.add_rule(Rule(head=(p,), positive=(q,)))
+        program.add_rule(Rule(head=(q,), positive=(p,)))
+        assert not is_head_cycle_free(program)
+        original_models = model_sets(stable_models(program))
+        shifted_models = model_sets(stable_models(shift_program(program)))
+        assert original_models == {frozenset({p, q})}
+        assert shifted_models != original_models
+
+    def test_shift_ground_program_preserves_facts(self):
+        program = Program(facts=[r])
+        program.add_rule(Rule(head=(p, q), positive=(r,)))
+        ground = ground_program(program)
+        shifted = shift_program(ground)
+        assert shifted.facts == ground.facts
+        assert all(len(rule.head) <= 1 for rule in shifted.rules)

@@ -1,0 +1,189 @@
+"""Tests for the stable-model solver (normal and disjunctive programs)."""
+
+import pytest
+
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.terms import Variable
+from repro.asp.grounding import ground_program
+from repro.asp.stable import (
+    brave_consequences,
+    cautious_consequences,
+    gelfond_lifschitz_reduct,
+    is_stable_model,
+    least_model_of_reduct,
+    stable_models,
+)
+from repro.asp.syntax import Program, Rule
+
+x, y = Variable("x"), Variable("y")
+
+
+def model_sets(models):
+    return {frozenset(model) for model in models}
+
+
+def atoms(*specs):
+    return frozenset(Atom(name, tuple(args)) for name, *args in specs)
+
+
+class TestNormalPrograms:
+    def test_definite_program_has_least_model(self):
+        program = Program(facts=[Atom("P", ("a",))])
+        program.add_rule(Rule(head=(Atom("Q", (x,)),), positive=(Atom("P", (x,)),)))
+        models = stable_models(program)
+        assert len(models) == 1
+        assert models[0] == atoms(("P", "a"), ("Q", "a"))
+
+    def test_negation_single_model(self):
+        # q ← not p.  No rule for p, so the only stable model is {q}.
+        program = Program()
+        program.add_rule(Rule(head=(Atom("q", ()),), negative=(Atom("p", ()),)))
+        program.add_fact(Atom("dom", ("a",)))
+        models = stable_models(program)
+        assert len(models) == 1
+        assert Atom("q", ()) in models[0]
+        assert Atom("p", ()) not in models[0]
+
+    def test_even_negation_two_models(self):
+        # p ← not q.  q ← not p.  Two stable models: {p} and {q}.
+        program = Program()
+        program.add_rule(Rule(head=(Atom("p", ()),), negative=(Atom("q", ()),)))
+        program.add_rule(Rule(head=(Atom("q", ()),), negative=(Atom("p", ()),)))
+        models = stable_models(program)
+        assert model_sets(models) == {frozenset({Atom("p", ())}), frozenset({Atom("q", ())})}
+
+    def test_odd_negation_no_model(self):
+        # p ← not p has no stable model.
+        program = Program()
+        program.add_rule(Rule(head=(Atom("p", ()),), negative=(Atom("p", ()),)))
+        assert stable_models(program) == []
+
+    def test_constraint_filters_models(self):
+        program = Program()
+        program.add_rule(Rule(head=(Atom("p", ()),), negative=(Atom("q", ()),)))
+        program.add_rule(Rule(head=(Atom("q", ()),), negative=(Atom("p", ()),)))
+        program.add_rule(Rule(head=(), positive=(Atom("p", ()),)))  # :- p.
+        models = stable_models(program)
+        assert model_sets(models) == {frozenset({Atom("q", ())})}
+
+    def test_unsupported_atoms_never_true(self):
+        program = Program(facts=[Atom("P", ("a",))])
+        program.add_rule(Rule(head=(Atom("Q", (x,)),), positive=(Atom("P", (x,)), Atom("R", (x,)))))
+        models = stable_models(program)
+        assert len(models) == 1
+        assert Atom("Q", ("a",)) not in models[0]
+
+    def test_reachability_program(self):
+        program = Program(
+            facts=[Atom("edge", ("a", "b")), Atom("edge", ("b", "c")), Atom("start", ("a",))]
+        )
+        program.add_rule(
+            Rule(head=(Atom("reach", (x,)),), positive=(Atom("start", (x,)),))
+        )
+        program.add_rule(
+            Rule(
+                head=(Atom("reach", (y,)),),
+                positive=(Atom("reach", (x,)), Atom("edge", (x, y))),
+            )
+        )
+        models = stable_models(program)
+        assert len(models) == 1
+        assert Atom("reach", ("c",)) in models[0]
+
+
+class TestDisjunctivePrograms:
+    def test_plain_disjunction_two_minimal_models(self):
+        program = Program(facts=[Atom("r", ())])
+        program.add_rule(Rule(head=(Atom("p", ()), Atom("q", ())), positive=(Atom("r", ()),)))
+        models = stable_models(program)
+        assert model_sets(models) == {
+            frozenset({Atom("r", ()), Atom("p", ())}),
+            frozenset({Atom("r", ()), Atom("q", ())}),
+        }
+
+    def test_disjunction_with_supporting_rule(self):
+        # p ∨ q.   p ← q.   The only stable model is {p}: {q, p} is not minimal.
+        program = Program()
+        program.add_rule(Rule(head=(Atom("p", ()), Atom("q", ()))))
+        program.add_rule(Rule(head=(Atom("p", ()),), positive=(Atom("q", ()),)))
+        models = stable_models(program)
+        assert model_sets(models) == {frozenset({Atom("p", ())})}
+
+    def test_head_cycle_program(self):
+        # p ∨ q.   p ← q.   q ← p.  Classic non-HCF program: stable models {p, q}? No —
+        # the GL reduct is the program itself and {p, q} is its unique minimal model.
+        program = Program()
+        program.add_rule(Rule(head=(Atom("p", ()), Atom("q", ()))))
+        program.add_rule(Rule(head=(Atom("p", ()),), positive=(Atom("q", ()),)))
+        program.add_rule(Rule(head=(Atom("q", ()),), positive=(Atom("p", ()),)))
+        models = stable_models(program)
+        assert model_sets(models) == {frozenset({Atom("p", ()), Atom("q", ())})}
+
+    def test_disjunction_with_negation(self):
+        # p ∨ q ← not r.  r is not derivable, so we get {p} and {q}.
+        program = Program()
+        program.add_rule(Rule(head=(Atom("p", ()), Atom("q", ())), negative=(Atom("r", ()),)))
+        models = stable_models(program)
+        assert model_sets(models) == {frozenset({Atom("p", ())}), frozenset({Atom("q", ())})}
+
+    def test_max_models_limit(self):
+        program = Program(facts=[Atom("dom", ("a",)), Atom("dom", ("b",))])
+        program.add_rule(
+            Rule(head=(Atom("in", (x,)), Atom("out", (x,))), positive=(Atom("dom", (x,)),))
+        )
+        all_models = stable_models(program)
+        assert len(all_models) == 4
+        limited = stable_models(program, max_models=2)
+        assert len(limited) == 2
+
+
+class TestStabilityChecking:
+    def test_is_stable_model_detects_non_minimal_candidates(self):
+        program = Program(facts=[Atom("r", ())])
+        program.add_rule(Rule(head=(Atom("p", ()), Atom("q", ())), positive=(Atom("r", ()),)))
+        ground = ground_program(program)
+        assert is_stable_model(ground, frozenset({Atom("r", ()), Atom("p", ())}))
+        assert not is_stable_model(
+            ground, frozenset({Atom("r", ()), Atom("p", ()), Atom("q", ())})
+        )
+        assert not is_stable_model(ground, frozenset({Atom("p", ())}))  # misses the fact
+
+    def test_reduct_and_least_model(self):
+        from repro.asp.grounding import GroundRule
+
+        a, b, c = Atom("a", ()), Atom("b", ()), Atom("c", ())
+        rules = (GroundRule(head=(b,), positive=(a,), negative=(c,)),)
+        facts = frozenset({a})
+        model = frozenset({a, b})
+        reduct = gelfond_lifschitz_reduct(rules, model)
+        assert reduct == [((b,), (a,))]
+        assert least_model_of_reduct(reduct, facts) == model
+        # With c in the candidate the rule is deleted by the reduct and b loses support.
+        bad = frozenset({a, b, c})
+        reduct_bad = gelfond_lifschitz_reduct(rules, bad)
+        assert reduct_bad == []
+        assert least_model_of_reduct(reduct_bad, facts) == frozenset({a})
+
+    def test_least_model_detects_violated_denial(self):
+        from repro.asp.grounding import GroundRule
+
+        a = Atom("a", ())
+        rules = (GroundRule(head=(), positive=(a,), negative=()),)
+        reduct = gelfond_lifschitz_reduct(rules, frozenset({a}))
+        assert least_model_of_reduct(reduct, frozenset({a})) is None
+
+
+class TestReasoningModes:
+    def test_cautious_and_brave(self):
+        program = Program()
+        program.add_rule(Rule(head=(Atom("p", ()), Atom("q", ()))))
+        program.add_fact(Atom("r", ()))
+        cautious = cautious_consequences(program)
+        brave = brave_consequences(program)
+        assert cautious == frozenset({Atom("r", ())})
+        assert brave == frozenset({Atom("p", ()), Atom("q", ()), Atom("r", ())})
+
+    def test_cautious_of_inconsistent_program_is_empty(self):
+        program = Program()
+        program.add_rule(Rule(head=(Atom("p", ()),), negative=(Atom("p", ()),)))
+        assert cautious_consequences(program) == frozenset()

@@ -1,0 +1,133 @@
+"""Tests for terms, atoms, comparisons and IsNull."""
+
+import pytest
+
+from repro.relational.domain import NULL
+from repro.constraints.atoms import (
+    Atom,
+    BuiltinEvaluationError,
+    Comparison,
+    IsNullAtom,
+)
+from repro.constraints.terms import Variable, fresh_variable, is_variable, variables_in
+
+
+class TestVariables:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+        assert is_variable(Variable("x"))
+        assert not is_variable("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_variables_in(self):
+        x, y = Variable("x"), Variable("y")
+        assert variables_in((x, "a", y, 3)) == frozenset({x, y})
+
+    def test_fresh_variable_avoids_clashes(self):
+        x = Variable("x")
+        assert fresh_variable("x", [x]).name == "x_1"
+        assert fresh_variable("z", [x]).name == "z"
+
+
+class TestAtom:
+    def test_basic_accessors(self):
+        x, y = Variable("x"), Variable("y")
+        atom = Atom("P", (x, "a", y, x))
+        assert atom.arity == 4
+        assert atom.variables() == frozenset({x, y})
+        assert atom.constants() == frozenset({"a"})
+        assert not atom.is_ground()
+        assert atom.positions_of(x) == (0, 3)
+        assert atom.positions_of("a") == (1,)
+
+    def test_substitution_and_projection(self):
+        x, y = Variable("x"), Variable("y")
+        atom = Atom("P", (x, y))
+        ground = atom.substitute({x: "a", y: NULL})
+        assert ground == Atom("P", ("a", NULL))
+        assert ground.is_ground()
+        assert atom.project([1]) == Atom("P", (y,))
+
+    def test_repr(self):
+        assert repr(Atom("P", (Variable("x"), "a", NULL))) == "P(x, a, null)"
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", (Variable("x"),))
+
+
+class TestComparison:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("~", Variable("x"), 1)
+
+    @pytest.mark.parametrize(
+        "op, left, right, expected",
+        [
+            ("=", 3, 3, True),
+            ("!=", 3, 4, True),
+            ("<", 2, 5, True),
+            ("<=", 5, 5, True),
+            (">", "b", "a", True),
+            (">=", "a", "b", False),
+        ],
+    )
+    def test_ground_evaluation(self, op, left, right, expected):
+        assert Comparison(op, left, right).evaluate() is expected
+
+    def test_evaluation_with_assignment(self):
+        x = Variable("x")
+        assert Comparison(">", x, 100).evaluate({x: 150})
+        assert not Comparison(">", x, 100).evaluate({x: 50})
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(BuiltinEvaluationError):
+            Comparison("=", Variable("x"), 1).evaluate()
+
+    def test_null_equality_as_ordinary_constant(self):
+        assert Comparison("=", NULL, NULL).evaluate()
+        assert not Comparison("=", "a", NULL).evaluate()
+        assert Comparison("!=", "a", NULL).evaluate()
+        assert not Comparison("!=", NULL, NULL).evaluate()
+
+    def test_null_order_comparison_raises_without_sql_mode(self):
+        with pytest.raises(BuiltinEvaluationError):
+            Comparison(">", NULL, 5).evaluate()
+
+    def test_null_is_unknown_mode(self):
+        assert not Comparison(">", NULL, 5).evaluate(null_is_unknown=True)
+        assert not Comparison("=", NULL, NULL).evaluate(null_is_unknown=True)
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(BuiltinEvaluationError):
+            Comparison("<", "a", 1).evaluate()
+
+    def test_negated_covers_every_operator(self):
+        pairs = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+        for op, negated in pairs.items():
+            assert Comparison(op, 1, 2).negated().op == negated
+
+    def test_negation_is_an_involution(self):
+        comparison = Comparison("<", Variable("x"), 3)
+        assert comparison.negated().negated() == comparison
+
+
+class TestIsNull:
+    def test_evaluation(self):
+        x = Variable("x")
+        assert IsNullAtom(NULL).evaluate()
+        assert not IsNullAtom("a").evaluate()
+        assert IsNullAtom(x).evaluate({x: NULL})
+        assert not IsNullAtom(x).evaluate({x: "a"})
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(BuiltinEvaluationError):
+            IsNullAtom(Variable("x")).evaluate()
+
+    def test_repr(self):
+        assert repr(IsNullAtom(Variable("x"))) == "IsNull(x)"
+        assert repr(IsNullAtom(NULL)) == "IsNull(null)"

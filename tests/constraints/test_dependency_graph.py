@@ -1,0 +1,101 @@
+"""Tests for dependency graphs and RIC-acyclicity (Definition 1, Examples 2–3)."""
+
+import networkx as nx
+import pytest
+
+from repro.constraints.dependency_graph import (
+    contracted_dependency_graph,
+    dependency_graph,
+    is_ric_acyclic,
+    ric_cycles,
+    topological_component_order,
+    universal_components,
+)
+from repro.constraints.ic import ConstraintSet
+from repro.constraints.parser import parse_constraints
+
+
+@pytest.fixture()
+def example_2_constraints():
+    """ic1: S(x) → Q(x); ic2: Q(x) → R(x); ic3: Q(x) → ∃y T(x, y)."""
+
+    return parse_constraints(
+        ["ic1: S(x) -> Q(x)", "ic2: Q(x) -> R(x)", "ic3: Q(x) -> T(x, y)"]
+    )
+
+
+@pytest.fixture()
+def example_3_extended(example_2_constraints):
+    """Example 3's extension: add the UIC T(x, y) → R(y), creating a cycle."""
+
+    extended = ConstraintSet(list(example_2_constraints))
+    extended.extend(parse_constraints(["ic4: T(x, y) -> R(y)"]))
+    return extended
+
+
+class TestDependencyGraph:
+    def test_vertices_and_edges(self, example_2_constraints):
+        graph = dependency_graph(example_2_constraints)
+        assert set(graph.nodes) == {"S", "Q", "R", "T"}
+        assert graph.has_edge("S", "Q")
+        assert graph.has_edge("Q", "R")
+        assert graph.has_edge("Q", "T")
+        assert graph.number_of_edges() == 3
+
+    def test_edge_kinds(self, example_2_constraints):
+        graph = dependency_graph(example_2_constraints)
+        kinds = {data["kind"] for _, _, data in graph.edges(data=True)}
+        assert kinds == {"uic", "ric"}
+
+    def test_nnc_contributes_vertex_only(self):
+        constraints = parse_constraints(["P(x, y), isnull(y) -> false"])
+        graph = dependency_graph(constraints)
+        assert set(graph.nodes) == {"P"}
+        assert graph.number_of_edges() == 0
+
+
+class TestContractedGraph:
+    def test_example_2_components(self, example_2_constraints):
+        components = universal_components(example_2_constraints)
+        assert frozenset({"S", "Q", "R"}) in components
+        assert frozenset({"T"}) in components
+
+    def test_example_2_contracted_graph_is_acyclic(self, example_2_constraints):
+        contracted = contracted_dependency_graph(example_2_constraints)
+        assert contracted.number_of_edges() == 1
+        assert is_ric_acyclic(example_2_constraints)
+        assert ric_cycles(example_2_constraints) == []
+
+    def test_example_3_extension_creates_self_loop(self, example_3_extended):
+        components = universal_components(example_3_extended)
+        assert frozenset({"S", "Q", "R", "T"}) in components
+        assert not is_ric_acyclic(example_3_extended)
+        assert ric_cycles(example_3_extended)  # a self-loop on the merged component
+
+    def test_pure_uic_sets_are_always_acyclic(self):
+        constraints = parse_constraints(
+            ["P(x) -> Q(x)", "Q(x) -> P(x)", "Q(x) -> R(x)"]
+        )
+        assert is_ric_acyclic(constraints)
+
+    def test_two_ric_cycle_detected(self):
+        constraints = parse_constraints(
+            ["P(x) -> Q(x, y)", "Q(x, z) -> P(x2, w)"]
+        )
+        # Q(x, z) -> ∃w P(x2, w): x2 is existential too; the edge Q → P still exists.
+        assert not is_ric_acyclic(constraints)
+
+    def test_example_18_constraints_are_cyclic(self, example_18):
+        assert not is_ric_acyclic(example_18.constraints)
+
+    def test_example_19_constraints_are_acyclic(self, example_19):
+        assert is_ric_acyclic(example_19.constraints)
+
+    def test_topological_order_for_acyclic_sets(self, example_2_constraints):
+        order = topological_component_order(example_2_constraints)
+        assert len(order) == 2
+        assert order.index(frozenset({"S", "Q", "R"})) < order.index(frozenset({"T"}))
+
+    def test_topological_order_rejects_cyclic_sets(self, example_3_extended):
+        with pytest.raises(nx.NetworkXUnfeasible):
+            topological_component_order(example_3_extended)

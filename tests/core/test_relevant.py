@@ -1,0 +1,100 @@
+"""Tests for relevant attributes A(ψ) (Definition 2) against the paper's examples."""
+
+import pytest
+
+from repro.constraints.parser import parse_constraint
+from repro.constraints.terms import Variable
+from repro.core.relevant import (
+    paper_attribute_names,
+    relevant_attributes,
+    relevant_body_variables,
+    relevant_existential_variables,
+    relevant_positions,
+)
+
+
+class TestPaperExamples:
+    def test_example_4_psi1(self):
+        """ψ1: P(x, y, z) → R(y, z): relevant are P[2], P[3], R[1], R[2]."""
+
+        psi1 = parse_constraint("P(x, y, z) -> R(y, z)")
+        assert paper_attribute_names(psi1) == frozenset({"P[2]", "P[3]", "R[1]", "R[2]"})
+
+    def test_example_4_psi2(self):
+        """ψ2: P(x, y, z) → R(x, y): relevant are P[1], P[2], R[1], R[2]."""
+
+        psi2 = parse_constraint("P(x, y, z) -> R(x, y)")
+        assert paper_attribute_names(psi2) == frozenset({"P[1]", "P[2]", "R[1]", "R[2]"})
+
+    def test_example_6_check_constraint(self):
+        """Only Salary is relevant for Emp(id, name, salary) → salary > 100."""
+
+        check = parse_constraint("Emp(i, n, s) -> s > 100")
+        assert relevant_attributes(check) == frozenset({("Emp", 2)})
+
+    def test_example_8_multi_row_check(self):
+        """Relevant attributes are Name, Mom and Age of Person."""
+
+        ic = parse_constraint("Person(x, y, z, w), Person(z, s, t, u) -> u > w")
+        assert paper_attribute_names(ic) == frozenset(
+            {"Person[1]", "Person[3]", "Person[4]"}
+        )
+
+    def test_example_10_psi(self):
+        """ψ: P(x, y, z) → R(x, y) gives A = {P[1], R[1], P[2], R[2]}."""
+
+        psi = parse_constraint("P(x, y, z) -> R(x, y)")
+        assert relevant_positions(psi) == {"P": (0, 1), "R": (0, 1)}
+
+    def test_example_10_gamma(self):
+        """γ: P(x, y, z) ∧ R(z, w) → ∃v R(x, v) ∨ w > 3 gives {P[1], R[1], P[3], R[2]}."""
+
+        gamma = parse_constraint("P(x, y, z), R(z, w) -> R(x, v) | w > 3")
+        assert paper_attribute_names(gamma) == frozenset({"P[1]", "P[3]", "R[1]", "R[2]"})
+
+    def test_example_12(self):
+        ic = parse_constraint("P1(x, y, w), P2(y, z) -> Q(x, z, u)")
+        assert paper_attribute_names(ic) == frozenset(
+            {"P1[1]", "P1[2]", "P2[1]", "P2[2]", "Q[1]", "Q[2]"}
+        )
+
+    def test_example_13_repeated_existential(self):
+        ic = parse_constraint("P(x, y) -> Q(x, z, z)")
+        assert paper_attribute_names(ic) == frozenset({"P[1]", "Q[1]", "Q[2]", "Q[3]"})
+        assert relevant_existential_variables(ic) == frozenset({Variable("z")})
+
+    def test_example_5_foreign_key(self):
+        ic = parse_constraint("Course(x, y, z) -> Exp(y, x, w)")
+        assert paper_attribute_names(ic) == frozenset(
+            {"Course[1]", "Course[2]", "Exp[1]", "Exp[2]"}
+        )
+
+
+class TestGeneralBehaviour:
+    def test_constants_are_always_relevant(self):
+        ic = parse_constraint("Course(x, y, 'W04') -> R(x)")
+        assert ("Course", 2) in relevant_attributes(ic)
+
+    def test_variable_occurring_once_is_irrelevant(self):
+        ic = parse_constraint("P(x, y) -> R(x)")
+        assert ("P", 1) not in relevant_attributes(ic)
+
+    def test_repeated_variable_within_one_atom(self):
+        ic = parse_constraint("P(x, x) -> false")
+        assert relevant_attributes(ic) == frozenset({("P", 0), ("P", 1)})
+
+    def test_relevant_body_variables(self):
+        ic = parse_constraint("P(x, y, z) -> R(y, z)")
+        assert relevant_body_variables(ic) == frozenset({Variable("y"), Variable("z")})
+
+    def test_relevant_positions_includes_unmentioned_predicates(self):
+        # A predicate whose only variables occur once still appears with ().
+        ic = parse_constraint("P(x), Q(y) -> R(x)")
+        positions = relevant_positions(ic)
+        assert positions["Q"] == ()
+        assert positions["P"] == (0,)
+
+    def test_nnc_rejected(self):
+        nnc = parse_constraint("P(x, y), isnull(y) -> false")
+        with pytest.raises(TypeError):
+            relevant_attributes(nnc)

@@ -1,0 +1,177 @@
+"""Tests for the repair programs Π(D, IC) (Definition 9, Theorem 4, Examples 21–23)."""
+
+import pytest
+
+from repro.constraints.atoms import Atom
+from repro.constraints.ic import ConstraintSet, IntegrityConstraint
+from repro.constraints.parser import parse_constraint, parse_constraints
+from repro.constraints.terms import Variable
+from repro.core.repair_program import (
+    FALSE_ADVISED,
+    RepairProgramError,
+    TRUE_ADVISED,
+    TRUE_DOUBLE_STAR,
+    TRUE_STAR,
+    build_repair_program,
+    database_from_model,
+    program_repairs,
+)
+from repro.core.repairs import repairs
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance, Fact
+from repro.workloads import scenarios
+
+
+def fact_sets(instances):
+    return {instance.fact_set() for instance in instances}
+
+
+class TestProgramConstruction:
+    def test_facts_are_included(self, example_19):
+        program = build_repair_program(example_19.instance, example_19.constraints)
+        assert Atom("R", ("a", "b")) in program.facts
+        assert Atom("S", (NULL, "a")) in program.facts
+
+    def test_example_21_rule_counts(self, example_19):
+        """Example 21: one UIC rule, one RIC rule, one aux rule, 4 bookkeeping rules per predicate."""
+
+        program = build_repair_program(example_19.instance, example_19.constraints)
+        rules = program.rules
+        disjunctive = [rule for rule in rules if len(rule.head) > 1]
+        # The key (UIC) rule and the RIC rule are the only disjunctive ones.
+        assert len(disjunctive) == 2
+        aux_rules = [rule for rule in rules if rule.head and rule.head[0].predicate.startswith("aux_")]
+        assert len(aux_rules) == 1
+        denials = [rule for rule in rules if not rule.head]
+        assert len(denials) == 2  # one per database predicate (R and S)
+
+    def test_uic_split_rules_example_22(self):
+        """Example 22: a two-atom consequent yields 2^2 = 4 rules for the UIC."""
+
+        scenario = scenarios.example_22()
+        program = build_repair_program(scenario.instance, scenario.constraints)
+        uic_rules = [
+            rule
+            for rule in program.rules
+            if len(rule.head) == 3 and any(atom.terms and atom.terms[-1] == TRUE_ADVISED for atom in rule.head)
+        ]
+        assert len(uic_rules) == 4
+
+    def test_nnc_rule_uses_equality_with_null(self):
+        scenario = scenarios.example_22()
+        program = build_repair_program(scenario.instance, scenario.constraints)
+        nnc_rules = [
+            rule
+            for rule in program.rules
+            if len(rule.head) == 1
+            and rule.head[0].predicate == "P"
+            and rule.head[0].terms[-1] == FALSE_ADVISED
+            and rule.comparisons
+            and rule.comparisons[0].op == "="
+        ]
+        assert len(nnc_rules) == 1
+
+    def test_annotation_rules_per_predicate(self, example_14):
+        program = build_repair_program(example_14.instance, example_14.constraints)
+        star_rules = [
+            rule
+            for rule in program.rules
+            if len(rule.head) == 1 and rule.head[0].terms and rule.head[0].terms[-1] == TRUE_STAR
+        ]
+        # Two per predicate (from the base fact and from ta).
+        assert len(star_rules) == 4
+
+    def test_general_constraints_rejected(self):
+        x, y, z, u = (Variable(n) for n in "xyzu")
+        general = IntegrityConstraint(
+            [Atom("P1", (x, y)), Atom("P2", (y, z))], [Atom("Q", (x, z, u))]
+        )
+        db = DatabaseInstance.from_dict({"P1": [("a", "b")]})
+        with pytest.raises(RepairProgramError):
+            build_repair_program(db, [general])
+
+    def test_arity_conflict_rejected(self):
+        constraints = parse_constraints(["P(x) -> Q(x)", "P(x, y) -> R(x)"])
+        db = DatabaseInstance()
+        with pytest.raises(RepairProgramError):
+            build_repair_program(db, constraints)
+
+
+class TestModelToDatabase:
+    def test_database_from_model_keeps_double_star_atoms(self):
+        model = frozenset(
+            {
+                Atom("R", ("a", "b", TRUE_DOUBLE_STAR)),
+                Atom("R", ("a", "c", TRUE_STAR)),
+                Atom("S", ("e", "f", FALSE_ADVISED)),
+                Atom("aux_1", ("a",)),
+            }
+        )
+        database = database_from_model(model)
+        assert database.fact_set() == frozenset({Fact("R", ("a", "b"))})
+
+
+class TestTheorem4:
+    """Stable models of Π(D, IC) ↔ repairs, for RIC-acyclic constraint sets."""
+
+    @pytest.mark.parametrize(
+        "scenario_name", ["example_14", "example_16", "example_17", "example_19"]
+    )
+    def test_program_repairs_match_direct_repairs(self, all_scenarios, scenario_name):
+        scenario = all_scenarios[scenario_name]
+        direct = repairs(scenario.instance, scenario.constraints)
+        result = program_repairs(scenario.instance, scenario.constraints)
+        assert fact_sets(result.repairs) == fact_sets(direct)
+
+    def test_example_23_four_stable_models(self, example_19):
+        result = program_repairs(example_19.instance, example_19.constraints, minimal_only=False)
+        assert len(result.models) == 4
+        assert fact_sets(result.databases) == fact_sets(example_19.expected_repairs)
+
+    def test_example_23_model_annotations(self, example_19):
+        """Spot-check the annotated atoms of the models listed in Example 23."""
+
+        result = program_repairs(example_19.instance, example_19.constraints, minimal_only=False)
+        insertion_models = [
+            model
+            for model in result.models
+            if Atom("R", ("f", NULL, TRUE_ADVISED)) in model
+        ]
+        deletion_models = [
+            model
+            for model in result.models
+            if Atom("S", ("e", "f", FALSE_ADVISED)) in model
+        ]
+        assert len(insertion_models) == 2
+        assert len(deletion_models) == 2
+        for model in insertion_models:
+            assert Atom("R", ("f", NULL, TRUE_DOUBLE_STAR)) in model
+            assert Atom("aux_1", ("a",)) in model
+
+    def test_disjunctive_and_shifted_solving_agree(self, example_19):
+        shifted = program_repairs(example_19.instance, example_19.constraints, use_shift=True)
+        disjunctive = program_repairs(example_19.instance, example_19.constraints, use_shift=False)
+        assert fact_sets(shifted.repairs) == fact_sets(disjunctive.repairs)
+        assert shifted.used_shift and not disjunctive.used_shift
+
+    def test_consistent_database_yields_single_model(self):
+        scenario = scenarios.example_11()
+        result = program_repairs(scenario.instance, scenario.constraints)
+        assert len(result.repairs) == 1
+        assert result.repairs[0] == scenario.instance
+
+    def test_theorem4_corner_case_null_witness(self):
+        """The documented corner case: a RIC already satisfied only via a null witness.
+
+        The literal program has a spurious deletion model; the default
+        minimal_only filter removes it and restores the exact repair set.
+        """
+
+        constraints = ConstraintSet([parse_constraint("P(x) -> Q(x, y)")])
+        db = DatabaseInstance.from_dict({"P": [("a",)], "Q": [("a", NULL)]})
+        direct = repairs(db, constraints)
+        assert fact_sets(direct) == {db.fact_set()}
+        literal = program_repairs(db, constraints, minimal_only=False)
+        assert len(literal.databases) == 2  # the spurious deletion model is present
+        filtered = program_repairs(db, constraints, minimal_only=True)
+        assert fact_sets(filtered.repairs) == {db.fact_set()}

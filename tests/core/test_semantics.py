@@ -1,0 +1,132 @@
+"""Tests for the alternative null semantics (Example 4 and the Section 3 discussion)."""
+
+import pytest
+
+from repro.constraints.parser import parse_constraint
+from repro.core.semantics import (
+    Semantics,
+    is_consistent_under,
+    satisfies_under,
+    semantics_matrix,
+    violations_under,
+)
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+from repro.workloads import scenarios
+
+
+class TestExample4Matrix:
+    """The verdicts of Example 4 for ψ1 : P(x, y, z) → R(y, z) on D = {P(a, b, null)}."""
+
+    @pytest.fixture()
+    def scenario(self):
+        return scenarios.example_4()
+
+    def test_matrix(self, scenario):
+        matrix = semantics_matrix(scenario.instance, scenario.constraints)
+        assert matrix[Semantics.PAPER] is True
+        assert matrix[Semantics.LIBERAL] is True  # (a) in the paper
+        assert matrix[Semantics.SIMPLE_MATCH] is True  # (b)
+        assert matrix[Semantics.PARTIAL_MATCH] is False  # (c)
+        assert matrix[Semantics.FULL_MATCH] is False  # (d)
+        assert matrix[Semantics.CLASSICAL] is False
+
+    def test_psi2_only_liberal_accepts(self):
+        scenario = scenarios.example_4_psi2()
+        matrix = semantics_matrix(scenario.instance, scenario.constraints)
+        assert matrix[Semantics.LIBERAL] is True
+        for semantics in (
+            Semantics.PAPER,
+            Semantics.CLASSICAL,
+            Semantics.SIMPLE_MATCH,
+            Semantics.PARTIAL_MATCH,
+            Semantics.FULL_MATCH,
+        ):
+            assert matrix[semantics] is False
+
+
+class TestLiberalSemantics:
+    def test_any_null_in_tuple_suppresses_violation(self):
+        """The [10] semantics accepts {P(b, null)} against P(x, y) → R(x)."""
+
+        ic = parse_constraint("P(x, y) -> R(x)")
+        db = DatabaseInstance.from_dict({"P": [("b", NULL)]})
+        assert satisfies_under(db, ic, Semantics.LIBERAL)
+        assert not satisfies_under(db, ic, Semantics.PAPER)
+
+    def test_null_free_tuples_still_checked(self):
+        ic = parse_constraint("P(x, y) -> R(x)")
+        db = DatabaseInstance.from_dict({"P": [("b", "c")]})
+        assert not satisfies_under(db, ic, Semantics.LIBERAL)
+
+
+class TestSqlMatchSemantics:
+    @pytest.fixture()
+    def fk(self):
+        return parse_constraint("S(u, v) -> R(v, y)")
+
+    def test_simple_match_accepts_null_reference(self, fk):
+        db = DatabaseInstance.from_dict({"S": [("a", NULL)], "R": []})
+        assert satisfies_under(db, fk, Semantics.SIMPLE_MATCH)
+
+    def test_simple_match_requires_exact_match_otherwise(self, fk):
+        db = DatabaseInstance.from_dict({"S": [("a", "r1")], "R": [("r1", "x")]})
+        assert satisfies_under(db, fk, Semantics.SIMPLE_MATCH)
+        db2 = DatabaseInstance.from_dict({"S": [("a", "r2")], "R": [("r1", "x")]})
+        assert not satisfies_under(db2, fk, Semantics.SIMPLE_MATCH)
+
+    def test_parent_null_does_not_count_as_match(self, fk):
+        db = DatabaseInstance.from_dict({"S": [("a", "r1")], "R": [(NULL, "x")]})
+        assert not satisfies_under(db, fk, Semantics.SIMPLE_MATCH)
+
+    def test_partial_match_on_composite_key(self):
+        fk = parse_constraint("S(u, v) -> R(u, v, y)")
+        # Referencing pair (a, null): partial match needs a parent matching u = a.
+        matching = DatabaseInstance.from_dict({"S": [("a", NULL)], "R": [("a", "q", 1)]})
+        missing = DatabaseInstance.from_dict({"S": [("a", NULL)], "R": [("b", "q", 1)]})
+        assert satisfies_under(matching, fk, Semantics.PARTIAL_MATCH)
+        assert not satisfies_under(missing, fk, Semantics.PARTIAL_MATCH)
+        # Simple match accepts both (a referencing column is null).
+        assert satisfies_under(missing, fk, Semantics.SIMPLE_MATCH)
+
+    def test_full_match_rejects_mixed_nulls(self):
+        fk = parse_constraint("S(u, v) -> R(u, v, y)")
+        mixed = DatabaseInstance.from_dict({"S": [("a", NULL)], "R": [("a", "q", 1)]})
+        all_null = DatabaseInstance.from_dict({"S": [(NULL, NULL)], "R": []})
+        complete = DatabaseInstance.from_dict({"S": [("a", "q")], "R": [("a", "q", 1)]})
+        assert not satisfies_under(mixed, fk, Semantics.FULL_MATCH)
+        assert satisfies_under(all_null, fk, Semantics.FULL_MATCH)
+        assert satisfies_under(complete, fk, Semantics.FULL_MATCH)
+
+    def test_match_semantics_fall_back_for_other_shapes(self):
+        check = parse_constraint("Emp(i, n, s) -> s > 100")
+        db = scenarios.example_6().instance
+        for semantics in (Semantics.SIMPLE_MATCH, Semantics.PARTIAL_MATCH, Semantics.FULL_MATCH):
+            assert satisfies_under(db, check, semantics) == satisfies_under(
+                db, check, Semantics.PAPER
+            )
+
+
+class TestClassicalSemantics:
+    def test_null_treated_as_plain_constant(self):
+        ic = parse_constraint("P(x, y) -> R(x, y)")
+        db = DatabaseInstance.from_dict({"P": [("a", NULL)], "R": [("a", NULL)]})
+        assert satisfies_under(db, ic, Semantics.CLASSICAL)
+        db2 = DatabaseInstance.from_dict({"P": [("a", NULL)], "R": [("a", "b")]})
+        assert not satisfies_under(db2, ic, Semantics.CLASSICAL)
+
+    def test_agrees_with_paper_on_null_free_databases(self):
+        scenario = scenarios.example_14()
+        assert is_consistent_under(
+            scenario.instance, scenario.constraints, Semantics.CLASSICAL
+        ) == is_consistent_under(scenario.instance, scenario.constraints, Semantics.PAPER)
+
+
+class TestNotNullUnderAllSemantics:
+    def test_nnc_is_classical_everywhere(self):
+        from repro.constraints.factories import not_null
+
+        nnc = not_null("P", 0, arity=1)
+        db = DatabaseInstance.from_dict({"P": [(NULL,)]})
+        for semantics in Semantics:
+            assert violations_under(db, nnc, semantics)

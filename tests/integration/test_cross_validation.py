@@ -1,0 +1,99 @@
+"""Cross-validation of the independent implementations on synthetic workloads.
+
+Four implementations of the same semantics exist in the library:
+
+* the direct violation checker vs. the literal ``D^A |= ψ_N`` evaluation;
+* the direct repair engine vs. the stable models of the repair program;
+* the in-memory checker vs. the SQL rewriting executed by SQLite;
+* the disjunctive solver vs. the shifted (normal) solver on HCF programs.
+
+These tests run them against each other on small generated workloads.
+"""
+
+import pytest
+
+from repro.core.cqa import consistent_answers
+from repro.core.repair_program import program_repairs
+from repro.core.repairs import RepairEngine, repairs
+from repro.core.satisfaction import is_consistent, satisfies, satisfies_via_projection
+from repro.constraints.parser import parse_query
+from repro.sqlbackend.backend import SQLiteBackend
+from repro.workloads import foreign_key_workload, key_violation_workload, scaled_course_student
+
+
+class TestSatisfactionCrossValidation:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_direct_vs_projection_on_fk_workload(self, seed):
+        instance, constraints = foreign_key_workload(
+            n_parents=6, n_children=10, violation_ratio=0.3, null_ratio=0.3, seed=seed
+        )
+        for constraint in constraints.integrity_constraints:
+            assert satisfies(instance, constraint) == satisfies_via_projection(
+                instance, constraint
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_in_memory_vs_sql_on_fk_workload(self, seed):
+        instance, constraints = foreign_key_workload(
+            n_parents=6, n_children=10, violation_ratio=0.3, null_ratio=0.3, seed=seed
+        )
+        with SQLiteBackend(instance, constraints) as backend:
+            assert backend.is_consistent() == is_consistent(instance, constraints)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_in_memory_vs_sql_on_key_workload(self, seed):
+        instance, constraints = key_violation_workload(
+            n_rows=15, duplicate_ratio=0.3, null_ratio=0.2, seed=seed
+        )
+        with SQLiteBackend(instance, constraints) as backend:
+            for constraint in constraints:
+                assert (not backend.violations(constraint)) == satisfies(instance, constraint)
+
+
+class TestRepairCrossValidation:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_direct_vs_program_repairs(self, seed):
+        instance, constraints = scaled_course_student(
+            n_courses=5, dangling_ratio=0.4, seed=seed
+        )
+        direct = repairs(instance, constraints)
+        via_program = program_repairs(instance, constraints).repairs
+        assert {r.fact_set() for r in direct} == {r.fact_set() for r in via_program}
+
+    def test_direct_vs_program_on_small_fk_workload(self):
+        instance, constraints = foreign_key_workload(
+            n_parents=3, n_children=5, violation_ratio=0.4, null_ratio=0.2, seed=1
+        )
+        direct = repairs(instance, constraints)
+        via_program = program_repairs(instance, constraints).repairs
+        assert {r.fact_set() for r in direct} == {r.fact_set() for r in via_program}
+
+    def test_repairs_are_consistent_and_native_sql_accepts_them(self):
+        instance, constraints = foreign_key_workload(
+            n_parents=4, n_children=6, violation_ratio=0.4, null_ratio=0.0, seed=2
+        )
+        for repair in repairs(instance, constraints):
+            assert is_consistent(repair, constraints)
+            with SQLiteBackend(repair, constraints) as backend:
+                assert backend.accepts_natively()
+
+
+class TestCQACrossValidation:
+    def test_direct_and_program_answers_agree_on_scaled_workload(self):
+        instance, constraints = scaled_course_student(
+            n_courses=6, dangling_ratio=0.4, seed=3
+        )
+        query = parse_query("ans(c) <- Course(i, c)")
+        direct = consistent_answers(instance, constraints, query, method="direct")
+        via_program = consistent_answers(instance, constraints, query, method="program")
+        assert direct == via_program
+
+    def test_certain_answers_shrink_with_more_violations(self):
+        query = parse_query("ans(c) <- Course(i, c)")
+        clean_instance, constraints = scaled_course_student(
+            n_courses=8, dangling_ratio=0.0, seed=5
+        )
+        dirty_instance, _ = scaled_course_student(n_courses=8, dangling_ratio=0.5, seed=5)
+        clean_answers = consistent_answers(clean_instance, constraints, query)
+        dirty_answers = consistent_answers(dirty_instance, constraints, query)
+        assert len(dirty_answers) < len(clean_answers) == 8

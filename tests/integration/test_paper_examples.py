@@ -1,0 +1,154 @@
+"""End-to-end checks of every worked example of the paper.
+
+Each test names the example it reproduces and asserts the outcome the
+paper states (consistency verdict, relevant attributes, repairs, stable
+models, graph properties).  The scenario definitions live in
+:mod:`repro.workloads.scenarios`; this module is the executable record of
+"what the paper says" referenced from EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.constraints.parser import parse_constraints, parse_query
+from repro.core.cqa import consistent_answers
+from repro.core.hcf import bilateral_predicates, guarantees_hcf
+from repro.core.relevant import paper_attribute_names
+from repro.core.repair_program import program_repairs
+from repro.core.repairs import repairs
+from repro.core.satisfaction import is_consistent
+from repro.core.semantics import Semantics, semantics_matrix
+from repro.relational.domain import NULL
+from repro.workloads import scenarios
+
+
+def fact_sets(instances):
+    return {instance.fact_set() for instance in instances}
+
+
+class TestSection2Examples:
+    def test_example_1_constraint_classes(self):
+        constraints = parse_constraints(
+            [
+                "P(x, y), R(y, z, w) -> S(x) | z != 2 | w <= y",
+                "P(x, y) -> R(x, y, z)",
+            ]
+        )
+        assert constraints[0].is_universal
+        assert constraints[1].is_referential
+
+    def test_examples_2_and_3_ric_acyclicity(self):
+        base = parse_constraints(
+            ["S(x) -> Q(x)", "Q(x) -> R(x)", "Q(x) -> T(x, y)"]
+        )
+        assert base.is_ric_acyclic()
+        extended = parse_constraints(
+            ["S(x) -> Q(x)", "Q(x) -> R(x)", "Q(x) -> T(x, y)", "T(x, y) -> R(y)"]
+        )
+        assert not extended.is_ric_acyclic()
+
+
+class TestSection3Examples:
+    def test_example_4_semantics_comparison(self):
+        scenario = scenarios.example_4()
+        matrix = semantics_matrix(scenario.instance, scenario.constraints)
+        assert matrix[Semantics.LIBERAL]            # (a) consistent under [10]
+        assert matrix[Semantics.SIMPLE_MATCH]       # (b) consistent under simple match
+        assert not matrix[Semantics.PARTIAL_MATCH]  # (c) inconsistent under partial match
+        assert not matrix[Semantics.FULL_MATCH]     # (d) inconsistent under full match
+        assert matrix[Semantics.PAPER]
+
+    def test_example_5_db2_behaviour(self):
+        scenario = scenarios.example_5()
+        assert is_consistent(scenario.instance, scenario.constraints)
+        assert not is_consistent(
+            scenarios.example_5_rejected_insert(), scenario.constraints
+        )
+
+    def test_example_6_check_constraint(self):
+        scenario = scenarios.example_6()
+        assert is_consistent(scenario.instance, scenario.constraints)
+        assert not is_consistent(scenarios.example_6_violating_row(), scenario.constraints)
+        assert paper_attribute_names(scenario.constraints[0]) == frozenset({"Emp[3]"})
+
+    def test_example_8_relevant_attributes_and_verdict(self):
+        scenario = scenarios.example_8()
+        assert is_consistent(scenario.instance, scenario.constraints)
+        assert paper_attribute_names(scenario.constraints[0]) == frozenset(
+            {"Person[1]", "Person[3]", "Person[4]"}
+        )
+
+    def test_example_9_inconsistent(self):
+        scenario = scenarios.example_9()
+        assert not is_consistent(scenario.instance, scenario.constraints)
+
+    def test_example_11_consistency_flip(self):
+        scenario = scenarios.example_11()
+        assert is_consistent(scenario.instance, scenario.constraints)
+        assert not is_consistent(scenarios.example_11_extended(), scenario.constraints)
+
+    def test_example_12_consistent(self):
+        scenario = scenarios.example_12()
+        assert is_consistent(scenario.instance, scenario.constraints)
+
+    def test_example_13_null_witness(self):
+        scenario = scenarios.example_13()
+        assert is_consistent(scenario.instance, scenario.constraints)
+
+
+class TestSection4Examples:
+    def test_examples_14_and_15_repairs(self):
+        scenario = scenarios.example_14()
+        computed = repairs(scenario.instance, scenario.constraints)
+        assert fact_sets(computed) == fact_sets(scenario.expected_repairs)
+
+    def test_example_16_repairs(self):
+        scenario = scenarios.example_16()
+        computed = repairs(scenario.instance, scenario.constraints)
+        assert fact_sets(computed) == fact_sets(scenario.expected_repairs)
+
+    def test_example_17_repairs(self):
+        scenario = scenarios.example_17()
+        computed = repairs(scenario.instance, scenario.constraints)
+        assert fact_sets(computed) == fact_sets(scenario.expected_repairs)
+
+    def test_example_18_cyclic_rics_four_repairs(self):
+        scenario = scenarios.example_18()
+        computed = repairs(scenario.instance, scenario.constraints)
+        assert len(computed) == 4
+        assert fact_sets(computed) == fact_sets(scenario.expected_repairs)
+
+    def test_example_19_repairs(self):
+        scenario = scenarios.example_19()
+        computed = repairs(scenario.instance, scenario.constraints)
+        assert fact_sets(computed) == fact_sets(scenario.expected_repairs)
+
+    def test_example_20_conflicting_nncs_detected(self):
+        scenario = scenarios.example_20()
+        assert not scenario.constraints.is_non_conflicting()
+        assert scenario.constraints.conflicting_not_nulls()
+
+
+class TestSection5And6Examples:
+    def test_examples_21_and_23_program_models(self):
+        scenario = scenarios.example_19()
+        result = program_repairs(scenario.instance, scenario.constraints, minimal_only=False)
+        assert len(result.models) == 4  # Example 23 lists M1 … M4
+        assert fact_sets(result.databases) == fact_sets(scenario.expected_repairs)
+
+    def test_theorem_4_on_acyclic_scenarios(self):
+        for name in ("example_14", "example_16", "example_17", "example_19"):
+            scenario = scenarios.all_scenarios()[name]
+            direct = repairs(scenario.instance, scenario.constraints)
+            via_program = program_repairs(scenario.instance, scenario.constraints).repairs
+            assert fact_sets(direct) == fact_sets(via_program), name
+
+    def test_example_24_bilateral_predicate(self):
+        constraints = parse_constraints(["T(x) -> R(x, y)", "S(x, y) -> T(x)"])
+        assert bilateral_predicates(constraints) == frozenset({"T"})
+        assert guarantees_hcf(constraints)
+
+    def test_definition_8_consistent_answers_on_example_14(self):
+        scenario = scenarios.example_14()
+        query = parse_query("ans(i, c) <- Course(i, c)")
+        answers = consistent_answers(scenario.instance, scenario.constraints, query)
+        assert answers == frozenset({(21, "C15")})

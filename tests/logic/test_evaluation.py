@@ -1,0 +1,140 @@
+"""Tests for the active-domain first-order evaluator."""
+
+import pytest
+
+from repro.constraints.atoms import Atom, Comparison, IsNullAtom
+from repro.constraints.terms import Variable
+from repro.logic.evaluation import (
+    EvaluationError,
+    evaluate,
+    evaluation_domain,
+    holds,
+    query_answers,
+)
+from repro.logic.formula import (
+    And,
+    AtomFormula,
+    ComparisonFormula,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Implies,
+    IsNullFormula,
+    Not,
+    Or,
+    TrueFormula,
+)
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture()
+def db():
+    return DatabaseInstance.from_dict(
+        {"P": [("a", 1), ("b", 2), ("c", NULL)], "R": [("a",), ("b",)]}
+    )
+
+
+class TestGroundEvaluation:
+    def test_constants_and_atoms(self, db):
+        assert holds(db, TrueFormula())
+        assert not holds(db, FalseFormula())
+        assert evaluate(db, AtomFormula(Atom("P", ("a", 1))))
+        assert not evaluate(db, AtomFormula(Atom("P", ("a", 2))))
+        assert evaluate(db, AtomFormula(Atom("P", ("c", NULL))))
+
+    def test_comparisons_and_isnull(self, db):
+        assert evaluate(db, ComparisonFormula(Comparison("<", 1, 2)))
+        assert evaluate(db, IsNullFormula(IsNullAtom(NULL)))
+        assert not evaluate(db, IsNullFormula(IsNullAtom("a")))
+
+    def test_connectives(self, db):
+        p = AtomFormula(Atom("P", ("a", 1)))
+        q = AtomFormula(Atom("P", ("a", 2)))
+        assert evaluate(db, And((p, Not(q))))
+        assert evaluate(db, Or((q, p)))
+        assert evaluate(db, Implies(q, p))  # false antecedent
+        assert not evaluate(db, And((p, q)))
+
+
+class TestQuantifiers:
+    def test_existential(self, db):
+        formula = Exists((x,), AtomFormula(Atom("R", (x,))))
+        assert holds(db, formula)
+        formula_false = Exists((x,), AtomFormula(Atom("R", ("nope",))))
+        assert not holds(db, Exists((x,), AtomFormula(Atom("Missing", (x,)))))
+        assert not holds(db, formula_false)
+
+    def test_universal_implication(self, db):
+        # Every R value also appears as a first attribute of P.
+        formula = ForAll((x,), Implies(AtomFormula(Atom("R", (x,))), Exists((y,), AtomFormula(Atom("P", (x, y))))))
+        assert holds(db, formula)
+        # Not every P value appears in R (c does not).
+        formula2 = ForAll(
+            (x, y), Implies(AtomFormula(Atom("P", (x, y))), AtomFormula(Atom("R", (x,))))
+        )
+        assert not holds(db, formula2)
+
+    def test_quantification_ranges_over_null(self, db):
+        # ∃y P(c, y) needs y = null, which must be part of the quantifier domain.
+        formula = Exists((y,), AtomFormula(Atom("P", ("c", y))))
+        assert holds(db, formula)
+
+    def test_nested_quantifiers(self, db):
+        formula = ForAll(
+            (x,),
+            Implies(
+                AtomFormula(Atom("R", (x,))),
+                Exists((y,), And((AtomFormula(Atom("P", (x, y))), Not(IsNullFormula(IsNullAtom(y)))))),
+            ),
+        )
+        assert holds(db, formula)
+
+
+class TestErrorsAndModes:
+    def test_free_variable_in_sentence_rejected(self, db):
+        with pytest.raises(EvaluationError):
+            holds(db, AtomFormula(Atom("R", (x,))))
+
+    def test_unbound_variable_in_evaluate_rejected(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate(db, AtomFormula(Atom("R", (x,))))
+
+    def test_null_order_comparison_is_false_by_default(self, db):
+        formula = ForAll(
+            (x, y),
+            Implies(AtomFormula(Atom("P", (x, y))), ComparisonFormula(Comparison(">", y, 0))),
+        )
+        # P(c, null): the comparison null > 0 is not satisfied, so the ∀ fails.
+        assert not holds(db, formula)
+
+    def test_null_is_unknown_mode(self, db):
+        formula = ComparisonFormula(Comparison("=", NULL, NULL))
+        assert evaluate(db, formula)
+        assert not evaluate(db, formula, null_is_unknown=True)
+
+    def test_evaluation_domain_contains_formula_constants(self, db):
+        formula = AtomFormula(Atom("P", ("zeta", 99)))
+        domain = evaluation_domain(db, formula)
+        assert "zeta" in domain and 99 in domain and NULL in domain
+
+
+class TestQueryAnswers:
+    def test_simple_projection(self, db):
+        answers = query_answers(db, [x], Exists((y,), AtomFormula(Atom("P", (x, y)))))
+        assert answers == frozenset({("a",), ("b",), ("c",)})
+
+    def test_difference_query(self, db):
+        formula = And(
+            (
+                Exists((y,), AtomFormula(Atom("P", (x, y)))),
+                Not(AtomFormula(Atom("R", (x,)))),
+            )
+        )
+        assert query_answers(db, [x], formula) == frozenset({("c",)})
+
+    def test_uncovered_free_variable_rejected(self, db):
+        with pytest.raises(EvaluationError):
+            query_answers(db, [x], AtomFormula(Atom("P", (x, y))))

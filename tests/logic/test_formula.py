@@ -1,0 +1,87 @@
+"""Tests for the first-order formula AST."""
+
+from repro.constraints.atoms import Atom, Comparison, IsNullAtom
+from repro.constraints.terms import Variable
+from repro.logic.formula import (
+    And,
+    AtomFormula,
+    ComparisonFormula,
+    Exists,
+    FalseFormula,
+    ForAll,
+    Implies,
+    IsNullFormula,
+    Not,
+    Or,
+    TrueFormula,
+    conjunction,
+    disjunction,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+P_xy = AtomFormula(Atom("P", (x, y)))
+R_x = AtomFormula(Atom("R", (x,)))
+
+
+class TestFreeVariables:
+    def test_atoms_and_comparisons(self):
+        assert P_xy.free_variables() == frozenset({x, y})
+        assert ComparisonFormula(Comparison(">", x, 3)).free_variables() == frozenset({x})
+        assert IsNullFormula(IsNullAtom(y)).free_variables() == frozenset({y})
+        assert TrueFormula().free_variables() == frozenset()
+        assert FalseFormula().free_variables() == frozenset()
+
+    def test_connectives(self):
+        assert Not(P_xy).free_variables() == frozenset({x, y})
+        assert And((P_xy, R_x)).free_variables() == frozenset({x, y})
+        assert Or((P_xy, AtomFormula(Atom("S", (z,))))).free_variables() == frozenset({x, y, z})
+        assert Implies(P_xy, R_x).free_variables() == frozenset({x, y})
+
+    def test_quantifiers_bind(self):
+        assert Exists((y,), P_xy).free_variables() == frozenset({x})
+        assert ForAll((x, y), P_xy).free_variables() == frozenset()
+        nested = ForAll((x,), Exists((y,), P_xy))
+        assert nested.free_variables() == frozenset()
+
+
+class TestEqualityAndHashing:
+    def test_nary_equality(self):
+        assert And((P_xy, R_x)) == And((P_xy, R_x))
+        assert And((P_xy, R_x)) != And((R_x, P_xy))
+        assert And((P_xy,)) != Or((P_xy,))
+        assert hash(And((P_xy, R_x))) == hash(And((P_xy, R_x)))
+
+    def test_quantifier_equality(self):
+        assert Exists((y,), P_xy) == Exists((y,), P_xy)
+        assert Exists((y,), P_xy) != ForAll((y,), P_xy)
+        assert Exists((y,), P_xy) != Exists((x,), P_xy)
+
+    def test_operators_build_formulas(self):
+        assert isinstance(P_xy & R_x, And)
+        assert isinstance(P_xy | R_x, Or)
+        assert isinstance(~P_xy, Not)
+
+
+class TestSimplifyingBuilders:
+    def test_conjunction(self):
+        assert isinstance(conjunction([]), TrueFormula)
+        assert conjunction([P_xy]) is P_xy
+        assert isinstance(conjunction([P_xy, R_x]), And)
+        assert isinstance(conjunction([P_xy, FalseFormula()]), FalseFormula)
+        assert conjunction([TrueFormula(), P_xy]) is P_xy
+
+    def test_disjunction(self):
+        assert isinstance(disjunction([]), FalseFormula)
+        assert disjunction([R_x]) is R_x
+        assert isinstance(disjunction([P_xy, R_x]), Or)
+        assert isinstance(disjunction([P_xy, TrueFormula()]), TrueFormula)
+        assert disjunction([FalseFormula(), R_x]) is R_x
+
+
+class TestRepr:
+    def test_renders_compactly(self):
+        formula = ForAll((x, y), Implies(P_xy, Exists((z,), AtomFormula(Atom("Q", (x, z))))))
+        rendered = repr(formula)
+        assert "∀x y" in rendered
+        assert "∃z" in rendered
+        assert "P(x, y)" in rendered

@@ -1,0 +1,155 @@
+"""Tests for conjunctive and first-order queries."""
+
+import pytest
+
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.terms import Variable
+from repro.logic.evaluation import EvaluationError
+from repro.logic.formula import AtomFormula, Exists, Not, And
+from repro.logic.queries import ConjunctiveQuery, FirstOrderQuery
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+@pytest.fixture()
+def db():
+    return DatabaseInstance.from_dict(
+        {
+            "Emp": [("ann", "cs", 120), ("bob", "cs", 80), ("eve", "math", NULL)],
+            "Dept": [("cs",), ("math",)],
+        }
+    )
+
+
+class TestConjunctiveQuery:
+    def test_join_query(self, db):
+        query = ConjunctiveQuery(
+            head_variables=(x, y),
+            positive_atoms=(Atom("Emp", (x, y, z)), Atom("Dept", (y,))),
+        )
+        answers = query.answers(db)
+        assert ("ann", "cs") in answers
+        assert ("eve", "math") in answers
+        assert len(answers) == 3
+
+    def test_comparison_filter(self, db):
+        query = ConjunctiveQuery(
+            head_variables=(x,),
+            positive_atoms=(Atom("Emp", (x, y, z)),),
+            comparisons=(Comparison(">", z, 100),),
+        )
+        # eve has a null salary: the comparison does not hold for her.
+        assert query.answers(db) == frozenset({("ann",)})
+
+    def test_negation(self, db):
+        query = ConjunctiveQuery(
+            head_variables=(y,),
+            positive_atoms=(Atom("Dept", (y,)),),
+            negative_atoms=(Atom("Emp", ("carl", y, 10)),),
+        )
+        assert query.answers(db) == frozenset({("cs",), ("math",)})
+
+    def test_constants_in_atoms(self, db):
+        query = ConjunctiveQuery(
+            head_variables=(x,),
+            positive_atoms=(Atom("Emp", (x, "cs", z)),),
+        )
+        assert query.answers(db) == frozenset({("ann",), ("bob",)})
+
+    def test_boolean_query(self, db):
+        query = ConjunctiveQuery(
+            head_variables=(),
+            positive_atoms=(Atom("Emp", (x, "math", z)),),
+        )
+        assert query.is_boolean
+        assert query.holds(db)
+        empty = ConjunctiveQuery(
+            head_variables=(), positive_atoms=(Atom("Emp", (x, "bio", z)),)
+        )
+        assert not empty.holds(db)
+
+    def test_nulls_join_as_constants_by_default(self):
+        db = DatabaseInstance.from_dict({"P": [("a", NULL)], "Q": [(NULL,)]})
+        query = ConjunctiveQuery(
+            head_variables=(x,),
+            positive_atoms=(Atom("P", (x, y)), Atom("Q", (y,))),
+        )
+        assert query.answers(db) == frozenset({("a",)})
+
+    def test_null_comparisons_unknown_in_sql_mode(self, db):
+        query = ConjunctiveQuery(
+            head_variables=(x,),
+            positive_atoms=(Atom("Emp", (x, y, z)),),
+            comparisons=(Comparison("=", z, NULL),),
+        )
+        assert query.answers(db) == frozenset({("eve",)})
+        assert query.answers(db, null_is_unknown=True) == frozenset()
+
+    def test_safety_checks(self):
+        with pytest.raises(EvaluationError):
+            ConjunctiveQuery(head_variables=(x,), positive_atoms=())
+        with pytest.raises(EvaluationError):
+            ConjunctiveQuery(
+                head_variables=(x,), positive_atoms=(Atom("P", (y,)),)
+            )
+        with pytest.raises(EvaluationError):
+            ConjunctiveQuery(
+                head_variables=(),
+                positive_atoms=(Atom("P", (y,)),),
+                negative_atoms=(Atom("R", (z,)),),
+            )
+        with pytest.raises(EvaluationError):
+            ConjunctiveQuery(
+                head_variables=(),
+                positive_atoms=(Atom("P", (y,)),),
+                comparisons=(Comparison(">", z, 1),),
+            )
+
+    def test_holds_rejected_for_non_boolean(self, db):
+        query = ConjunctiveQuery(
+            head_variables=(x,), positive_atoms=(Atom("Dept", (x,)),)
+        )
+        with pytest.raises(EvaluationError):
+            query.holds(db)
+
+    def test_accessors(self, db):
+        query = ConjunctiveQuery(
+            head_variables=(x,),
+            positive_atoms=(Atom("Emp", (x, y, z)),),
+            negative_atoms=(Atom("Dept", (y,)),),
+        )
+        assert query.predicates() == frozenset({"Emp", "Dept"})
+        assert query.variables() == frozenset({x, y, z})
+        assert "Emp" in repr(query)
+
+
+class TestFirstOrderQuery:
+    def test_matches_conjunctive_evaluation(self, db):
+        conjunctive = ConjunctiveQuery(
+            head_variables=(x,), positive_atoms=(Atom("Emp", (x, "cs", z)),)
+        )
+        first_order = FirstOrderQuery(
+            head_variables=(x,),
+            formula=Exists((z,), AtomFormula(Atom("Emp", (x, "cs", z)))),
+        )
+        assert first_order.answers(db) == conjunctive.answers(db)
+
+    def test_negation_in_first_order_query(self, db):
+        formula = And(
+            (
+                AtomFormula(Atom("Dept", (x,))),
+                Not(Exists((z,), AtomFormula(Atom("Emp", ("ann", x, z))))),
+            )
+        )
+        query = FirstOrderQuery(head_variables=(x,), formula=formula)
+        assert query.answers(db) == frozenset({("math",)})
+
+    def test_boolean_first_order_query(self, db):
+        query = FirstOrderQuery(
+            head_variables=(),
+            formula=Exists((x, z), AtomFormula(Atom("Emp", (x, "cs", z)))),
+        )
+        assert query.is_boolean
+        assert query.holds(db)

@@ -1,0 +1,126 @@
+"""Property-based tests for the satisfaction semantics and its variants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.ic import ConstraintSet
+from repro.constraints.parser import parse_constraint
+from repro.core.satisfaction import satisfies, satisfies_via_projection, violations
+from repro.core.semantics import Semantics, satisfies_under
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+from repro.sqlbackend.backend import SQLiteBackend
+
+
+VALUES = st.sampled_from(["a", "b", NULL])
+NON_NULL_VALUES = st.sampled_from(["a", "b", "c"])
+
+#: The constraint shapes of Section 3, reused across the properties.
+TEST_CONSTRAINTS = [
+    parse_constraint("P(x, y) -> R(x, y)"),
+    parse_constraint("P(x, y) -> R(x, z)"),
+    parse_constraint("P(x, y), R(y, z) -> Q(x, z)"),
+    parse_constraint("R(x, y), R(x, z) -> y = z"),
+]
+
+
+def _schema():
+    from repro.relational.schema import DatabaseSchema
+
+    return DatabaseSchema.from_dict({"P": ["A", "B"], "R": ["A", "B"], "Q": ["A", "B"]})
+
+
+@st.composite
+def small_instances(draw):
+    p_rows = draw(st.lists(st.tuples(VALUES, VALUES), max_size=3))
+    r_rows = draw(st.lists(st.tuples(VALUES, VALUES), max_size=3))
+    q_rows = draw(st.lists(st.tuples(VALUES, VALUES), max_size=2))
+    return DatabaseInstance.from_dict(
+        {"P": p_rows, "R": r_rows, "Q": q_rows}, schema=_schema()
+    )
+
+
+@st.composite
+def null_free_instances(draw):
+    p_rows = draw(st.lists(st.tuples(NON_NULL_VALUES, NON_NULL_VALUES), max_size=3))
+    r_rows = draw(st.lists(st.tuples(NON_NULL_VALUES, NON_NULL_VALUES), max_size=3))
+    q_rows = draw(st.lists(st.tuples(NON_NULL_VALUES, NON_NULL_VALUES), max_size=2))
+    return DatabaseInstance.from_dict(
+        {"P": p_rows, "R": r_rows, "Q": q_rows}, schema=_schema()
+    )
+
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestDefinition4Equivalence:
+    @common_settings
+    @given(small_instances())
+    def test_direct_checker_equals_literal_projection_check(self, instance):
+        for constraint in TEST_CONSTRAINTS:
+            assert satisfies(instance, constraint) == satisfies_via_projection(
+                instance, constraint
+            )
+
+    @common_settings
+    @given(small_instances())
+    def test_sql_rewriting_agrees_with_in_memory_checker(self, instance):
+        with SQLiteBackend(instance, ConstraintSet(TEST_CONSTRAINTS)) as backend:
+            for constraint in TEST_CONSTRAINTS:
+                assert (not backend.violations(constraint)) == satisfies(instance, constraint)
+
+
+class TestSemanticsRelationships:
+    @common_settings
+    @given(small_instances())
+    def test_classical_consistency_implies_paper_consistency(self, instance):
+        """The null-aware semantics never flags more violations than the classical reading."""
+
+        for constraint in TEST_CONSTRAINTS:
+            if satisfies_under(instance, constraint, Semantics.CLASSICAL):
+                assert satisfies_under(instance, constraint, Semantics.PAPER)
+
+    @common_settings
+    @given(null_free_instances())
+    def test_all_semantics_coincide_without_nulls(self, instance):
+        """On null-free databases every semantics degenerates to first-order satisfaction."""
+
+        for constraint in TEST_CONSTRAINTS:
+            verdicts = {
+                semantics: satisfies_under(instance, constraint, semantics)
+                for semantics in Semantics
+            }
+            assert len(set(verdicts.values())) == 1
+
+    @common_settings
+    @given(small_instances())
+    def test_paper_consistency_implies_simple_match_for_the_ric(self, instance):
+        """For a RIC the paper semantics coincides with SQL simple match."""
+
+        ric = parse_constraint("P(x, y) -> R(x, z)")
+        assert satisfies_under(instance, ric, Semantics.PAPER) == satisfies_under(
+            instance, ric, Semantics.SIMPLE_MATCH
+        )
+
+
+class TestViolationStructure:
+    @common_settings
+    @given(small_instances())
+    def test_violating_assignments_have_no_null_in_relevant_antecedent(self, instance):
+        from repro.core.relevant import relevant_body_variables
+        from repro.relational.domain import is_null
+
+        for constraint in TEST_CONSTRAINTS:
+            relevant = relevant_body_variables(constraint)
+            for violation in violations(instance, constraint):
+                assert not any(is_null(violation.assignment[v]) for v in relevant)
+
+    @common_settings
+    @given(small_instances())
+    def test_violation_facts_are_part_of_the_instance(self, instance):
+        for constraint in TEST_CONSTRAINTS:
+            for violation in violations(instance, constraint):
+                for fact in violation.body_facts:
+                    assert fact in instance

@@ -1,0 +1,95 @@
+"""Tests for the named-attribute relational algebra layer."""
+
+import pytest
+
+from repro.relational.algebra import Relation, instance_relation
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema, SchemaError
+
+
+@pytest.fixture()
+def people():
+    return Relation(
+        ["name", "dept"],
+        [("ann", "cs"), ("bob", "math"), ("eve", NULL)],
+    )
+
+
+@pytest.fixture()
+def departments():
+    return Relation(["dept", "head"], [("cs", "carl"), ("math", "mia"), (NULL, "nia")])
+
+
+class TestConstruction:
+    def test_duplicate_rows_collapse(self):
+        rel = Relation(["a"], [("x",), ("x",)])
+        assert len(rel) == 1
+
+    def test_row_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Relation(["a", "b"], [("x",)])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(["a", "a"], [])
+
+
+class TestOperators:
+    def test_projection(self, people):
+        projected = people.project(["dept"])
+        assert projected.attributes == ("dept",)
+        assert set(projected.rows) == {("cs",), ("math",), (NULL,)}
+
+    def test_selection_with_predicate(self, people):
+        cs_only = people.select(lambda row: row["dept"] == "cs")
+        assert set(cs_only.rows) == {("ann", "cs")}
+
+    def test_where_equals_sql_nulls_never_matches_null(self, people):
+        assert len(people.where_equals("dept", NULL, sql_nulls=True)) == 0
+        assert len(people.where_equals("dept", NULL, sql_nulls=False)) == 1
+
+    def test_rename(self, people):
+        renamed = people.rename({"name": "person"})
+        assert renamed.attributes == ("person", "dept")
+        assert renamed.rows == people.rows
+
+    def test_natural_join_null_as_constant(self, people, departments):
+        joined = people.natural_join(departments)
+        # Null joins with null when nulls are ordinary constants.
+        assert ("eve", NULL, "nia") in joined.rows
+        assert ("ann", "cs", "carl") in joined.rows
+        assert len(joined) == 3
+
+    def test_natural_join_sql_nulls(self, people, departments):
+        joined = people.natural_join(departments, sql_nulls=True)
+        assert ("eve", NULL, "nia") not in joined.rows
+        assert len(joined) == 2
+
+    def test_union_difference(self, people):
+        extra = Relation(["name", "dept"], [("zoe", "bio")])
+        union = people.union(extra)
+        assert len(union) == 4
+        assert len(union.difference(people)) == 1
+        with pytest.raises(SchemaError):
+            people.union(Relation(["x"], []))
+
+    def test_cross_product_requires_disjoint_attributes(self, people):
+        other = Relation(["year"], [(2006,)])
+        crossed = people.cross(other)
+        assert len(crossed) == 3
+        assert crossed.attributes == ("name", "dept", "year")
+        with pytest.raises(SchemaError):
+            people.cross(people)
+
+    def test_sorted_rows_deterministic(self, people):
+        assert people.sorted_rows() == people.sorted_rows()
+
+
+class TestInstanceBridge:
+    def test_from_instance_uses_schema_attributes(self):
+        schema = DatabaseSchema.from_dict({"P": ["A", "B"]})
+        db = DatabaseInstance.from_dict({"P": [("a", "b")]}, schema=schema)
+        rel = instance_relation(db, "P")
+        assert rel.attributes == ("A", "B")
+        assert ("a", "b") in rel

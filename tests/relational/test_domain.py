@@ -1,0 +1,79 @@
+"""Tests for the domain layer: the NULL singleton and constant helpers."""
+
+import pickle
+
+import pytest
+
+from repro.relational.domain import (
+    NULL,
+    Null,
+    constant_sort_key,
+    format_constant,
+    is_null,
+    normalise_constant,
+)
+
+
+class TestNullSingleton:
+    def test_null_is_singleton(self):
+        assert Null() is NULL
+
+    def test_null_equals_only_null(self):
+        assert NULL == Null()
+        assert NULL != "null"
+        assert NULL != 0
+        assert NULL != None  # noqa: E711 - deliberate: NULL is not Python None
+
+    def test_null_is_hashable_and_stable(self):
+        assert hash(NULL) == hash(Null())
+        assert len({NULL, Null()}) == 1
+
+    def test_null_repr(self):
+        assert repr(NULL) == "null"
+        assert str(NULL) == "null"
+
+    def test_null_survives_pickling_as_singleton(self):
+        restored = pickle.loads(pickle.dumps(NULL))
+        assert restored is NULL
+
+    def test_null_sorts_before_other_values(self):
+        assert NULL < "a"
+        assert NULL < 0
+        assert not (NULL < NULL)
+        assert NULL <= NULL
+        assert NULL >= NULL
+        assert not (NULL > "a")
+
+
+class TestIsNull:
+    def test_null_and_none_are_null(self):
+        assert is_null(NULL)
+        assert is_null(None)
+
+    @pytest.mark.parametrize("value", ["a", "", 0, 1.5, False, "null"])
+    def test_ordinary_values_are_not_null(self, value):
+        assert not is_null(value)
+
+
+class TestNormaliseConstant:
+    def test_none_becomes_null(self):
+        assert normalise_constant(None) is NULL
+
+    def test_other_values_unchanged(self):
+        assert normalise_constant("a") == "a"
+        assert normalise_constant(3) == 3
+        assert normalise_constant(NULL) is NULL
+
+
+class TestSortingAndFormatting:
+    def test_sort_key_orders_heterogeneous_values(self):
+        values = ["b", 2, NULL, "a", 1]
+        ordered = sorted(values, key=constant_sort_key)
+        assert ordered[0] is NULL
+        assert ordered[1:3] == [1, 2]
+        assert ordered[3:] == ["a", "b"]
+
+    def test_format_constant(self):
+        assert format_constant(NULL) == "null"
+        assert format_constant("x") == "x"
+        assert format_constant(3) == "3"

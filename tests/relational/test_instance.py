@@ -1,0 +1,131 @@
+"""Tests for Fact and DatabaseInstance."""
+
+import pytest
+
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance, Fact
+from repro.relational.schema import DatabaseSchema, SchemaError
+
+
+class TestFact:
+    def test_none_is_normalised_to_null(self):
+        fact = Fact("P", ("a", None))
+        assert fact.values == ("a", NULL)
+        assert fact.has_null()
+        assert fact.null_positions() == (1,)
+        assert fact.non_null_positions() == (0,)
+
+    def test_equality_and_hash(self):
+        assert Fact("P", ("a", NULL)) == Fact("P", ("a", None))
+        assert hash(Fact("P", ("a",))) == hash(Fact("P", ("a",)))
+        assert Fact("P", ("a",)) != Fact("Q", ("a",))
+
+    def test_project_and_agrees_on(self):
+        fact = Fact("P", ("a", "b", "c"))
+        assert fact.project([0, 2]) == Fact("P", ("a", "c"))
+        other = Fact("P", ("a", "x", "c"))
+        assert fact.agrees_on(other, [0, 2])
+        assert not fact.agrees_on(other, [1])
+        assert not fact.agrees_on(Fact("Q", ("a", "x", "c")), [0])
+
+    def test_repr_prints_null_unquoted(self):
+        assert repr(Fact("P", ("a", NULL))) == "P(a, null)"
+
+
+class TestDatabaseInstanceBasics:
+    def test_from_dict_infers_schema(self):
+        db = DatabaseInstance.from_dict({"P": [("a", "b")], "R": [("c",)]})
+        assert len(db) == 2
+        assert db.schema.arity("P") == 2
+        assert Fact("P", ("a", "b")) in db
+        assert db.contains_tuple("R", ("c",))
+
+    def test_explicit_schema_is_used(self):
+        schema = DatabaseSchema.from_dict({"P": ["A", "B"]})
+        db = DatabaseInstance.from_dict({"P": [("a", "b")]}, schema=schema)
+        assert db.schema.relation("P").attributes == ("A", "B")
+
+    def test_arity_mismatch_raises(self):
+        schema = DatabaseSchema.from_dict({"P": ["A", "B"]})
+        db = DatabaseInstance(schema=schema)
+        with pytest.raises(SchemaError):
+            db.add_tuple("P", ("a", "b", "c"))
+
+    def test_duplicates_collapse(self):
+        db = DatabaseInstance.from_dict({"P": [("a", "b"), ("a", "b")]})
+        assert len(db) == 1
+
+    def test_add_remove_discard(self):
+        db = DatabaseInstance.from_dict({"P": [("a",)]})
+        db.add_tuple("P", ("b",))
+        assert len(db) == 2
+        db.remove(Fact("P", ("a",)))
+        assert len(db) == 1
+        with pytest.raises(KeyError):
+            db.remove(Fact("P", ("a",)))
+        db.discard(Fact("P", ("a",)))  # no error
+        db.discard(Fact("P", ("b",)))
+        assert len(db) == 0
+        assert not db
+
+    def test_facts_iteration_is_deterministic(self):
+        db = DatabaseInstance.from_dict({"P": [("b",), ("a",)], "A": [("z",)]})
+        listed = [repr(f) for f in db.facts()]
+        assert listed == ["A(z)", "P(a)", "P(b)"]
+
+    def test_predicates_only_lists_populated_relations(self):
+        schema = DatabaseSchema.from_dict({"P": ["A"], "Q": ["B"]})
+        db = DatabaseInstance.from_dict({"P": [("a",)]}, schema=schema)
+        assert db.predicates == ["P"]
+
+
+class TestActiveDomainAndNulls:
+    def test_active_domain_excludes_null_by_default(self):
+        db = DatabaseInstance.from_dict({"P": [("a", NULL), ("b", 3)]})
+        assert db.active_domain() == frozenset({"a", "b", 3})
+        assert NULL in db.active_domain(include_null=True)
+
+    def test_null_statistics(self):
+        db = DatabaseInstance.from_dict({"P": [("a", NULL)], "Q": [(NULL, NULL)]})
+        assert db.has_nulls()
+        assert db.null_count() == 3
+        clean = DatabaseInstance.from_dict({"P": [("a", "b")]})
+        assert not clean.has_nulls()
+
+
+class TestSetOperations:
+    def test_copy_is_independent(self):
+        db = DatabaseInstance.from_dict({"P": [("a",)]})
+        clone = db.copy()
+        clone.add_tuple("P", ("b",))
+        assert len(db) == 1
+        assert len(clone) == 2
+
+    def test_union_difference_symmetric_difference(self):
+        first = DatabaseInstance.from_dict({"P": [("a",), ("b",)]})
+        second = DatabaseInstance.from_dict({"P": [("b",), ("c",)]})
+        assert len(first.union(second)) == 3
+        assert first.difference(second).fact_set() == frozenset({Fact("P", ("a",))})
+        assert first.symmetric_difference(second) == frozenset(
+            {Fact("P", ("a",)), Fact("P", ("c",))}
+        )
+
+    def test_equality_is_extensional(self):
+        first = DatabaseInstance.from_dict({"P": [("a",)]})
+        second = DatabaseInstance.from_dict({"P": [("a",)]})
+        assert first == second
+        assert hash(first) == hash(second)
+        second.add_tuple("P", ("b",))
+        assert first != second
+
+    def test_to_dict_round_trip(self):
+        db = DatabaseInstance.from_dict({"P": [("a", NULL)], "Q": [(1,)]})
+        rebuilt = DatabaseInstance.from_dict(db.to_dict())
+        assert rebuilt == db
+
+    def test_pretty_contains_relation_headers(self):
+        schema = DatabaseSchema.from_dict({"P": ["A", "B"]})
+        db = DatabaseInstance.from_dict({"P": [("a", NULL)]}, schema=schema)
+        rendered = db.pretty()
+        assert "P(A, B)" in rendered
+        assert "a, null" in rendered

@@ -1,0 +1,101 @@
+"""Tests for relation and database schemas."""
+
+import pytest
+
+from repro.relational.schema import DatabaseSchema, RelationSchema, SchemaError
+
+
+class TestRelationSchema:
+    def test_basic_properties(self):
+        rel = RelationSchema("Course", ["ID", "Code", "Term"])
+        assert rel.arity == 3
+        assert rel.attributes == ("ID", "Code", "Term")
+        assert rel.position("Code") == 1
+        assert rel.attribute(2) == "Term"
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("P", ["A", "A"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["A"])
+
+    def test_unknown_attribute_raises(self):
+        rel = RelationSchema("P", ["A", "B"])
+        with pytest.raises(SchemaError):
+            rel.position("C")
+        with pytest.raises(SchemaError):
+            rel.attribute(5)
+
+    def test_paper_position_is_one_based(self):
+        rel = RelationSchema("R", ["X", "Y"])
+        assert rel.paper_position(1) == 0
+        assert rel.paper_position(2) == 1
+        with pytest.raises(SchemaError):
+            rel.paper_position(3)
+        with pytest.raises(SchemaError):
+            rel.paper_position(0)
+
+    def test_projection_keeps_names(self):
+        rel = RelationSchema("P", ["A", "B", "C"])
+        projected = rel.project([0, 2])
+        assert projected.name == "P"
+        assert projected.attributes == ("A", "C")
+
+    def test_zero_arity_projection_allowed(self):
+        rel = RelationSchema("P", ["A"])
+        projected = rel.project([])
+        assert projected.arity == 0
+
+    def test_repr(self):
+        assert repr(RelationSchema("P", ["A", "B"])) == "P(A, B)"
+
+
+class TestDatabaseSchema:
+    def test_from_dict_and_lookup(self):
+        schema = DatabaseSchema.from_dict({"P": ["A", "B"], "R": ["X"]})
+        assert len(schema) == 2
+        assert "P" in schema and "R" in schema and "Q" not in schema
+        assert schema.relation("P").attributes == ("A", "B")
+        assert schema.arity("R") == 1
+
+    def test_unknown_relation_raises(self):
+        schema = DatabaseSchema.from_dict({"P": ["A"]})
+        with pytest.raises(SchemaError):
+            schema.relation("Q")
+
+    def test_conflicting_redefinition_rejected(self):
+        schema = DatabaseSchema.from_dict({"P": ["A", "B"]})
+        with pytest.raises(SchemaError):
+            schema.add_relation(RelationSchema("P", ["A"]))
+
+    def test_identical_redefinition_allowed(self):
+        schema = DatabaseSchema.from_dict({"P": ["A", "B"]})
+        schema.add_relation(RelationSchema("P", ["A", "B"]))
+        assert len(schema) == 1
+
+    def test_relation_from_arity_creates_generic_schema(self):
+        schema = DatabaseSchema()
+        rel = schema.relation_from_arity("Q", 3)
+        assert rel.attributes == ("a1", "a2", "a3")
+        assert "Q" in schema
+
+    def test_relation_from_arity_mismatch_raises(self):
+        schema = DatabaseSchema.from_dict({"P": ["A", "B"]})
+        with pytest.raises(SchemaError):
+            schema.relation_from_arity("P", 3)
+
+    def test_merge_and_copy(self):
+        first = DatabaseSchema.from_dict({"P": ["A"]})
+        second = DatabaseSchema.from_dict({"Q": ["B"]})
+        merged = first.merged_with(second)
+        assert set(merged.relation_names) == {"P", "Q"}
+        copy = merged.copy()
+        assert copy == merged
+        copy.add_relation(RelationSchema("S", ["C"]))
+        assert "S" not in merged
+
+    def test_relation_names_sorted(self):
+        schema = DatabaseSchema.from_dict({"Z": ["A"], "A": ["B"], "M": ["C"]})
+        assert schema.relation_names == ["A", "M", "Z"]

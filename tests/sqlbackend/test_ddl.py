@@ -1,0 +1,82 @@
+"""Tests for SQL DDL generation."""
+
+import sqlite3
+
+import pytest
+
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+from repro.sqlbackend.ddl import create_table_statements, insert_statements
+from repro.workloads import scenarios
+
+
+class TestCreateTableStatements:
+    def test_plain_tables(self):
+        schema = DatabaseSchema.from_dict({"P": ["A", "B"], "R": ["X"]})
+        statements = create_table_statements(schema)
+        assert len(statements) == 2
+        assert any('CREATE TABLE "P"' in s for s in statements)
+        assert all(s.endswith(";") for s in statements)
+
+    def test_not_null_and_unique_clauses(self, example_19):
+        statements = create_table_statements(
+            example_19.instance.schema, example_19.constraints
+        )
+        r_table = next(s for s in statements if '"R"' in s.split("(")[0])
+        assert "NOT NULL" in r_table
+        assert "UNIQUE" in r_table
+        s_table = next(s for s in statements if '"S"' in s.split("(")[0])
+        assert "FOREIGN KEY" in s_table
+        assert 'REFERENCES "R"' in s_table
+
+    def test_check_clause(self):
+        scenario = scenarios.example_6()
+        statements = create_table_statements(scenario.instance.schema, scenario.constraints)
+        assert any("CHECK" in s and "> 100" in s for s in statements)
+
+    def test_constraints_can_be_disabled(self, example_19):
+        statements = create_table_statements(
+            example_19.instance.schema, example_19.constraints, enforce_constraints=False
+        )
+        joined = "\n".join(statements)
+        assert "FOREIGN KEY" not in joined
+        assert "NOT NULL" not in joined
+
+    def test_generated_ddl_is_valid_sqlite(self, example_19):
+        connection = sqlite3.connect(":memory:")
+        for statement in create_table_statements(
+            example_19.instance.schema, example_19.constraints
+        ):
+            connection.execute(statement)
+        connection.close()
+
+
+class TestInsertStatements:
+    def test_inserts_render_nulls_and_strings(self):
+        db = DatabaseInstance.from_dict({"P": [("a", NULL), (1, 2.5)]})
+        statements = insert_statements(db)
+        assert len(statements) == 2
+        joined = "\n".join(statements)
+        assert "NULL" in joined
+        assert "'a'" in joined
+
+    def test_inserts_are_executable(self, example_19):
+        connection = sqlite3.connect(":memory:")
+        for statement in create_table_statements(example_19.instance.schema):
+            connection.execute(statement)
+        for statement in insert_statements(example_19.instance):
+            connection.execute(statement)
+        count = connection.execute('SELECT COUNT(*) FROM "R"').fetchone()[0]
+        assert count == 2
+        connection.close()
+
+    def test_quotes_are_escaped(self):
+        db = DatabaseInstance.from_dict({"P": [("O'Brien",)]})
+        connection = sqlite3.connect(":memory:")
+        for statement in create_table_statements(db.schema):
+            connection.execute(statement)
+        for statement in insert_statements(db):
+            connection.execute(statement)
+        assert connection.execute('SELECT * FROM "P"').fetchone() == ("O'Brien",)
+        connection.close()

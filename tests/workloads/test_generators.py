@@ -1,0 +1,132 @@
+"""Tests for the synthetic workload generators and the scenario catalogue."""
+
+import pytest
+
+from repro.constraints.dependency_graph import is_ric_acyclic
+from repro.core.satisfaction import all_violations, is_consistent
+from repro.core.semantics import Semantics, is_consistent_under
+from repro.workloads import (
+    cyclic_ric_workload,
+    foreign_key_workload,
+    key_violation_workload,
+    random_constraint_set,
+    scaled_course_student,
+    scenarios,
+)
+
+
+class TestForeignKeyWorkload:
+    def test_deterministic_for_fixed_seed(self):
+        first_instance, first_constraints = foreign_key_workload(seed=7)
+        second_instance, second_constraints = foreign_key_workload(seed=7)
+        assert first_instance == second_instance
+        assert len(first_constraints) == len(second_constraints)
+
+    def test_sizes_respected(self):
+        instance, _ = foreign_key_workload(n_parents=5, n_children=12, seed=1)
+        assert len(instance.tuples("Parent")) == 5
+        assert len(instance.tuples("Child")) == 12
+
+    def test_zero_violation_ratio_gives_consistent_database(self):
+        instance, constraints = foreign_key_workload(
+            n_parents=10, n_children=20, violation_ratio=0.0, null_ratio=0.0, seed=3
+        )
+        assert is_consistent(instance, constraints)
+
+    def test_violations_scale_with_ratio(self):
+        low_instance, constraints = foreign_key_workload(
+            n_parents=10, n_children=40, violation_ratio=0.1, null_ratio=0.0, seed=5
+        )
+        high_instance, _ = foreign_key_workload(
+            n_parents=10, n_children=40, violation_ratio=0.6, null_ratio=0.0, seed=5
+        )
+        assert len(all_violations(high_instance, constraints)) > len(
+            all_violations(low_instance, constraints)
+        )
+
+    def test_null_ratio_produces_nulls(self):
+        instance, _ = foreign_key_workload(null_ratio=0.8, seed=2)
+        assert instance.has_nulls()
+        clean, _ = foreign_key_workload(null_ratio=0.0, seed=2)
+        assert not clean.has_nulls()
+
+    def test_constraints_are_ric_acyclic(self):
+        _, constraints = foreign_key_workload(seed=0)
+        assert is_ric_acyclic(constraints)
+        assert constraints.is_non_conflicting()
+
+
+class TestKeyViolationWorkload:
+    def test_duplicates_injected(self):
+        instance, constraints = key_violation_workload(
+            n_rows=30, duplicate_ratio=0.5, seed=11
+        )
+        assert not is_consistent(instance, constraints)
+
+    def test_no_duplicates_no_violations(self):
+        instance, constraints = key_violation_workload(
+            n_rows=20, duplicate_ratio=0.0, null_ratio=0.0, seed=11
+        )
+        assert is_consistent(instance, constraints)
+
+    def test_null_salaries_never_violate_the_check(self):
+        instance, constraints = key_violation_workload(
+            n_rows=20, duplicate_ratio=0.0, null_ratio=0.9, seed=4
+        )
+        check = [c for c in constraints if getattr(c, "is_check", False)]
+        assert check and not all_violations(instance, check)
+
+
+class TestCyclicWorkload:
+    def test_cycle_detected(self):
+        _, constraints = cyclic_ric_workload(seed=0)
+        assert not is_ric_acyclic(constraints)
+
+    def test_violation_free_configuration(self):
+        instance, constraints = cyclic_ric_workload(n_rows=6, violation_ratio=0.0, seed=0)
+        assert is_consistent(instance, constraints)
+
+
+class TestScaledCourseStudent:
+    def test_number_of_violations_tracks_dangling_ratio(self):
+        instance, constraints = scaled_course_student(n_courses=20, dangling_ratio=0.5, seed=9)
+        violations = all_violations(instance, constraints)
+        assert 3 <= len(violations) <= 17
+
+    def test_zero_ratio_is_consistent(self):
+        instance, constraints = scaled_course_student(n_courses=10, dangling_ratio=0.0, seed=9)
+        assert is_consistent(instance, constraints)
+
+
+class TestRandomConstraintSet:
+    def test_shape(self):
+        constraints = random_constraint_set(n_predicates=6, n_uics=4, n_rics=3, seed=1)
+        assert len(constraints.universal_constraints) == 4
+        assert len(constraints.referential_constraints) == 3
+
+    def test_deterministic(self):
+        assert repr(random_constraint_set(seed=5)) == repr(random_constraint_set(seed=5))
+
+
+class TestScenarioCatalogue:
+    def test_catalogue_is_complete_and_self_consistent(self):
+        catalogue = scenarios.all_scenarios()
+        assert len(catalogue) >= 16
+        for name, scenario in catalogue.items():
+            assert scenario.name == name
+            assert len(scenario.constraints) >= 1
+            if scenario.expected_consistent is not None and scenario.name != "example_20":
+                assert (
+                    is_consistent(scenario.instance, scenario.constraints)
+                    is scenario.expected_consistent
+                )
+
+    def test_expected_repairs_satisfy_their_constraints(self):
+        catalogue = scenarios.all_scenarios()
+        for scenario in catalogue.values():
+            for repair in scenario.expected_repairs:
+                assert is_consistent(repair, scenario.constraints)
+
+    def test_example_20_is_conflicting(self):
+        scenario = scenarios.example_20()
+        assert not scenario.constraints.is_non_conflicting()
