@@ -3,5 +3,23 @@
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make the sibling `harness` module importable regardless of how pytest was invoked.
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="shrink the benchmark sweeps to a fast correctness pass (used by CI)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """True when the suite runs in the CI smoke configuration."""
+
+    return request.config.getoption("--smoke")

@@ -5,17 +5,60 @@ prints the table/series the experiment is about (who wins, by what factor,
 where the crossover lies) and registers ``pytest-benchmark`` timings for
 the operations involved so that ``pytest benchmarks/ --benchmark-only``
 yields both the qualitative result and the timing table.
+
+Each table is also available as a JSON record of the shared shape
+``{"experiment": <title>, "headers": [...], "rows": [[...], ...]}``:
+:func:`emit_json` prints it (or writes it to a file), and
+:func:`print_table` emits it automatically into the directory named by
+the ``REPRO_BENCH_JSON`` environment variable when that is set, so every
+``bench_e*`` script produces machine-readable results the same way.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def _json_record(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> Dict[str, object]:
+    return {
+        "experiment": title,
+        "headers": list(headers),
+        "rows": [[cell for cell in row] for row in rows],
+    }
+
+
+def emit_json(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Emit the experiment series as JSON; print to stdout unless *path* given."""
+
+    record = _json_record(title, headers, rows)
+    rendered = json.dumps(record, indent=2, default=str)
+    if path is None:
+        print(rendered)
+    else:
+        Path(path).write_text(rendered + "\n")
+    return record
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
-    """Print a small aligned table; used for the per-experiment result series."""
+    """Print a small aligned table; used for the per-experiment result series.
 
-    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    When ``REPRO_BENCH_JSON`` names a directory, the same series is also
+    written there as ``<slugified-title>.json``.
+    """
+
+    original: List[List[object]] = [list(row) for row in rows]
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in original]
     widths = [len(header) for header in headers]
     for row in materialised:
         for index, cell in enumerate(row):
@@ -29,3 +72,10 @@ def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[obje
     for row in materialised:
         print("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
     print(separator)
+
+    json_dir = os.environ.get("REPRO_BENCH_JSON")
+    if json_dir:
+        directory = Path(json_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")[:80] or "experiment"
+        emit_json(title, headers, original, path=str(directory / f"{slug}.json"))

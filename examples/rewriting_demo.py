@@ -1,0 +1,85 @@
+"""First-order CQA rewriting and the cost-based planner, end to end.
+
+The demo builds a keyed parent/child database with dozens of injected
+violations, shows ``method="auto"`` picking the polynomial rewriting
+(identical answers to repair enumeration, orders of magnitude faster),
+peeks at the rewritten query itself — its residues, its first-order
+formula and its SQL compilation — and finally demonstrates the graceful
+fallback: on a RIC-cyclic constraint set the planner refuses the
+rewriting and routes the same call through repair enumeration instead of
+raising.
+
+Run with ``PYTHONPATH=src python examples/rewriting_demo.py``.
+"""
+
+import time
+
+from repro import (
+    consistent_answers,
+    consistent_answers_report,
+    parse_query,
+    plan_cqa,
+    rewrite_query,
+)
+from repro.rewriting import ConflictGraph
+from repro.sqlbackend import SQLiteBackend
+from repro.workloads import cyclic_ric_workload, foreign_key_workload, grouped_key_workload
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ fast path
+    instance, constraints = grouped_key_workload(n_groups=6, group_size=2, n_clean=30)
+    query = parse_query("ans(e, d, s) <- Emp(e, d, s)")
+
+    graph = ConflictGraph.build(instance, constraints)
+    print(f"instance: {len(instance)} facts, {graph.violation_count} key conflicts, "
+          f"~{graph.estimated_repair_count()} repairs if enumerated")
+
+    plan = plan_cqa(instance, constraints, query)
+    print(f"planner: {plan}")
+
+    started = time.perf_counter()
+    fast = consistent_answers(instance, constraints, query, method="auto")
+    fast_time = time.perf_counter() - started
+    print(f"auto (rewriting): {len(fast)} certain answers in {fast_time * 1000:.1f} ms")
+
+    started = time.perf_counter()
+    slow = consistent_answers(instance, constraints, query, method="direct")
+    slow_time = time.perf_counter() - started
+    print(f"direct (enumeration): {len(slow)} answers in {slow_time * 1000:.1f} ms "
+          f"— {slow_time / fast_time:.0f}x slower, same result: {fast == slow}")
+
+    # ------------------------------------------------------------------ the rewriting
+    fk_instance, fk_constraints = foreign_key_workload(
+        n_parents=6, n_children=10, violation_ratio=0.3, null_ratio=0.2, seed=1
+    )
+    join = parse_query("ans(c) <- Child(c, p, d), Parent(p, q)")
+    rewritten = rewrite_query(join, fk_constraints)
+    print()
+    print(rewritten.explain())
+    print()
+    print("as a first-order query:")
+    print(f"  {rewritten.to_formula()!r}")
+    print()
+    print("compiled to SQL (runs entirely inside SQLite):")
+    print(f"  {rewritten.to_sql(fk_instance.schema)}")
+    with SQLiteBackend(fk_instance, fk_constraints) as backend:
+        sql_answers = backend.consistent_answers(join)
+    assert sql_answers == rewritten.answers(fk_instance)
+    print(f"  -> {len(sql_answers)} certain answers, identical to the in-memory path")
+
+    # ------------------------------------------------------------------ fallback
+    cyc_instance, cyc_constraints = cyclic_ric_workload(n_rows=4, seed=2)
+    cyc_query = parse_query("ans(x) <- T(x)")
+    plan = plan_cqa(cyc_instance, cyc_constraints, cyc_query)
+    print()
+    print(f"cyclic RICs: planner falls back — {plan}")
+    report = consistent_answers_report(
+        cyc_instance, cyc_constraints, cyc_query, method="auto"
+    )
+    print(f"auto still answers through {report.method}: "
+          f"{sorted(report.answers)} ({report.repair_count} repairs enumerated)")
+
+
+if __name__ == "__main__":
+    main()

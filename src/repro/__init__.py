@@ -23,6 +23,28 @@ Quickstart
 >>> query = parse_query("ans(c) <- Course(i, c)")
 >>> sorted(consistent_answers(db, [ric], query))
 [('C15',)]
+
+Large inconsistent databases should not enumerate repairs at all: for
+primary keys, acyclic referential constraints and NOT-NULL constraints
+the consistent answers are computable in polynomial time by a
+first-order rewriting evaluated once on the inconsistent database
+(:mod:`repro.rewriting`).  ``method="auto"`` lets the cost-based planner
+pick the rewriting whenever it applies and fall back to repair
+enumeration otherwise — it never raises
+:class:`~repro.rewriting.RewritingUnsupportedError`:
+
+>>> sorted(consistent_answers(db, [ric], query, method="auto"))
+[('C15',)]
+>>> from repro import plan_cqa
+>>> plan_cqa(db, [ric], query).method
+'rewriting'
+
+``method="rewriting"`` forces the fast path (raising outside the
+tractable fragment), and :func:`repro.rewriting.rewrite_query` exposes
+the rewritten query itself — including its rendering as a plain
+first-order formula and its compilation to SQL, so the whole computation
+can run inside SQLite via
+:meth:`repro.sqlbackend.SQLiteBackend.consistent_answers`.
 """
 
 from repro.relational import (
@@ -76,8 +98,21 @@ from repro.core import (
     satisfies,
     violations,
 )
-from repro.core.cqa import CQAResult, consistent_answers_report, consistent_boolean_answer
+from repro.core.cqa import (
+    CQA_METHODS,
+    CQAResult,
+    consistent_answers_report,
+    consistent_boolean_answer,
+)
 from repro.core.semantics import is_consistent_under, satisfies_under, semantics_matrix
+from repro.rewriting import (
+    ConflictGraph,
+    CQAPlan,
+    RewritingUnsupportedError,
+    RewrittenQuery,
+    plan_cqa,
+    rewrite_query,
+)
 
 __version__ = "1.0.0"
 
@@ -139,6 +174,14 @@ __all__ = [
     "consistent_boolean_answer",
     "is_consistent_answer",
     "CQAResult",
+    "CQA_METHODS",
+    # first-order rewriting and planning
+    "RewritingUnsupportedError",
+    "RewrittenQuery",
+    "rewrite_query",
+    "ConflictGraph",
+    "CQAPlan",
+    "plan_cqa",
     # repair programs
     "build_repair_program",
     "program_repairs",

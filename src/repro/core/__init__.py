@@ -33,7 +33,14 @@ from repro.core.satisfaction import (
 from repro.core.semantics import Semantics
 from repro.core.repairs import RepairEngine, delta, leq_d, lt_d, repairs
 from repro.core.classic import classic_repairs
-from repro.core.cqa import consistent_answers, is_consistent_answer
+from repro.core.cqa import (
+    CQA_METHODS,
+    CQAResult,
+    consistent_answers,
+    consistent_answers_report,
+    consistent_boolean_answer,
+    is_consistent_answer,
+)
 from repro.core.repair_program import build_repair_program, database_from_model, program_repairs
 from repro.core.hcf import bilateral_predicates, guarantees_hcf
 
@@ -55,7 +62,11 @@ __all__ = [
     "leq_d",
     "lt_d",
     "classic_repairs",
+    "CQA_METHODS",
+    "CQAResult",
     "consistent_answers",
+    "consistent_answers_report",
+    "consistent_boolean_answer",
     "is_consistent_answer",
     "build_repair_program",
     "database_from_model",

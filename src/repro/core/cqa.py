@@ -3,15 +3,24 @@
 A ground tuple ``t̄`` is a *consistent answer* to a query ``Q(x̄)`` in ``D``
 w.r.t. ``IC`` iff ``t̄`` is an answer to ``Q`` in every repair of ``D``;
 for a boolean query the consistent answer is *yes* iff the sentence holds
-in every repair.  Two evaluation strategies are provided:
+in every repair.  Four evaluation strategies are provided:
 
 * ``method="direct"`` — enumerate the repairs with the repair engine of
   :mod:`repro.core.repairs` and intersect the per-repair answer sets;
 * ``method="program"`` — compute the repairs as the stable models of the
   repair program ``Π(D, IC)`` (cautious reasoning over the program, as the
-  paper proposes) and intersect the same way.
+  paper proposes) and intersect the same way;
+* ``method="rewriting"`` — rewrite the query into a null-aware
+  first-order query evaluated once on ``D`` (no repairs materialised;
+  polynomial time) via :mod:`repro.rewriting`.  Raises
+  :class:`repro.rewriting.RewritingUnsupportedError` outside the
+  tractable fragment;
+* ``method="auto"`` — let the cost-based planner of
+  :mod:`repro.rewriting.planner` choose: the rewriting whenever it
+  applies, otherwise the cheaper enumeration strategy.  Never raises
+  ``RewritingUnsupportedError``.
 
-Both strategies return the same answers; the benchmarks compare their
+All strategies return the same answers; the benchmarks compare their
 cost.  Query evaluation inside a repair uses the ``|=^q_N`` convention
 described in :mod:`repro.logic.queries` (``null`` as an ordinary constant
 by default, SQL-style unknown comparisons on request).
@@ -20,7 +29,7 @@ by default, SQL-style unknown comparisons on request).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.relational.domain import Constant
 from repro.relational.instance import DatabaseInstance
@@ -32,15 +41,28 @@ from repro.core.repair_program import program_repairs
 
 AnswerTuple = Tuple[Constant, ...]
 
+#: The evaluation strategies accepted by the ``method`` parameter.
+CQA_METHODS = ("direct", "program", "rewriting", "auto")
+
 
 @dataclass
 class CQAResult:
-    """The outcome of one consistent-query-answering computation."""
+    """The outcome of one consistent-query-answering computation.
+
+    For the enumeration methods ``repair_count`` is exact and
+    ``per_repair_answer_counts`` lists the answer-set size per repair.
+    For ``method="rewriting"`` no repairs are materialised:
+    ``repair_count`` is the conflict-graph *estimate* (flagged by
+    ``repair_count_estimated``; ``-1`` when the caller asked to skip the
+    estimate) and ``per_repair_answer_counts`` is empty.
+    """
 
     answers: FrozenSet[AnswerTuple]
     repair_count: int
     per_repair_answer_counts: List[int] = field(default_factory=list)
     method: str = "direct"
+    repair_count_estimated: bool = False
+    plan: Optional[object] = None  #: the CQAPlan when ``method="auto"`` was used
 
     @property
     def certain(self) -> bool:
@@ -67,7 +89,43 @@ def _repairs_for(
         return RepairEngine(constraints, max_states=max_states).repairs(instance)
     if method == "program":
         return program_repairs(instance, constraints).repairs
-    raise ValueError(f"unknown CQA method {method!r}; use 'direct' or 'program'")
+    raise ValueError(
+        f"unknown CQA method {method!r}; use one of {', '.join(CQA_METHODS)}"
+    )
+
+
+def _rewriting_result(
+    instance: DatabaseInstance,
+    constraints: ConstraintSet,
+    query: Query,
+    null_is_unknown: bool,
+    rewritten=None,
+    plan: Optional[object] = None,
+    estimate_repairs: bool = True,
+) -> CQAResult:
+    """Evaluate through the first-order rewriting (no repairs materialised).
+
+    The conflict-graph repair estimate costs one extra pass over the
+    instance; callers that only want the answers skip it
+    (``estimate_repairs=False``), leaving ``repair_count == -1``.
+    """
+
+    from repro.rewriting import ConflictGraph, rewrite_query
+
+    if rewritten is None:
+        rewritten = rewrite_query(query, constraints)
+    answers = rewritten.answers(instance, null_is_unknown=null_is_unknown)
+    if estimate_repairs:
+        estimate = ConflictGraph.build(instance, constraints).estimated_repair_count()
+    else:
+        estimate = -1
+    return CQAResult(
+        answers=answers,
+        repair_count=estimate,
+        method="rewriting",
+        repair_count_estimated=True,
+        plan=plan,
+    )
 
 
 def consistent_answers_report(
@@ -77,10 +135,50 @@ def consistent_answers_report(
     method: str = "direct",
     null_is_unknown: bool = False,
     max_states: Optional[int] = 200_000,
+    estimate_repairs: bool = True,
 ) -> CQAResult:
-    """Full report: consistent answers plus repair statistics."""
+    """Full report: consistent answers plus repair statistics.
+
+    *estimate_repairs* only affects the rewriting strategy, where the
+    repair count is a conflict-graph estimate that costs one extra pass
+    over the instance; the answer-only wrappers disable it.
+    """
 
     constraint_set = _as_constraint_set(constraints)
+
+    if method == "rewriting":
+        return _rewriting_result(
+            instance,
+            constraint_set,
+            query,
+            null_is_unknown,
+            estimate_repairs=estimate_repairs,
+        )
+    if method == "auto":
+        from repro.rewriting import plan_cqa
+
+        plan = plan_cqa(instance, constraint_set, query, max_states=max_states)
+        if plan.method == "rewriting":
+            return _rewriting_result(
+                instance,
+                constraint_set,
+                query,
+                null_is_unknown,
+                rewritten=plan.rewritten,
+                plan=plan,
+                estimate_repairs=estimate_repairs,
+            )
+        result = consistent_answers_report(
+            instance,
+            constraint_set,
+            query,
+            method=plan.method,
+            null_is_unknown=null_is_unknown,
+            max_states=max_states,
+        )
+        result.plan = plan
+        return result
+
     repairs = _repairs_for(instance, constraint_set, method, max_states)
     if not repairs:
         # A non-conflicting constraint set always has at least one repair
@@ -125,6 +223,7 @@ def consistent_answers(
         method=method,
         null_is_unknown=null_is_unknown,
         max_states=max_states,
+        estimate_repairs=False,
     ).answers
 
 
@@ -135,11 +234,17 @@ def is_consistent_answer(
     candidate: Sequence[Constant],
     method: str = "direct",
     null_is_unknown: bool = False,
+    max_states: Optional[int] = 200_000,
 ) -> bool:
     """Decision version of CQA: is *candidate* an answer in every repair?"""
 
     return tuple(candidate) in consistent_answers(
-        instance, constraints, query, method=method, null_is_unknown=null_is_unknown
+        instance,
+        constraints,
+        query,
+        method=method,
+        null_is_unknown=null_is_unknown,
+        max_states=max_states,
     )
 
 
@@ -149,12 +254,19 @@ def consistent_boolean_answer(
     query: Query,
     method: str = "direct",
     null_is_unknown: bool = False,
+    max_states: Optional[int] = 200_000,
 ) -> bool:
     """Consistent answer to a boolean query: *yes* iff it holds in every repair."""
 
     result = consistent_answers_report(
-        instance, constraints, query, method=method, null_is_unknown=null_is_unknown
+        instance,
+        constraints,
+        query,
+        method=method,
+        null_is_unknown=null_is_unknown,
+        max_states=max_states,
+        estimate_repairs=False,
     )
-    if result.repair_count == 0:
+    if result.repair_count == 0 and not result.repair_count_estimated:
         return False
     return result.certain

@@ -294,6 +294,29 @@ class SQLiteBackend:
             tuple(NULL if value is None else value for value in row) for row in rows
         )
 
+    def consistent_answers(
+        self, query: ConjunctiveQuery
+    ) -> FrozenSet[Tuple[Constant, ...]]:
+        """Consistent answers via the first-order rewriting, entirely in SQLite.
+
+        Rewrites *query* against the backend's constraint set
+        (:func:`repro.rewriting.rewrite_query`), compiles the rewriting to
+        one ``SELECT`` and runs it on the loaded tables: no repair is ever
+        materialised.  Raises
+        :class:`repro.rewriting.RewritingUnsupportedError` when the
+        constraints or the query fall outside the tractable fragment.
+        """
+
+        from repro.rewriting import rewrite_query
+
+        rewritten = rewrite_query(query, self._constraints)
+        rows = self.execute(rewritten.to_sql(self._instance.schema))
+        if query.is_boolean:
+            return frozenset({()} if rows else set())
+        return frozenset(
+            tuple(NULL if value is None else value for value in row) for row in rows
+        )
+
     # ------------------------------------------------------------------ native acceptance
     def accepts_natively(self) -> bool:
         """Would SQLite accept the instance with native constraint enforcement?

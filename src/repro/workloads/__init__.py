@@ -13,6 +13,7 @@ experiments sweep.
 
 from repro.workloads.generators import (
     foreign_key_workload,
+    grouped_key_workload,
     key_violation_workload,
     cyclic_ric_workload,
     random_constraint_set,
@@ -22,6 +23,7 @@ from repro.workloads import scenarios
 
 __all__ = [
     "foreign_key_workload",
+    "grouped_key_workload",
     "key_violation_workload",
     "cyclic_ric_workload",
     "random_constraint_set",

@@ -118,6 +118,43 @@ def key_violation_workload(
     return instance, constraints
 
 
+def grouped_key_workload(
+    n_groups: int = 5,
+    group_size: int = 3,
+    n_clean: int = 20,
+    seed: int = 0,
+) -> Tuple[DatabaseInstance, ConstraintSet]:
+    """A keyed relation with a controlled number of key-conflict groups.
+
+    ``Emp(eid, dept, salary)`` with the key ``eid`` (two FDs).  The
+    generator creates ``n_groups`` groups of ``group_size`` tuples sharing
+    an ``eid`` but pairwise different in both dependent attributes, plus
+    ``n_clean`` conflict-free rows.  The violation structure is exact and
+    deterministic: ``n_groups · C(group_size, 2)`` conflicting pairs per
+    FD, and repair enumeration produces ``group_size ** n_groups``
+    repairs — which is what the E11 benchmark scales against the
+    first-order rewriting.
+    """
+
+    rng = random.Random(seed)
+    schema = DatabaseSchema.from_dict({"Emp": ["eid", "dept", "salary"]})
+    instance = DatabaseInstance(schema=schema)
+    for group in range(n_groups):
+        eid = f"dup{group}"
+        for member in range(group_size):
+            instance.add_tuple(
+                "Emp", (eid, f"dept{group}_{member}", 100 + group * 50 + member)
+            )
+    for index in range(n_clean):
+        instance.add_tuple(
+            "Emp", (f"e{index}", f"dept{rng.randrange(5)}", rng.randrange(1, 200) * 10)
+        )
+    key_constraints = functional_dependency(
+        "Emp", 3, determinant=[0], dependent=[1, 2], name="emp_key"
+    )
+    return instance, ConstraintSet(key_constraints)
+
+
 def cyclic_ric_workload(
     n_rows: int = 10,
     violation_ratio: float = 0.3,

@@ -1,0 +1,87 @@
+"""Conflict graphs: in-memory fast paths vs. the SQL backend route."""
+
+import pytest
+
+from repro.core.satisfaction import all_violations
+from repro.rewriting import ConflictGraph
+from repro.workloads import (
+    foreign_key_workload,
+    key_violation_workload,
+    scaled_course_student,
+    scenarios,
+)
+
+
+def _canonical(graph):
+    marks = sorted((repr(m.fact), m.forced) for m in graph.marks)
+    edges = sorted(sorted([repr(e.first), repr(e.second)]) for e in graph.edges)
+    return marks, edges
+
+
+WORKLOADS = {
+    "foreign_key": lambda: foreign_key_workload(
+        n_parents=8, n_children=16, violation_ratio=0.3, null_ratio=0.2, seed=3
+    ),
+    "key_violation": lambda: key_violation_workload(
+        n_rows=16, duplicate_ratio=0.3, null_ratio=0.2, seed=5
+    ),
+    "course_student": lambda: scaled_course_student(
+        n_courses=12, dangling_ratio=0.3, seed=7
+    ),
+}
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_memory_and_sql_builds_agree(name):
+    instance, constraints = WORKLOADS[name]()
+    in_memory = ConflictGraph.build(instance, constraints)
+    via_sql = ConflictGraph.from_sql(instance, constraints)
+    assert _canonical(in_memory) == _canonical(via_sql)
+
+
+@pytest.mark.parametrize("name", list(WORKLOADS))
+def test_conflicting_facts_match_violation_enumeration(name):
+    instance, constraints = WORKLOADS[name]()
+    graph = ConflictGraph.build(instance, constraints)
+    expected = set()
+    for violation in all_violations(instance, constraints):
+        expected.update(violation.body_facts)
+    assert set(graph.conflicting_facts()) == expected
+
+
+def test_example_19_structure():
+    scenario = scenarios.example_19()
+    graph = ConflictGraph.build(scenario.instance, scenario.constraints)
+    # One key conflict between R(a, b) and R(a, c), one dangling S tuple.
+    assert len(graph.edges) == 1
+    assert len(graph.marks) == 1
+    assert not graph.marks[0].forced  # dangling: delete or insert
+    # 2 choices for the key group × 2 for the dangling child = 4 repairs.
+    assert graph.estimated_repair_count() == 4
+
+
+def test_forced_marks_for_not_null_and_checks():
+    scenario = scenarios.example_6()
+    violating = scenarios.example_6_violating_row()
+    clean_graph = ConflictGraph.build(scenario.instance, scenario.constraints)
+    assert clean_graph.is_consistent()
+    graph = ConflictGraph.build(violating, scenario.constraints)
+    assert [m.forced for m in graph.marks] == [True]
+
+
+def test_consistent_instance_has_empty_graph():
+    instance, constraints = foreign_key_workload(
+        n_parents=6, n_children=10, violation_ratio=0.0, null_ratio=0.0, seed=1
+    )
+    graph = ConflictGraph.build(instance, constraints)
+    assert graph.is_consistent()
+    assert graph.estimated_repair_count() == 1
+
+
+def test_per_constraint_counts_are_labelled():
+    instance, constraints = scaled_course_student(
+        n_courses=12, dangling_ratio=0.3, seed=7
+    )
+    graph = ConflictGraph.build(instance, constraints)
+    counts = graph.per_constraint_counts()
+    assert counts.get("course_student", 0) == len(graph.marks)

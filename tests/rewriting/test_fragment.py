@@ -1,0 +1,181 @@
+"""Fragment analysis: recognised shapes and refused interactions."""
+
+import pytest
+
+from repro.constraints.atoms import Atom, Comparison
+from repro.constraints.factories import (
+    check_constraint,
+    denial_constraint,
+    functional_dependency,
+    not_null,
+    referential_constraint,
+    universal_constraint,
+)
+from repro.constraints.ic import ConstraintSet, IntegrityConstraint
+from repro.constraints.parser import parse_constraint
+from repro.constraints.terms import Variable
+from repro.rewriting import RewritingUnsupportedError, analyze_constraints, fd_shape
+
+
+def _v(name):
+    return Variable(name)
+
+
+class TestFDShape:
+    def test_parsed_fd_is_recognised(self):
+        fd = parse_constraint("R(x, y), R(x, z) -> y = z")
+        info = fd_shape(fd)
+        assert info is not None
+        assert info.predicate == "R"
+        assert info.determinant == (0,)
+        assert info.dependent == 1
+
+    def test_factory_fd_is_recognised(self):
+        for fd in functional_dependency("Emp", 3, determinant=[0], dependent=[1, 2]):
+            info = fd_shape(fd)
+            assert info is not None
+            assert info.determinant == (0,)
+
+    def test_composite_determinant(self):
+        fd = functional_dependency("Exp", 3, determinant=[0, 1], dependent=[2])[0]
+        info = fd_shape(fd)
+        assert info is not None
+        assert info.determinant == (0, 1)
+        assert info.dependent == 2
+
+    def test_free_positions_are_allowed(self):
+        fd = parse_constraint("R(x, y, u), R(x, z, w) -> y = z")
+        info = fd_shape(fd)
+        assert info is not None
+        assert info.determinant == (0,)
+        assert info.dependent == 1
+
+    def test_non_fd_shapes_are_rejected(self):
+        assert fd_shape(parse_constraint("R(x, y) -> x != y")) is None
+        assert fd_shape(parse_constraint("R(x, y), S(x, z) -> y = z")) is None
+        assert fd_shape(parse_constraint("R(x, y), R(y, z) -> false")) is None
+        # Shared variable at different positions: a self-join, not an FD.
+        assert fd_shape(parse_constraint("R(x, y), R(y, z) -> x = z")) is None
+
+
+class TestSupportedSets:
+    def test_key_fk_nnc_family(self):
+        key = functional_dependency("R", 2, determinant=[0], dependent=[1])[0]
+        ric = referential_constraint(
+            Atom("S", (_v("u"), _v("v"))), Atom("R", (_v("v"), _v("y")))
+        )
+        constraints = ConstraintSet([key, ric, not_null("R", 0, 2)])
+        analysis = analyze_constraints(constraints)
+        assert "R" in analysis.keys
+        assert len(analysis.rics) == 1
+        assert "R" in analysis.not_nulls
+
+    def test_checks_on_unkeyed_predicates(self):
+        check = check_constraint(
+            Atom("Emp", (_v("e"), _v("d"), _v("s"))), [Comparison(">", _v("s"), 0)]
+        )
+        analysis = analyze_constraints(ConstraintSet([check]))
+        assert "Emp" in analysis.checks
+
+    def test_determinant_not_null_on_keyed_predicate(self):
+        key = functional_dependency("R", 2, determinant=[0], dependent=[1])[0]
+        analysis = analyze_constraints(ConstraintSet([key, not_null("R", 0, 2)]))
+        assert "R" in analysis.keys and "R" in analysis.not_nulls
+
+    def test_isolated_multi_denial(self):
+        denial = denial_constraint(
+            [Atom("P", (_v("x"), _v("y"))), Atom("P", (_v("y"), _v("z")))]
+        )
+        analysis = analyze_constraints(ConstraintSet([denial]))
+        assert analysis.multi_denials == [denial]
+
+
+class TestRefusedSets:
+    def test_general_existential_constraint(self):
+        constraint = IntegrityConstraint(
+            [Atom("P1", (_v("x"), _v("y"))), Atom("P2", (_v("y"), _v("z")))],
+            [Atom("Q", (_v("x"), _v("z"), _v("u")))],
+        )
+        with pytest.raises(RewritingUnsupportedError):
+            analyze_constraints(ConstraintSet([constraint]))
+
+    def test_full_inclusion_dependency(self):
+        uic = universal_constraint(
+            [Atom("P", (_v("x"), _v("y")))], [Atom("R", (_v("x"), _v("y")))]
+        )
+        with pytest.raises(RewritingUnsupportedError):
+            analyze_constraints(ConstraintSet([uic]))
+
+    def test_cyclic_rics(self):
+        first = referential_constraint(
+            Atom("P", (_v("x"), _v("y"))), Atom("T", (_v("x"), _v("z")))
+        )
+        second = referential_constraint(
+            Atom("T", (_v("x"), _v("y"))), Atom("P", (_v("x"), _v("z")))
+        )
+        with pytest.raises(RewritingUnsupportedError, match="cyclic"):
+            analyze_constraints(ConstraintSet([first, second]))
+
+    def test_conflicting_not_null(self):
+        ric = referential_constraint(
+            Atom("P", (_v("x"),)), Atom("Q", (_v("x"), _v("y")))
+        )
+        with pytest.raises(RewritingUnsupportedError, match="conflicting"):
+            analyze_constraints(ConstraintSet([ric, not_null("Q", 1, 2)]))
+
+    def test_parent_with_check(self):
+        ric = referential_constraint(
+            Atom("P", (_v("x"), _v("y"))), Atom("Q", (_v("x"), _v("z")))
+        )
+        check = check_constraint(
+            Atom("Q", (_v("x"), _v("y"))), [Comparison("!=", _v("y"), "b")]
+        )
+        with pytest.raises(RewritingUnsupportedError, match="witness"):
+            analyze_constraints(ConstraintSet([ric, check]))
+
+    def test_referential_chain(self):
+        first = referential_constraint(
+            Atom("A", (_v("x"), _v("y"))), Atom("B", (_v("x"), _v("z")))
+        )
+        second = referential_constraint(
+            Atom("B", (_v("x"), _v("y"))), Atom("C", (_v("x"), _v("z")))
+        )
+        with pytest.raises(RewritingUnsupportedError, match="cascade"):
+            analyze_constraints(ConstraintSet([first, second]))
+
+    def test_fk_must_reference_the_determinant(self):
+        key = functional_dependency("R", 2, determinant=[0], dependent=[1])[0]
+        ric = referential_constraint(
+            Atom("S", (_v("u"), _v("v"))), Atom("R", (_v("y"), _v("v")))
+        )
+        with pytest.raises(RewritingUnsupportedError, match="determinant"):
+            analyze_constraints(ConstraintSet([key, ric]))
+
+    def test_differing_determinants(self):
+        first = functional_dependency("R", 3, determinant=[0], dependent=[2])[0]
+        second = functional_dependency("R", 3, determinant=[1], dependent=[2])[0]
+        with pytest.raises(RewritingUnsupportedError, match="determinant"):
+            analyze_constraints(ConstraintSet([first, second]))
+
+    def test_check_on_a_keyed_predicate(self):
+        """A check-deleted tuple inside a key group breaks ≤_D locality."""
+
+        key = functional_dependency("Emp", 3, determinant=[0], dependent=[1, 2])
+        check = check_constraint(
+            Atom("Emp", (_v("e"), _v("d"), _v("s"))), [Comparison(">", _v("s"), 0)]
+        )
+        with pytest.raises(RewritingUnsupportedError, match="key and a check"):
+            analyze_constraints(ConstraintSet([*key, check]))
+
+    def test_non_determinant_not_null_on_a_keyed_predicate(self):
+        key = functional_dependency("R", 2, determinant=[0], dependent=[1])[0]
+        with pytest.raises(RewritingUnsupportedError, match="non-determinant"):
+            analyze_constraints(ConstraintSet([key, not_null("R", 1, 2)]))
+
+    def test_multi_denial_must_be_isolated(self):
+        denial = denial_constraint(
+            [Atom("P", (_v("x"), _v("y"))), Atom("P", (_v("y"), _v("z")))]
+        )
+        key = functional_dependency("P", 2, determinant=[0], dependent=[1])[0]
+        with pytest.raises(RewritingUnsupportedError, match="non-local"):
+            analyze_constraints(ConstraintSet([denial, key]))
