@@ -12,6 +12,23 @@ Each table is also available as a JSON record of the shared shape
 :func:`print_table` emits it automatically into the directory named by
 the ``REPRO_BENCH_JSON`` environment variable when that is set, so every
 ``bench_e*`` script produces machine-readable results the same way.
+
+Repair-engine benchmarks report the counters of
+:class:`repro.core.repairs.RepairStatistics`; besides the search-tree
+counts (``states_explored``, ``candidates_found``, ``repairs_found``,
+``dead_branches``) these include the instrumentation added with the
+incremental engine:
+
+* ``violation_updates`` — incremental tracker updates, one per fact
+  add/delete along the search (``method="incremental"`` only);
+* ``constraints_reevaluated`` — seeded per-constraint update passes the
+  tracker ran; the gap to ``violation_updates × |IC|`` measures how much
+  the predicate → constraint index pruned;
+* ``leq_d_comparisons`` — pairwise ``≤_D`` checks in the minimality
+  filter (quadratic in the candidate count);
+* ``search_seconds`` / ``minimality_seconds`` — wall-clock split between
+  candidate enumeration and the ``≤_D`` filter, so a benchmark can tell
+  which phase a configuration is bound by.
 """
 
 from __future__ import annotations

@@ -79,9 +79,12 @@ from repro.constraints import (
 )
 from repro.logic import ConjunctiveQuery, FirstOrderQuery, Query
 from repro.core import (
+    REPAIR_METHODS,
     RepairEngine,
     Semantics,
     Violation,
+    ViolationIndex,
+    ViolationTracker,
     all_violations,
     build_repair_program,
     classic_repairs,
@@ -163,7 +166,10 @@ __all__ = [
     "semantics_matrix",
     "Violation",
     # repairs
+    "REPAIR_METHODS",
     "RepairEngine",
+    "ViolationIndex",
+    "ViolationTracker",
     "repairs",
     "classic_repairs",
     "leq_d",

@@ -100,6 +100,31 @@ class Atom:
 
         return Atom(self.predicate, tuple(self.terms[i] for i in positions))
 
+    def bound_positions(
+        self,
+        assignment: Mapping[Variable, Constant],
+        positions: Optional[Sequence[int]] = None,
+    ) -> Dict[int, Constant]:
+        """Positions whose value is determined by *assignment* or a constant.
+
+        The shared basis of every index-backed join: the returned
+        ``position → value`` map is what
+        :meth:`repro.relational.instance.DatabaseInstance.tuples_matching`
+        probes the hash indexes with.  *positions* restricts the scan to a
+        subset (the witness checks only look at the kept positions).
+        """
+
+        indices = range(self.arity) if positions is None else positions
+        bound: Dict[int, Constant] = {}
+        for position in indices:
+            term = self.terms[position]
+            if is_variable(term):
+                if term in assignment:
+                    bound[position] = assignment[term]
+            else:
+                bound[position] = term
+        return bound
+
     def __repr__(self) -> str:
         inner = ", ".join(
             t.name if is_variable(t) else format_constant(t) for t in self.terms

@@ -31,7 +31,17 @@ from repro.core.satisfaction import (
     violations,
 )
 from repro.core.semantics import Semantics
-from repro.core.repairs import RepairEngine, delta, leq_d, lt_d, repairs
+from repro.core.repairs import (
+    REPAIR_METHODS,
+    RepairEngine,
+    ViolationIndex,
+    ViolationTracker,
+    delta,
+    leq_d,
+    lt_d,
+    repairs,
+    violation_choice_key,
+)
 from repro.core.classic import classic_repairs
 from repro.core.cqa import (
     CQA_METHODS,
@@ -56,7 +66,11 @@ __all__ = [
     "all_violations",
     "is_consistent",
     "Semantics",
+    "REPAIR_METHODS",
     "RepairEngine",
+    "ViolationIndex",
+    "ViolationTracker",
+    "violation_choice_key",
     "repairs",
     "delta",
     "leq_d",

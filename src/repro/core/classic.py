@@ -30,6 +30,7 @@ from repro.constraints.ic import (
     NotNullConstraint,
 )
 from repro.constraints.terms import Variable, is_variable
+from repro.core.repairs import violation_choice_key
 from repro.core.satisfaction import Violation
 from repro.core.semantics import Semantics, violations_under
 
@@ -152,10 +153,7 @@ def classic_repairs(
             if key not in found:
                 found[key] = current.copy()
             return
-        violation = min(
-            violations,
-            key=lambda v: (repr(v.constraint), tuple(f.sort_key() for f in v.body_facts)),
-        )
+        violation = min(violations, key=violation_choice_key)
         for fact in dict.fromkeys(violation.body_facts):
             if fact in inserted:
                 continue

@@ -84,9 +84,12 @@ def _repairs_for(
     constraints: ConstraintSet,
     method: str,
     max_states: Optional[int],
+    repair_mode: str = "incremental",
 ) -> List[DatabaseInstance]:
     if method == "direct":
-        return RepairEngine(constraints, max_states=max_states).repairs(instance)
+        return RepairEngine(
+            constraints, max_states=max_states, method=repair_mode
+        ).repairs(instance)
     if method == "program":
         return program_repairs(instance, constraints).repairs
     raise ValueError(
@@ -136,12 +139,17 @@ def consistent_answers_report(
     null_is_unknown: bool = False,
     max_states: Optional[int] = 200_000,
     estimate_repairs: bool = True,
+    repair_mode: str = "incremental",
 ) -> CQAResult:
     """Full report: consistent answers plus repair statistics.
 
     *estimate_repairs* only affects the rewriting strategy, where the
     repair count is a conflict-graph estimate that costs one extra pass
     over the instance; the answer-only wrappers disable it.
+    *repair_mode* selects the direct engine's violation-evaluation method
+    (:data:`repro.core.repairs.REPAIR_METHODS`); all modes return the
+    same repairs, so this only affects cost — benchmark E12 compares
+    them.
     """
 
     constraint_set = _as_constraint_set(constraints)
@@ -175,11 +183,14 @@ def consistent_answers_report(
             method=plan.method,
             null_is_unknown=null_is_unknown,
             max_states=max_states,
+            repair_mode=repair_mode,
         )
         result.plan = plan
         return result
 
-    repairs = _repairs_for(instance, constraint_set, method, max_states)
+    repairs = _repairs_for(
+        instance, constraint_set, method, max_states, repair_mode=repair_mode
+    )
     if not repairs:
         # A non-conflicting constraint set always has at least one repair
         # (Proposition 1); an empty repair set can only happen with
@@ -213,6 +224,7 @@ def consistent_answers(
     method: str = "direct",
     null_is_unknown: bool = False,
     max_states: Optional[int] = 200_000,
+    repair_mode: str = "incremental",
 ) -> FrozenSet[AnswerTuple]:
     """The consistent answers to *query* in *instance* w.r.t. *constraints*."""
 
@@ -224,6 +236,7 @@ def consistent_answers(
         null_is_unknown=null_is_unknown,
         max_states=max_states,
         estimate_repairs=False,
+        repair_mode=repair_mode,
     ).answers
 
 

@@ -30,10 +30,12 @@ tiny instances.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from functools import lru_cache
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.relational.domain import Constant, NULL, is_null
+from repro.relational.domain import Constant, NULL, constant_sort_key, is_null
 from repro.relational.instance import DatabaseInstance, Fact
 from repro.constraints.atoms import Atom
 from repro.constraints.ic import (
@@ -43,7 +45,16 @@ from repro.constraints.ic import (
     NotNullConstraint,
 )
 from repro.constraints.terms import Variable, is_variable
-from repro.core.satisfaction import Violation, all_violations, is_consistent
+from repro.core.satisfaction import (
+    Violation,
+    all_violations,
+    is_consistent,
+    row_witnesses_atom,
+    seeded_violations,
+    violations,
+    violations_under_assignment,
+    witness_positions,
+)
 
 
 # --------------------------------------------------------------------------- ≤_D
@@ -137,6 +148,318 @@ def insertion_fixes(violation: Violation) -> List[Fact]:
     return fixes
 
 
+# --------------------------------------------------------------------------- chooser
+@lru_cache(maxsize=4096)
+def constraint_structural_key(constraint: AnyConstraint) -> Tuple:
+    """A name-independent, totally ordered signature of a constraint.
+
+    Variables are numbered by first occurrence (antecedent atoms first,
+    then consequent atoms, then built-ins), so two constraints that differ
+    only in variable or constraint *names* share a key.  Used by the
+    repair search's violation chooser so that exploration order — and the
+    ``≤_D`` corner documented in ROADMAP — no longer depends on how
+    constraints happen to be named.
+    """
+
+    if isinstance(constraint, NotNullConstraint):
+        return ("nnc", constraint.predicate, constraint.position)
+    order: Dict[Variable, int] = {}
+
+    def encode(term: object) -> Tuple:
+        if is_variable(term):
+            return ("var", (order.setdefault(term, len(order)),))
+        return ("const", constant_sort_key(term))  # type: ignore[arg-type]
+
+    body_sig = tuple(
+        (atom.predicate, tuple(encode(t) for t in atom.terms))
+        for atom in constraint.body
+    )
+    head_sig = tuple(
+        (atom.predicate, tuple(encode(t) for t in atom.terms))
+        for atom in constraint.head_atoms
+    )
+    comparison_sig = tuple(
+        (c.op, encode(c.left), encode(c.right)) for c in constraint.head_comparisons
+    )
+    return ("ic", body_sig, head_sig, comparison_sig)
+
+
+def violation_choice_key(violation: Violation) -> Tuple:
+    """Deterministic, name-independent ordering key for the violation chooser.
+
+    Structural constraint signature first, then the participating facts,
+    then the bound values — so two runs (and all three engine methods)
+    always resolve the same violation first, whatever the constraints are
+    called and in whatever order the joins enumerated the matches.
+    """
+
+    return (
+        constraint_structural_key(violation.constraint),
+        tuple(fact.sort_key() for fact in violation.body_facts),
+        tuple(constant_sort_key(value) for _, value in violation.bindings),
+    )
+
+
+# --------------------------------------------------------------------------- tracking
+class ViolationIndex:
+    """Map each predicate to the constraints whose body or head mention it.
+
+    Built once per constraint set; the incremental tracker consults it to
+    recompute only the affected constraints when a single fact changes.
+    """
+
+    def __init__(self, constraints: Union[ConstraintSet, Iterable[AnyConstraint]]):
+        self.constraints: List[AnyConstraint] = list(constraints)
+        self._body: Dict[str, List[int]] = {}
+        self._head: Dict[str, List[int]] = {}
+        self._affected: Dict[str, List[int]] = {}
+        for index, constraint in enumerate(self.constraints):
+            if isinstance(constraint, NotNullConstraint):
+                self._body.setdefault(constraint.predicate, []).append(index)
+                continue
+            for predicate in sorted(constraint.body_predicates()):
+                self._body.setdefault(predicate, []).append(index)
+            for predicate in sorted(constraint.head_predicates()):
+                self._head.setdefault(predicate, []).append(index)
+        self._body_sets: Dict[str, FrozenSet[int]] = {
+            predicate: frozenset(indices) for predicate, indices in self._body.items()
+        }
+        self._head_sets: Dict[str, FrozenSet[int]] = {
+            predicate: frozenset(indices) for predicate, indices in self._head.items()
+        }
+        for predicate in set(self._body) | set(self._head):
+            merged = set(self._body.get(predicate, ())) | set(
+                self._head.get(predicate, ())
+            )
+            self._affected[predicate] = sorted(merged)
+
+    _EMPTY: FrozenSet[int] = frozenset()
+
+    def body_mentions(self, predicate: str) -> Sequence[int]:
+        """Indices of constraints whose antecedent mentions *predicate*."""
+
+        return self._body.get(predicate, ())
+
+    def head_mentions(self, predicate: str) -> Sequence[int]:
+        """Indices of constraints whose consequent mentions *predicate*."""
+
+        return self._head.get(predicate, ())
+
+    def body_mention_set(self, predicate: str) -> FrozenSet[int]:
+        """:meth:`body_mentions` as a set, for membership tests on the hot path."""
+
+        return self._body_sets.get(predicate, self._EMPTY)
+
+    def head_mention_set(self, predicate: str) -> FrozenSet[int]:
+        """:meth:`head_mentions` as a set, for membership tests on the hot path."""
+
+        return self._head_sets.get(predicate, self._EMPTY)
+
+    def affected(self, predicate: str) -> Sequence[int]:
+        """Indices of constraints a change to *predicate* can affect."""
+
+        return self._affected.get(predicate, ())
+
+
+@dataclass
+class ViolationDelta:
+    """Undo record of one :class:`ViolationTracker` update."""
+
+    removed: List[Tuple[int, Violation]] = field(default_factory=list)
+    added: List[Tuple[int, Violation]] = field(default_factory=list)
+
+
+class ViolationTracker:
+    """Maintain the violation set of a mutating instance incrementally.
+
+    The tracker holds, per constraint, the current set of ground
+    violations of a live :class:`DatabaseInstance`.  After every single
+    fact insertion (:meth:`notify_added`) or deletion
+    (:meth:`notify_removed`) — performed on the instance *first* — it
+    updates only the constraints whose body or head mentions the fact's
+    predicate, seeding the re-enumeration from the changed fact:
+
+    * a fact added to a **body** predicate can only create violations that
+      use the fact itself (:func:`seeded_violations`);
+    * a fact removed from a **body** predicate only destroys the stored
+      violations listing it among their ``body_facts``;
+    * a fact added to a **head** predicate can only resolve stored
+      violations it now witnesses (one :func:`row_witnesses_atom` check
+      per stored violation);
+    * a fact removed from a **head** predicate can only surface matches
+      whose witness it was — re-enumerated under the partial assignment
+      the deleted witness pins down
+      (:func:`violations_under_assignment`).
+
+    Every update returns a :class:`ViolationDelta` that :meth:`revert`
+    undoes exactly, which is what lets the repair search run as a
+    mutate/undo depth-first search over a single working instance.
+    """
+
+    def __init__(
+        self,
+        instance: DatabaseInstance,
+        constraints: Union[ViolationIndex, ConstraintSet, Iterable[AnyConstraint]],
+    ):
+        self.index = (
+            constraints
+            if isinstance(constraints, ViolationIndex)
+            else ViolationIndex(constraints)
+        )
+        self.instance = instance
+        self._store: List[Dict[Violation, None]] = [
+            dict.fromkeys(violations(instance, constraint))
+            for constraint in self.index.constraints
+        ]
+        #: Counters surfaced through :class:`RepairStatistics`.
+        self.updates = 0
+        self.constraints_reevaluated = 0
+
+    # ------------------------------------------------------------------ queries
+    def violations(self) -> List[Violation]:
+        """The current violations, grouped in constraint order."""
+
+        found: List[Violation] = []
+        for store in self._store:
+            found.extend(store)
+        return found
+
+    def has_violations(self) -> bool:
+        """True iff any constraint currently has a violation."""
+
+        return any(self._store)
+
+    def violation_count(self) -> int:
+        """Total number of current violations."""
+
+        return sum(len(store) for store in self._store)
+
+    # ------------------------------------------------------------------ updates
+    def notify_added(self, fact: Fact) -> ViolationDelta:
+        """Update after *fact* was inserted into the tracked instance."""
+
+        self.updates += 1
+        delta = ViolationDelta()
+        head_indices = self.index.head_mention_set(fact.predicate)
+        body_indices = self.index.body_mention_set(fact.predicate)
+        for index in self.index.affected(fact.predicate):
+            constraint = self.index.constraints[index]
+            store = self._store[index]
+            self.constraints_reevaluated += 1
+            if isinstance(constraint, NotNullConstraint):
+                if constraint.position < fact.arity and is_null(
+                    fact.values[constraint.position]
+                ):
+                    violation = Violation(constraint, (), (fact,))
+                    if violation not in store:
+                        store[violation] = None
+                        delta.added.append((index, violation))
+                continue
+            # A new consequent fact may witness (and thereby resolve)
+            # stored violations; check it against each of them directly.
+            if index in head_indices:
+                resolved: List[Violation] = []
+                for violation in store:
+                    for atom in constraint.head_atoms:
+                        if atom.predicate != fact.predicate:
+                            continue
+                        kept = witness_positions(constraint, atom)
+                        if row_witnesses_atom(
+                            atom, fact.values, violation.assignment, kept
+                        ):
+                            resolved.append(violation)
+                            break
+                for violation in resolved:
+                    del store[violation]
+                    delta.removed.append((index, violation))
+            # A new antecedent fact can only create violations involving it.
+            if index in body_indices:
+                for violation in seeded_violations(self.instance, constraint, fact):
+                    if violation not in store:
+                        store[violation] = None
+                        delta.added.append((index, violation))
+        return delta
+
+    def notify_removed(self, fact: Fact) -> ViolationDelta:
+        """Update after *fact* was deleted from the tracked instance."""
+
+        self.updates += 1
+        delta = ViolationDelta()
+        head_indices = self.index.head_mention_set(fact.predicate)
+        body_indices = self.index.body_mention_set(fact.predicate)
+        for index in self.index.affected(fact.predicate):
+            constraint = self.index.constraints[index]
+            store = self._store[index]
+            self.constraints_reevaluated += 1
+            if isinstance(constraint, NotNullConstraint):
+                violation = Violation(constraint, (), (fact,))
+                if violation in store:
+                    del store[violation]
+                    delta.removed.append((index, violation))
+                continue
+            if index in body_indices:
+                doomed = [v for v in store if fact in v.body_facts]
+                for violation in doomed:
+                    del store[violation]
+                    delta.removed.append((index, violation))
+            if index in head_indices:
+                for partial in _lost_witness_assignments(constraint, fact):
+                    for violation in violations_under_assignment(
+                        self.instance, constraint, partial
+                    ):
+                        if violation not in store:
+                            store[violation] = None
+                            delta.added.append((index, violation))
+        return delta
+
+    def revert(self, delta: ViolationDelta) -> None:
+        """Undo one update (used when the search backtracks)."""
+
+        for index, violation in delta.added:
+            del self._store[index][violation]
+        for index, violation in delta.removed:
+            self._store[index][violation] = None
+
+
+def _lost_witness_assignments(
+    constraint: IntegrityConstraint, fact: Fact
+) -> Iterator[Dict[Variable, Constant]]:
+    """Partial assignments whose witness the deleted *fact* may have been.
+
+    For each consequent atom of the fact's predicate, pins the universal
+    variables at the witness-relevant positions to the fact's values; body
+    matches incompatible with one of these assignments never counted
+    *fact* as a witness, so only the compatible ones need re-checking.
+    Yields nothing when the fact cannot have matched the atom at all
+    (constant mismatch or inconsistent repeated variables).
+    """
+
+    body_vars = constraint.body_variables()
+    for atom in constraint.head_atoms:
+        if atom.predicate != fact.predicate or atom.arity != fact.arity:
+            continue
+        kept = witness_positions(constraint, atom)
+        partial: Dict[Variable, Constant] = {}
+        existential: Dict[Variable, Constant] = {}
+        feasible = True
+        for position in kept:
+            term = atom.terms[position]
+            value = fact.values[position]
+            if is_variable(term):
+                binding = partial if term in body_vars else existential
+                if term in binding:
+                    if binding[term] != value:
+                        feasible = False
+                        break
+                else:
+                    binding[term] = value
+            elif term != value:
+                feasible = False
+                break
+        if feasible:
+            yield partial
+
+
 # --------------------------------------------------------------------------- engine
 class RepairSearchBudgetExceeded(RuntimeError):
     """Raised when the repair search exceeds its configured state budget."""
@@ -144,28 +467,74 @@ class RepairSearchBudgetExceeded(RuntimeError):
 
 @dataclass
 class RepairStatistics:
-    """Counters describing one repair enumeration (used by the benchmarks)."""
+    """Counters describing one repair enumeration (used by the benchmarks).
+
+    The first four counters describe the search tree; the remaining ones
+    were added with the incremental engine and are documented in the
+    benchmark harness (see ``benchmarks/harness.py`` and ROADMAP):
+
+    * ``violation_updates`` — incremental tracker updates (one per fact
+      add/delete along the search, ``method="incremental"`` only);
+    * ``constraints_reevaluated`` — per-constraint seeded update passes
+      the tracker ran (≤ ``violation_updates × |IC|``; the smaller the
+      ratio, the better the predicate → constraint index is pruning);
+    * ``leq_d_comparisons`` — pairwise ``≤_D`` checks performed by the
+      minimality filter;
+    * ``search_seconds`` / ``minimality_seconds`` — wall-clock split
+      between candidate enumeration and the ``≤_D`` filter.
+    """
 
     states_explored: int = 0
     candidates_found: int = 0
     repairs_found: int = 0
     dead_branches: int = 0
+    violation_updates: int = 0
+    constraints_reevaluated: int = 0
+    leq_d_comparisons: int = 0
+    search_seconds: float = 0.0
+    minimality_seconds: float = 0.0
+
+
+#: The violation-evaluation strategies accepted by ``RepairEngine(method=)``.
+REPAIR_METHODS = ("incremental", "indexed", "naive")
 
 
 class RepairEngine:
-    """Enumerate the repairs of Definition 7 for a fixed constraint set."""
+    """Enumerate the repairs of Definition 7 for a fixed constraint set.
+
+    Three violation-evaluation methods are available, all bit-for-bit
+    identical in the repairs they produce (the benchmark E12 and the
+    property tests assert it):
+
+    * ``"incremental"`` (default) — a mutate/undo depth-first search over
+      a single working instance whose violation set is maintained by a
+      :class:`ViolationTracker`: each search step pays one seeded update
+      for the constraints touching the changed fact instead of a full
+      ``all_violations`` sweep, and no instance is copied per branch;
+    * ``"indexed"`` — recompute ``all_violations`` per state with the
+      hash-indexed joins (copies per branch are copy-on-write);
+    * ``"naive"`` — the seed reference path: full recomputation per state
+      with unindexed nested-loop joins.
+    """
 
     def __init__(
         self,
         constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
         max_states: Optional[int] = 200_000,
+        method: str = "incremental",
     ):
+        if method not in REPAIR_METHODS:
+            raise ValueError(
+                f"unknown repair method {method!r}; use one of {', '.join(REPAIR_METHODS)}"
+            )
         self._constraints = (
             constraints
             if isinstance(constraints, ConstraintSet)
             else ConstraintSet(list(constraints))
         )
         self._max_states = max_states
+        self._method = method
+        self._violation_index = ViolationIndex(self._constraints)
         self.statistics = RepairStatistics()
 
     @property
@@ -173,6 +542,12 @@ class RepairEngine:
         """The constraint set the engine repairs against."""
 
         return self._constraints
+
+    @property
+    def method(self) -> str:
+        """The violation-evaluation method the engine uses."""
+
+        return self._method
 
     # ------------------------------------------------------------------ search
     def candidates(self, instance: DatabaseInstance) -> List[DatabaseInstance]:
@@ -183,6 +558,37 @@ class RepairEngine:
         """
 
         self.statistics = RepairStatistics()
+        started = time.perf_counter()
+        try:
+            if self._method == "incremental":
+                return self._candidates_incremental(instance)
+            return self._candidates_recompute(instance, naive=self._method == "naive")
+        finally:
+            self.statistics.search_seconds = time.perf_counter() - started
+
+    def _enter_state(
+        self,
+        visited: Set[Tuple[FrozenSet[Fact], FrozenSet[Fact]]],
+        inserted: FrozenSet[Fact],
+        deleted: FrozenSet[Fact],
+    ) -> bool:
+        """Record a search state; False if seen before, raises over budget."""
+
+        state_key = (inserted, deleted)
+        if state_key in visited:
+            return False
+        visited.add(state_key)
+        self.statistics.states_explored += 1
+        if self._max_states is not None and self.statistics.states_explored > self._max_states:
+            raise RepairSearchBudgetExceeded(
+                f"repair search exceeded {self._max_states} states; "
+                "raise max_states or simplify the instance"
+            )
+        return True
+
+    def _candidates_recompute(
+        self, instance: DatabaseInstance, naive: bool
+    ) -> List[DatabaseInstance]:
         found: Dict[FrozenSet[Fact], DatabaseInstance] = {}
         visited: Set[Tuple[FrozenSet[Fact], FrozenSet[Fact]]] = set()
 
@@ -191,18 +597,10 @@ class RepairEngine:
             inserted: FrozenSet[Fact],
             deleted: FrozenSet[Fact],
         ) -> None:
-            state_key = (inserted, deleted)
-            if state_key in visited:
+            if not self._enter_state(visited, inserted, deleted):
                 return
-            visited.add(state_key)
-            self.statistics.states_explored += 1
-            if self._max_states is not None and self.statistics.states_explored > self._max_states:
-                raise RepairSearchBudgetExceeded(
-                    f"repair search exceeded {self._max_states} states; "
-                    "raise max_states or simplify the instance"
-                )
 
-            violations = all_violations(current, self._constraints)
+            violations = all_violations(current, self._constraints, naive=naive)
             if not violations:
                 key = current.fact_set()
                 if key not in found:
@@ -210,10 +608,7 @@ class RepairEngine:
                     self.statistics.candidates_found += 1
                 return
 
-            violation = min(
-                violations,
-                key=lambda v: (repr(v.constraint), tuple(f.sort_key() for f in v.body_facts)),
-            )
+            violation = min(violations, key=violation_choice_key)
             branched = False
             for fact in deletion_fixes(violation):
                 if fact in inserted:
@@ -235,11 +630,66 @@ class RepairEngine:
         explore(instance.copy(), frozenset(), frozenset())
         return list(found.values())
 
+    def _candidates_incremental(
+        self, instance: DatabaseInstance
+    ) -> List[DatabaseInstance]:
+        """Mutate/undo search over one working instance with tracked violations."""
+
+        found: Dict[FrozenSet[Fact], DatabaseInstance] = {}
+        visited: Set[Tuple[FrozenSet[Fact], FrozenSet[Fact]]] = set()
+        working = instance.copy()
+        tracker = ViolationTracker(working, self._violation_index)
+
+        def explore(inserted: FrozenSet[Fact], deleted: FrozenSet[Fact]) -> None:
+            if not self._enter_state(visited, inserted, deleted):
+                return
+
+            current_violations = tracker.violations()
+            if not current_violations:
+                key = working.fact_set()
+                if key not in found:
+                    found[key] = working.copy()
+                    self.statistics.candidates_found += 1
+                return
+
+            violation = min(current_violations, key=violation_choice_key)
+            branched = False
+            for fact in deletion_fixes(violation):
+                if fact in inserted:
+                    continue  # the program denial: never undo an insertion
+                working.discard(fact)
+                delta = tracker.notify_removed(fact)
+                branched = True
+                explore(inserted, deleted | {fact})
+                tracker.revert(delta)
+                working.add(fact)
+            for fact in insertion_fixes(violation):
+                if fact in deleted or fact in working:
+                    continue
+                working.add(fact)
+                delta = tracker.notify_added(fact)
+                branched = True
+                explore(inserted | {fact}, deleted)
+                tracker.revert(delta)
+                working.discard(fact)
+            if not branched:
+                self.statistics.dead_branches += 1
+
+        try:
+            explore(frozenset(), frozenset())
+        finally:
+            self.statistics.violation_updates = tracker.updates
+            self.statistics.constraints_reevaluated = tracker.constraints_reevaluated
+        return list(found.values())
+
     def repairs(self, instance: DatabaseInstance) -> List[DatabaseInstance]:
         """The ``≤_D``-minimal consistent candidates (Definition 7)."""
 
         candidates = self.candidates(instance)
-        minimal = minimal_under_leq_d(instance, candidates)
+        started = time.perf_counter()
+        minimal, comparisons = _minimal_under_leq_d_counted(instance, candidates)
+        self.statistics.minimality_seconds = time.perf_counter() - started
+        self.statistics.leq_d_comparisons = comparisons
         self.statistics.repairs_found = len(minimal)
         return minimal
 
@@ -249,15 +699,91 @@ def minimal_under_leq_d(
 ) -> List[DatabaseInstance]:
     """The candidates not strictly dominated (``<_D``) by another candidate."""
 
+    minimal, _ = _minimal_under_leq_d_counted(original, candidates)
+    return minimal
+
+
+#: A null-atom coverage signature: (predicate, arity, non-null positions).
+_CoverSignature = Tuple[str, int, Tuple[int, ...]]
+
+
+def _minimal_under_leq_d_counted(
+    original: DatabaseInstance, candidates: Sequence[DatabaseInstance]
+) -> Tuple[List[DatabaseInstance], int]:
+    """``≤_D``-minimality with precomputed deltas and indexed null coverage.
+
+    Each candidate's ``∆(D, ·)`` is computed once and split into its
+    null-free part (condition (a) of Definition 6 is then one subset
+    check) and its null atoms, which are matched against per-candidate
+    coverage tables keyed by (predicate, arity, non-null positions) →
+    projected values — turning the O(|∆|²) rescan of condition (b) into
+    an indexed lookup.  Returns the minimal candidates plus the number of
+    pairwise ``≤_D`` checks performed.
+    """
+
+    count = len(candidates)
+    if count <= 1:
+        return list(candidates), 0
+    deltas: List[FrozenSet[Fact]] = [
+        original.symmetric_difference(candidate) for candidate in candidates
+    ]
+    plain: List[FrozenSet[Fact]] = [
+        frozenset(fact for fact in d if not fact.has_null()) for d in deltas
+    ]
+    null_atoms: List[Tuple[Fact, ...]] = [
+        tuple(fact for fact in d if fact.has_null()) for d in deltas
+    ]
+    signatures: Set[_CoverSignature] = {
+        (fact.predicate, fact.arity, fact.non_null_positions())
+        for atoms in null_atoms
+        for fact in atoms
+    }
+    by_relation: Dict[Tuple[str, int], List[_CoverSignature]] = {}
+    for signature in signatures:
+        by_relation.setdefault((signature[0], signature[1]), []).append(signature)
+
+    _CoverTable = Dict[_CoverSignature, Dict[Tuple[Constant, ...], List[Fact]]]
+    cover_cache: List[Optional[_CoverTable]] = [None] * count
+
+    def cover(index: int) -> _CoverTable:
+        """The candidate's coverage table, built lazily in one delta pass."""
+
+        table = cover_cache[index]
+        if table is None:
+            table = {signature: {} for signature in signatures}
+            for fact in deltas[index]:
+                for signature in by_relation.get((fact.predicate, fact.arity), ()):
+                    table[signature].setdefault(
+                        tuple(fact.values[p] for p in signature[2]), []
+                    ).append(fact)
+            cover_cache[index] = table
+        return table
+
+    comparisons = 0
+
+    def leq(first: int, second: int) -> bool:
+        nonlocal comparisons
+        comparisons += 1
+        if not plain[first] <= deltas[second]:
+            return False
+        for fact in null_atoms[first]:
+            signature = (fact.predicate, fact.arity, fact.non_null_positions())
+            bucket = cover(second)[signature].get(
+                tuple(fact.values[p] for p in signature[2]), ()
+            )
+            if not any(candidate not in deltas[first] for candidate in bucket):
+                return False
+        return True
+
     minimal: List[DatabaseInstance] = []
-    for candidate in candidates:
+    for index in range(count):
         dominated = any(
-            other is not candidate and lt_d(original, other, candidate)
-            for other in candidates
+            other != index and leq(other, index) and not leq(index, other)
+            for other in range(count)
         )
         if not dominated:
-            minimal.append(candidate)
-    return minimal
+            minimal.append(candidates[index])
+    return minimal, comparisons
 
 
 def repairs(

@@ -13,11 +13,21 @@ Two implementations are provided:
 
 The two are equivalent and cross-validated by the test-suite:
 ``satisfies(D, ψ)`` (no violations) iff ``satisfies_via_projection(D, ψ)``.
+
+The direct enumeration joins the antecedent atoms through the instance's
+per-position hash indexes with a most-bound-atom-first schedule; the
+original nested-loop implementations survive behind ``naive=True`` as the
+reference path the property tests cross-validate against.  The seeded
+variants (:func:`seeded_violations`, :func:`violations_under_assignment`)
+restrict the join to matches involving one given fact / partial
+assignment — the incremental violation maintenance of
+:mod:`repro.core.repairs` is built on them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.relational.domain import Constant, is_null
@@ -54,11 +64,25 @@ class Violation:
     bindings: Tuple[Tuple[Variable, Constant], ...]
     body_facts: Tuple[Fact, ...]
 
-    @property
+    @cached_property
     def assignment(self) -> Assignment:
-        """The variable assignment as a dictionary."""
+        """The variable assignment as a dictionary (memoised).
+
+        The repair search reads this in its innermost loop;
+        ``cached_property`` stores the dict in the instance ``__dict__``,
+        which bypasses the frozen-dataclass ``__setattr__`` guard and does
+        not participate in equality or hashing.  Treat the result as
+        read-only — it is shared between accesses.
+        """
 
         return dict(self.bindings)
+
+    def __hash__(self) -> int:  # cached: violations are hashed per search state
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.constraint, self.bindings, self.body_facts))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self) -> str:
         assign = ", ".join(f"{v.name}={value!r}" for v, value in self.bindings)
@@ -67,14 +91,30 @@ class Violation:
 
 # --------------------------------------------------------------------------- joins
 def body_matches(
-    instance: DatabaseInstance, body: Sequence[Atom]
+    instance: DatabaseInstance, body: Sequence[Atom], naive: bool = False
 ) -> Iterator[Tuple[Assignment, Tuple[Fact, ...]]]:
     """Enumerate the matches of the antecedent atoms against the instance.
 
     ``null`` is treated as an ordinary constant (it joins with itself),
     exactly as in the evaluation of ``ψ_N`` over ``D^A`` (Example 12).
+
+    By default the atoms are joined through the instance's hash indexes
+    with a most-bound-atom-first schedule; ``naive=True`` selects the
+    original left-to-right nested-loop join, kept as the reference path
+    for cross-validation.  Both paths produce the same set of matches
+    (``body_facts`` always in antecedent-atom order); only the
+    enumeration order may differ.
     """
 
+    if naive:
+        yield from _body_matches_naive(instance, body)
+    else:
+        yield from indexed_body_matches(instance, body)
+
+
+def _body_matches_naive(
+    instance: DatabaseInstance, body: Sequence[Atom]
+) -> Iterator[Tuple[Assignment, Tuple[Fact, ...]]]:
     def extend(
         index: int, assignment: Assignment, facts: Tuple[Fact, ...]
     ) -> Iterator[Tuple[Assignment, Tuple[Fact, ...]]]:
@@ -89,6 +129,65 @@ def body_matches(
             yield from extend(index + 1, extended, facts + (Fact(atom.predicate, row),))
 
     yield from extend(0, {}, ())
+
+
+def indexed_body_matches(
+    instance: DatabaseInstance,
+    body: Sequence[Atom],
+    initial: Optional[Mapping[Variable, Constant]] = None,
+    fixed: Optional[Mapping[int, Fact]] = None,
+) -> Iterator[Tuple[Assignment, Tuple[Fact, ...]]]:
+    """Index-backed enumeration of the antecedent matches.
+
+    *initial* seeds the assignment (e.g. with the universal variables a
+    deleted witness used to pin down); *fixed* pins body atoms (by index)
+    to concrete facts — the basis of the incremental seeded enumeration.
+    At every step the join extends the **most-bound** remaining atom
+    (most positions already determined, then smallest relation), probing
+    the per-position hash indexes instead of scanning.
+    """
+
+    count = len(body)
+    facts: List[Optional[Fact]] = [None] * count
+    assignment: Assignment = dict(initial) if initial else {}
+    remaining = []
+    for index, atom in enumerate(body):
+        if fixed is not None and index in fixed:
+            fact = fixed[index]
+            extended = _match_atom(atom, fact.values, assignment)
+            if extended is None:
+                return
+            assignment = extended
+            facts[index] = fact
+        else:
+            remaining.append(index)
+
+    def extend(
+        remaining: Sequence[int], assignment: Assignment
+    ) -> Iterator[Tuple[Assignment, Tuple[Fact, ...]]]:
+        if not remaining:
+            yield dict(assignment), tuple(facts)  # type: ignore[arg-type]
+            return
+        best = min(
+            remaining,
+            key=lambda i: (
+                -len(body[i].bound_positions(assignment)),
+                instance.row_count(body[i].predicate),
+                i,
+            ),
+        )
+        atom = body[best]
+        rest = [i for i in remaining if i != best]
+        bound = atom.bound_positions(assignment)
+        for row in instance.tuples_matching(atom.predicate, bound):
+            extended = _match_atom(atom, row, assignment)
+            if extended is None:
+                continue
+            facts[best] = Fact(atom.predicate, row)
+            yield from extend(rest, extended)
+        facts[best] = None
+
+    yield from extend(remaining, assignment)
 
 
 def _match_atom(
@@ -109,13 +208,13 @@ def _match_atom(
     return extended
 
 
-def _head_atom_has_witness(
-    instance: DatabaseInstance,
+def row_witnesses_atom(
     atom: Atom,
-    assignment: Assignment,
+    row: Tuple[Constant, ...],
+    assignment: Mapping[Variable, Constant],
     positions: Sequence[int],
 ) -> bool:
-    """Does some tuple of ``atom.predicate`` match the atom on *positions*?
+    """Does *row* match *atom* on *positions* under *assignment*?
 
     Universal variables take their value from *assignment*; existential
     variables merely have to be consistent across their occurrences within
@@ -123,30 +222,48 @@ def _head_atom_has_witness(
     listed are ignored — they were projected away.
     """
 
-    for row in instance.tuples(atom.predicate):
-        if len(row) != atom.arity:
-            continue
-        existential_binding: Dict[Variable, Constant] = {}
-        matched = True
-        for position in positions:
-            term = atom.terms[position]
-            value = row[position]
-            if is_variable(term):
-                if term in assignment:
-                    if assignment[term] != value:
-                        matched = False
-                        break
-                else:
-                    bound = existential_binding.get(term)
-                    if bound is None and term not in existential_binding:
-                        existential_binding[term] = value
-                    elif bound != value:
-                        matched = False
-                        break
-            elif term != value:
-                matched = False
-                break
-        if matched:
+    if len(row) != atom.arity:
+        return False
+    existential_binding: Dict[Variable, Constant] = {}
+    for position in positions:
+        term = atom.terms[position]
+        value = row[position]
+        if is_variable(term):
+            if term in assignment:
+                if assignment[term] != value:
+                    return False
+            else:
+                bound = existential_binding.get(term)
+                if bound is None and term not in existential_binding:
+                    existential_binding[term] = value
+                elif bound != value:
+                    return False
+        elif term != value:
+            return False
+    return True
+
+
+def _head_atom_has_witness(
+    instance: DatabaseInstance,
+    atom: Atom,
+    assignment: Assignment,
+    positions: Sequence[int],
+    naive: bool = False,
+) -> bool:
+    """Does some tuple of ``atom.predicate`` match the atom on *positions*?
+
+    The indexed path probes the hash index on the witness positions whose
+    value is already pinned (universal variables and constants) and only
+    re-checks the existential-consistency part per candidate row.
+    """
+
+    if naive:
+        rows: Iterable[Tuple[Constant, ...]] = instance.tuples(atom.predicate)
+    else:
+        bound = atom.bound_positions(assignment, positions)
+        rows = instance.tuples_matching(atom.predicate, bound)
+    for row in rows:
+        if row_witnesses_atom(atom, row, assignment, positions):
             return True
     return False
 
@@ -172,13 +289,18 @@ def _comparison_disjunction_holds(
 
 # --------------------------------------------------------------------------- |=_N
 def violations(
-    instance: DatabaseInstance, constraint: AnyConstraint
+    instance: DatabaseInstance, constraint: AnyConstraint, naive: bool = False
 ) -> List[Violation]:
-    """All ground violations of *constraint* in *instance* under ``|=_N``."""
+    """All ground violations of *constraint* in *instance* under ``|=_N``.
+
+    ``naive=True`` selects the unindexed nested-loop joins (the original
+    reference implementation); the default uses the hash-indexed joins.
+    Both return the same violations, possibly in a different order.
+    """
 
     if isinstance(constraint, NotNullConstraint):
         return not_null_violations(instance, constraint)
-    return _ic_violations(instance, constraint)
+    return _ic_violations(instance, constraint, naive=naive)
 
 
 def not_null_violations(
@@ -193,28 +315,114 @@ def not_null_violations(
     return found
 
 
-def _ic_violations(
-    instance: DatabaseInstance, constraint: IntegrityConstraint
-) -> List[Violation]:
-    positions = relevant_positions(constraint)
-    relevant_vars = relevant_body_variables(constraint)
-    found: List[Violation] = []
-    for assignment, facts in body_matches(instance, constraint.body):
+@lru_cache(maxsize=4096)
+def _cached_relevant_positions(
+    constraint: IntegrityConstraint,
+) -> Dict[str, Tuple[int, ...]]:
+    """Memoised :func:`relevant_positions` (treated as read-only by callers)."""
+
+    return relevant_positions(constraint)
+
+
+@lru_cache(maxsize=4096)
+def _cached_relevant_body_variables(
+    constraint: IntegrityConstraint,
+) -> FrozenSet[Variable]:
+    """Memoised :func:`relevant_body_variables`."""
+
+    return relevant_body_variables(constraint)
+
+
+def witness_positions(constraint: IntegrityConstraint, atom: Atom) -> Tuple[int, ...]:
+    """The positions a witness for *atom* must agree on (Definition 3's kept set)."""
+
+    positions = _cached_relevant_positions(constraint)
+    return positions.get(atom.predicate, tuple(range(atom.arity)))
+
+
+def violation_filter(
+    instance: DatabaseInstance,
+    constraint: IntegrityConstraint,
+    matches: Iterable[Tuple[Assignment, Tuple[Fact, ...]]],
+    naive: bool = False,
+) -> Iterator[Violation]:
+    """Keep the body *matches* that are genuine ground violations.
+
+    Applies, in order, the relevant-null guard, the built-in disjunction
+    and the head-atom witness check — the three conditions of ``|=_N`` —
+    and yields a :class:`Violation` for every match that fails all of
+    them.  Shared by the full, seeded and incremental enumerations.
+    """
+
+    relevant_vars = _cached_relevant_body_variables(constraint)
+    for assignment, facts in matches:
         if any(is_null(assignment[v]) for v in relevant_vars):
             continue  # a null in a relevant antecedent attribute: satisfied
         if _comparison_disjunction_holds(constraint.head_comparisons, assignment):
             continue
         witnessed = False
         for atom in constraint.head_atoms:
-            kept = positions.get(atom.predicate, tuple(range(atom.arity)))
-            if _head_atom_has_witness(instance, atom, assignment, kept):
+            kept = witness_positions(constraint, atom)
+            if _head_atom_has_witness(instance, atom, assignment, kept, naive=naive):
                 witnessed = True
                 break
         if witnessed:
             continue
         bindings = tuple(sorted(assignment.items(), key=lambda item: item[0].name))
-        found.append(Violation(constraint, bindings, facts))
-    return found
+        yield Violation(constraint, bindings, facts)
+
+
+def _ic_violations(
+    instance: DatabaseInstance, constraint: IntegrityConstraint, naive: bool = False
+) -> List[Violation]:
+    return list(
+        violation_filter(
+            instance,
+            constraint,
+            body_matches(instance, constraint.body, naive=naive),
+            naive=naive,
+        )
+    )
+
+
+# ------------------------------------------------------------------- seeded
+def seeded_violations(
+    instance: DatabaseInstance, constraint: IntegrityConstraint, fact: Fact
+) -> Iterator[Violation]:
+    """The violations of *constraint* whose body involves *fact*.
+
+    Pins *fact* at every antecedent atom of the same predicate in turn and
+    joins the remaining atoms through the indexes; matches using the fact
+    at several occurrences are deduplicated.  After inserting *fact* this
+    yields exactly the violations created by the insertion.
+    """
+
+    seen: Set[Violation] = set()
+    for index, atom in enumerate(constraint.body):
+        if atom.predicate != fact.predicate or atom.arity != fact.arity:
+            continue
+        matches = indexed_body_matches(instance, constraint.body, fixed={index: fact})
+        for violation in violation_filter(instance, constraint, matches):
+            if violation not in seen:
+                seen.add(violation)
+                yield violation
+
+
+def violations_under_assignment(
+    instance: DatabaseInstance,
+    constraint: IntegrityConstraint,
+    partial: Mapping[Variable, Constant],
+) -> Iterator[Violation]:
+    """The violations of *constraint* compatible with the *partial* assignment.
+
+    Used after deleting a fact of a consequent predicate: the partial
+    assignment pins the universal variables the deleted witness agreed
+    on, so only the body matches that may have lost their witness are
+    re-examined.
+    """
+
+    matches = indexed_body_matches(instance, constraint.body, initial=partial)
+    yield from violation_filter(instance, constraint, matches)
 
 
 def satisfies(instance: DatabaseInstance, constraint: AnyConstraint) -> bool:
@@ -234,13 +442,15 @@ def satisfies_via_projection(
 
 
 def all_violations(
-    instance: DatabaseInstance, constraints: Union[ConstraintSet, Iterable[AnyConstraint]]
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    naive: bool = False,
 ) -> List[Violation]:
     """Violations of every constraint, in constraint order."""
 
     found: List[Violation] = []
     for constraint in constraints:
-        found.extend(violations(instance, constraint))
+        found.extend(violations(instance, constraint, naive=naive))
     return found
 
 

@@ -107,23 +107,41 @@ class ConjunctiveQuery(Query):
         return frozenset(a.predicate for a in self.positive_atoms + self.negative_atoms)
 
     # ------------------------------------------------------------------ evaluation
-    def answers(self, instance: DatabaseInstance, null_is_unknown: bool = False) -> AnswerSet:
-        """Join-based evaluation of the query over *instance*."""
+    def answers(
+        self,
+        instance: DatabaseInstance,
+        null_is_unknown: bool = False,
+        naive: bool = False,
+    ) -> AnswerSet:
+        """Join-based evaluation of the query over *instance*.
+
+        The default schedules the positive atoms dynamically — at each
+        step the atom with the most already-bound positions (then the
+        smallest relation) is joined next through the instance's hash
+        indexes.  ``naive=True`` keeps the original static
+        smallest-relation-first nested-loop join as a reference path; the
+        two produce identical answer sets.
+        """
 
         bindings: List[Dict[Variable, Constant]] = [{}]
-        # Order positive atoms by the number of tuples (cheap greedy join order).
-        ordered = sorted(
-            self.positive_atoms, key=lambda atom: len(instance.tuples(atom.predicate))
-        )
-        for atom in ordered:
-            rows = instance.tuples(atom.predicate)
-            new_bindings: List[Dict[Variable, Constant]] = []
-            for binding in bindings:
-                for row in rows:
-                    extended = _match(atom, row, binding)
-                    if extended is not None:
-                        new_bindings.append(extended)
-            bindings = new_bindings
+        if naive:
+            # Order positive atoms by the number of tuples (cheap greedy join order).
+            ordered = sorted(
+                self.positive_atoms, key=lambda atom: len(instance.tuples(atom.predicate))
+            )
+            for atom in ordered:
+                rows = instance.tuples(atom.predicate)
+                new_bindings: List[Dict[Variable, Constant]] = []
+                for binding in bindings:
+                    for row in rows:
+                        extended = _match(atom, row, binding)
+                        if extended is not None:
+                            new_bindings.append(extended)
+                bindings = new_bindings
+                if not bindings:
+                    return frozenset()
+        else:
+            bindings = self._indexed_bindings(instance)
             if not bindings:
                 return frozenset()
 
@@ -135,6 +153,52 @@ class ConjunctiveQuery(Query):
                 continue
             results.add(tuple(binding[v] for v in self.head_variables))
         return frozenset(results)
+
+    def _indexed_bindings(
+        self, instance: DatabaseInstance
+    ) -> List[Dict[Variable, Constant]]:
+        """Index-backed join of the positive atoms, most-bound atom first.
+
+        Which variables are bound is the same for every partial binding at
+        a given depth, so the schedule is chosen once per step; each
+        binding then probes the per-position hash indexes for its
+        candidate rows instead of scanning the relation.
+        """
+
+        bindings: List[Dict[Variable, Constant]] = [{}]
+        remaining = list(range(len(self.positive_atoms)))
+        bound_vars: Set[Variable] = set()
+
+        def bound_score(atom: Atom) -> int:
+            return sum(
+                1
+                for term in atom.terms
+                if not is_variable(term) or term in bound_vars
+            )
+
+        while remaining:
+            best = min(
+                remaining,
+                key=lambda i: (
+                    -bound_score(self.positive_atoms[i]),
+                    instance.row_count(self.positive_atoms[i].predicate),
+                    i,
+                ),
+            )
+            remaining.remove(best)
+            atom = self.positive_atoms[best]
+            new_bindings: List[Dict[Variable, Constant]] = []
+            for binding in bindings:
+                bound = atom.bound_positions(binding)
+                for row in instance.tuples_matching(atom.predicate, bound):
+                    extended = _match(atom, row, binding)
+                    if extended is not None:
+                        new_bindings.append(extended)
+            bindings = new_bindings
+            if not bindings:
+                return []
+            bound_vars |= atom.variables()
+        return bindings
 
     def __repr__(self) -> str:
         head = f"{self.name}({', '.join(v.name for v in self.head_variables)})"

@@ -35,6 +35,11 @@ from repro.relational.domain import (
 from repro.relational.schema import DatabaseSchema, RelationSchema, SchemaError
 
 
+Row = Tuple[Constant, ...]
+
+_EMPTY_ROWS: FrozenSet[Row] = frozenset()
+
+
 @dataclass(frozen=True)
 class Fact:
     """A ground database atom ``R(c_1, …, c_n)``."""
@@ -91,13 +96,61 @@ class Fact:
         return f"{self.predicate}({inner})"
 
 
+class _PredicateIndex:
+    """Hash index of one relation's rows: position → value → set of rows.
+
+    Built lazily the first time an indexed lookup touches the predicate and
+    maintained incrementally on every subsequent insert/delete, so point
+    lookups (``R[i] = v``) cost one dictionary probe instead of a scan.
+    """
+
+    __slots__ = ("arity", "by_position")
+
+    def __init__(self, arity: int, rows: Iterable[Row] = ()):
+        self.arity = arity
+        self.by_position: Tuple[Dict[Constant, Set[Row]], ...] = tuple(
+            {} for _ in range(arity)
+        )
+        for row in rows:
+            self.add(row)
+
+    def add(self, row: Row) -> None:
+        for position, value in enumerate(row):
+            self.by_position[position].setdefault(value, set()).add(row)
+
+    def discard(self, row: Row) -> None:
+        for position, value in enumerate(row):
+            buckets = self.by_position[position]
+            rows = buckets.get(value)
+            if rows is not None:
+                rows.discard(row)
+                if not rows:
+                    del buckets[value]
+
+    def rows_where(self, position: int, value: Constant) -> Set[Row]:
+        return self.by_position[position].get(value, _EMPTY_ROWS)  # type: ignore[return-value]
+
+    def copy(self) -> "_PredicateIndex":
+        clone = _PredicateIndex.__new__(_PredicateIndex)
+        clone.arity = self.arity
+        clone.by_position = tuple(
+            {value: set(rows) for value, rows in buckets.items()}
+            for buckets in self.by_position
+        )
+        return clone
+
+
 class DatabaseInstance:
     """A finite set of :class:`Fact` objects over a :class:`DatabaseSchema`.
 
-    The instance is mutable (facts can be added and removed) but cheap to
-    copy; the repair engine works on copies.  Equality is extensional:
-    two instances are equal iff they contain the same facts (the schema is
-    compared by the relations actually populated).
+    The instance is mutable (facts can be added and removed) and cheap to
+    copy: :meth:`copy` shares the per-relation row sets (and their hash
+    indexes) with the clone and only materialises a private copy of a
+    relation when one side mutates it — the repair search branches
+    thousands of times without ever duplicating the unchanged relations.
+    Equality is extensional: two instances are equal iff they contain the
+    same facts (the schema is compared by the relations actually
+    populated).
     """
 
     def __init__(
@@ -107,6 +160,12 @@ class DatabaseInstance:
     ):
         self._schema = schema if schema is not None else DatabaseSchema()
         self._tuples: Dict[str, Set[Tuple[Constant, ...]]] = {}
+        #: Predicates whose row set (and index) this instance may mutate in
+        #: place; everything else is potentially shared with a copy.
+        self._owned: Set[str] = set()
+        self._indexes: Dict[str, _PredicateIndex] = {}
+        #: Composite-key group caches: predicate → positions → key → rows.
+        self._groups: Dict[str, Dict[Tuple[int, ...], Dict[Row, List[Row]]]] = {}
         for fact in facts:
             self.add(fact)
 
@@ -141,6 +200,43 @@ class DatabaseInstance:
         return instance
 
     # ------------------------------------------------------------------ mutate
+    def _writable_rows(self, predicate: str, create: bool = False) -> Optional[Set[Row]]:
+        """The row set of *predicate*, privatised (copy-on-write) for mutation."""
+
+        rows = self._tuples.get(predicate)
+        if rows is None:
+            if not create:
+                return None
+            rows = set()
+            self._tuples[predicate] = rows
+            self._owned.add(predicate)
+            return rows
+        if predicate not in self._owned:
+            rows = set(rows)
+            self._tuples[predicate] = rows
+            index = self._indexes.get(predicate)
+            if index is not None:
+                self._indexes[predicate] = index.copy()
+            self._owned.add(predicate)
+        return rows
+
+    def _after_insert(self, predicate: str, values: Row) -> None:
+        index = self._indexes.get(predicate)
+        if index is not None:
+            index.add(values)
+        self._groups.pop(predicate, None)
+
+    def _after_delete(self, predicate: str, values: Row, rows: Set[Row]) -> None:
+        if rows:
+            index = self._indexes.get(predicate)
+            if index is not None:
+                index.discard(values)
+        else:
+            del self._tuples[predicate]
+            self._indexes.pop(predicate, None)
+            self._owned.discard(predicate)
+        self._groups.pop(predicate, None)
+
     def add(self, fact: Fact) -> None:
         """Insert *fact* (no-op if already present)."""
 
@@ -149,7 +245,12 @@ class DatabaseInstance:
             raise SchemaError(
                 f"fact {fact} does not match schema {rel!r} (arity {rel.arity})"
             )
-        self._tuples.setdefault(fact.predicate, set()).add(fact.values)
+        if fact.values in self._tuples.get(fact.predicate, _EMPTY_ROWS):
+            return
+        rows = self._writable_rows(fact.predicate, create=True)
+        assert rows is not None
+        rows.add(fact.values)
+        self._after_insert(fact.predicate, fact.values)
 
     def add_tuple(self, predicate: str, values: Sequence[Constant]) -> None:
         """Insert ``predicate(values)``."""
@@ -159,22 +260,22 @@ class DatabaseInstance:
     def remove(self, fact: Fact) -> None:
         """Delete *fact*; raises ``KeyError`` if absent."""
 
-        rows = self._tuples.get(fact.predicate, set())
-        if fact.values not in rows:
+        if fact.values not in self._tuples.get(fact.predicate, _EMPTY_ROWS):
             raise KeyError(f"fact {fact} not present in the instance")
+        rows = self._writable_rows(fact.predicate)
+        assert rows is not None
         rows.remove(fact.values)
-        if not rows:
-            del self._tuples[fact.predicate]
+        self._after_delete(fact.predicate, fact.values, rows)
 
     def discard(self, fact: Fact) -> None:
         """Delete *fact* if present (no error otherwise)."""
 
-        rows = self._tuples.get(fact.predicate)
-        if rows is None:
+        if fact.values not in self._tuples.get(fact.predicate, _EMPTY_ROWS):
             return
+        rows = self._writable_rows(fact.predicate)
+        assert rows is not None
         rows.discard(fact.values)
-        if not rows:
-            del self._tuples[fact.predicate]
+        self._after_delete(fact.predicate, fact.values, rows)
 
     # ------------------------------------------------------------------ access
     @property
@@ -197,6 +298,93 @@ class DatabaseInstance:
         """All value tuples of *predicate* (empty frozenset if none)."""
 
         return frozenset(self._tuples.get(predicate, set()))
+
+    def rows(self, predicate: str) -> Set[Row]:
+        """The live row set of *predicate* — read-only, do not mutate.
+
+        The hot joins iterate this instead of :meth:`tuples` to avoid one
+        frozenset copy per probe; callers must treat it as immutable and
+        must not hold it across a mutation of the instance.
+        """
+
+        return self._tuples.get(predicate, _EMPTY_ROWS)  # type: ignore[return-value]
+
+    def row_count(self, predicate: str) -> int:
+        """Number of tuples of *predicate* (0 if the relation is empty)."""
+
+        return len(self._tuples.get(predicate, _EMPTY_ROWS))
+
+    # ------------------------------------------------------------------ indexes
+    def _index(self, predicate: str) -> Optional[_PredicateIndex]:
+        rows = self._tuples.get(predicate)
+        if rows is None:
+            return None
+        index = self._indexes.get(predicate)
+        if index is None:
+            index = _PredicateIndex(len(next(iter(rows))), rows)
+            self._indexes[predicate] = index
+        return index
+
+    def tuples_where(self, predicate: str, position: int, value: Constant) -> Set[Row]:
+        """Indexed point lookup: the rows of *predicate* with ``row[position] == value``.
+
+        Returns the live index bucket — read-only, same caveats as
+        :meth:`rows`.  An out-of-range position yields the empty set.
+        """
+
+        index = self._index(predicate)
+        if index is None or position >= index.arity:
+            return _EMPTY_ROWS  # type: ignore[return-value]
+        return index.rows_where(position, value)
+
+    def tuples_matching(
+        self, predicate: str, bound: Mapping[int, Constant]
+    ) -> Iterable[Row]:
+        """The rows of *predicate* agreeing with *bound* (position → value).
+
+        With no bound positions this is :meth:`rows`; otherwise the most
+        selective single-position index bucket is scanned and filtered on
+        the remaining positions.
+        """
+
+        rows = self._tuples.get(predicate)
+        if rows is None:
+            return _EMPTY_ROWS
+        if not bound:
+            return rows
+        index = self._index(predicate)
+        assert index is not None
+        if any(position >= index.arity for position in bound):
+            return _EMPTY_ROWS
+        best = min(bound, key=lambda p: len(index.rows_where(p, bound[p])))
+        candidates = index.rows_where(best, bound[best])
+        if len(bound) == 1:
+            return candidates
+        return [
+            row
+            for row in candidates
+            if all(row[position] == value for position, value in bound.items())
+        ]
+
+    def rows_grouped_by(
+        self, predicate: str, positions: Sequence[int]
+    ) -> Mapping[Row, List[Row]]:
+        """The rows of *predicate* grouped by their projection on *positions*.
+
+        The grouping is cached until the relation is next mutated; the
+        conflict graph's key-violation materialisation, the rewriting
+        residues and the FD fast paths all share it.  Read-only.
+        """
+
+        key = tuple(positions)
+        per_predicate = self._groups.setdefault(predicate, {})
+        groups = per_predicate.get(key)
+        if groups is None:
+            groups = {}
+            for row in self._tuples.get(predicate, _EMPTY_ROWS):
+                groups.setdefault(tuple(row[p] for p in key), []).append(row)
+            per_predicate[key] = groups
+        return groups
 
     def facts(self, predicate: Optional[str] = None) -> Iterator[Fact]:
         """Iterate over facts, optionally restricted to one predicate."""
@@ -258,10 +446,20 @@ class DatabaseInstance:
 
     # ------------------------------------------------------------------ set ops
     def copy(self) -> "DatabaseInstance":
-        """Deep enough copy: new tuple sets, shared (immutable) schemas."""
+        """Cheap copy-on-write copy.
+
+        The clone shares every relation's row set, hash index and group
+        cache with ``self``; both sides privatise a relation the first time
+        they mutate it (see :meth:`_writable_rows`), so copying is O(number
+        of relations) regardless of instance size.
+        """
 
         clone = DatabaseInstance(schema=self._schema.copy())
-        clone._tuples = {pred: set(rows) for pred, rows in self._tuples.items()}
+        clone._tuples = dict(self._tuples)
+        clone._indexes = dict(self._indexes)
+        clone._groups = dict(self._groups)
+        clone._owned = set()
+        self._owned = set()  # the originals are shared now, too
         return clone
 
     def union(self, other: "DatabaseInstance") -> "DatabaseInstance":

@@ -270,14 +270,13 @@ def _fd_edges(
     dependent: int,
     edges: List[ConflictEdge],
 ) -> None:
-    groups: Dict[Tuple[Constant, ...], List[Tuple[Constant, ...]]] = {}
-    for row in instance.tuples(constraint.body[0].predicate):
-        key = tuple(row[p] for p in determinant)
-        if any(is_null(v) for v in key) or is_null(row[dependent]):
-            continue  # a null relevant attribute never fires the FD under |=_N
-        groups.setdefault(key, []).append(row)
     predicate = constraint.body[0].predicate
-    for rows in groups.values():
+    # The instance's cached composite-key grouping is shared with the
+    # rewriting residues and the repair engine's seeded FD updates.
+    for key, group in instance.rows_grouped_by(predicate, determinant).items():
+        if any(is_null(v) for v in key):
+            continue  # a null relevant attribute never fires the FD under |=_N
+        rows = [row for row in group if not is_null(row[dependent])]
         for i, first in enumerate(rows):
             for second in rows[i + 1 :]:
                 if first[dependent] != second[dependent]:

@@ -109,22 +109,20 @@ class RewriteIndexes:
 
     def __init__(self, instance: DatabaseInstance):
         self.instance = instance
-        self._groups: Dict[str, Dict[Row, List[Row]]] = {}
         self._witnesses: Dict[int, Dict[Row, List[Row]]] = {}
 
     # ------------------------------------------------------------------ key groups
     def group(self, key: KeyInfo, det_values: Row) -> List[Row]:
-        """The rows of the key's predicate sharing *det_values* (all non-null)."""
+        """The rows of the key's predicate sharing *det_values* (all non-null).
 
-        groups = self._groups.get(key.predicate)
-        if groups is None:
-            groups = {}
-            for row in self.instance.tuples(key.predicate):
-                values = tuple(row[p] for p in key.determinant)
-                if any(is_null(v) for v in values):
-                    continue
-                groups.setdefault(values, []).append(row)
-            self._groups[key.predicate] = groups
+        Delegates to the instance's cached composite-key grouping (also
+        used by the conflict graph's FD materialisation), so the grouping
+        is built once per instance rather than once per consumer; rows
+        whose determinant contains ``null`` land in buckets no caller
+        ever looks up (``det_values`` is always null-free).
+        """
+
+        groups = self.instance.rows_grouped_by(key.predicate, key.determinant)
         return groups.get(det_values, [])
 
     # ------------------------------------------------------------------ witnesses

@@ -1,0 +1,210 @@
+"""Property tests for the indexed/incremental violation machinery.
+
+Three invariants guard the new fast paths:
+
+* **incremental == full recomputation** — after any interleaved sequence
+  of fact insertions and deletions, a :class:`ViolationTracker` holds
+  exactly the violations a from-scratch :func:`all_violations` sweep
+  finds (checked after every single step, on hypothesis-generated
+  null-heavy instances and on every paper scenario);
+* **indexed == naive joins** — :func:`violations` with the hash-indexed
+  joins returns the same violation sets as the original nested-loop
+  reference path on every workload generator and scenario;
+* **revert is exact** — undoing a tracker update restores the previous
+  violation set (the repair search backtracks on this).
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.ic import ConstraintSet
+from repro.constraints.parser import parse_constraint, parse_query
+from repro.core.repairs import ViolationTracker
+from repro.core.satisfaction import all_violations, violations
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance, Fact
+from repro.workloads import (
+    cyclic_ric_workload,
+    foreign_key_workload,
+    grouped_key_workload,
+    key_violation_workload,
+    scaled_course_student,
+    scenarios,
+)
+from repro.constraints.factories import not_null
+
+
+VALUES = st.sampled_from(["a", "b", NULL])
+
+#: A deliberately adversarial mix: a RIC, a key, a multi-atom denial and
+#: an NNC, with P appearing in a body and R in both a body and a head.
+CONSTRAINTS = ConstraintSet(
+    [
+        parse_constraint("P(x, y) -> R(x, z)"),
+        parse_constraint("R(x, y), R(x, z) -> y = z"),
+        parse_constraint("P(x, x), R(x, y) -> false"),
+        not_null("P", 0, arity=2),
+    ]
+)
+
+common_settings = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def violation_sets(instance, constraints, naive=False):
+    return {
+        index: frozenset(violations(instance, constraint, naive=naive))
+        for index, constraint in enumerate(constraints)
+    }
+
+
+def tracker_sets(tracker):
+    return {
+        index: frozenset(store) for index, store in enumerate(tracker._store)
+    }
+
+
+def apply_and_check(instance, tracker, constraints, fact):
+    """Toggle *fact* (delete if present, insert otherwise) and re-validate."""
+
+    before = tracker_sets(tracker)
+    adding = fact not in instance
+    if adding:
+        instance.add(fact)
+        delta = tracker.notify_added(fact)
+    else:
+        instance.discard(fact)
+        delta = tracker.notify_removed(fact)
+    expected = violation_sets(instance, constraints)
+    assert tracker_sets(tracker) == expected
+    # The naive reference path agrees with the indexed recomputation, too.
+    assert violation_sets(instance, constraints, naive=True) == expected
+    # Undoing the mutation and reverting the delta restores the tracker
+    # exactly (the repair search backtracks on this) ...
+    if adding:
+        instance.discard(fact)
+    else:
+        instance.add(fact)
+    tracker.revert(delta)
+    assert tracker_sets(tracker) == before
+    # ... and redoing it brings back the post-change violation set.
+    if adding:
+        instance.add(fact)
+        tracker.notify_added(fact)
+    else:
+        instance.discard(fact)
+        tracker.notify_removed(fact)
+    assert tracker_sets(tracker) == expected
+
+
+class TestIncrementalEqualsRecomputation:
+    @common_settings
+    @given(
+        st.lists(st.tuples(VALUES, VALUES), max_size=3),
+        st.lists(st.tuples(VALUES, VALUES), max_size=3),
+        st.lists(
+            st.tuples(st.sampled_from(["P", "R"]), st.tuples(VALUES, VALUES)),
+            max_size=8,
+        ),
+    )
+    def test_random_interleaved_adds_and_deletes(self, p_rows, r_rows, operations):
+        instance = DatabaseInstance.from_dict({"P": p_rows, "R": r_rows})
+        tracker = ViolationTracker(instance, CONSTRAINTS)
+        assert tracker_sets(tracker) == violation_sets(instance, CONSTRAINTS)
+        for predicate, row in operations:
+            apply_and_check(instance, tracker, CONSTRAINTS, Fact(predicate, row))
+
+    @pytest.mark.parametrize("name", sorted(scenarios.all_scenarios()))
+    def test_scenario_interleavings(self, all_scenarios, name):
+        """Deterministic add/delete walks over every paper scenario."""
+
+        scenario = all_scenarios[name]
+        rng = random.Random(1234)
+        instance = scenario.instance.copy()
+        constraints = scenario.constraints
+        # The toggle pool: every original fact plus null-heavy variants.
+        pool = list(scenario.instance.facts())
+        for fact in list(pool):
+            for position in range(fact.arity):
+                values = list(fact.values)
+                values[position] = NULL
+                pool.append(Fact(fact.predicate, values))
+        tracker = ViolationTracker(instance, constraints)
+        for _ in range(30):
+            fact = rng.choice(pool)
+            apply_and_check(instance, tracker, constraints, fact)
+
+    def test_tracker_counts_updates(self):
+        instance = DatabaseInstance.from_dict({"P": [("a", "b")]})
+        tracker = ViolationTracker(instance, CONSTRAINTS)
+        assert tracker.updates == 0
+        instance.add(Fact("R", ("a", NULL)))
+        tracker.notify_added(Fact("R", ("a", NULL)))
+        assert tracker.updates == 1
+        assert tracker.constraints_reevaluated >= 1
+        assert tracker.violation_count() == len(tracker.violations())
+
+
+WORKLOADS = [
+    ("foreign_key", lambda seed: foreign_key_workload(
+        n_parents=6, n_children=12, violation_ratio=0.3, null_ratio=0.4, seed=seed
+    )),
+    ("key_violation", lambda seed: key_violation_workload(
+        n_rows=15, duplicate_ratio=0.3, null_ratio=0.4, seed=seed
+    )),
+    ("grouped_key", lambda seed: grouped_key_workload(
+        n_groups=3, group_size=3, n_clean=8, seed=seed
+    )),
+    ("cyclic_ric", lambda seed: cyclic_ric_workload(
+        n_rows=6, violation_ratio=0.4, seed=seed
+    )),
+    ("course_student", lambda seed: scaled_course_student(
+        n_courses=8, dangling_ratio=0.4, seed=seed
+    )),
+]
+
+
+class TestIndexedEqualsNaive:
+    @pytest.mark.parametrize("name,factory", WORKLOADS, ids=[n for n, _ in WORKLOADS])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_violations_agree_on_workloads(self, name, factory, seed):
+        instance, constraints = factory(seed)
+        for constraint in constraints:
+            indexed = violations(instance, constraint)
+            naive = violations(instance, constraint, naive=True)
+            assert frozenset(indexed) == frozenset(naive)
+            assert len(indexed) == len(naive)  # no duplicates either way
+
+    @pytest.mark.parametrize("name", sorted(scenarios.all_scenarios()))
+    def test_violations_agree_on_scenarios(self, all_scenarios, name):
+        scenario = all_scenarios[name]
+        assert violation_sets(
+            scenario.instance, scenario.constraints
+        ) == violation_sets(scenario.instance, scenario.constraints, naive=True)
+
+    @pytest.mark.parametrize("name,factory", WORKLOADS, ids=[n for n, _ in WORKLOADS])
+    def test_all_violations_agree(self, name, factory):
+        instance, constraints = factory(0)
+        assert frozenset(all_violations(instance, constraints)) == frozenset(
+            all_violations(instance, constraints, naive=True)
+        )
+
+    @pytest.mark.parametrize(
+        "query_text",
+        [
+            "ans(c) <- Course(i, c)",
+            "ans(i, n) <- Course(i, c), Student(i, n)",
+            "ans(i) <- Course(i, c), not Student(i, c)",
+        ],
+    )
+    def test_query_join_agrees_with_naive_path(self, query_text):
+        query = parse_query(query_text)
+        for seed in (0, 1, 2):
+            instance, _ = scaled_course_student(
+                n_courses=10, dangling_ratio=0.4, seed=seed
+            )
+            assert query.answers(instance) == query.answers(instance, naive=True)

@@ -129,3 +129,80 @@ class TestSetOperations:
         rendered = db.pretty()
         assert "P(A, B)" in rendered
         assert "a, null" in rendered
+
+
+class TestHashIndexes:
+    def test_tuples_where_point_lookup(self):
+        db = DatabaseInstance.from_dict(
+            {"P": [("a", 1), ("a", 2), ("b", 1), (NULL, 3)]}
+        )
+        assert db.tuples_where("P", 0, "a") == {("a", 1), ("a", 2)}
+        assert db.tuples_where("P", 1, 1) == {("a", 1), ("b", 1)}
+        assert db.tuples_where("P", 0, NULL) == {(NULL, 3)}
+        assert db.tuples_where("P", 0, "zzz") == frozenset()
+        assert db.tuples_where("Missing", 0, "a") == frozenset()
+        assert db.tuples_where("P", 9, "a") == frozenset()
+
+    def test_tuples_matching_multi_position(self):
+        db = DatabaseInstance.from_dict({"P": [("a", 1), ("a", 2), ("b", 1)]})
+        assert set(db.tuples_matching("P", {0: "a", 1: 2})) == {("a", 2)}
+        assert set(db.tuples_matching("P", {})) == {("a", 1), ("a", 2), ("b", 1)}
+        assert set(db.tuples_matching("P", {0: "c"})) == set()
+        assert set(db.tuples_matching("P", {5: "a"})) == set()
+        assert set(db.tuples_matching("Missing", {0: "a"})) == set()
+
+    def test_index_is_maintained_across_mutations(self):
+        db = DatabaseInstance.from_dict({"P": [("a", 1)]})
+        assert db.tuples_where("P", 0, "a") == {("a", 1)}  # builds the index
+        db.add_tuple("P", ("a", 2))
+        assert db.tuples_where("P", 0, "a") == {("a", 1), ("a", 2)}
+        db.discard(Fact("P", ("a", 1)))
+        assert db.tuples_where("P", 0, "a") == {("a", 2)}
+        db.discard(Fact("P", ("a", 2)))
+        assert db.tuples_where("P", 0, "a") == frozenset()
+        assert "P" not in db.predicates
+
+    def test_rows_grouped_by_caches_and_invalidates(self):
+        db = DatabaseInstance.from_dict({"P": [("a", 1), ("a", 2), ("b", 1)]})
+        groups = db.rows_grouped_by("P", (0,))
+        assert set(groups[("a",)]) == {("a", 1), ("a", 2)}
+        assert db.rows_grouped_by("P", (0,)) is groups  # cached
+        db.add_tuple("P", ("a", 3))
+        regrouped = db.rows_grouped_by("P", (0,))
+        assert set(regrouped[("a",)]) == {("a", 1), ("a", 2), ("a", 3)}
+
+
+class TestCopyOnWrite:
+    def test_mutating_the_clone_leaves_the_parent_intact(self):
+        parent = DatabaseInstance.from_dict({"P": [("a",)], "Q": [("b",)]})
+        clone = parent.copy()
+        clone.add_tuple("P", ("c",))
+        clone.discard(Fact("Q", ("b",)))
+        assert parent.fact_set() == frozenset({Fact("P", ("a",)), Fact("Q", ("b",))})
+        assert clone.fact_set() == frozenset({Fact("P", ("a",)), Fact("P", ("c",))})
+
+    def test_mutating_the_parent_leaves_the_clone_intact(self):
+        parent = DatabaseInstance.from_dict({"P": [("a",)]})
+        clone = parent.copy()
+        parent.add_tuple("P", ("b",))
+        assert len(parent) == 2
+        assert clone.fact_set() == frozenset({Fact("P", ("a",))})
+
+    def test_indexes_stay_correct_after_cow(self):
+        parent = DatabaseInstance.from_dict({"P": [("a", 1), ("b", 2)]})
+        assert parent.tuples_where("P", 0, "a") == {("a", 1)}  # build before copy
+        clone = parent.copy()
+        clone.add_tuple("P", ("a", 3))
+        parent.discard(Fact("P", ("a", 1)))
+        assert parent.tuples_where("P", 0, "a") == frozenset()
+        assert clone.tuples_where("P", 0, "a") == {("a", 1), ("a", 3)}
+
+    def test_chained_copies(self):
+        first = DatabaseInstance.from_dict({"P": [("a",)]})
+        second = first.copy()
+        third = second.copy()
+        third.add_tuple("P", ("b",))
+        second.discard(Fact("P", ("a",)))
+        assert first.fact_set() == frozenset({Fact("P", ("a",))})
+        assert len(second) == 0
+        assert third.fact_set() == frozenset({Fact("P", ("a",)), Fact("P", ("b",))})
