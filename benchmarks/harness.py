@@ -29,6 +29,14 @@ incremental engine:
 * ``search_seconds`` / ``minimality_seconds`` — wall-clock split between
   candidate enumeration and the ``≤_D`` filter, so a benchmark can tell
   which phase a configuration is bound by.
+
+Session-level benchmarks (E13) additionally report the counters of
+:class:`repro.session.ConsistentDatabase`: the LRU effectiveness
+numbers of ``cache_info()`` (hits/misses/evictions across rewritten
+queries, plans, conflict graphs, repair lists and answer sets) and
+``statistics.tracker_rebuilds`` (full violation sweeps — a healthy
+warm session performs exactly one, on first use, regardless of how many
+mutations and queries follow).
 """
 
 from __future__ import annotations

@@ -15,14 +15,13 @@ Run with::
     python examples/cyclic_references.py
 """
 
+from repro import ConsistentDatabase
 from repro.constraints.dependency_graph import (
     contracted_dependency_graph,
     is_ric_acyclic,
     ric_cycles,
 )
-from repro.core.cqa import consistent_answers_report
 from repro.constraints.parser import parse_query
-from repro.core.repairs import RepairEngine
 from repro.workloads import cyclic_ric_workload, scenarios
 
 
@@ -41,25 +40,27 @@ def main() -> None:
     print(f"Contracted dependency graph vertices: {[sorted(v) for v in contracted.nodes]}")
     print(f"Cycles: {[[sorted(v) for v in cycle] for cycle in ric_cycles(constraints)]}")
 
-    engine = RepairEngine(constraints)
-    found = engine.repairs(instance)
+    db = ConsistentDatabase(instance, constraints)
+    found = list(db.iter_repairs())
     print(f"\nRepairs: {len(found)} (the paper lists four) — all finite:")
     for index, repair in enumerate(found, start=1):
         print(f"--- repair {index} ---")
         print(repair.pretty())
 
     query = parse_query("ans(y) <- P(x, y)")
-    report = consistent_answers_report(instance, constraints, query)
-    print(f"\nConsistent answers to {query!r}: {sorted(report.answers)}")
+    print(f"\nPlanner on a cyclic set: {db.explain(query)}")
+    report = db.report(query, method="direct")
+    print(f"Consistent answers to {query!r}: {sorted(report.answers)}")
     print(f"(computed over {report.repair_count} repairs — CQA is decidable here, Theorem 2)")
 
     print("\nScaled-up cyclic workload (P(x, y) → T(x), T(x) → ∃y P(y, x)):")
     big_instance, big_constraints = cyclic_ric_workload(n_rows=6, violation_ratio=0.4, seed=1)
-    big_engine = RepairEngine(big_constraints)
-    big_repairs = big_engine.repairs(big_instance)
+    big_db = ConsistentDatabase(big_instance, big_constraints)
+    big_repairs = big_db.repair_count()
+    stats = big_db.last_repair_statistics
     print(
-        f"  {len(big_instance)} facts, {len(big_repairs)} repairs, "
-        f"{big_engine.statistics.states_explored} search states"
+        f"  {len(big_db)} facts, {big_repairs} repairs, "
+        f"{stats.states_explored} search states"
     )
 
 

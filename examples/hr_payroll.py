@@ -1,49 +1,47 @@
 #!/usr/bin/env python3
-"""HR payroll audit: keys, check constraints and consistent query answering.
+"""HR payroll audit: a long-lived session over a polluted database.
 
 A synthetic HR database with an employee key, a ``salary > 0`` check
 constraint and a department foreign key has been polluted by a botched
 import: duplicate employee ids, dangling department references and
-missing salaries.  The script audits it (which tuples violate what),
-repairs it, and answers payroll queries consistently — i.e. it reports
-only the facts that hold no matter how the inconsistencies are resolved.
+missing salaries.  The script opens a :class:`ConsistentDatabase`
+session, audits it (which tuples violate what — served by the session's
+warm violation tracker), repairs it, answers payroll queries
+consistently, and then applies a transactional clean-up batch: the
+session absorbs the writes incrementally and the follow-up queries show
+the audit shrinking.
 
 Run with::
 
-    python examples/hr_payroll.py
+    PYTHONPATH=src python examples/hr_payroll.py
 """
 
 from repro import (
+    ConsistentDatabase,
     ConstraintSet,
-    DatabaseInstance,
     NULL,
-    all_violations,
-    consistent_answers_report,
     foreign_key,
     functional_dependency,
     not_null,
     parse_constraint,
     parse_query,
-    repairs,
 )
 
 
-def build_database() -> DatabaseInstance:
+def build_data() -> dict:
     """The polluted payroll snapshot."""
 
-    return DatabaseInstance.from_dict(
-        {
-            "Emp": [
-                (1, "Ann", "CS", 120),
-                (2, "Bob", "CS", 80),
-                (2, "Bobby", "CS", 95),      # duplicate employee id
-                (3, "Eve", "Math", NULL),    # unknown salary: never a violation
-                (4, "Zed", "Bio", 50),       # dangling department reference
-                (5, "Moe", NULL, 70),        # null department: FK is satisfied
-            ],
-            "Dept": [("CS", "carl"), ("Math", "mia")],
-        }
-    )
+    return {
+        "Emp": [
+            (1, "Ann", "CS", 120),
+            (2, "Bob", "CS", 80),
+            (2, "Bobby", "CS", 95),      # duplicate employee id
+            (3, "Eve", "Math", NULL),    # unknown salary: never a violation
+            (4, "Zed", "Bio", 50),       # dangling department reference
+            (5, "Moe", NULL, 70),        # null department: FK is satisfied
+        ],
+        "Dept": [("CS", "carl"), ("Math", "mia")],
+    }
 
 
 def build_constraints() -> ConstraintSet:
@@ -57,21 +55,39 @@ def build_constraints() -> ConstraintSet:
     return constraints
 
 
-def main() -> None:
-    database = build_database()
-    constraints = build_constraints()
+QUERIES = {
+    "employees with a guaranteed department": "ans(n, d) <- Emp(i, n, d, s), Dept(d, h)",
+    "employee names on the payroll": "ans(n) <- Emp(i, n, d, s)",
+    "departments that certainly exist": "ans(d) <- Dept(d, h)",
+}
 
-    print("Payroll snapshot:")
-    print(database.pretty())
 
-    print("\nAudit — violations under the null-aware semantics:")
-    for violation in all_violations(database, constraints):
+def audit(db: ConsistentDatabase) -> None:
+    print(f"  {db.violation_count()} violations:")
+    for violation in db.violations():
         name = getattr(violation.constraint, "name", None) or repr(violation.constraint)
         facts = ", ".join(repr(fact) for fact in violation.body_facts)
         print(f"  [{name}] {facts}")
 
+
+def answer(db: ConsistentDatabase) -> None:
+    for label, text in QUERIES.items():
+        report = db.report(parse_query(text), method="direct")
+        print(f"  {label}: {sorted(report.answers)}")
+        print(f"      ({report.repair_count} repairs considered)")
+
+
+def main() -> None:
+    db = ConsistentDatabase(build_data(), build_constraints())
+
+    print("Payroll snapshot:")
+    print(db.instance.pretty())
+
+    print("\nAudit — violations under the null-aware semantics:")
+    audit(db)
+
     print("\nRepairs:")
-    repaired = repairs(database, constraints)
+    repaired = list(db.iter_repairs())
     print(f"  {len(repaired)} repairs (duplicate key x dangling FK resolutions)")
     for index, repair in enumerate(repaired[:4], start=1):
         print(f"--- repair {index} ---")
@@ -80,16 +96,18 @@ def main() -> None:
         print(f"... and {len(repaired) - 4} more")
 
     print("\nConsistent answers:")
-    queries = {
-        "employees with a guaranteed department": "ans(n, d) <- Emp(i, n, d, s), Dept(d, h)",
-        "employee names on the payroll": "ans(n) <- Emp(i, n, d, s)",
-        "departments that certainly exist": "ans(d) <- Dept(d, h)",
-    }
-    for label, text in queries.items():
-        query = parse_query(text)
-        report = consistent_answers_report(database, constraints, query)
-        print(f"  {label}: {sorted(report.answers)}")
-        print(f"      ({report.repair_count} repairs considered)")
+    answer(db)
+
+    print("\nClean-up batch (atomic: either every fix lands or none do):")
+    with db.batch():
+        db.delete("Emp", (2, "Bobby", "CS", 95))     # resolve the duplicate id
+        db.insert("Dept", ("Bio", "beth"))           # resolve the dangling FK
+    print(f"  consistent now? {db.is_consistent()}")
+    audit(db)
+
+    print("\nConsistent answers after the clean-up "
+          "(the session re-derived only what the writes staled):")
+    answer(db)
 
 
 if __name__ == "__main__":

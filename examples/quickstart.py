@@ -1,55 +1,58 @@
 #!/usr/bin/env python3
-"""Quickstart: repairs and consistent query answers on the paper's running example.
+"""Quickstart: a ``ConsistentDatabase`` session on the paper's running example.
 
 The database violates the referential constraint
 ``Course(ID, Code) → ∃Name Student(ID, Name)`` (Example 14 of the paper):
 course C18 is taught to student 34, who has no Student row.  The script
-shows the two null-based repairs (Example 15) and the consistent answers
-to a simple query under both evaluation strategies.
+opens a session over the inconsistent database, inspects its violations
+(maintained incrementally, not recomputed per call), walks the two
+null-based repairs (Example 15), answers a query consistently through
+several engines, and then *fixes* the database through the session's
+mutation surface — the warm violation tracker absorbs the insert and the
+next answers reflect it immediately.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro import (
-    DatabaseInstance,
-    consistent_answers,
-    is_consistent,
-    parse_constraint,
-    parse_query,
-    repairs,
-    violations,
-)
+from repro import ConsistentDatabase, parse_constraint, parse_query
 
 
 def main() -> None:
-    database = DatabaseInstance.from_dict(
+    db = ConsistentDatabase(
         {
             "Course": [(21, "C15"), (34, "C18")],
             "Student": [(21, "Ann"), (45, "Paul")],
-        }
+        },
+        [parse_constraint("Course(id, code) -> Student(id, name)", name="course_fk")],
     )
-    foreign_key = parse_constraint("Course(id, code) -> Student(id, name)", name="course_fk")
 
     print("Database:")
-    print(database.pretty())
+    print(db.instance.pretty())
     print()
-    print(f"Constraint: {foreign_key!r}")
-    print(f"Consistent under |=_N? {is_consistent(database, [foreign_key])}")
-    for violation in violations(database, foreign_key):
+    print(f"Session: {db!r}")
+    print(f"Consistent under |=_N? {db.is_consistent()}")
+    for violation in db.violations():
         print(f"  violation: {violation!r}")
 
     print("\nRepairs (Definition 7 — nulls fill the unknown attributes):")
-    for index, repair in enumerate(repairs(database, [foreign_key]), start=1):
+    for index, repair in enumerate(db.iter_repairs(), start=1):
         print(f"--- repair {index} ---")
         print(repair.pretty())
 
     query = parse_query("ans(code) <- Course(id, code)")
     print(f"\nQuery: {query!r}")
-    for method in ("direct", "program"):
-        answers = consistent_answers(database, [foreign_key], query, method=method)
-        print(f"Consistent answers ({method} method): {sorted(answers)}")
+    print(f"Planner's choice: {db.explain(query)!r}")
+    for method in ("auto", "direct", "program", "sqlite"):
+        answers = db.consistent_answers(query, method=method)
+        print(f"Consistent answers ({method} engine): {sorted(answers)}")
+
+    print("\nFixing the database through the session (one incremental update):")
+    db.insert("Student", (34, "Zoe"))
+    print(f"  consistent now? {db.is_consistent()}")
+    print(f"  answers now: {sorted(db.consistent_answers(query))}")
+    print(f"  cache: {db.cache_info()}")
 
 
 if __name__ == "__main__":

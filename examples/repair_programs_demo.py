@@ -14,11 +14,11 @@ Run with::
     python examples/repair_programs_demo.py
 """
 
+from repro import ConsistentDatabase
 from repro.asp.grounding import ground_program
 from repro.asp.shift import is_head_cycle_free, shift_program
 from repro.core.hcf import hcf_report
 from repro.core.repair_program import TRUE_DOUBLE_STAR, build_repair_program, program_repairs
-from repro.core.repairs import repairs
 from repro.workloads import scenarios
 
 
@@ -54,8 +54,10 @@ def main() -> None:
         print(f"--- D_M{index} ---")
         print(database.pretty())
 
-    direct = repairs(instance, constraints)
-    same = {r.fact_set() for r in direct} == {r.fact_set() for r in result.repairs}
+    db = ConsistentDatabase(instance, constraints)
+    direct = {r.fact_set() for r in db.iter_repairs()}
+    via_program_engine = {r.fact_set() for r in db.iter_repairs(method="program")}
+    same = direct == {r.fact_set() for r in result.repairs} == via_program_engine
     print(f"\nTheorem 4 check — program repairs == direct repairs: {same}")
 
     shifted = shift_program(ground)

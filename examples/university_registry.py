@@ -18,7 +18,7 @@ Run with::
     python examples/university_registry.py
 """
 
-from repro import NULL, repairs
+from repro import ConsistentDatabase
 from repro.core.relevant import paper_attribute_names
 from repro.core.semantics import semantics_matrix
 from repro.sqlbackend.backend import SQLiteBackend
@@ -58,7 +58,8 @@ def main() -> None:
 
     print("\nRepairs of the polluted registry (delete the dangling course or invent")
     print("a null-padded Exp row for instructor 18):")
-    for index, repair in enumerate(repairs(rejected, constraints), start=1):
+    db = ConsistentDatabase(rejected, constraints)
+    for index, repair in enumerate(db.iter_repairs(), start=1):
         print(f"--- repair {index} ---")
         print(repair.pretty())
 

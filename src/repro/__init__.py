@@ -9,42 +9,67 @@ that compute them — together with every substrate the paper relies on
 (relational instances, a first-order evaluator, an answer-set solver and a
 SQL backend).
 
-Quickstart
-----------
->>> from repro import DatabaseInstance, parse_constraint, parse_query
->>> from repro import repairs, consistent_answers
->>> db = DatabaseInstance.from_dict({
+Quickstart: the session façade
+------------------------------
+The primary entry point is :class:`repro.session.ConsistentDatabase`: a
+stateful session built from an instance (or a plain mapping) plus a
+constraint set.  It absorbs mutations while keeping its violation
+tracker warm, answers queries through a registry of pluggable engines
+(``"direct"``, ``"program"``, ``"rewriting"``, ``"auto"``, ``"sqlite"``)
+and caches plans, rewritings, repair lists and answers across calls —
+repeating a query on an unchanged database costs one dictionary probe.
+
+>>> from repro import ConsistentDatabase, parse_constraint, parse_query
+>>> db = ConsistentDatabase(
+...     {"Course": [(21, "C15"), (34, "C18")],
+...      "Student": [(21, "Ann"), (45, "Paul")]},
+...     [parse_constraint("Course(i, c) -> Student(i, n)")],
+... )
+>>> db.is_consistent()
+False
+>>> len(list(db.iter_repairs()))
+2
+>>> query = parse_query("ans(c) <- Course(i, c)")
+>>> sorted(db.consistent_answers(query))
+[('C15',)]
+>>> db.insert("Student", (34, "Zoe"))
+True
+>>> sorted(db.consistent_answers(query))
+[('C15',), ('C18',)]
+
+``db.explain(query)`` shows the cost-based plan; ``db.batch()`` opens a
+transactional mutation block that rolls back on error; per-call keyword
+overrides (``db.consistent_answers(query, method="sqlite")``) switch
+engines without touching the session defaults.
+
+The functional API of the earlier releases — :func:`repairs`,
+:func:`consistent_answers`, :func:`consistent_answers_report`,
+:func:`consistent_boolean_answer` — remains available as thin wrappers
+over a throwaway session, so one-shot scripts keep working unchanged:
+
+>>> from repro import DatabaseInstance, consistent_answers, repairs
+>>> d = DatabaseInstance.from_dict({
 ...     "Course": [(21, "C15"), (34, "C18")],
 ...     "Student": [(21, "Ann"), (45, "Paul")],
 ... })
 >>> ric = parse_constraint("Course(i, c) -> Student(i, n)")
->>> len(repairs(db, [ric]))
+>>> len(repairs(d, [ric]))
 2
->>> query = parse_query("ans(c) <- Course(i, c)")
->>> sorted(consistent_answers(db, [ric], query))
+>>> sorted(consistent_answers(d, [ric], query, method="auto"))
 [('C15',)]
 
 Large inconsistent databases should not enumerate repairs at all: for
 primary keys, acyclic referential constraints and NOT-NULL constraints
 the consistent answers are computable in polynomial time by a
 first-order rewriting evaluated once on the inconsistent database
-(:mod:`repro.rewriting`).  ``method="auto"`` lets the cost-based planner
-pick the rewriting whenever it applies and fall back to repair
-enumeration otherwise — it never raises
-:class:`~repro.rewriting.RewritingUnsupportedError`:
-
->>> sorted(consistent_answers(db, [ric], query, method="auto"))
-[('C15',)]
->>> from repro import plan_cqa
->>> plan_cqa(db, [ric], query).method
-'rewriting'
-
-``method="rewriting"`` forces the fast path (raising outside the
-tractable fragment), and :func:`repro.rewriting.rewrite_query` exposes
-the rewritten query itself — including its rendering as a plain
-first-order formula and its compilation to SQL, so the whole computation
-can run inside SQLite via
-:meth:`repro.sqlbackend.SQLiteBackend.consistent_answers`.
+(:mod:`repro.rewriting`).  ``method="auto"`` (the session default) lets
+the cost-based planner pick the rewriting whenever it applies and fall
+back to repair enumeration otherwise — it never raises
+:class:`~repro.rewriting.RewritingUnsupportedError`.
+``method="sqlite"`` compiles the same rewriting to one ``SELECT`` and
+evaluates it entirely inside SQLite.  New strategies register with
+``@repro.engines.register_engine("name")`` and become reachable from
+both APIs immediately.
 """
 
 from repro.relational import (
@@ -116,11 +141,28 @@ from repro.rewriting import (
     plan_cqa,
     rewrite_query,
 )
+from repro.engines import (
+    CQAConfig,
+    CQAEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from repro.session import CacheInfo, ConsistentDatabase, SessionStatistics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # session façade and engine registry
+    "ConsistentDatabase",
+    "SessionStatistics",
+    "CacheInfo",
+    "CQAConfig",
+    "CQAEngine",
+    "register_engine",
+    "get_engine",
+    "available_engines",
     # relational substrate
     "NULL",
     "is_null",

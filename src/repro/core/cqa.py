@@ -3,7 +3,8 @@
 A ground tuple ``t̄`` is a *consistent answer* to a query ``Q(x̄)`` in ``D``
 w.r.t. ``IC`` iff ``t̄`` is an answer to ``Q`` in every repair of ``D``;
 for a boolean query the consistent answer is *yes* iff the sentence holds
-in every repair.  Four evaluation strategies are provided:
+in every repair.  Five evaluation strategies are provided, each a
+registered engine of :mod:`repro.engines`:
 
 * ``method="direct"`` — enumerate the repairs with the repair engine of
   :mod:`repro.core.repairs` and intersect the per-repair answer sets;
@@ -15,34 +16,53 @@ in every repair.  Four evaluation strategies are provided:
   polynomial time) via :mod:`repro.rewriting`.  Raises
   :class:`repro.rewriting.RewritingUnsupportedError` outside the
   tractable fragment;
+* ``method="sqlite"`` — the same rewriting compiled to SQL and evaluated
+  entirely inside SQLite (same applicability as ``"rewriting"``);
 * ``method="auto"`` — let the cost-based planner of
   :mod:`repro.rewriting.planner` choose: the rewriting whenever it
-  applies, otherwise the cheaper enumeration strategy.  Never raises
+  applies, otherwise repair enumeration.  Never raises
   ``RewritingUnsupportedError``.
 
 All strategies return the same answers; the benchmarks compare their
 cost.  Query evaluation inside a repair uses the ``|=^q_N`` convention
 described in :mod:`repro.logic.queries` (``null`` as an ordinary constant
 by default, SQL-style unknown comparisons on request).
+
+The functions below are the original functional API, kept as thin
+wrappers over a throwaway :class:`repro.session.ConsistentDatabase`; a
+long-lived session amortises planning, rewriting, violation tracking and
+repair enumeration across calls, which these one-shot wrappers cannot.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.relational.domain import Constant
 from repro.relational.instance import DatabaseInstance
 from repro.constraints.ic import AnyConstraint, ConstraintSet
 from repro.logic.queries import Query
-from repro.core.repairs import RepairEngine
-from repro.core.repair_program import program_repairs
+
+if TYPE_CHECKING:
+    from repro.rewriting.planner import CQAPlan
 
 
 AnswerTuple = Tuple[Constant, ...]
 
-#: The evaluation strategies accepted by the ``method`` parameter.
-CQA_METHODS = ("direct", "program", "rewriting", "auto")
+#: The evaluation strategies accepted by the ``method`` parameter (the
+#: built-in engine names; :func:`repro.engines.available_engines` is the
+#: live registry, which third-party engines may extend).
+CQA_METHODS = ("direct", "program", "rewriting", "auto", "sqlite")
 
 
 @dataclass
@@ -51,7 +71,7 @@ class CQAResult:
 
     For the enumeration methods ``repair_count`` is exact and
     ``per_repair_answer_counts`` lists the answer-set size per repair.
-    For ``method="rewriting"`` no repairs are materialised:
+    For the rewriting-based methods no repairs are materialised:
     ``repair_count`` is the conflict-graph *estimate* (flagged by
     ``repair_count_estimated``; ``-1`` when the caller asked to skip the
     estimate) and ``per_repair_answer_counts`` is empty.
@@ -62,7 +82,7 @@ class CQAResult:
     per_repair_answer_counts: List[int] = field(default_factory=list)
     method: str = "direct"
     repair_count_estimated: bool = False
-    plan: Optional[object] = None  #: the CQAPlan when ``method="auto"`` was used
+    plan: Optional["CQAPlan"] = None  #: the CQAPlan when ``method="auto"`` was used
 
     @property
     def certain(self) -> bool:
@@ -71,130 +91,21 @@ class CQAResult:
         return () in self.answers
 
 
-def _as_constraint_set(
-    constraints: Union[ConstraintSet, Iterable[AnyConstraint]]
-) -> ConstraintSet:
-    if isinstance(constraints, ConstraintSet):
-        return constraints
-    return ConstraintSet(list(constraints))
-
-
-def _repairs_for(
-    instance: DatabaseInstance,
-    constraints: ConstraintSet,
-    method: str,
-    max_states: Optional[int],
-    repair_mode: str = "incremental",
-) -> List[DatabaseInstance]:
-    if method == "direct":
-        return RepairEngine(
-            constraints, max_states=max_states, method=repair_mode
-        ).repairs(instance)
-    if method == "program":
-        return program_repairs(instance, constraints).repairs
-    raise ValueError(
-        f"unknown CQA method {method!r}; use one of {', '.join(CQA_METHODS)}"
-    )
-
-
-def _rewriting_result(
-    instance: DatabaseInstance,
-    constraints: ConstraintSet,
+def result_from_repairs(
+    repairs: Sequence[DatabaseInstance],
     query: Query,
-    null_is_unknown: bool,
-    rewritten=None,
-    plan: Optional[object] = None,
-    estimate_repairs: bool = True,
-) -> CQAResult:
-    """Evaluate through the first-order rewriting (no repairs materialised).
-
-    The conflict-graph repair estimate costs one extra pass over the
-    instance; callers that only want the answers skip it
-    (``estimate_repairs=False``), leaving ``repair_count == -1``.
-    """
-
-    from repro.rewriting import ConflictGraph, rewrite_query
-
-    if rewritten is None:
-        rewritten = rewrite_query(query, constraints)
-    answers = rewritten.answers(instance, null_is_unknown=null_is_unknown)
-    if estimate_repairs:
-        estimate = ConflictGraph.build(instance, constraints).estimated_repair_count()
-    else:
-        estimate = -1
-    return CQAResult(
-        answers=answers,
-        repair_count=estimate,
-        method="rewriting",
-        repair_count_estimated=True,
-        plan=plan,
-    )
-
-
-def consistent_answers_report(
-    instance: DatabaseInstance,
-    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
-    query: Query,
-    method: str = "direct",
     null_is_unknown: bool = False,
-    max_states: Optional[int] = 200_000,
-    estimate_repairs: bool = True,
-    repair_mode: str = "incremental",
+    method: str = "direct",
 ) -> CQAResult:
-    """Full report: consistent answers plus repair statistics.
+    """Intersect the per-repair answer sets into a :class:`CQAResult`.
 
-    *estimate_repairs* only affects the rewriting strategy, where the
-    repair count is a conflict-graph estimate that costs one extra pass
-    over the instance; the answer-only wrappers disable it.
-    *repair_mode* selects the direct engine's violation-evaluation method
-    (:data:`repro.core.repairs.REPAIR_METHODS`); all modes return the
-    same repairs, so this only affects cost — benchmark E12 compares
-    them.
+    The shared back half of every repair-enumerating engine.  An empty
+    repair list only happens with conflicting NNCs (a non-conflicting
+    constraint set always has at least one repair, Proposition 1), in
+    which case nothing is certain.
     """
 
-    constraint_set = _as_constraint_set(constraints)
-
-    if method == "rewriting":
-        return _rewriting_result(
-            instance,
-            constraint_set,
-            query,
-            null_is_unknown,
-            estimate_repairs=estimate_repairs,
-        )
-    if method == "auto":
-        from repro.rewriting import plan_cqa
-
-        plan = plan_cqa(instance, constraint_set, query, max_states=max_states)
-        if plan.method == "rewriting":
-            return _rewriting_result(
-                instance,
-                constraint_set,
-                query,
-                null_is_unknown,
-                rewritten=plan.rewritten,
-                plan=plan,
-                estimate_repairs=estimate_repairs,
-            )
-        result = consistent_answers_report(
-            instance,
-            constraint_set,
-            query,
-            method=plan.method,
-            null_is_unknown=null_is_unknown,
-            max_states=max_states,
-            repair_mode=repair_mode,
-        )
-        result.plan = plan
-        return result
-
-    repairs = _repairs_for(
-        instance, constraint_set, method, max_states, repair_mode=repair_mode
-    )
     if not repairs:
-        # A non-conflicting constraint set always has at least one repair
-        # (Proposition 1); an empty repair set can only happen with
-        # conflicting NNCs, in which case nothing is certain.
         return CQAResult(answers=frozenset(), repair_count=0, method=method)
 
     per_repair: List[FrozenSet[AnswerTuple]] = []
@@ -214,6 +125,39 @@ def consistent_answers_report(
         repair_count=len(repairs),
         per_repair_answer_counts=[len(a) for a in per_repair],
         method=method,
+    )
+
+
+def consistent_answers_report(
+    instance: DatabaseInstance,
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    query: Query,
+    method: str = "direct",
+    null_is_unknown: bool = False,
+    max_states: Optional[int] = 200_000,
+    estimate_repairs: bool = True,
+    repair_mode: str = "incremental",
+) -> CQAResult:
+    """Full report: consistent answers plus repair statistics.
+
+    *estimate_repairs* only affects the rewriting-based strategies, where
+    the repair count is a conflict-graph estimate that costs one extra
+    pass over the instance; the answer-only wrappers disable it.
+    *repair_mode* selects the direct engine's violation-evaluation method
+    (:data:`repro.core.repairs.REPAIR_METHODS`); all modes return the
+    same repairs, so this only affects cost — benchmark E12 compares
+    them.
+    """
+
+    from repro.session import ConsistentDatabase
+
+    session = ConsistentDatabase(instance, constraints, copy=False, method=method)
+    return session.report(
+        query,
+        null_is_unknown=null_is_unknown,
+        max_states=max_states,
+        estimate_repairs=estimate_repairs,
+        repair_mode=repair_mode,
     )
 
 
@@ -248,6 +192,7 @@ def is_consistent_answer(
     method: str = "direct",
     null_is_unknown: bool = False,
     max_states: Optional[int] = 200_000,
+    repair_mode: str = "incremental",
 ) -> bool:
     """Decision version of CQA: is *candidate* an answer in every repair?"""
 
@@ -258,6 +203,7 @@ def is_consistent_answer(
         method=method,
         null_is_unknown=null_is_unknown,
         max_states=max_states,
+        repair_mode=repair_mode,
     )
 
 
@@ -268,6 +214,7 @@ def consistent_boolean_answer(
     method: str = "direct",
     null_is_unknown: bool = False,
     max_states: Optional[int] = 200_000,
+    repair_mode: str = "incremental",
 ) -> bool:
     """Consistent answer to a boolean query: *yes* iff it holds in every repair."""
 
@@ -279,6 +226,7 @@ def consistent_boolean_answer(
         null_is_unknown=null_is_unknown,
         max_states=max_states,
         estimate_repairs=False,
+        repair_mode=repair_mode,
     )
     if result.repair_count == 0 and not result.repair_count_estimated:
         return False

@@ -300,6 +300,7 @@ class ViolationTracker:
         self,
         instance: DatabaseInstance,
         constraints: Union[ViolationIndex, ConstraintSet, Iterable[AnyConstraint]],
+        seed: Optional["ViolationTracker"] = None,
     ):
         self.index = (
             constraints
@@ -307,10 +308,26 @@ class ViolationTracker:
             else ViolationIndex(constraints)
         )
         self.instance = instance
-        self._store: List[Dict[Violation, None]] = [
-            dict.fromkeys(violations(instance, constraint))
-            for constraint in self.index.constraints
-        ]
+        if seed is not None:
+            # Warm start: adopt another tracker's violation store instead of
+            # re-enumerating.  The caller guarantees *seed* tracks the same
+            # constraints (in the same order) over an instance with the same
+            # facts — the session façade hands its warm tracker to the repair
+            # engine this way, so a query on an already-tracked database
+            # skips the full violation sweep entirely.
+            if len(seed._store) != len(self.index.constraints):
+                raise ValueError(
+                    "seed tracker covers a different constraint set "
+                    f"({len(seed._store)} stores vs {len(self.index.constraints)} constraints)"
+                )
+            self._store: List[Dict[Violation, None]] = [
+                dict(store) for store in seed._store
+            ]
+        else:
+            self._store = [
+                dict.fromkeys(violations(instance, constraint))
+                for constraint in self.index.constraints
+            ]
         #: Counters surfaced through :class:`RepairStatistics`.
         self.updates = 0
         self.constraints_reevaluated = 0
@@ -522,6 +539,7 @@ class RepairEngine:
         constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
         max_states: Optional[int] = 200_000,
         method: str = "incremental",
+        violation_index: Optional[ViolationIndex] = None,
     ):
         if method not in REPAIR_METHODS:
             raise ValueError(
@@ -534,7 +552,14 @@ class RepairEngine:
         )
         self._max_states = max_states
         self._method = method
-        self._violation_index = ViolationIndex(self._constraints)
+        #: *violation_index* lets a caller that already indexed the same
+        #: constraint set (the session façade) share it instead of
+        #: rebuilding; it must cover exactly *constraints*, in order.
+        self._violation_index = (
+            violation_index
+            if violation_index is not None
+            else ViolationIndex(self._constraints)
+        )
         self.statistics = RepairStatistics()
 
     @property
@@ -550,18 +575,25 @@ class RepairEngine:
         return self._method
 
     # ------------------------------------------------------------------ search
-    def candidates(self, instance: DatabaseInstance) -> List[DatabaseInstance]:
+    def candidates(
+        self,
+        instance: DatabaseInstance,
+        seed_tracker: Optional[ViolationTracker] = None,
+    ) -> List[DatabaseInstance]:
         """All consistent instances reachable by resolving violations.
 
         The result is a superset of the repairs; :meth:`repairs` filters it
-        through ``≤_D``-minimality.
+        through ``≤_D``-minimality.  *seed_tracker* (``"incremental"`` only)
+        warm-starts the search's violation store from a tracker already
+        maintained over an instance with the same facts and constraints,
+        skipping the initial full sweep; the other methods ignore it.
         """
 
         self.statistics = RepairStatistics()
         started = time.perf_counter()
         try:
             if self._method == "incremental":
-                return self._candidates_incremental(instance)
+                return self._candidates_incremental(instance, seed_tracker)
             return self._candidates_recompute(instance, naive=self._method == "naive")
         finally:
             self.statistics.search_seconds = time.perf_counter() - started
@@ -631,14 +663,16 @@ class RepairEngine:
         return list(found.values())
 
     def _candidates_incremental(
-        self, instance: DatabaseInstance
+        self,
+        instance: DatabaseInstance,
+        seed_tracker: Optional[ViolationTracker] = None,
     ) -> List[DatabaseInstance]:
         """Mutate/undo search over one working instance with tracked violations."""
 
         found: Dict[FrozenSet[Fact], DatabaseInstance] = {}
         visited: Set[Tuple[FrozenSet[Fact], FrozenSet[Fact]]] = set()
         working = instance.copy()
-        tracker = ViolationTracker(working, self._violation_index)
+        tracker = ViolationTracker(working, self._violation_index, seed=seed_tracker)
 
         def explore(inserted: FrozenSet[Fact], deleted: FrozenSet[Fact]) -> None:
             if not self._enter_state(visited, inserted, deleted):
@@ -682,10 +716,14 @@ class RepairEngine:
             self.statistics.constraints_reevaluated = tracker.constraints_reevaluated
         return list(found.values())
 
-    def repairs(self, instance: DatabaseInstance) -> List[DatabaseInstance]:
+    def repairs(
+        self,
+        instance: DatabaseInstance,
+        seed_tracker: Optional[ViolationTracker] = None,
+    ) -> List[DatabaseInstance]:
         """The ``≤_D``-minimal consistent candidates (Definition 7)."""
 
-        candidates = self.candidates(instance)
+        candidates = self.candidates(instance, seed_tracker=seed_tracker)
         started = time.perf_counter()
         minimal, comparisons = _minimal_under_leq_d_counted(instance, candidates)
         self.statistics.minimality_seconds = time.perf_counter() - started

@@ -1,0 +1,52 @@
+"""The SQLite push-down engine.
+
+``method="sqlite"`` runs the whole CQA computation inside SQLite: the
+query is rewritten exactly as for the ``"rewriting"`` engine, compiled
+to one ``SELECT`` and executed on the session's cached
+:class:`repro.sqlbackend.SQLiteBackend` mirror of the instance.  Before
+the engine registry this path was only reachable through the backend's
+own ``consistent_answers`` method; now it sits behind the same front
+door as the in-memory engines, so switching between "evaluate in
+Python" and "evaluate in the database" is a one-string change.
+
+Same applicability as the rewriting engine: raises
+:class:`repro.rewriting.RewritingUnsupportedError` outside the
+tractable fragment (which also covers non-conjunctive queries).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.engines.base import CQAConfig, CQAEngine, register_engine
+
+if TYPE_CHECKING:
+    from repro.core.cqa import CQAResult
+    from repro.logic.queries import Query
+    from repro.session import ConsistentDatabase
+
+
+@register_engine("sqlite")
+class SQLiteEngine(CQAEngine):
+    """First-order rewriting compiled to SQL and evaluated by SQLite."""
+
+    def answers_report(
+        self, session: "ConsistentDatabase", query: "Query", config: CQAConfig
+    ) -> "CQAResult":
+        from repro.core.cqa import CQAResult
+
+        rewritten = session.rewritten(query)
+        backend = session.sql_backend(query=query)
+        answers = backend.consistent_answers(
+            query, rewritten=rewritten, null_is_unknown=config.null_is_unknown
+        )
+        if config.estimate_repairs:
+            estimate = session.conflict_graph().estimated_repair_count()
+        else:
+            estimate = -1
+        return CQAResult(
+            answers=answers,
+            repair_count=estimate,
+            method="sqlite",
+            repair_count_estimated=True,
+        )

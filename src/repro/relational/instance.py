@@ -159,6 +159,11 @@ class DatabaseInstance:
         facts: Iterable[Fact] = (),
     ):
         self._schema = schema if schema is not None else DatabaseSchema()
+        #: Monotone mutation counter: bumped on every effective insert or
+        #: delete, never decremented (a rolled-back change still advances
+        #: it).  Cache layers key derived state on it — equal generations
+        #: of the same instance guarantee equal contents.
+        self._generation = 0
         self._tuples: Dict[str, Set[Tuple[Constant, ...]]] = {}
         #: Predicates whose row set (and index) this instance may mutate in
         #: place; everything else is potentially shared with a copy.
@@ -221,12 +226,14 @@ class DatabaseInstance:
         return rows
 
     def _after_insert(self, predicate: str, values: Row) -> None:
+        self._generation += 1
         index = self._indexes.get(predicate)
         if index is not None:
             index.add(values)
         self._groups.pop(predicate, None)
 
     def _after_delete(self, predicate: str, values: Row, rows: Set[Row]) -> None:
+        self._generation += 1
         if rows:
             index = self._indexes.get(predicate)
             if index is not None:
@@ -283,6 +290,14 @@ class DatabaseInstance:
         """The schema the instance conforms to."""
 
         return self._schema
+
+    @property
+    def generation(self) -> int:
+        """The mutation counter (see ``__init__``); equal generations of the
+        same instance object guarantee unchanged contents, so derived state
+        (violation sets, query plans, rewritings) can be cached against it."""
+
+        return self._generation
 
     def __contains__(self, fact: object) -> bool:
         if not isinstance(fact, Fact):
@@ -455,6 +470,7 @@ class DatabaseInstance:
         """
 
         clone = DatabaseInstance(schema=self._schema.copy())
+        clone._generation = self._generation
         clone._tuples = dict(self._tuples)
         clone._indexes = dict(self._indexes)
         clone._groups = dict(self._groups)

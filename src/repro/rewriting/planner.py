@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Union
 
 from repro.relational.instance import DatabaseInstance
-from repro.constraints.ic import AnyConstraint, ConstraintSet, IntegrityConstraint
+from repro.constraints.ic import AnyConstraint, ConstraintSet
 from repro.logic.queries import Query
 from repro.rewriting.conflicts import ESTIMATE_CAP, ConflictGraph
 from repro.rewriting.fragment import RewritingUnsupportedError
@@ -61,33 +61,20 @@ def _enumeration_costs(
     constraints: ConstraintSet,
     estimated_repairs: int,
 ) -> Dict[str, float]:
-    """Rank the two enumeration strategies with a coarse cost model.
+    """Rank the enumeration strategies by asking the engine registry.
 
-    The direct engine re-discovers each repair through many alternative
-    violation-resolution orders, so its search grows roughly quadratically
-    in the repair count (each state pays one violation sweep).  The
-    logic-program route pays for grounding once — about one body-join per
-    constraint — plus one stable-model check per repair, and both routes
-    share the quadratic ``≤_D``-minimality filter.  Calibrated against
-    benchmark E11, where direct wins at ~4 repairs and the program route
-    wins from ~16 repairs on.
+    Each repair-enumerating engine models its own coarse cost
+    (:meth:`repro.engines.CQAEngine.enumeration_cost` — the direct
+    search grows roughly quadratically in the repair count, the
+    logic-program route pays a flat grounding cost plus one stable-model
+    pass per repair; both calibrated against benchmark E11).  Collecting
+    the figures through the registry means a newly registered engine
+    with a cost model automatically shows up in every plan's ``costs``.
     """
 
-    n_facts = max(len(instance), 1)
-    n_constraints = max(len(constraints), 1)
-    per_state = float(n_facts * n_constraints)
-    repairs = float(min(estimated_repairs, 10 ** 9))
+    from repro.engines import enumeration_costs
 
-    direct = repairs * repairs * per_state
-
-    grounding = 0.0
-    for constraint in constraints:
-        if isinstance(constraint, IntegrityConstraint):
-            grounding += float(n_facts) ** min(len(constraint.body), 3)
-        else:
-            grounding += float(n_facts)
-    program = grounding + repairs * per_state + repairs * repairs * n_facts
-    return {"direct": direct, "program": program}
+    return enumeration_costs(instance, constraints, estimated_repairs)
 
 
 def plan_cqa(

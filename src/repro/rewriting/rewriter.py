@@ -164,12 +164,17 @@ class RewrittenQuery:
             body = Exists(tuple(sorted(bound, key=lambda v: v.name)), body)
         return FirstOrderQuery(head, body, name=self.query.name)
 
-    def to_sql(self, schema) -> str:
-        """``Q'`` compiled to a single SQL ``SELECT`` (see :mod:`.sqlgen`)."""
+    def to_sql(self, schema, null_is_unknown: bool = True) -> str:
+        """``Q'`` compiled to a single SQL ``SELECT`` (see :mod:`.sqlgen`).
+
+        *null_is_unknown* picks the null convention for the base query's
+        comparisons, mirroring :meth:`answers`; the default keeps SQL's
+        native three-valued behaviour.
+        """
 
         from repro.rewriting.sqlgen import rewritten_query_sql
 
-        return rewritten_query_sql(self, schema)
+        return rewritten_query_sql(self, schema, null_is_unknown=null_is_unknown)
 
     def explain(self) -> str:
         """Human-readable summary of the per-atom rewriting."""

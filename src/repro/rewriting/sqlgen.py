@@ -9,9 +9,16 @@ treats ``null`` as an ordinary constant; inside violation conditions the
 plain SQL equality suffices, since every joined variable is a relevant
 attribute and the violation requires it to be non-null anyway.
 
-Like :meth:`repro.sqlbackend.backend.SQLiteBackend.answers`, comparisons
-of the *base query* keep SQL's three-valued behaviour, i.e. the SQL path
-evaluates the query under ``null_is_unknown=True``.
+Base-query comparisons are rendered for whichever null convention the
+caller evaluates under (the ``null_is_unknown`` parameter, mirroring the
+in-memory evaluator): with ``null_is_unknown=True`` SQL's own
+three-valued behaviour is exactly right and the operators render
+plainly; with the default null-as-constant semantics, ``=`` and ``!=``
+involving possibly-null operands expand into ``IS NULL``-aware
+disjunctions so that ``null = null`` holds and ``null != 'c'`` holds,
+exactly as :meth:`repro.constraints.atoms.Comparison.evaluate` decides
+them.  (Order comparisons involving ``null`` are not satisfied under
+either convention, so SQL's unknown-row elimination already agrees.)
 """
 
 from __future__ import annotations
@@ -67,8 +74,58 @@ def _value_eq(column: str, value: object) -> str:
     return f"{column} = {_literal(value)}"
 
 
-def rewritten_query_sql(rewritten: RewrittenQuery, schema: DatabaseSchema) -> str:
-    """Render ``Q'`` as one ``SELECT DISTINCT`` over the base tables."""
+def _query_comparison_sql(
+    comparison: Comparison,
+    variable_columns: Mapping[Variable, str],
+    null_is_unknown: bool,
+) -> str:
+    """One base-query comparison under the requested null convention."""
+
+    def render(term: object) -> "tuple[str, bool]":
+        if is_variable(term):
+            return variable_columns[term], False  # a column, possibly NULL
+        return _literal(term), is_null(term)
+
+    left, left_is_null = render(comparison.left)
+    right, right_is_null = render(comparison.right)
+    plain = f"{left} {_operator(comparison.op)} {right}"
+    if null_is_unknown or comparison.op not in ("=", "!="):
+        # SQL's three-valued logic drops any null-involving comparison,
+        # which is exactly the unknown convention; order comparisons
+        # against null are unsatisfied under both conventions.
+        return plain
+    if comparison.op == "=":
+        if left_is_null and right_is_null:
+            return "1 = 1"
+        if left_is_null:
+            return f"{right} IS NULL"
+        if right_is_null:
+            return f"{left} IS NULL"
+        return _nullsafe_eq(left, right)
+    # "!=" with null as an ordinary constant: true unless both are null.
+    if left_is_null and right_is_null:
+        return "1 = 0"
+    if left_is_null:
+        return f"{right} IS NOT NULL"
+    if right_is_null:
+        return f"{left} IS NOT NULL"
+    return (
+        f"({left} <> {right} OR ({left} IS NULL AND {right} IS NOT NULL) "
+        f"OR ({left} IS NOT NULL AND {right} IS NULL))"
+    )
+
+
+def rewritten_query_sql(
+    rewritten: RewrittenQuery,
+    schema: DatabaseSchema,
+    null_is_unknown: bool = True,
+) -> str:
+    """Render ``Q'`` as one ``SELECT DISTINCT`` over the base tables.
+
+    *null_is_unknown* picks the comparison convention (see the module
+    docstring); the default keeps the historical SQL-flavoured
+    rendering.
+    """
 
     query = rewritten.query
     aliases = _Aliases()
@@ -99,17 +156,9 @@ def rewritten_query_sql(rewritten: RewrittenQuery, schema: DatabaseSchema) -> st
             )
 
     for comparison in query.comparisons:
-        left = (
-            variable_columns[comparison.left]
-            if is_variable(comparison.left)
-            else _literal(comparison.left)
+        conditions.append(
+            _query_comparison_sql(comparison, variable_columns, null_is_unknown)
         )
-        right = (
-            variable_columns[comparison.right]
-            if is_variable(comparison.right)
-            else _literal(comparison.right)
-        )
-        conditions.append(f"{left} {_operator(comparison.op)} {right}")
 
     if query.head_variables:
         select = ", ".join(variable_columns[v] for v in query.head_variables)

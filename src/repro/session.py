@@ -1,0 +1,758 @@
+"""The ``ConsistentDatabase`` session façade — the library's front door.
+
+The paper's pipeline (null-aware satisfaction → repairs → consistent
+query answering → repair programs → first-order rewriting) is exposed
+functionally by :mod:`repro.core.cqa` and friends, but every functional
+call rebuilds its expensive state from scratch: violations are
+re-enumerated, queries re-planned and re-rewritten, repairs re-searched,
+conflict graphs re-materialised.  A :class:`ConsistentDatabase` owns all
+of that state across calls:
+
+* a **mutation surface** — :meth:`insert`, :meth:`delete`,
+  :meth:`bulk_load` and transactional :meth:`batch` blocks — that keeps
+  a live :class:`repro.core.repairs.ViolationTracker` warm (one seeded
+  per-constraint update per fact change instead of a full sweep per
+  query) and advances the instance's *generation counter*, which is what
+  invalidates exactly the caches a mutation staled;
+* a **query surface** — :meth:`consistent_answers`, :meth:`certain`,
+  :meth:`iter_repairs`, :meth:`explain`, :meth:`report` — backed by a
+  per-session LRU cache of rewritten queries, query plans, repair lists,
+  conflict-graph statistics and answer sets, keyed by
+  ``(query, constraint fingerprint, generation)``: repeating a query on
+  an unchanged database costs one dictionary probe;
+* an **engine registry** (:mod:`repro.engines`) — every query routes
+  through a pluggable strategy object (``"direct"``, ``"program"``,
+  ``"rewriting"``, ``"auto"``, ``"sqlite"``), so the SQLite push-down
+  sits behind the same front door as the in-memory engines and new
+  strategies plug in without touching dispatch code.
+
+The functional API remains as thin wrappers over a throwaway session
+(same answers, same costs on a cold call), so existing code keeps
+working unchanged.
+
+>>> from repro import ConsistentDatabase, parse_constraint, parse_query
+>>> db = ConsistentDatabase(
+...     {"Course": [(21, "C15"), (34, "C18")],
+...      "Student": [(21, "Ann"), (45, "Paul")]},
+...     [parse_constraint("Course(i, c) -> Student(i, n)")],
+... )
+>>> db.is_consistent()
+False
+>>> query = parse_query("ans(c) <- Course(i, c)")
+>>> sorted(db.consistent_answers(query))
+[('C15',)]
+>>> db.insert("Student", (34, "Zoe"))
+True
+>>> db.is_consistent()
+True
+>>> sorted(db.consistent_answers(query))
+[('C15',), ('C18',)]
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.constraints.ic import AnyConstraint, ConstraintSet
+from repro.core.cqa import AnswerTuple, CQAResult, result_from_repairs
+from repro.core.repairs import (
+    RepairEngine,
+    RepairStatistics,
+    ViolationIndex,
+    ViolationTracker,
+    constraint_structural_key,
+)
+from repro.core.satisfaction import Violation
+from repro.engines import CQAConfig, get_engine
+from repro.logic.queries import Query
+from repro.relational.domain import Constant
+from repro.relational.instance import DatabaseInstance, Fact
+from repro.relational.schema import DatabaseSchema
+
+if TYPE_CHECKING:
+    from repro.rewriting.conflicts import ConflictGraph
+    from repro.rewriting.planner import CQAPlan
+    from repro.rewriting.rewriter import RewrittenQuery
+    from repro.sqlbackend.backend import SQLiteBackend
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """A snapshot of the session cache's effectiveness counters."""
+
+    hits: int
+    misses: int
+    size: int
+    maxsize: int
+    evictions: int
+
+
+class _LRUCache:
+    """A small LRU keyed on hashable tuples, with hit/miss counters."""
+
+    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, maxsize: int):
+        self.maxsize = max(maxsize, 1)
+        self._data: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Tuple) -> Optional[Any]:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Tuple, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._data),
+            maxsize=self.maxsize,
+            evictions=self.evictions,
+        )
+
+
+@dataclass
+class SessionStatistics:
+    """Cross-call counters of one :class:`ConsistentDatabase` session."""
+
+    queries: int = 0  #: reports served (cached or computed)
+    mutations: int = 0  #: effective fact insertions/deletions
+    tracker_rebuilds: int = 0  #: full violation sweeps (1 on first use; more only after out-of-band instance mutations)
+    batches_rolled_back: int = 0
+
+
+#: One journal entry of an open batch: ("insert"/"delete", fact, tracker delta).
+_JournalEntry = Tuple[str, Fact, Optional[object]]
+
+
+class ConsistentDatabase:
+    """A stateful database session answering queries consistently.
+
+    Constructed from an instance (or a schema, or a plain
+    ``{"P": [rows]}`` mapping) plus a constraint set, with session-wide
+    defaults for every CQA knob collected in a single
+    :class:`repro.engines.CQAConfig`; each query call may override them
+    by keyword.
+
+    The session owns its instance: by default the constructor takes a
+    copy-on-write copy, so later mutations never touch the caller's
+    object (``copy=False`` opts out — the functional wrappers use it —
+    in which case out-of-band mutations of the shared instance are
+    detected through the generation counter and invalidate the caches,
+    at the cost of a full tracker rebuild).
+    """
+
+    def __init__(
+        self,
+        source: Union[DatabaseInstance, DatabaseSchema, Mapping, None] = None,
+        constraints: Union[ConstraintSet, Iterable[AnyConstraint]] = (),
+        *,
+        copy: bool = True,
+        cache_size: int = 256,
+        method: str = "auto",
+        null_is_unknown: bool = False,
+        max_states: Optional[int] = 200_000,
+        repair_mode: str = "incremental",
+        estimate_repairs: bool = True,
+    ):
+        if source is None:
+            self._instance = DatabaseInstance()
+        elif isinstance(source, DatabaseInstance):
+            self._instance = source.copy() if copy else source
+        elif isinstance(source, DatabaseSchema):
+            self._instance = DatabaseInstance(schema=source.copy())
+        elif isinstance(source, Mapping):
+            self._instance = DatabaseInstance.from_dict(source)
+        else:
+            raise TypeError(
+                "ConsistentDatabase expects a DatabaseInstance, DatabaseSchema "
+                f"or mapping, not {type(source).__name__}"
+            )
+        self._constraints = (
+            constraints
+            if isinstance(constraints, ConstraintSet)
+            else ConstraintSet(list(constraints))
+        )
+        self._config = CQAConfig(
+            method=method,
+            null_is_unknown=null_is_unknown,
+            max_states=max_states,
+            repair_mode=repair_mode,
+            estimate_repairs=estimate_repairs,
+        )
+        get_engine(self._config.method)  # fail fast on an unknown default
+        #: Name-independent structural fingerprint of the constraint set —
+        #: part of every query-cache key, so sessions over structurally
+        #: different constraints can never share an entry even if a cache
+        #: were shared between them.
+        self._fingerprint: Tuple = tuple(
+            constraint_structural_key(constraint) for constraint in self._constraints
+        )
+        self._violation_index = ViolationIndex(self._constraints)
+        self._tracker: Optional[ViolationTracker] = None
+        self._tracker_generation = -1
+        self._cache = _LRUCache(cache_size)
+        self._journal: Optional[List[_JournalEntry]] = None
+        self._sql_backend: Optional["SQLiteBackend"] = None
+        self._sql_backend_schema: Optional[DatabaseSchema] = None
+        self._sql_backend_generation = -1
+        self._constraint_relations: Optional[List[Tuple[str, int]]] = None
+        self.statistics = SessionStatistics()
+        #: Counters of the most recent repair search run by this session
+        #: (``None`` until a repair-enumerating query executes uncached).
+        self.last_repair_statistics: Optional[RepairStatistics] = None
+
+    # ------------------------------------------------------------------ state
+    @property
+    def instance(self) -> DatabaseInstance:
+        """The live instance — read-only; mutate through the session API."""
+
+        return self._instance
+
+    @property
+    def constraints(self) -> ConstraintSet:
+        """The integrity constraints the session enforces and repairs against."""
+
+        return self._constraints
+
+    @property
+    def config(self) -> CQAConfig:
+        """The session-wide CQA defaults (overridable per call)."""
+
+        return self._config
+
+    @property
+    def generation(self) -> int:
+        """The instance's mutation counter (the cache-invalidation key)."""
+
+        return self._instance.generation
+
+    def __len__(self) -> int:
+        return len(self._instance)
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._instance
+
+    def facts(self, predicate: Optional[str] = None) -> Iterator[Fact]:
+        """Iterate the instance's facts (optionally one predicate)."""
+
+        return self._instance.facts(predicate)
+
+    def snapshot(self) -> DatabaseInstance:
+        """An independent copy-on-write copy of the current instance."""
+
+        return self._instance.copy()
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/size counters of the session's LRU cache."""
+
+        return self._cache.info()
+
+    def close(self) -> None:
+        """Release held resources (the cached SQLite mirror) and the caches."""
+
+        if self._sql_backend is not None:
+            self._sql_backend.close()
+            self._sql_backend = None
+            self._sql_backend_schema = None
+            self._sql_backend_generation = -1
+        self._cache.clear()
+
+    def __enter__(self) -> "ConsistentDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsistentDatabase({len(self._instance)} facts, "
+            f"{len(self._constraints)} constraints, method={self._config.method!r}, "
+            f"generation={self.generation})"
+        )
+
+    # ------------------------------------------------------------------ violations
+    def _ensure_tracker(self) -> ViolationTracker:
+        """The warm violation tracker, (re)built only when missing or stale.
+
+        Stale means the instance's generation moved without the session
+        seeing the mutation — possible only with ``copy=False`` sharing.
+        Every session-API mutation keeps the tracker exactly in sync, so
+        steady-state sessions pay the full sweep once, ever.
+        """
+
+        if (
+            self._tracker is None
+            or self._tracker_generation != self._instance.generation
+        ):
+            self._tracker = ViolationTracker(self._instance, self._violation_index)
+            self._tracker_generation = self._instance.generation
+            self.statistics.tracker_rebuilds += 1
+        return self._tracker
+
+    def is_consistent(self) -> bool:
+        """Does the current instance satisfy every constraint under ``|=_N``?"""
+
+        return not self._ensure_tracker().has_violations()
+
+    def violations(self) -> List[Violation]:
+        """The current ground violations, maintained incrementally."""
+
+        return self._ensure_tracker().violations()
+
+    def violation_count(self) -> int:
+        """Number of current ground violations."""
+
+        return self._ensure_tracker().violation_count()
+
+    # ------------------------------------------------------------------ mutation
+    def _as_fact(
+        self, fact_or_predicate: Union[Fact, str], values: Optional[Sequence[Constant]]
+    ) -> Fact:
+        if isinstance(fact_or_predicate, Fact):
+            if values is not None:
+                raise TypeError("pass either a Fact or (predicate, values), not both")
+            return fact_or_predicate
+        if values is None:
+            raise TypeError("insert/delete with a predicate name needs values")
+        return Fact(fact_or_predicate, values)
+
+    def insert(
+        self,
+        fact_or_predicate: Union[Fact, str],
+        values: Optional[Sequence[Constant]] = None,
+    ) -> bool:
+        """Insert one fact; returns True iff it was not already present.
+
+        The warm tracker absorbs the change through one seeded
+        per-constraint update; every generation-keyed cache entry is
+        implicitly invalidated by the bumped counter.
+        """
+
+        fact = self._as_fact(fact_or_predicate, values)
+        if fact in self._instance:
+            return False
+        tracker = self._live_tracker()
+        self._instance.add(fact)
+        delta = tracker.notify_added(fact) if tracker is not None else None
+        self._record_mutation("insert", fact, delta)
+        return True
+
+    def delete(
+        self,
+        fact_or_predicate: Union[Fact, str],
+        values: Optional[Sequence[Constant]] = None,
+    ) -> bool:
+        """Delete one fact; returns True iff it was present."""
+
+        fact = self._as_fact(fact_or_predicate, values)
+        if fact not in self._instance:
+            return False
+        tracker = self._live_tracker()
+        self._instance.discard(fact)
+        delta = tracker.notify_removed(fact) if tracker is not None else None
+        self._record_mutation("delete", fact, delta)
+        return True
+
+    def bulk_load(
+        self,
+        data: Union[Mapping[str, Iterable[Sequence[Constant]]], Iterable[Fact]],
+    ) -> int:
+        """Insert many facts; returns how many were new.
+
+        Accepts the ``{"P": [rows]}`` mapping shape of
+        :meth:`DatabaseInstance.from_dict` or any iterable of
+        :class:`Fact`.  Before the tracker's first build this is pure
+        insertion (the sweep happens lazily, once, when a consumer first
+        needs violations).
+        """
+
+        inserted = 0
+        if isinstance(data, Mapping):
+            for predicate, rows in data.items():
+                for row in rows:
+                    inserted += self.insert(Fact(predicate, row))
+        else:
+            for fact in data:
+                inserted += self.insert(fact)
+        return inserted
+
+    def _live_tracker(self) -> Optional[ViolationTracker]:
+        """The tracker if it exists and is in sync; drops it if stale."""
+
+        if self._tracker is None:
+            return None
+        if self._tracker_generation != self._instance.generation:
+            # The shared instance was mutated out-of-band: the store is
+            # unusable, rebuild lazily on next demand.
+            self._tracker = None
+            self._tracker_generation = -1
+            return None
+        return self._tracker
+
+    def _record_mutation(self, kind: str, fact: Fact, delta: Optional[object]) -> None:
+        self._tracker_generation = self._instance.generation
+        self.statistics.mutations += 1
+        if self._journal is not None:
+            self._journal.append((kind, fact, delta))
+
+    @contextmanager
+    def batch(self) -> Iterator["ConsistentDatabase"]:
+        """Transactional mutation block: roll everything back on error.
+
+        ::
+
+            with db.batch():
+                db.insert("Student", (34, "Zoe"))
+                db.delete("Course", (21, "C15"))
+
+        On an exception every mutation of the block is undone — instance
+        and violation tracker both — and the exception propagates.  The
+        generation counter still advances (it is monotone by contract),
+        so caches are simply re-filled on the next query.  Batches do not
+        nest.
+        """
+
+        if self._journal is not None:
+            raise RuntimeError("ConsistentDatabase.batch() blocks cannot nest")
+        journal: List[_JournalEntry] = []
+        self._journal = journal
+        try:
+            yield self
+        except BaseException:
+            self._journal = None
+            self._rollback(journal)
+            raise
+        else:
+            self._journal = None
+
+    def _rollback(self, journal: List[_JournalEntry]) -> None:
+        # A journal entry without a tracker delta means the mutation
+        # happened before the tracker existed.  If the tracker was then
+        # built *mid-batch* (a query inside the block), its store already
+        # includes those pre-tracker mutations and no delta can undo
+        # them — the store is unrevertable, so discard it and let the
+        # next consumer rebuild from the restored instance.
+        revertable = self._tracker is not None and all(
+            delta is not None for _, _, delta in journal
+        )
+        for kind, fact, delta in reversed(journal):
+            if kind == "insert":
+                self._instance.discard(fact)
+            else:
+                self._instance.add(fact)
+            if revertable and delta is not None:
+                self._tracker.revert(delta)
+        if revertable:
+            self._tracker_generation = self._instance.generation
+        else:
+            self._tracker = None
+            self._tracker_generation = -1
+        self.statistics.mutations -= len(journal)
+        self.statistics.batches_rolled_back += 1
+
+    # ------------------------------------------------------------------ queries
+    def report(self, query: Query, **overrides: Any) -> CQAResult:
+        """Consistent answers plus repair statistics (the full CQAResult).
+
+        Keyword overrides are any :class:`CQAConfig` field, e.g.
+        ``db.report(q, method="direct", repair_mode="naive")``.  Results
+        are cached per (query, constraint fingerprint, generation,
+        config), so an identical repeat is one dictionary probe.
+        """
+
+        config = self._config.merged(overrides)
+        engine = get_engine(config.method)
+        self.statistics.queries += 1
+        key = (
+            "answers",
+            query,
+            self._fingerprint,
+            self._instance.generation,
+            config.cache_key(),
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            return self._result_copy(cached)
+        result = engine.answers_report(self, query, config)
+        self._cache.put(key, result)
+        return self._result_copy(result)
+
+    @staticmethod
+    def _result_copy(result: CQAResult) -> CQAResult:
+        """A shallow defensive copy so callers cannot corrupt the cache."""
+
+        return replace(
+            result, per_repair_answer_counts=list(result.per_repair_answer_counts)
+        )
+
+    def consistent_answers(
+        self, query: Query, **overrides: Any
+    ) -> FrozenSet[AnswerTuple]:
+        """The consistent answers to *query* (Definition 8).
+
+        Skips the rewriting path's repair-count estimate unless asked
+        (``estimate_repairs=True``), exactly like the functional wrapper.
+        """
+
+        overrides.setdefault("estimate_repairs", False)
+        return self.report(query, **overrides).answers
+
+    def certain(
+        self,
+        query: Query,
+        candidate: Optional[Sequence[Constant]] = None,
+        **overrides: Any,
+    ) -> bool:
+        """Is *candidate* an answer in every repair?  (Boolean CQA.)
+
+        With no candidate the query must be boolean and the result is the
+        consistent yes/no answer; with a candidate tuple this is the
+        decision version of CQA for open queries.
+        """
+
+        overrides.setdefault("estimate_repairs", False)
+        result = self.report(query, **overrides)
+        if candidate is not None:
+            return tuple(candidate) in result.answers
+        if result.repair_count == 0 and not result.repair_count_estimated:
+            return False
+        return result.certain
+
+    def explain(self, query: Query, **overrides: Any) -> "CQAPlan":
+        """The cost-based plan for *query* without executing anything."""
+
+        config = self._config.merged(overrides)
+        return self.plan(query, config)
+
+    def iter_repairs(
+        self, method: str = "direct", **overrides: Any
+    ) -> Iterator[DatabaseInstance]:
+        """Lazily iterate the repairs of the current instance.
+
+        The enumeration itself runs on first advance (``≤_D``-minimality
+        is a global filter, so candidates are materialised then) and is
+        cached per generation; iteration yields copy-on-write copies, so
+        callers may mutate what they receive.  *method* is ``"direct"``
+        or ``"program"``.
+        """
+
+        if method not in ("direct", "program"):
+            raise ValueError(
+                f"iter_repairs() enumerates repairs; method must be 'direct' or "
+                f"'program', not {method!r}"
+            )
+        config = self._config.merged(overrides)
+
+        def generate() -> Iterator[DatabaseInstance]:
+            for repair in self.repairs_list(method, config):
+                yield repair.copy()
+
+        return generate()
+
+    def repair_count(self, method: str = "direct", **overrides: Any) -> int:
+        """The exact number of repairs (enumerates them, cached)."""
+
+        config = self._config.merged(overrides)
+        return len(self.repairs_list(method, config))
+
+    # ------------------------------------------------------------------ engine-facing cache surface
+    def repairs_list(self, method: str, config: CQAConfig) -> List[DatabaseInstance]:
+        """The repairs of the current instance, cached per generation.
+
+        ``"direct"`` runs :class:`RepairEngine` — warm-started from the
+        session's violation tracker in ``"incremental"`` repair mode, so
+        no full violation sweep happens per query — and ``"program"``
+        the stable-model route.  Engines and the repair iterator share
+        this cache; treat the returned list and its instances as
+        read-only.
+        """
+
+        generation = self._instance.generation
+        if method == "direct":
+            key = (
+                "repairs",
+                "direct",
+                self._fingerprint,
+                generation,
+                config.repair_mode,
+                config.max_states,
+            )
+        elif method == "program":
+            key = ("repairs", "program", self._fingerprint, generation)
+        else:
+            raise ValueError(f"unknown repair enumeration method {method!r}")
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if method == "direct":
+            engine = RepairEngine(
+                self._constraints,
+                max_states=config.max_states,
+                method=config.repair_mode,
+                violation_index=self._violation_index,
+            )
+            seed = (
+                self._ensure_tracker() if config.repair_mode == "incremental" else None
+            )
+            found = engine.repairs(self._instance, seed_tracker=seed)
+            self.last_repair_statistics = engine.statistics
+        else:
+            from repro.core.repair_program import program_repairs
+
+            found = program_repairs(self._instance, self._constraints).repairs
+        self._cache.put(key, found)
+        return found
+
+    def rewritten(self, query: Query) -> "RewrittenQuery":
+        """The first-order rewriting of *query*, cached per fingerprint.
+
+        The rewriting depends only on (query, constraints) — never on the
+        data — so this cache survives mutations.  Unsupported pairs are
+        negatively cached: the analysis runs once and the same
+        :class:`RewritingUnsupportedError` reason is re-raised instantly
+        afterwards.
+        """
+
+        from repro.rewriting import RewritingUnsupportedError, rewrite_query
+
+        key = ("rewrite", query, self._fingerprint)
+        cached = self._cache.get(key)
+        if cached is not None:
+            if isinstance(cached, RewritingUnsupportedError):
+                raise RewritingUnsupportedError(cached.reason)
+            return cached
+        try:
+            result = rewrite_query(query, self._constraints)
+        except RewritingUnsupportedError as error:
+            self._cache.put(key, error)
+            raise
+        self._cache.put(key, result)
+        return result
+
+    def plan(self, query: Query, config: CQAConfig) -> "CQAPlan":
+        """The cost-based :class:`CQAPlan` for *query*, cached per generation.
+
+        A successful plan primes the rewriting cache with the rewritten
+        query it carries, so ``explain()`` followed by a query pays the
+        rewriting once.
+        """
+
+        key = ("plan", query, self._fingerprint, self._instance.generation, config.max_states)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        from repro.rewriting import plan_cqa
+
+        plan = plan_cqa(
+            self._instance, self._constraints, query, max_states=config.max_states
+        )
+        if plan.rewritten is not None:
+            self._cache.put(("rewrite", query, self._fingerprint), plan.rewritten)
+        self._cache.put(key, plan)
+        return plan
+
+    def conflict_graph(self) -> "ConflictGraph":
+        """The instance's conflict graph, cached per generation."""
+
+        key = ("conflicts", self._fingerprint, self._instance.generation)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        from repro.rewriting import ConflictGraph
+
+        graph = ConflictGraph.build(self._instance, self._constraints)
+        self._cache.put(key, graph)
+        return graph
+
+    def sql_backend(self, query: Optional[Query] = None) -> "SQLiteBackend":
+        """An SQLite mirror of the current instance, rebuilt only on mutation.
+
+        Held outside the LRU (a live connection should be closed, not
+        silently evicted); :meth:`close` releases it.  The mirror is
+        built over a copy-on-write copy of the instance whose schema is
+        extended with any relation the constraints or *query* mention
+        that the live schema never learned — an inferred schema only
+        knows relations with at least one fact — so SQL evaluation
+        agrees with the in-memory evaluators on empty relations instead
+        of failing on a missing table, and the caller's schema is never
+        mutated by a query.
+        """
+
+        needed = self._relations_needed(query)
+        generation = self._instance.generation
+        if (
+            self._sql_backend is not None
+            and self._sql_backend_generation == generation
+            and all(
+                predicate in self._sql_backend_schema for predicate, _ in needed
+            )
+        ):
+            return self._sql_backend
+        if self._sql_backend is not None:
+            self._sql_backend.close()
+        from repro.sqlbackend.backend import SQLiteBackend
+
+        mirror = self._instance.copy()
+        for predicate, arity in needed:
+            if predicate not in mirror.schema:
+                mirror.schema.relation_from_arity(predicate, arity)
+        self._sql_backend = SQLiteBackend(mirror, self._constraints)
+        self._sql_backend_schema = mirror.schema
+        self._sql_backend_generation = generation
+        return self._sql_backend
+
+    def _relations_needed(self, query: Optional[Query]) -> List[Tuple[str, int]]:
+        """(predicate, arity) pairs the SQL layer must have tables for."""
+
+        from repro.constraints.ic import NotNullConstraint
+
+        if self._constraint_relations is None:
+            relations: List[Tuple[str, int]] = []
+            for constraint in self._constraints:
+                if isinstance(constraint, NotNullConstraint):
+                    if constraint.arity is not None:
+                        relations.append((constraint.predicate, constraint.arity))
+                    continue
+                for atom in (*constraint.body, *constraint.head_atoms):
+                    relations.append((atom.predicate, atom.arity))
+            self._constraint_relations = relations
+        needed = list(self._constraint_relations)
+        for atom in getattr(query, "positive_atoms", ()) or ():
+            needed.append((atom.predicate, atom.arity))
+        return needed

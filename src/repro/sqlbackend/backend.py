@@ -295,7 +295,10 @@ class SQLiteBackend:
         )
 
     def consistent_answers(
-        self, query: ConjunctiveQuery
+        self,
+        query: ConjunctiveQuery,
+        rewritten=None,
+        null_is_unknown: bool = True,
     ) -> FrozenSet[Tuple[Constant, ...]]:
         """Consistent answers via the first-order rewriting, entirely in SQLite.
 
@@ -305,12 +308,20 @@ class SQLiteBackend:
         materialised.  Raises
         :class:`repro.rewriting.RewritingUnsupportedError` when the
         constraints or the query fall outside the tractable fragment.
+        A caller holding the rewriting already (the ``"sqlite"`` engine
+        serves it from the session cache) passes it as *rewritten* to
+        skip the re-analysis; *null_is_unknown* picks the null convention
+        for the base query's comparisons (the default keeps SQL's native
+        three-valued behaviour).
         """
 
-        from repro.rewriting import rewrite_query
+        if rewritten is None:
+            from repro.rewriting import rewrite_query
 
-        rewritten = rewrite_query(query, self._constraints)
-        rows = self.execute(rewritten.to_sql(self._instance.schema))
+            rewritten = rewrite_query(query, self._constraints)
+        rows = self.execute(
+            rewritten.to_sql(self._instance.schema, null_is_unknown=null_is_unknown)
+        )
         if query.is_boolean:
             return frozenset({()} if rows else set())
         return frozenset(
