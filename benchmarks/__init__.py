@@ -1,0 +1,8 @@
+"""The experiment suite (E1–E14) and its reporting tools.
+
+Each ``bench_e*.py`` module reproduces one experiment; ``harness.py``
+prints its result tables and mirrors them as JSON when
+``REPRO_BENCH_JSON`` names a directory.  ``python -m benchmarks.report``
+renders those JSON artifacts back into the markdown tables the README
+embeds.
+"""

@@ -1,0 +1,239 @@
+"""E14 — parallel repair search and anytime streaming CQA.
+
+After E12 (incremental violation maintenance) and E13 (warm sessions)
+the single-threaded DFS in ``core/repairs.py`` dominates every workload
+the rewriting fragment cannot take.  This experiment measures the
+``method="parallel"`` engine, which splits the mutate/undo frontier into
+deterministic, budget-bounded tasks executed on a process pool (see
+:mod:`repro.core.parallel`), against the sequential ``incremental``
+reference, and exercises the anytime surface built on top of it.
+
+Three contracts, checked in every configuration (smoke included):
+
+* **bit-identical repairs** — ``parallel`` must return the *same list*
+  (contents and discovery order) as ``incremental`` on every sweep
+  point and on every paper scenario;
+* **identical answers** — consistent answers agree between
+  ``repair_mode="incremental"`` and ``repair_mode="parallel"`` on every
+  scenario;
+* **anytime streaming** — on a ≥100-repair instance,
+  ``AnytimeRepairStream`` proves (and yields) its first repair strictly
+  before the frontier search completes.
+
+Acceptance gate, full sweep only and only on machines with ≥ 4 CPUs:
+on the grouped-key workload at the gate configuration, ``parallel``
+with 4 workers enumerates repairs ≥ 2× faster than ``incremental``
+(wall clock, end to end — search, merge and the sliced ``≤_D`` filter).
+The ``--smoke`` CI pass keeps every identity assertion but skips the
+wall-clock gate, exactly like E12: shared or single-core runners make
+timing ratios meaningless, and the smoke contract is "same repairs,
+same answers, streaming yields early", not "same speedup as a 4-core
+dev box".
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.parallel import AnytimeRepairStream, ParallelRepairSearch
+from repro.core.repairs import PARALLEL_METHOD, RepairEngine
+from repro.core.cqa import consistent_answers
+from repro.constraints.terms import Variable
+from repro.constraints.atoms import Atom
+from repro.logic.queries import ConjunctiveQuery
+from repro.workloads import grouped_key_workload, scenarios
+from harness import emit_json, print_table
+
+
+#: Grouped-key sweep: (n_groups, group_size, n_clean).
+#: Repairs per point: group_size ** n_groups.
+FULL_SWEEP = [
+    (5, 3, 40),
+    (6, 3, 40),
+    (7, 3, 40),
+]
+SMOKE_SWEEP = [(2, 2, 8), (3, 3, 6)]
+
+#: The acceptance-gate configuration: 2187 repairs, seconds of sequential work.
+GATE_CONFIG = (7, 3, 40)
+GATE_WORKERS = 4
+GATE_MIN_SPEEDUP = 2.0
+
+#: The streaming demonstration instance: 125 repairs.
+STREAM_CONFIG = (3, 5, 8)
+
+
+def _workload(n_groups, group_size, n_clean):
+    return grouped_key_workload(
+        n_groups=n_groups, group_size=group_size, n_clean=n_clean, seed=17
+    )
+
+
+def _timed_repairs(instance, constraints, method, workers=0):
+    engine = RepairEngine(
+        constraints, method=method, max_states=5_000_000, workers=workers
+    )
+    started = time.perf_counter()
+    found = engine.repairs(instance)
+    elapsed = time.perf_counter() - started
+    return found, elapsed, engine.statistics
+
+
+def _scenario_query(scenario):
+    """A select-all conjunctive query over the scenario's first relation."""
+
+    predicate = scenario.instance.predicates[0]
+    arity = scenario.instance.schema.arity(predicate)
+    variables = tuple(Variable(f"x{i}") for i in range(arity))
+    return ConjunctiveQuery(
+        head_variables=variables,
+        positive_atoms=(Atom(predicate, variables),),
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(request):
+    smoke = request.config.getoption("--smoke", default=False)
+    sweep = SMOKE_SWEEP if smoke else FULL_SWEEP
+    can_gate = not smoke and (os.cpu_count() or 1) >= GATE_WORKERS
+
+    rows = []
+    gate_checked = False
+    for n_groups, group_size, n_clean in sweep:
+        instance, constraints = _workload(n_groups, group_size, n_clean)
+        reference, t_incr, stats_incr = _timed_repairs(
+            instance, constraints, "incremental"
+        )
+        # Inline parallel (workers=0): the same task decomposition without
+        # processes — its cost is the decomposition overhead.
+        inline, t_inline, _ = _timed_repairs(instance, constraints, PARALLEL_METHOD)
+        assert inline == reference, "inline parallel diverged from incremental"
+        workers = GATE_WORKERS if can_gate else 2
+        pooled, t_pool, stats_pool = _timed_repairs(
+            instance, constraints, PARALLEL_METHOD, workers=workers
+        )
+        assert pooled == reference, "pooled parallel diverged from incremental"
+        speedup = t_incr / t_pool if t_pool else float("inf")
+        if can_gate and (n_groups, group_size, n_clean) == GATE_CONFIG:
+            assert speedup >= GATE_MIN_SPEEDUP, (
+                f"parallel at {GATE_WORKERS} workers only {speedup:.2f}x over "
+                f"incremental on the gate workload (need ≥ {GATE_MIN_SPEEDUP}x)"
+            )
+            gate_checked = True
+        rows.append(
+            [
+                len(instance),
+                len(reference),
+                stats_incr.states_explored,
+                f"{t_incr * 1000:.1f} ms",
+                f"{t_inline * 1000:.1f} ms",
+                workers,
+                f"{t_pool * 1000:.1f} ms",
+                f"{speedup:.2f}x",
+            ]
+        )
+    if not smoke and can_gate:
+        assert gate_checked, "the ≥2x acceptance gate never ran"
+    elif not smoke:
+        print(
+            f"\n[E14] wall-clock gate skipped: {os.cpu_count()} CPU(s) < "
+            f"{GATE_WORKERS} workers — identity assertions still enforced"
+        )
+
+    headers = [
+        "|D|",
+        "repairs",
+        "states",
+        "incremental",
+        "parallel inline",
+        "workers",
+        "parallel pool",
+        "incr/pool",
+    ]
+    title = "E14: parallel repair search vs incremental"
+    print_table(title, headers, rows)
+    emit_json(title, headers, rows)
+
+    # ---------------------------------------------------------------- anytime
+    # The streaming contract is timing-free and runs in every mode: on a
+    # 125-repair instance the anytime certificate must prove its first
+    # repair strictly before the frontier search completes, and the
+    # streamed set must equal the enumerated repair list exactly.
+    instance, constraints = _workload(*STREAM_CONFIG)
+    reference, _, _ = _timed_repairs(instance, constraints, "incremental")
+    assert len(reference) >= 100
+    search = ParallelRepairSearch(
+        instance, constraints, max_states=5_000_000, chunk_states=50
+    )
+    stream = AnytimeRepairStream(search, schema=instance.schema)
+    streamed = list(stream)
+    assert stream.ordered_repairs == reference
+    assert {r.fact_set() for r in streamed} == {r.fact_set() for r in reference}
+    assert stream.yields_before_completion > 0
+    assert stream.states_at_first_yield < search.statistics.states_explored
+    print_table(
+        "E14b: anytime streaming on the 125-repair instance",
+        ["repairs", "streamed early", "first yield at", "total states"],
+        [
+            [
+                len(reference),
+                stream.yields_before_completion,
+                stream.states_at_first_yield,
+                search.statistics.states_explored,
+            ]
+        ],
+    )
+
+    # ---------------------------------------------------------------- scenarios
+    # Identity on every paper scenario: repairs bit-identical, answers equal.
+    scenario_rows = []
+    for name, scenario in sorted(scenarios.all_scenarios().items()):
+        if not scenario.constraints.is_non_conflicting():
+            continue
+        reference = RepairEngine(scenario.constraints).repairs(scenario.instance)
+        parallel = RepairEngine(
+            scenario.constraints, method=PARALLEL_METHOD, chunk_states=3
+        ).repairs(scenario.instance)
+        assert parallel == reference, f"scenario {name}: parallel diverged"
+        query = _scenario_query(scenario)
+        answers = {
+            mode: consistent_answers(
+                scenario.instance, scenario.constraints, query, repair_mode=mode
+            )
+            for mode in ("incremental", PARALLEL_METHOD)
+        }
+        assert answers["incremental"] == answers[PARALLEL_METHOD]
+        scenario_rows.append([name, len(reference), len(answers["incremental"]), "yes"])
+    print_table(
+        "E14c: parallel repairs and answers agree on every scenario",
+        ["scenario", "repairs", "certain answers", "agree"],
+        scenario_rows,
+    )
+    yield
+
+
+@pytest.mark.parametrize("method", ["incremental", PARALLEL_METHOD])
+def bench_repair_enumeration_parallel_vs_incremental(benchmark, method):
+    instance, constraints = _workload(3, 3, 10)
+    engine = RepairEngine(constraints, method=method, max_states=2_000_000)
+    result = benchmark.pedantic(engine.repairs, args=(instance,), rounds=3, iterations=1)
+    assert len(result) == 27
+
+
+def bench_anytime_first_repair(benchmark):
+    """Time to the *first proven* repair of the 125-repair instance."""
+
+    instance, constraints = _workload(*STREAM_CONFIG)
+
+    def first_repair():
+        search = ParallelRepairSearch(
+            instance, constraints, max_states=5_000_000, chunk_states=50
+        )
+        iterator = iter(AnytimeRepairStream(search, schema=instance.schema))
+        first = next(iterator)
+        iterator.close()
+        return first
+
+    result = benchmark.pedantic(first_repair, rounds=3, iterations=1)
+    assert result is not None

@@ -1,0 +1,115 @@
+"""Render benchmark JSON artifacts as markdown tables.
+
+Every ``bench_e*`` experiment writes a ``{"experiment", "headers",
+"rows"}`` record per result table when ``REPRO_BENCH_JSON`` names a
+directory (see ``harness.print_table``); the CI smoke job uploads that
+directory as the ``bench-results`` artifact.  This module turns the
+records back into the markdown the README's results section embeds:
+
+.. code-block:: bash
+
+    REPRO_BENCH_JSON=bench-results PYTHONPATH=src python -m pytest \
+        benchmarks/bench_e11_rewriting_vs_repairs.py \
+        benchmarks/bench_e12_incremental_violations.py \
+        benchmarks/bench_e13_session_cache.py \
+        benchmarks/bench_e14_parallel_anytime.py \
+        -q -o python_files='bench_*.py' -o python_functions='bench_*' \
+        --smoke --benchmark-disable
+    python -m benchmarks.report bench-results            # headline tables
+    python -m benchmarks.report bench-results --all      # every table found
+
+Pure stdlib — the report needs no ``repro`` import, so it runs anywhere
+the JSON artifacts were downloaded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+#: The headline experiments the README's results section tracks, in order.
+HEADLINE_PREFIXES = ("e11", "e12", "e13", "e14")
+
+
+def load_records(directory: Path) -> List[Dict[str, object]]:
+    """All experiment records in *directory*, sorted by file name."""
+
+    records = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping {path.name}: {error}", file=sys.stderr)
+            continue
+        if not isinstance(record, dict) or "headers" not in record:
+            continue
+        record["_file"] = path.name
+        records.append(record)
+    return records
+
+
+def is_headline(record: Dict[str, object]) -> bool:
+    """Does the record belong to one of the README's headline experiments?"""
+
+    name = str(record.get("experiment", "")) + str(record.get("_file", ""))
+    name = name.lower()
+    return any(prefix in name for prefix in HEADLINE_PREFIXES)
+
+
+def markdown_table(record: Dict[str, object]) -> str:
+    """One experiment record as a GitHub-flavoured markdown table."""
+
+    headers: Sequence[str] = record["headers"]  # type: ignore[assignment]
+    rows: Sequence[Sequence[object]] = record.get("rows", ())  # type: ignore[assignment]
+    lines = [
+        "### " + str(record.get("experiment", record.get("_file", "experiment"))),
+        "",
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def render(directory: Path, include_all: bool = False) -> str:
+    """The markdown report for every (headline) record in *directory*."""
+
+    records = load_records(directory)
+    if not include_all:
+        records = [record for record in records if is_headline(record)]
+    if not records:
+        return (
+            f"No benchmark JSON found in {directory}/ — run the benchmarks with "
+            "REPRO_BENCH_JSON set (see the module docstring)."
+        )
+    return "\n\n".join(markdown_table(record) for record in records)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.report", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "directory",
+        nargs="?",
+        default=os.environ.get("REPRO_BENCH_JSON", "bench-results"),
+        help="directory holding the *.json artifacts "
+        "(default: $REPRO_BENCH_JSON or ./bench-results)",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="render every table found, not just the E11–E14 headline ones",
+    )
+    arguments = parser.parse_args(argv)
+    print(render(Path(arguments.directory), include_all=arguments.all))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

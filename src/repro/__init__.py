@@ -104,8 +104,12 @@ from repro.constraints import (
 )
 from repro.logic import ConjunctiveQuery, FirstOrderQuery, Query
 from repro.core import (
+    ALL_REPAIR_METHODS,
     REPAIR_METHODS,
+    AnytimeRepairStream,
+    ParallelRepairSearch,
     RepairEngine,
+    RepairStatistics,
     Semantics,
     Violation,
     ViolationIndex,
@@ -208,8 +212,12 @@ __all__ = [
     "semantics_matrix",
     "Violation",
     # repairs
+    "ALL_REPAIR_METHODS",
     "REPAIR_METHODS",
+    "AnytimeRepairStream",
+    "ParallelRepairSearch",
     "RepairEngine",
+    "RepairStatistics",
     "ViolationIndex",
     "ViolationTracker",
     "repairs",

@@ -32,15 +32,24 @@ from repro.core.satisfaction import (
 )
 from repro.core.semantics import Semantics
 from repro.core.repairs import (
+    ALL_REPAIR_METHODS,
+    PARALLEL_METHOD,
     REPAIR_METHODS,
     RepairEngine,
+    RepairStatistics,
     ViolationIndex,
     ViolationTracker,
     delta,
     leq_d,
+    leq_deltas,
     lt_d,
     repairs,
     violation_choice_key,
+)
+from repro.core.parallel import (
+    AnytimeRepairStream,
+    ParallelRepairSearch,
+    exclusion_safe,
 )
 from repro.core.classic import classic_repairs
 from repro.core.cqa import (
@@ -66,14 +75,21 @@ __all__ = [
     "all_violations",
     "is_consistent",
     "Semantics",
+    "ALL_REPAIR_METHODS",
+    "PARALLEL_METHOD",
     "REPAIR_METHODS",
     "RepairEngine",
+    "RepairStatistics",
     "ViolationIndex",
     "ViolationTracker",
+    "AnytimeRepairStream",
+    "ParallelRepairSearch",
+    "exclusion_safe",
     "violation_choice_key",
     "repairs",
     "delta",
     "leq_d",
+    "leq_deltas",
     "lt_d",
     "classic_repairs",
     "CQA_METHODS",

@@ -137,16 +137,43 @@ def consistent_answers_report(
     max_states: Optional[int] = 200_000,
     estimate_repairs: bool = True,
     repair_mode: str = "incremental",
+    workers: int = 0,
 ) -> CQAResult:
     """Full report: consistent answers plus repair statistics.
 
-    *estimate_repairs* only affects the rewriting-based strategies, where
-    the repair count is a conflict-graph estimate that costs one extra
-    pass over the instance; the answer-only wrappers disable it.
-    *repair_mode* selects the direct engine's violation-evaluation method
-    (:data:`repro.core.repairs.REPAIR_METHODS`); all modes return the
-    same repairs, so this only affects cost — benchmark E12 compares
-    them.
+    Args:
+        instance: the (possibly inconsistent) database.
+        constraints: the integrity constraints.
+        query: the conjunctive or first-order query.
+        method: the engine name (:data:`CQA_METHODS` or any registered
+            third-party engine).
+        null_is_unknown: evaluate comparisons with SQL-style unknowns
+            instead of treating ``null`` as an ordinary constant.
+        max_states: repair-search state budget
+            (:class:`repro.core.repairs.RepairSearchBudgetExceeded`
+            beyond it).
+        estimate_repairs: only affects the rewriting-based strategies,
+            where the repair count is a conflict-graph estimate that
+            costs one extra pass; the answer-only wrappers disable it.
+        repair_mode: the direct engine's violation-evaluation method
+            (:data:`repro.core.repairs.ALL_REPAIR_METHODS`); every mode
+            returns the same repairs, so this only affects cost —
+            benchmarks E12 and E14 compare them.
+        workers: processes for ``repair_mode="parallel"`` (``<= 1``
+            runs the same decomposition inline).
+
+    Returns:
+        A :class:`CQAResult` with the answers and repair statistics.
+
+    >>> from repro.relational.instance import DatabaseInstance
+    >>> from repro.constraints.parser import parse_constraint, parse_query
+    >>> instance = DatabaseInstance.from_dict(
+    ...     {"Course": [(21, "C15"), (34, "C18")], "Student": [(21, "Ann")]})
+    >>> ric = parse_constraint("Course(i, c) -> Student(i, n)")
+    >>> report = consistent_answers_report(
+    ...     instance, [ric], parse_query("ans(c) <- Course(i, c)"))
+    >>> (sorted(report.answers), report.repair_count)
+    ([('C15',)], 2)
     """
 
     from repro.session import ConsistentDatabase
@@ -158,6 +185,7 @@ def consistent_answers_report(
         max_states=max_states,
         estimate_repairs=estimate_repairs,
         repair_mode=repair_mode,
+        workers=workers,
     )
 
 
@@ -169,8 +197,22 @@ def consistent_answers(
     null_is_unknown: bool = False,
     max_states: Optional[int] = 200_000,
     repair_mode: str = "incremental",
+    workers: int = 0,
 ) -> FrozenSet[AnswerTuple]:
-    """The consistent answers to *query* in *instance* w.r.t. *constraints*."""
+    """The consistent answers to *query* in *instance* w.r.t. *constraints*.
+
+    The answer-only projection of :func:`consistent_answers_report`
+    (same parameters; the repair-count estimate is skipped).
+
+    >>> from repro.relational.instance import DatabaseInstance
+    >>> from repro.constraints.parser import parse_constraint, parse_query
+    >>> instance = DatabaseInstance.from_dict(
+    ...     {"Emp": [("e1", "sales"), ("e1", "hr"), ("e2", "hr")]})
+    >>> key = parse_constraint("Emp(e, d), Emp(e, f) -> d = f")
+    >>> sorted(consistent_answers(
+    ...     instance, [key], parse_query("ans(e) <- Emp(e, d)")))
+    [('e1',), ('e2',)]
+    """
 
     return consistent_answers_report(
         instance,
@@ -181,6 +223,7 @@ def consistent_answers(
         max_states=max_states,
         estimate_repairs=False,
         repair_mode=repair_mode,
+        workers=workers,
     ).answers
 
 
@@ -193,8 +236,24 @@ def is_consistent_answer(
     null_is_unknown: bool = False,
     max_states: Optional[int] = 200_000,
     repair_mode: str = "incremental",
+    workers: int = 0,
 ) -> bool:
-    """Decision version of CQA: is *candidate* an answer in every repair?"""
+    """Decision version of CQA: is *candidate* an answer in every repair?
+
+    Same parameters as :func:`consistent_answers` plus the candidate
+    tuple.  (A long-lived session additionally offers
+    ``certain(..., anytime=True)``, which stops at the first refuting
+    repair instead of materialising the full answer set.)
+
+    >>> from repro.relational.instance import DatabaseInstance
+    >>> from repro.constraints.parser import parse_constraint, parse_query
+    >>> instance = DatabaseInstance.from_dict(
+    ...     {"Emp": [("e1", "sales"), ("e1", "hr")]})
+    >>> key = parse_constraint("Emp(e, d), Emp(e, f) -> d = f")
+    >>> is_consistent_answer(
+    ...     instance, [key], parse_query("ans(d) <- Emp(e, d)"), ("sales",))
+    False
+    """
 
     return tuple(candidate) in consistent_answers(
         instance,
@@ -204,6 +263,7 @@ def is_consistent_answer(
         null_is_unknown=null_is_unknown,
         max_states=max_states,
         repair_mode=repair_mode,
+        workers=workers,
     )
 
 
@@ -215,8 +275,23 @@ def consistent_boolean_answer(
     null_is_unknown: bool = False,
     max_states: Optional[int] = 200_000,
     repair_mode: str = "incremental",
+    workers: int = 0,
 ) -> bool:
-    """Consistent answer to a boolean query: *yes* iff it holds in every repair."""
+    """Consistent answer to a boolean query: *yes* iff it holds in every repair.
+
+    Same parameters as :func:`consistent_answers`; an inconsistent
+    constraint set with no repairs at all (possible only with
+    conflicting NOT-NULL constraints) answers *no*.
+
+    >>> from repro.relational.instance import DatabaseInstance
+    >>> from repro.constraints.parser import parse_constraint, parse_query
+    >>> instance = DatabaseInstance.from_dict(
+    ...     {"Emp": [("e1", "sales"), ("e1", "hr")]})
+    >>> key = parse_constraint("Emp(e, d), Emp(e, f) -> d = f")
+    >>> consistent_boolean_answer(
+    ...     instance, [key], parse_query("ans() <- Emp(e, d)"))
+    True
+    """
 
     result = consistent_answers_report(
         instance,
@@ -227,6 +302,7 @@ def consistent_boolean_answer(
         max_states=max_states,
         estimate_repairs=False,
         repair_mode=repair_mode,
+        workers=workers,
     )
     if result.repair_count == 0 and not result.repair_count_estimated:
         return False

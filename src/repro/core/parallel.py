@@ -1,0 +1,678 @@
+"""Parallel, anytime repair search over the mutate/undo DFS frontier.
+
+The incremental engine of :mod:`repro.core.repairs` explores one
+violation-resolution tree depth-first with a single working instance.
+This module splits that tree into **frontier tasks** — unexplored
+subtree roots identified by their branch-index *path* from the root —
+and executes them either inline (``workers <= 1``) or on a
+``concurrent.futures.ProcessPoolExecutor``, one seeded
+:class:`~repro.core.repairs.ViolationTracker` and one copy-on-write
+instance per worker process.
+
+Three properties make the result exactly interchangeable with the
+sequential engines:
+
+* **Deterministic decomposition.**  A task explores at most
+  ``chunk_states`` states; whatever frontier it could not expand is
+  *deferred* back to the scheduler as new tasks.  Which tasks exist and
+  what each explores is a pure function of (instance, constraints,
+  chunk budget) — worker scheduling only changes *when* a task runs,
+  never what it computes.  Oversized tasks split again, so granularity
+  adapts to the tree shape the way a work-stealing deque would.
+* **Path-ordered merging.**  Every candidate is reported with the
+  branch-index path of the state that produced it.  Sorting the merged
+  candidates by path and keeping the lexicographically least occurrence
+  of each fact set reproduces the *discovery order* of the sequential
+  depth-first search (a DFS discovers every state at its
+  lexicographically least reachable path), so ``method="parallel"``
+  returns a bit-identical repair list to ``method="incremental"``.
+* **Sibling-exclusion partitioning** (denial-only constraint sets).
+  When no constraint has consequent atoms, every fix is a deletion of
+  an original fact, and branch *i* of a violation can soundly exclude
+  the fixes of branches ``< i`` from its whole subtree: a candidate
+  missing fact ``f`` must delete ``f`` somewhere, so forbidding the
+  deletion partitions the candidates of sibling subtrees.  Workers
+  then never duplicate each other's states.  With consequent atoms
+  (RICs/UICs) the exclusion is unsound — an inserted witness of one
+  constraint can resolve another, making some candidates reachable
+  only through mixed resolution orders — so subtrees may overlap and
+  the path-ordered dedup does the reconciliation instead.
+
+On top of the decomposition, :class:`AnytimeRepairStream` turns the
+search into an **anytime** enumeration: a candidate ``C`` is provably a
+repair *before the search finishes* once (a) no candidate found so far
+strictly ``≤_D``-dominates it and (b) no open frontier task could ever
+produce a dominator.  (b) is sound because a task's committed delta
+``∆_f`` (its inserted and deleted facts) is contained in the delta of
+every candidate below it: inserted facts are never deleted again and
+deleted facts never return, so if ``∆_f`` already contains a null-free
+atom outside ``∆(D, C)`` — or a null atom with no cover in ``∆(D, C)``
+(Definition 6(b)) — nothing below ``f`` can be ``≤_D C``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.constraints.ic import AnyConstraint, ConstraintSet, NotNullConstraint
+from repro.core.repairs import (
+    DeltaMinimality,
+    RepairSearchBudgetExceeded,
+    RepairStatistics,
+    ViolationIndex,
+    ViolationTracker,
+    deletion_fixes,
+    insertion_fixes,
+    leq_deltas,
+    minimal_flags_counted,
+    minimal_flags_for_deltas,
+    violation_choice_key,
+)
+from repro.relational.instance import DatabaseInstance, Fact
+
+#: Branch-index path of a search state, relative to the search root.
+Path = Tuple[int, ...]
+
+#: Default number of states one task may explore before it must defer
+#: the rest of its subtree back to the scheduler.
+DEFAULT_CHUNK_STATES = 1024
+
+_EMPTY_FACTS: FrozenSet[Fact] = frozenset()
+
+
+def exclusion_safe(constraints: Union[ConstraintSet, Iterable[AnyConstraint]]) -> bool:
+    """Can sibling subtrees soundly exclude each other's fixes?
+
+    True iff no constraint has consequent atoms — i.e. every violation
+    is repaired by deletions only (keys/FDs, denials, checks, NOT
+    NULL).  See the module docstring for why consequent atoms break the
+    partition argument.
+    """
+
+    for constraint in constraints:
+        if isinstance(constraint, NotNullConstraint):
+            continue
+        if constraint.head_atoms:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class FrontierTask:
+    """One unexplored subtree of the repair search.
+
+    ``inserted``/``deleted`` are the facts committed on the path from
+    the search root to this state (the task's *delta* — a lower bound,
+    under ``⊆``, of the delta of every candidate in the subtree).  The
+    exclusion sets are only populated for denial-only constraint sets.
+    """
+
+    path: Path
+    inserted: FrozenSet[Fact]
+    deleted: FrozenSet[Fact]
+    excluded_deletions: FrozenSet[Fact] = _EMPTY_FACTS
+    excluded_insertions: FrozenSet[Fact] = _EMPTY_FACTS
+
+    def delta(self) -> FrozenSet[Fact]:
+        """The facts every candidate below this state must differ on."""
+
+        return self.inserted | self.deleted
+
+
+#: A discovered candidate: (path, inserted facts, deleted facts).  The
+#: candidate's fact set is ``(D ∖ deleted) ∪ inserted`` and its delta is
+#: ``inserted ∪ deleted`` — shipping the (usually tiny) delta across the
+#: process boundary instead of the whole instance keeps result pickling
+#: proportional to the repair distance, not the database size.
+Candidate = Tuple[Path, FrozenSet[Fact], FrozenSet[Fact]]
+
+
+@dataclass
+class TaskResult:
+    """What one executed task hands back to the scheduler."""
+
+    task: FrontierTask
+    candidates: List[Candidate]
+    deferred: List[FrontierTask]
+    statistics: RepairStatistics
+
+
+@dataclass
+class SearchBatch:
+    """One scheduler round: new results plus the still-open frontier."""
+
+    candidates: List[Candidate]
+    open_tasks: Tuple[FrontierTask, ...]
+    states_explored: int  #: cumulative states across all finished tasks
+
+
+class SearchContext:
+    """A worker's private search state: instance, tracker, exclusion flag.
+
+    One context is built per worker process (and one inline for
+    ``workers <= 1``); it pays the full violation sweep once and then
+    runs any number of tasks against the same working instance by
+    replaying each task's delta before the bounded DFS and undoing it
+    after — the same mutate/undo discipline the incremental engine
+    uses, lifted to task granularity.
+    """
+
+    def __init__(
+        self,
+        instance: DatabaseInstance,
+        constraints: Union[ViolationIndex, ConstraintSet, Iterable[AnyConstraint]],
+        exclusions: Optional[bool] = None,
+    ):
+        self.index = (
+            constraints
+            if isinstance(constraints, ViolationIndex)
+            else ViolationIndex(constraints)
+        )
+        self.working = instance.copy()
+        self.tracker = ViolationTracker(self.working, self.index)
+        self.exclusions = (
+            exclusion_safe(self.index.constraints) if exclusions is None else exclusions
+        )
+
+    # ------------------------------------------------------------------ tasks
+    def run_task(self, task: FrontierTask, budget: int) -> TaskResult:
+        """Explore up to *budget* states of the task's subtree.
+
+        Candidates are reported with their global path; the unexplored
+        remainder of the subtree comes back as deferred tasks.  The
+        working instance and tracker are restored exactly before
+        returning, so contexts are reusable across tasks.
+        """
+
+        budget = max(budget, 1)
+        stats = RepairStatistics()
+        updates_before = self.tracker.updates
+        reevaluated_before = self.tracker.constraints_reevaluated
+        candidates: List[Candidate] = []
+        deferred: List[FrontierTask] = []
+        visited: Set[Tuple[FrozenSet[Fact], FrozenSet[Fact]]] = set()
+        states_used = 0
+
+        replay: List[Tuple[str, Fact, object]] = []
+        try:
+            for fact in sorted(task.deleted, key=Fact.sort_key):
+                self.working.discard(fact)
+                replay.append(("del", fact, self.tracker.notify_removed(fact)))
+            for fact in sorted(task.inserted, key=Fact.sort_key):
+                self.working.add(fact)
+                replay.append(("ins", fact, self.tracker.notify_added(fact)))
+
+            def explore(
+                path: Path,
+                inserted: FrozenSet[Fact],
+                deleted: FrozenSet[Fact],
+                excluded_deletions: FrozenSet[Fact],
+                excluded_insertions: FrozenSet[Fact],
+            ) -> None:
+                nonlocal states_used
+                state_key = (inserted, deleted)
+                if state_key in visited:
+                    return
+                if states_used >= budget:
+                    deferred.append(
+                        FrontierTask(
+                            path,
+                            inserted,
+                            deleted,
+                            excluded_deletions,
+                            excluded_insertions,
+                        )
+                    )
+                    return
+                visited.add(state_key)
+                states_used += 1
+                stats.states_explored += 1
+
+                current = self.tracker.violations()
+                if not current:
+                    stats.candidates_found += 1
+                    candidates.append((path, inserted, deleted))
+                    return
+
+                violation = min(current, key=violation_choice_key)
+                branched = False
+                branch = 0
+                for fact in deletion_fixes(violation):
+                    index = branch
+                    branch += 1
+                    if fact in inserted:  # the program denial: never undo an insertion
+                        continue
+                    if fact in excluded_deletions:
+                        continue  # the candidate lives in an earlier sibling subtree
+                    self.working.discard(fact)
+                    delta = self.tracker.notify_removed(fact)
+                    branched = True
+                    explore(
+                        path + (index,),
+                        inserted,
+                        deleted | {fact},
+                        excluded_deletions,
+                        excluded_insertions,
+                    )
+                    self.tracker.revert(delta)
+                    self.working.add(fact)
+                    if self.exclusions:
+                        excluded_deletions = excluded_deletions | {fact}
+                for fact in insertion_fixes(violation):
+                    index = branch
+                    branch += 1
+                    if fact in deleted or fact in self.working:
+                        continue
+                    if fact in excluded_insertions:
+                        continue
+                    self.working.add(fact)
+                    delta = self.tracker.notify_added(fact)
+                    branched = True
+                    explore(
+                        path + (index,),
+                        inserted | {fact},
+                        deleted,
+                        excluded_deletions,
+                        excluded_insertions,
+                    )
+                    self.tracker.revert(delta)
+                    self.working.discard(fact)
+                    if self.exclusions:
+                        excluded_insertions = excluded_insertions | {fact}
+                if not branched:
+                    stats.dead_branches += 1
+
+            explore(
+                task.path,
+                task.inserted,
+                task.deleted,
+                task.excluded_deletions,
+                task.excluded_insertions,
+            )
+        finally:
+            for kind, fact, delta in reversed(replay):
+                self.tracker.revert(delta)  # type: ignore[arg-type]
+                if kind == "del":
+                    self.working.add(fact)
+                else:
+                    self.working.discard(fact)
+        stats.violation_updates = self.tracker.updates - updates_before
+        stats.constraints_reevaluated = (
+            self.tracker.constraints_reevaluated - reevaluated_before
+        )
+        return TaskResult(task, candidates, deferred, stats)
+
+
+# --------------------------------------------------------------------------- workers
+#: Per-process search context, built once by the pool initializer.
+_WORKER_CONTEXT: Optional[SearchContext] = None
+
+
+def _worker_init(
+    facts: Tuple[Fact, ...], constraints: Tuple[AnyConstraint, ...], exclusions: bool
+) -> None:
+    """Process-pool initializer: rebuild the instance, sweep violations once."""
+
+    global _WORKER_CONTEXT
+    instance = DatabaseInstance.from_facts(facts)
+    _WORKER_CONTEXT = SearchContext(
+        instance, ConstraintSet(list(constraints)), exclusions=exclusions
+    )
+
+
+def _worker_run(task: FrontierTask, budget: int) -> TaskResult:
+    """Execute one task against the process-local context."""
+
+    assert _WORKER_CONTEXT is not None, "worker used before initialization"
+    return _WORKER_CONTEXT.run_task(task, budget)
+
+
+# --------------------------------------------------------------------------- driver
+class ParallelRepairSearch:
+    """Schedule the frontier tasks of one repair search.
+
+    ``workers <= 1`` executes every task inline, in FIFO order — fully
+    deterministic, no processes, still anytime (batches surface as each
+    task finishes).  ``workers >= 2`` runs the tasks on a process pool
+    with up to ``2 × workers`` tasks in flight; which tasks exist and
+    what each returns is deterministic either way (only batch arrival
+    order varies).
+
+    Aggregate counters accumulate into :attr:`statistics` via
+    :meth:`RepairStatistics.merge` as tasks finish; ``states_explored``
+    sums the per-task counts, so with overlapping subtrees (non
+    denial-only constraints) it may exceed the sequential engines'
+    unique-state count — the ``max_states`` budget applies to that sum.
+    """
+
+    def __init__(
+        self,
+        instance: DatabaseInstance,
+        constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+        *,
+        workers: int = 0,
+        max_states: Optional[int] = 200_000,
+        chunk_states: int = DEFAULT_CHUNK_STATES,
+        violation_index: Optional[ViolationIndex] = None,
+    ):
+        self._instance = instance
+        self._constraints = (
+            constraints
+            if isinstance(constraints, ConstraintSet)
+            else ConstraintSet(list(constraints))
+        )
+        self._index = (
+            violation_index
+            if violation_index is not None
+            else ViolationIndex(self._constraints)
+        )
+        self._workers = max(workers, 0)
+        self._max_states = max_states
+        self._chunk_states = max(chunk_states, 1)
+        self._exclusions = exclusion_safe(self._constraints)
+        self.statistics = RepairStatistics()
+
+    @property
+    def uses_exclusions(self) -> bool:
+        """True when sibling-exclusion partitioning is active (denial-only)."""
+
+        return self._exclusions
+
+    def batches(self) -> Iterator[SearchBatch]:
+        """Run the search, yielding one :class:`SearchBatch` per finished task.
+
+        Closing the generator early (e.g. an anytime consumer that
+        short-circuited) shuts the pool down and cancels queued tasks.
+        Raises :class:`RepairSearchBudgetExceeded` when the cumulative
+        state count crosses ``max_states``.
+        """
+
+        root = FrontierTask((), _EMPTY_FACTS, _EMPTY_FACTS)
+        queue: deque[FrontierTask] = deque([root])
+        open_tasks: Dict[Path, FrontierTask] = {root.path: root}
+        total_states = 0
+
+        def absorb(result: TaskResult) -> SearchBatch:
+            nonlocal total_states
+            total_states += result.statistics.states_explored
+            self.statistics.merge(result.statistics)
+            del open_tasks[result.task.path]
+            for sub_task in result.deferred:
+                open_tasks[sub_task.path] = sub_task
+                queue.append(sub_task)
+            if self._max_states is not None and total_states > self._max_states:
+                raise RepairSearchBudgetExceeded(
+                    f"repair search exceeded {self._max_states} states; "
+                    "raise max_states or simplify the instance"
+                )
+            return SearchBatch(
+                result.candidates, tuple(open_tasks.values()), total_states
+            )
+
+        if self._workers <= 1:
+            context = SearchContext(
+                self._instance, self._index, exclusions=self._exclusions
+            )
+            while queue:
+                task = queue.popleft()
+                yield absorb(context.run_task(task, self._chunk_states))
+            return
+
+        payload = (
+            tuple(self._instance.facts()),
+            tuple(self._constraints),
+            self._exclusions,
+        )
+        executor = ProcessPoolExecutor(
+            max_workers=self._workers,
+            initializer=_worker_init,
+            initargs=payload,
+        )
+        try:
+            in_flight: Set[Future] = set()
+            while queue or in_flight:
+                while queue and len(in_flight) < self._workers * 2:
+                    task = queue.popleft()
+                    in_flight.add(
+                        executor.submit(_worker_run, task, self._chunk_states)
+                    )
+                done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield absorb(future.result())
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------ collection
+    def collect(self) -> List[Tuple[Path, FrozenSet[Fact], FrozenSet[Fact]]]:
+        """Drain the search and return the candidates in discovery order.
+
+        Candidates are sorted by path and deduplicated keeping the
+        lexicographically least path per (inserted, deleted) pair —
+        exactly the order the sequential depth-first search first
+        discovers them in (a candidate's fact set determines its delta
+        and vice versa, so delta-level dedup is fact-level dedup).
+        """
+
+        first_paths: Dict[Tuple[FrozenSet[Fact], FrozenSet[Fact]], Path] = {}
+        for batch in self.batches():
+            for path, inserted, deleted in batch.candidates:
+                key = (inserted, deleted)
+                previous = first_paths.get(key)
+                if previous is None or path < previous:
+                    first_paths[key] = path
+        ordered = sorted(first_paths.items(), key=lambda item: item[1])
+        self.statistics.candidates_found = len(ordered)
+        return [(path, key[0], key[1]) for key, path in ordered]
+
+
+# --------------------------------------------------------------------------- minimality
+#: Per-process minimality context (all deltas), built by the initializer.
+_MINIMALITY_CONTEXT: Optional[DeltaMinimality] = None
+
+
+def _minimality_init(deltas: Tuple[FrozenSet[Fact], ...]) -> None:
+    global _MINIMALITY_CONTEXT
+    _MINIMALITY_CONTEXT = DeltaMinimality(list(deltas))
+
+
+def _minimality_run(start: int, stop: int) -> Tuple[List[bool], int]:
+    assert _MINIMALITY_CONTEXT is not None, "worker used before initialization"
+    before = _MINIMALITY_CONTEXT.comparisons
+    flags = [
+        not _MINIMALITY_CONTEXT.dominated(index) for index in range(start, stop)
+    ]
+    return flags, _MINIMALITY_CONTEXT.comparisons - before
+
+
+def parallel_minimal_flags(
+    deltas: Sequence[FrozenSet[Fact]], workers: int
+) -> Tuple[List[bool], int]:
+    """``≤_D``-minimality flags with the pairwise checks sliced across processes.
+
+    Each worker receives every candidate's delta once (via the pool
+    initializer) and decides domination for contiguous index slices,
+    reusing its process-local :class:`DeltaMinimality` context across
+    them; the flags concatenate in index order, so the verdicts are
+    identical to the sequential filter's.  Returns the per-candidate
+    flags plus the total number of pairwise checks.
+    """
+
+    count = len(deltas)
+    if count <= 1 or workers < 2:
+        return minimal_flags_counted(deltas)
+    slice_size = max(1, -(-count // (workers * 4)))  # ceil; ~4 slices per worker
+    ranges = [
+        (start, min(start + slice_size, count))
+        for start in range(0, count, slice_size)
+    ]
+    flags: List[bool] = []
+    comparisons = 0
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_minimality_init, initargs=(tuple(deltas),)
+    ) as executor:
+        for sliced, counted in executor.map(_minimality_run, *zip(*ranges)):
+            flags.extend(sliced)
+            comparisons += counted
+    return flags, comparisons
+
+
+# --------------------------------------------------------------------------- anytime
+def frontier_could_dominate(
+    frontier_delta: FrozenSet[Fact], candidate_delta: FrozenSet[Fact]
+) -> bool:
+    """Could *any* candidate below this frontier state be ``≤_D`` the candidate?
+
+    The frontier's committed delta is contained in the delta of every
+    candidate below it, so a null-free atom outside the candidate's
+    delta — or a null atom with no same-non-null-projection cover in it
+    (a conservative superset of Definition 6(b)'s cover) — rules the
+    whole subtree out as a source of dominators.  Conservative: may
+    answer True for a subtree that never produces one, never False for
+    one that does.
+    """
+
+    for fact in frontier_delta:
+        if not fact.has_null():
+            if fact not in candidate_delta:
+                return False
+        else:
+            non_null = fact.non_null_positions()
+            if not any(
+                other.predicate == fact.predicate
+                and other.arity == fact.arity
+                and all(other.values[i] == fact.values[i] for i in non_null)
+                for other in candidate_delta
+            ):
+                return False
+    return True
+
+
+@dataclass
+class _StreamCandidate:
+    path: Path
+    inserted: FrozenSet[Fact]
+    deleted: FrozenSet[Fact]
+    delta: FrozenSet[Fact]
+    yielded: bool = False
+    dominated: bool = False
+
+
+class AnytimeRepairStream:
+    """Iterate repairs as they are *proven* ``≤_D``-minimal, mid-search.
+
+    Wraps a :class:`ParallelRepairSearch` and yields each repair at the
+    earliest moment its minimality is certain: no discovered candidate
+    strictly dominates it, and :func:`frontier_could_dominate` clears
+    every open task.  When the search is exhausted the remaining
+    undecided candidates go through the standard filter, so the yielded
+    set is always exactly the repair set — anytime changes *when* each
+    repair becomes available, never *which*.
+
+    After exhaustion :attr:`ordered_repairs` holds the repairs in the
+    sequential engines' canonical discovery order (the order
+    ``RepairEngine.repairs`` returns), and :attr:`states_at_first_yield`
+    records how deep into the search the first proof landed.
+    """
+
+    def __init__(self, search: ParallelRepairSearch, schema=None):
+        self._search = search
+        self._schema = schema
+        self._base_facts = search._instance.fact_set()
+        self.ordered_repairs: Optional[List[DatabaseInstance]] = None
+        self.states_at_first_yield: Optional[int] = None
+        self.yields_before_completion = 0
+
+    @property
+    def statistics(self) -> RepairStatistics:
+        """The underlying search's aggregate counters."""
+
+        return self._search.statistics
+
+    def _instance_for(self, entry: "_StreamCandidate") -> DatabaseInstance:
+        facts = (self._base_facts - entry.deleted) | entry.inserted
+        return DatabaseInstance.from_facts(facts, schema=self._schema)
+
+    def __iter__(self) -> Iterator[DatabaseInstance]:
+        pool: Dict[Tuple[FrozenSet[Fact], FrozenSet[Fact]], _StreamCandidate] = {}
+        search_complete = False
+
+        def provable(open_tasks: Sequence[FrontierTask]) -> Iterator[_StreamCandidate]:
+            candidates = list(pool.values())
+            for entry in candidates:
+                if entry.yielded or entry.dominated:
+                    continue
+                blocked = False
+                for other in candidates:
+                    if other is entry:
+                        continue
+                    if leq_deltas(other.delta, entry.delta):
+                        if not leq_deltas(entry.delta, other.delta):
+                            entry.dominated = True
+                            blocked = True
+                            break
+                if blocked:
+                    continue
+                if any(
+                    frontier_could_dominate(task.delta(), entry.delta)
+                    for task in open_tasks
+                ):
+                    continue
+                entry.yielded = True
+                if self.states_at_first_yield is None:
+                    self.states_at_first_yield = self._search.statistics.states_explored
+                if not search_complete:
+                    self.yields_before_completion += 1
+                yield entry
+
+        for batch in self._search.batches():
+            for path, inserted, deleted in batch.candidates:
+                key = (inserted, deleted)
+                entry = pool.get(key)
+                if entry is None:
+                    pool[key] = _StreamCandidate(
+                        path, inserted, deleted, inserted | deleted
+                    )
+                elif path < entry.path:
+                    entry.path = path
+            for entry in provable(batch.open_tasks):
+                yield self._instance_for(entry)
+
+        search_complete = True
+        # The search is exhausted: settle the undecided candidates with the
+        # exact pairwise filter and emit whatever was not proven early, in
+        # canonical discovery order.
+        ordered = sorted(pool.values(), key=lambda entry: entry.path)
+        flags = minimal_flags_for_deltas([entry.delta for entry in ordered])
+        self.ordered_repairs = []
+        for entry, minimal in zip(ordered, flags):
+            if not minimal:
+                if entry.yielded:
+                    raise AssertionError(
+                        "anytime certificate yielded a non-minimal candidate "
+                        f"(delta {sorted(map(repr, entry.delta))}); this is a bug"
+                    )
+                continue
+            repair = self._instance_for(entry)
+            self.ordered_repairs.append(repair)
+            if not entry.yielded:
+                entry.yielded = True
+                if self.states_at_first_yield is None:
+                    self.states_at_first_yield = (
+                        self._search.statistics.states_explored
+                    )
+                yield repair

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -80,15 +80,14 @@ def _null_atom_covered(
     return False
 
 
-def leq_d(
-    original: DatabaseInstance,
-    first: DatabaseInstance,
-    second: DatabaseInstance,
-) -> bool:
-    """``first ≤_D second`` (Definition 6), with ``D = original``."""
+def leq_deltas(delta_first: FrozenSet[Fact], delta_second: FrozenSet[Fact]) -> bool:
+    """``≤_D`` (Definition 6) evaluated directly on two symmetric differences.
 
-    delta_first = delta(original, first)
-    delta_second = delta(original, second)
+    The anytime stream and the parallel minimality filter hold the
+    candidates as precomputed ``∆(D, ·)`` sets; this is :func:`leq_d`
+    without the instance subtraction.
+    """
+
     for fact in delta_first:
         if not fact.has_null():
             if fact not in delta_second:
@@ -97,6 +96,16 @@ def leq_d(
             if not _null_atom_covered(fact, delta_second, delta_first):
                 return False
     return True
+
+
+def leq_d(
+    original: DatabaseInstance,
+    first: DatabaseInstance,
+    second: DatabaseInstance,
+) -> bool:
+    """``first ≤_D second`` (Definition 6), with ``D = original``."""
+
+    return leq_deltas(delta(original, first), delta(original, second))
 
 
 def lt_d(
@@ -511,9 +520,44 @@ class RepairStatistics:
     search_seconds: float = 0.0
     minimality_seconds: float = 0.0
 
+    def merge(self, other: "RepairStatistics") -> "RepairStatistics":
+        """Fold another run's counters into this one, in place, and return it.
 
-#: The violation-evaluation strategies accepted by ``RepairEngine(method=)``.
+        The parallel engine gives every worker task its **own**
+        statistics object — incrementing a shared one from several
+        workers would race (and across processes would silently update
+        a copy) — and the scheduler folds the per-task objects together
+        as results arrive.  All counters sum; the two timing fields sum
+        too, which for concurrent tasks yields aggregate *CPU* seconds,
+        so the engine overwrites ``search_seconds`` with the wall clock
+        of the whole run once the search finishes.
+
+        >>> a = RepairStatistics(states_explored=3, candidates_found=1)
+        >>> b = RepairStatistics(states_explored=2, dead_branches=1)
+        >>> a.merge(b) is a
+        True
+        >>> (a.states_explored, a.candidates_found, a.dead_branches)
+        (5, 1, 1)
+        """
+
+        for spec in fields(self):
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+        return self
+
+
+#: The sequential violation-evaluation strategies of ``RepairEngine(method=)``.
+#: They share one search tree and are asserted state-for-state identical.
 REPAIR_METHODS = ("incremental", "indexed", "naive")
+
+#: The work-distributing mode: same repairs, same discovery order, but the
+#: frontier is split into tasks (optionally across processes), so its state
+#: counter may differ from the sequential trio's unique-state count.
+PARALLEL_METHOD = "parallel"
+
+#: Everything ``RepairEngine(method=)`` accepts.
+ALL_REPAIR_METHODS = REPAIR_METHODS + (PARALLEL_METHOD,)
 
 
 class RepairEngine:
@@ -531,7 +575,25 @@ class RepairEngine:
     * ``"indexed"`` — recompute ``all_violations`` per state with the
       hash-indexed joins (copies per branch are copy-on-write);
     * ``"naive"`` — the seed reference path: full recomputation per state
-      with unindexed nested-loop joins.
+      with unindexed nested-loop joins;
+    * ``"parallel"`` — split the mutate/undo frontier into bounded tasks
+      executed inline (``workers <= 1``) or on a process pool
+      (``workers >= 2``), each worker owning a copy-on-write instance
+      and its own :class:`ViolationTracker`; candidates merge back in
+      the sequential discovery order, so the repair list is bit-identical
+      to ``"incremental"`` (see :mod:`repro.core.parallel`).
+
+    >>> from repro.relational.instance import DatabaseInstance
+    >>> from repro.constraints.parser import parse_constraint
+    >>> instance = DatabaseInstance.from_dict(
+    ...     {"Emp": [("e1", "sales"), ("e1", "hr")]})
+    >>> key = parse_constraint("Emp(e, d), Emp(e, f) -> d = f")
+    >>> sequential = RepairEngine([key]).repairs(instance)
+    >>> parallel = RepairEngine([key], method="parallel").repairs(instance)
+    >>> parallel == sequential
+    True
+    >>> [sorted(map(repr, r.facts())) for r in parallel]
+    [['Emp(e1, sales)'], ['Emp(e1, hr)']]
     """
 
     def __init__(
@@ -540,10 +602,12 @@ class RepairEngine:
         max_states: Optional[int] = 200_000,
         method: str = "incremental",
         violation_index: Optional[ViolationIndex] = None,
+        workers: int = 0,
+        chunk_states: Optional[int] = None,
     ):
-        if method not in REPAIR_METHODS:
+        if method not in ALL_REPAIR_METHODS:
             raise ValueError(
-                f"unknown repair method {method!r}; use one of {', '.join(REPAIR_METHODS)}"
+                f"unknown repair method {method!r}; use one of {', '.join(ALL_REPAIR_METHODS)}"
             )
         self._constraints = (
             constraints
@@ -552,6 +616,12 @@ class RepairEngine:
         )
         self._max_states = max_states
         self._method = method
+        #: Worker processes for ``method="parallel"``: ``<= 1`` executes the
+        #: same task decomposition inline (deterministic, no processes).
+        self._workers = max(workers, 0)
+        #: States one parallel task may explore before deferring the rest of
+        #: its subtree; ``None`` picks :data:`repro.core.parallel.DEFAULT_CHUNK_STATES`.
+        self._chunk_states = chunk_states
         #: *violation_index* lets a caller that already indexed the same
         #: constraint set (the session façade) share it instead of
         #: rebuilding; it must cover exactly *constraints*, in order.
@@ -594,6 +664,8 @@ class RepairEngine:
         try:
             if self._method == "incremental":
                 return self._candidates_incremental(instance, seed_tracker)
+            if self._method == PARALLEL_METHOD:
+                return self._candidates_parallel(instance)
             return self._candidates_recompute(instance, naive=self._method == "naive")
         finally:
             self.statistics.search_seconds = time.perf_counter() - started
@@ -716,6 +788,75 @@ class RepairEngine:
             self.statistics.constraints_reevaluated = tracker.constraints_reevaluated
         return list(found.values())
 
+    def _make_search(self, instance: DatabaseInstance):
+        from repro.core.parallel import DEFAULT_CHUNK_STATES, ParallelRepairSearch
+
+        return ParallelRepairSearch(
+            instance,
+            self._constraints,
+            workers=self._workers,
+            max_states=self._max_states,
+            chunk_states=self._chunk_states or DEFAULT_CHUNK_STATES,
+            violation_index=self._violation_index,
+        )
+
+    def _candidates_parallel(self, instance: DatabaseInstance) -> List[DatabaseInstance]:
+        """Frontier-task search; candidates come back in discovery order."""
+
+        search = self._make_search(instance)
+        ordered = search.collect()
+        self.statistics.merge(search.statistics)
+        schema = instance.schema
+        base_facts = instance.fact_set()
+        return [
+            DatabaseInstance.from_facts((base_facts - deleted) | inserted, schema=schema)
+            for _, inserted, deleted in ordered
+        ]
+
+    def _repairs_parallel(self, instance: DatabaseInstance) -> List[DatabaseInstance]:
+        """Parallel search + ``≤_D`` filter on the deltas, then materialise.
+
+        The candidates' deltas are exactly the ``inserted | deleted``
+        pairs the tasks return, so minimality is decided *before* any
+        candidate instance is built — only the surviving repairs pay
+        the O(|D|) materialisation and no symmetric difference is ever
+        recomputed.
+        """
+
+        self.statistics = RepairStatistics()
+        started = time.perf_counter()
+        search = self._make_search(instance)
+        try:
+            ordered = search.collect()
+            self.statistics.merge(search.statistics)
+        finally:
+            self.statistics.search_seconds = time.perf_counter() - started
+        minimality_started = time.perf_counter()
+        deltas = [inserted | deleted for _, inserted, deleted in ordered]
+        if (
+            self._workers >= 2
+            and len(deltas) >= self._PARALLEL_MINIMALITY_MIN
+        ):
+            from repro.core.parallel import parallel_minimal_flags
+
+            flags, comparisons = parallel_minimal_flags(deltas, self._workers)
+        else:
+            flags, comparisons = minimal_flags_counted(deltas)
+        schema = instance.schema
+        base_facts = instance.fact_set()
+        minimal = [
+            DatabaseInstance.from_facts((base_facts - deleted) | inserted, schema=schema)
+            for (_, inserted, deleted), keep in zip(ordered, flags)
+            if keep
+        ]
+        self.statistics.minimality_seconds = time.perf_counter() - minimality_started
+        self.statistics.leq_d_comparisons = comparisons
+        self.statistics.repairs_found = len(minimal)
+        return minimal
+
+    #: Below this many candidates the pairwise filter is cheaper than a pool.
+    _PARALLEL_MINIMALITY_MIN = 64
+
     def repairs(
         self,
         instance: DatabaseInstance,
@@ -723,6 +864,8 @@ class RepairEngine:
     ) -> List[DatabaseInstance]:
         """The ``≤_D``-minimal consistent candidates (Definition 7)."""
 
+        if self._method == PARALLEL_METHOD:
+            return self._repairs_parallel(instance)
         candidates = self.candidates(instance, seed_tracker=seed_tracker)
         started = time.perf_counter()
         minimal, comparisons = _minimal_under_leq_d_counted(instance, candidates)
@@ -745,83 +888,122 @@ def minimal_under_leq_d(
 _CoverSignature = Tuple[str, int, Tuple[int, ...]]
 
 
+class DeltaMinimality:
+    """``≤_D`` comparison machinery over precomputed candidate deltas.
+
+    Each delta is split into its null-free part (condition (a) of
+    Definition 6 is then one subset check) and its null atoms, which are
+    matched against per-candidate coverage tables keyed by (predicate,
+    arity, non-null positions) → projected values — turning the
+    O(|∆|²) rescan of condition (b) into an indexed lookup.
+
+    The class is constructed from the deltas alone so that the parallel
+    minimality filter can rebuild identical contexts inside worker
+    processes and check disjoint index ranges (:meth:`dominated` only
+    reads shared-by-construction state plus a per-context lazy cache).
+    """
+
+    def __init__(self, deltas: Sequence[FrozenSet[Fact]]):
+        self.deltas: List[FrozenSet[Fact]] = list(deltas)
+        count = len(self.deltas)
+        self.plain: List[FrozenSet[Fact]] = [
+            frozenset(fact for fact in d if not fact.has_null()) for d in self.deltas
+        ]
+        self.null_atoms: List[Tuple[Fact, ...]] = [
+            tuple(fact for fact in d if fact.has_null()) for d in self.deltas
+        ]
+        self.signatures: Set[_CoverSignature] = {
+            (fact.predicate, fact.arity, fact.non_null_positions())
+            for atoms in self.null_atoms
+            for fact in atoms
+        }
+        self.by_relation: Dict[Tuple[str, int], List[_CoverSignature]] = {}
+        for signature in self.signatures:
+            self.by_relation.setdefault((signature[0], signature[1]), []).append(
+                signature
+            )
+        self._cover_cache: List[Optional[Dict]] = [None] * count
+        #: Pairwise ``≤_D`` checks performed through this context.
+        self.comparisons = 0
+
+    def _cover(self, index: int) -> Dict:
+        """The candidate's coverage table, built lazily in one delta pass."""
+
+        table = self._cover_cache[index]
+        if table is None:
+            table = {signature: {} for signature in self.signatures}
+            for fact in self.deltas[index]:
+                for signature in self.by_relation.get((fact.predicate, fact.arity), ()):
+                    table[signature].setdefault(
+                        tuple(fact.values[p] for p in signature[2]), []
+                    ).append(fact)
+            self._cover_cache[index] = table
+        return table
+
+    def leq(self, first: int, second: int) -> bool:
+        """``candidate[first] ≤_D candidate[second]`` on the stored deltas."""
+
+        self.comparisons += 1
+        if not self.plain[first] <= self.deltas[second]:
+            return False
+        for fact in self.null_atoms[first]:
+            signature = (fact.predicate, fact.arity, fact.non_null_positions())
+            bucket = self._cover(second)[signature].get(
+                tuple(fact.values[p] for p in signature[2]), ()
+            )
+            if not any(candidate not in self.deltas[first] for candidate in bucket):
+                return False
+        return True
+
+    def dominated(self, index: int) -> bool:
+        """Is the candidate strictly ``<_D``-dominated by any other?"""
+
+        return any(
+            other != index and self.leq(other, index) and not self.leq(index, other)
+            for other in range(len(self.deltas))
+        )
+
+
+def minimal_flags_counted(
+    deltas: Sequence[FrozenSet[Fact]],
+) -> Tuple[List[bool], int]:
+    """Per-candidate minimality flags plus the number of pairwise checks.
+
+    The in-process filter over one :class:`DeltaMinimality` context.
+    (The parallel filter's worker-side slicing lives in
+    :func:`repro.core.parallel._minimality_run`, which reuses a
+    process-local context across its slice instead.)
+    """
+
+    context = DeltaMinimality(deltas)
+    flags = [not context.dominated(index) for index in range(len(context.deltas))]
+    return flags, context.comparisons
+
+
+def minimal_flags_for_deltas(deltas: Sequence[FrozenSet[Fact]]) -> List[bool]:
+    """True per index iff the candidate is not strictly ``<_D``-dominated."""
+
+    flags, _ = minimal_flags_counted(deltas)
+    return flags
+
+
 def _minimal_under_leq_d_counted(
     original: DatabaseInstance, candidates: Sequence[DatabaseInstance]
 ) -> Tuple[List[DatabaseInstance], int]:
-    """``≤_D``-minimality with precomputed deltas and indexed null coverage.
-
-    Each candidate's ``∆(D, ·)`` is computed once and split into its
-    null-free part (condition (a) of Definition 6 is then one subset
-    check) and its null atoms, which are matched against per-candidate
-    coverage tables keyed by (predicate, arity, non-null positions) →
-    projected values — turning the O(|∆|²) rescan of condition (b) into
-    an indexed lookup.  Returns the minimal candidates plus the number of
-    pairwise ``≤_D`` checks performed.
-    """
+    """``≤_D``-minimality via :class:`DeltaMinimality` (single context)."""
 
     count = len(candidates)
     if count <= 1:
         return list(candidates), 0
-    deltas: List[FrozenSet[Fact]] = [
-        original.symmetric_difference(candidate) for candidate in candidates
+    context = DeltaMinimality(
+        [original.symmetric_difference(candidate) for candidate in candidates]
+    )
+    minimal = [
+        candidate
+        for index, candidate in enumerate(candidates)
+        if not context.dominated(index)
     ]
-    plain: List[FrozenSet[Fact]] = [
-        frozenset(fact for fact in d if not fact.has_null()) for d in deltas
-    ]
-    null_atoms: List[Tuple[Fact, ...]] = [
-        tuple(fact for fact in d if fact.has_null()) for d in deltas
-    ]
-    signatures: Set[_CoverSignature] = {
-        (fact.predicate, fact.arity, fact.non_null_positions())
-        for atoms in null_atoms
-        for fact in atoms
-    }
-    by_relation: Dict[Tuple[str, int], List[_CoverSignature]] = {}
-    for signature in signatures:
-        by_relation.setdefault((signature[0], signature[1]), []).append(signature)
-
-    _CoverTable = Dict[_CoverSignature, Dict[Tuple[Constant, ...], List[Fact]]]
-    cover_cache: List[Optional[_CoverTable]] = [None] * count
-
-    def cover(index: int) -> _CoverTable:
-        """The candidate's coverage table, built lazily in one delta pass."""
-
-        table = cover_cache[index]
-        if table is None:
-            table = {signature: {} for signature in signatures}
-            for fact in deltas[index]:
-                for signature in by_relation.get((fact.predicate, fact.arity), ()):
-                    table[signature].setdefault(
-                        tuple(fact.values[p] for p in signature[2]), []
-                    ).append(fact)
-            cover_cache[index] = table
-        return table
-
-    comparisons = 0
-
-    def leq(first: int, second: int) -> bool:
-        nonlocal comparisons
-        comparisons += 1
-        if not plain[first] <= deltas[second]:
-            return False
-        for fact in null_atoms[first]:
-            signature = (fact.predicate, fact.arity, fact.non_null_positions())
-            bucket = cover(second)[signature].get(
-                tuple(fact.values[p] for p in signature[2]), ()
-            )
-            if not any(candidate not in deltas[first] for candidate in bucket):
-                return False
-        return True
-
-    minimal: List[DatabaseInstance] = []
-    for index in range(count):
-        dominated = any(
-            other != index and leq(other, index) and not leq(index, other)
-            for other in range(count)
-        )
-        if not dominated:
-            minimal.append(candidates[index])
-    return minimal, comparisons
+    return minimal, context.comparisons
 
 
 def repairs(

@@ -21,7 +21,16 @@ reference path the property tests cross-validate against.  The seeded
 variants (:func:`seeded_violations`, :func:`violations_under_assignment`)
 restrict the join to matches involving one given fact / partial
 assignment — the incremental violation maintenance of
-:mod:`repro.core.repairs` is built on them.
+:mod:`repro.core.repairs` is built on them, and so is the parallel
+frontier search of :mod:`repro.core.parallel`: every worker process
+keeps its own :class:`~repro.core.repairs.ViolationTracker` warm by
+replaying task deltas through exactly these seeded updates, so a task
+never pays a full violation sweep.
+
+(Paper cross-reference: Definition 4 is
+:func:`satisfies_via_projection`, Definition 3's witness-relevant
+positions are :func:`witness_positions` — see ``docs/paper-map.md`` for
+the full map.)
 """
 
 from __future__ import annotations

@@ -49,7 +49,15 @@ class CQAConfig:
       comparisons instead of treating ``null`` as an ordinary constant;
     * ``max_states`` — the repair-search state budget;
     * ``repair_mode`` — the direct engine's violation-evaluation method
-      (:data:`repro.core.repairs.REPAIR_METHODS`);
+      (:data:`repro.core.repairs.ALL_REPAIR_METHODS`, including
+      ``"parallel"``);
+    * ``workers`` — worker processes for ``repair_mode="parallel"``
+      (``<= 1`` runs the same deterministic task decomposition inline;
+      every mode returns identical answers, so this is purely a
+      performance knob);
+    * ``anytime`` — let :meth:`repro.session.ConsistentDatabase.certain`
+      short-circuit through :meth:`CQAEngine.certain_anytime` as soon
+      as one streamed repair refutes the candidate;
     * ``estimate_repairs`` — whether the non-enumerating engines should
       pay one conflict-graph pass for a repair-count estimate.
     """
@@ -59,9 +67,35 @@ class CQAConfig:
     max_states: Optional[int] = 200_000
     repair_mode: str = "incremental"
     estimate_repairs: bool = True
+    workers: int = 0
+    anytime: bool = False
 
     def merged(self, overrides: Mapping[str, Any]) -> "CQAConfig":
-        """A copy with *overrides* applied; unknown keys raise ``TypeError``."""
+        """A copy with *overrides* applied.
+
+        Args:
+            overrides: field-name → value mapping, typically the
+                keyword arguments of one session query call.
+
+        Returns:
+            ``self`` unchanged when *overrides* is empty, otherwise a
+            new frozen config.
+
+        Raises:
+            TypeError: if *overrides* names a key that is not a
+                :class:`CQAConfig` field.
+
+        >>> base = CQAConfig()
+        >>> base.merged({"method": "direct"}).method
+        'direct'
+        >>> base.merged({}) is base
+        True
+        >>> base.merged({"turbo": True})
+        Traceback (most recent call last):
+            ...
+        TypeError: unknown CQA option(s): turbo; valid options are anytime, \
+estimate_repairs, max_states, method, null_is_unknown, repair_mode, workers
+        """
 
         if not overrides:
             return self
@@ -75,7 +109,12 @@ class CQAConfig:
         return replace(self, **overrides)
 
     def cache_key(self) -> Tuple[Any, ...]:
-        """The hashable projection of the config used by the answer cache."""
+        """The hashable projection of the config used by the answer cache.
+
+        ``anytime`` is deliberately absent: it changes *when* a certain
+        answer can be decided, never what any query returns, so caching
+        per anytime flag would only split identical entries.
+        """
 
         return (
             self.method,
@@ -83,6 +122,7 @@ class CQAConfig:
             self.max_states,
             self.repair_mode,
             self.estimate_repairs,
+            self.workers,
         )
 
 
@@ -119,6 +159,37 @@ class CQAEngine(ABC):
         Only the repair-enumerating engines model a cost; the planner
         ranks whatever the registry returns (see
         :func:`enumeration_costs`).
+        """
+
+        return None
+
+    def certain_anytime(
+        self,
+        session: "ConsistentDatabase",
+        query: "Query",
+        candidate: Optional[Tuple] = None,
+        config: Optional[CQAConfig] = None,
+    ) -> Optional[bool]:
+        """Anytime decision of "is *candidate* an answer in every repair?".
+
+        An engine that can refute a candidate without materialising the
+        full answer set — the direct engine streams repairs from the
+        parallel frontier and stops at the first counterexample, the
+        rewriting engines are one polynomial pass anyway — overrides
+        this.  Returning ``None`` (the default) tells the session to
+        fall back to the ordinary :meth:`answers_report` route.
+
+        Args:
+            session: the owning session (cache + instance access).
+            query: the query under decision; boolean when *candidate*
+                is ``None``.
+            candidate: the answer tuple to certify, or ``None`` for a
+                boolean query.
+            config: the merged per-call :class:`CQAConfig`.
+
+        Returns:
+            The certain answer, or ``None`` when this engine has no
+            anytime path.
         """
 
         return None

@@ -10,7 +10,7 @@ violation store from the session's live :class:`ViolationTracker`.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.engines.base import CQAConfig, CQAEngine, register_engine
 
@@ -25,7 +25,18 @@ class DirectEngine(CQAEngine):
     """Enumerate repairs with :class:`repro.core.repairs.RepairEngine`.
 
     The repository's reference implementation of Definition 7; its
-    violation-evaluation method is selected by ``config.repair_mode``.
+    violation-evaluation method is selected by ``config.repair_mode``
+    (``"parallel"`` distributes the search across
+    ``config.workers`` processes with bit-identical output).
+
+    >>> from repro import ConsistentDatabase, parse_constraint, parse_query
+    >>> db = ConsistentDatabase(
+    ...     {"Emp": [("e1", "sales"), ("e1", "hr")]},
+    ...     [parse_constraint("Emp(e, d), Emp(e, f) -> d = f")],
+    ...     method="direct",
+    ... )
+    >>> sorted(db.consistent_answers(parse_query("ans(e) <- Emp(e, d)")))
+    [('e1',)]
     """
 
     def answers_report(
@@ -37,6 +48,40 @@ class DirectEngine(CQAEngine):
         return result_from_repairs(
             repairs, query, null_is_unknown=config.null_is_unknown, method="direct"
         )
+
+    def certain_anytime(
+        self,
+        session: "ConsistentDatabase",
+        query: "Query",
+        candidate: Optional[Tuple] = None,
+        config: Optional[CQAConfig] = None,
+    ) -> Optional[bool]:
+        """Stream repairs and stop at the first counterexample.
+
+        Repairs arrive from :meth:`ConsistentDatabase.stream_repairs` —
+        the anytime frontier when ``repair_mode="parallel"``, the cached
+        list otherwise — so one refuting repair ends the computation
+        without finishing the search.  Open queries without a candidate
+        tuple fall back (``None``): their answer *set* needs every
+        repair anyway.
+        """
+
+        config = config if config is not None else session.config
+        if candidate is None and not query.is_boolean:
+            return None
+        repair_count = 0
+        for repair in session.stream_repairs(config):
+            repair_count += 1
+            if candidate is not None:
+                if tuple(candidate) not in query.answers(
+                    repair, null_is_unknown=config.null_is_unknown
+                ):
+                    return False
+            elif not query.holds(repair, null_is_unknown=config.null_is_unknown):
+                return False
+        if repair_count == 0:
+            return False  # conflicting NNCs: no repairs, nothing is certain
+        return True
 
     @staticmethod
     def enumeration_cost(instance, constraints, estimated_repairs):

@@ -11,13 +11,15 @@ engine name.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from dataclasses import replace
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.engines.base import CQAConfig, CQAEngine, get_engine, register_engine
 
 if TYPE_CHECKING:
     from repro.core.cqa import CQAResult
     from repro.logic.queries import Query
+    from repro.rewriting.planner import CQAPlan
     from repro.session import ConsistentDatabase
 
 
@@ -52,6 +54,39 @@ class RewritingEngine(CQAEngine):
             repair_count_estimated=True,
         )
 
+    def certain_anytime(
+        self,
+        session: "ConsistentDatabase",
+        query: "Query",
+        candidate: Optional[Tuple] = None,
+        config: Optional[CQAConfig] = None,
+    ) -> Optional[bool]:
+        """One polynomial pass — the rewriting is inherently anytime.
+
+        No repairs exist to stream; the rewritten query is evaluated
+        once (without the repair-count estimate) and membership of the
+        candidate decides the answer immediately.  The evaluation goes
+        through ``session.report`` so repeated anytime calls on an
+        unchanged database stay one cache probe, exactly like their
+        non-anytime counterparts.
+        """
+
+        config = config if config is not None else session.config
+        if candidate is None and not query.is_boolean:
+            return None
+        result = session.report(
+            query,
+            method="rewriting",
+            estimate_repairs=False,
+            null_is_unknown=config.null_is_unknown,
+            max_states=config.max_states,
+            repair_mode=config.repair_mode,
+            workers=config.workers,
+        )
+        if candidate is not None:
+            return tuple(candidate) in result.answers
+        return result.certain
+
 
 @register_engine("auto")
 class AutoEngine(CQAEngine):
@@ -61,14 +96,42 @@ class AutoEngine(CQAEngine):
     whenever the (constraints, query) pair is inside the tractable
     fragment, otherwise the direct reference enumeration (see the planner
     docstring for why the cheaper-but-divergent program route is reported
-    but never chosen silently).  The chosen plan rides along on
-    ``result.plan``.
+    but never chosen silently).  When the plan recommends the parallel
+    repair search (``config.workers >= 2`` and a large repair estimate),
+    the delegated config's ``repair_mode`` follows it — unless the
+    caller pinned a non-default mode explicitly.  The chosen plan rides
+    along on ``result.plan``.
     """
+
+    @staticmethod
+    def _planned_config(plan: "CQAPlan", config: CQAConfig) -> CQAConfig:
+        """Apply the plan's repair-mode recommendation, respecting overrides."""
+
+        if plan.repair_mode and config.repair_mode == "incremental":
+            return replace(config, repair_mode=plan.repair_mode)
+        return config
 
     def answers_report(
         self, session: "ConsistentDatabase", query: "Query", config: CQAConfig
     ) -> "CQAResult":
         plan = session.plan(query, config)
-        result = get_engine(plan.method).answers_report(session, query, config)
+        result = get_engine(plan.method).answers_report(
+            session, query, self._planned_config(plan, config)
+        )
         result.plan = plan
         return result
+
+    def certain_anytime(
+        self,
+        session: "ConsistentDatabase",
+        query: "Query",
+        candidate: Optional[Tuple] = None,
+        config: Optional[CQAConfig] = None,
+    ) -> Optional[bool]:
+        """Plan first, then delegate the anytime decision the same way."""
+
+        config = config if config is not None else session.config
+        plan = session.plan(query, config)
+        return get_engine(plan.method).certain_anytime(
+            session, query, candidate, self._planned_config(plan, config)
+        )

@@ -28,7 +28,17 @@ if TYPE_CHECKING:
 
 @register_engine("sqlite")
 class SQLiteEngine(CQAEngine):
-    """First-order rewriting compiled to SQL and evaluated by SQLite."""
+    """First-order rewriting compiled to SQL and evaluated by SQLite.
+
+    >>> from repro import ConsistentDatabase, parse_constraint, parse_query
+    >>> db = ConsistentDatabase(
+    ...     {"Emp": [("e1", "sales"), ("e1", "hr"), ("e2", "hr")]},
+    ...     [parse_constraint("Emp(e, d), Emp(e, f) -> d = f")],
+    ... )
+    >>> sorted(db.consistent_answers(
+    ...     parse_query("ans(e) <- Emp(e, d)"), method="sqlite"))
+    [('e1',), ('e2',)]
+    """
 
     def answers_report(
         self, session: "ConsistentDatabase", query: "Query", config: CQAConfig

@@ -466,7 +466,16 @@ class DatabaseInstance:
         The clone shares every relation's row set, hash index and group
         cache with ``self``; both sides privatise a relation the first time
         they mutate it (see :meth:`_writable_rows`), so copying is O(number
-        of relations) regardless of instance size.
+        of relations) regardless of instance size.  This is what lets the
+        repair search branch thousands of times — and the parallel search
+        of :mod:`repro.core.parallel` hand every worker its own working
+        instance — without ever duplicating unchanged relations.
+
+        >>> original = DatabaseInstance.from_dict({"P": [(1, 2)]})
+        >>> clone = original.copy()
+        >>> clone.add_tuple("P", (3, 4))
+        >>> (len(original), len(clone))
+        (1, 2)
         """
 
         clone = DatabaseInstance(schema=self._schema.copy())

@@ -37,6 +37,12 @@ from repro.rewriting.fragment import RewritingUnsupportedError
 from repro.rewriting.rewriter import RewrittenQuery, rewrite_query
 
 
+#: Estimated repairs above which the planner recommends the parallel
+#: repair search (when the caller has workers to spend).  Below it the
+#: pool/decomposition overhead outweighs the spread.
+PARALLEL_REPAIR_THRESHOLD = 16
+
+
 @dataclass
 class CQAPlan:
     """The outcome of planning one CQA computation."""
@@ -48,6 +54,12 @@ class CQAPlan:
     estimated_repairs: Optional[int] = None
     costs: Dict[str, float] = field(default_factory=dict)
     rewritten: Optional[RewrittenQuery] = None
+    #: Recommended ``RepairEngine`` method for an enumeration fallback —
+    #: ``"parallel"`` when the caller offered ≥ 2 workers and the repair
+    #: estimate clears :data:`PARALLEL_REPAIR_THRESHOLD`, else ``None``
+    #: (keep the configured mode).  Parallel output is bit-identical to
+    #: incremental, so following the recommendation never changes answers.
+    repair_mode: Optional[str] = None
 
     def __repr__(self) -> str:
         extra = ""
@@ -82,8 +94,24 @@ def plan_cqa(
     constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
     query: Query,
     max_states: Optional[int] = None,
+    workers: int = 0,
 ) -> CQAPlan:
-    """Choose the evaluation strategy for one CQA computation."""
+    """Choose the evaluation strategy for one CQA computation.
+
+    Args:
+        instance: the (possibly inconsistent) database.
+        constraints: the integrity constraints to repair against.
+        query: the query whose consistent answers are wanted.
+        max_states: the repair-search budget, used only to warn when
+            the repair estimate exceeds it.
+        workers: processes the caller is willing to spend on an
+            enumeration fallback; ``>= 2`` lets the plan recommend the
+            parallel repair search (``plan.repair_mode``) and report
+            its projected cost under ``costs["parallel"]``.
+
+    Returns:
+        A :class:`CQAPlan`; ``method="auto"`` follows it verbatim.
+    """
 
     constraint_set = (
         constraints
@@ -112,6 +140,18 @@ def plan_cqa(
         )
         if cheaper != "direct":
             reason += " (the cost model rates the program route cheaper here)"
+        repair_mode: Optional[str] = None
+        if workers >= 2:
+            # The parallel mode is bit-identical to incremental, so the
+            # recommendation is purely a cost call: the search spreads
+            # across the workers, the merge and ≤_D filter mostly too.
+            costs["parallel"] = costs["direct"] / float(workers)
+            if estimated >= PARALLEL_REPAIR_THRESHOLD:
+                repair_mode = "parallel"
+                reason += (
+                    f" (parallel repair search across {workers} workers;"
+                    " identical repairs, shorter wall-clock)"
+                )
         if max_states is not None and estimated > max_states:
             reason += (
                 f"; warning: the estimate exceeds max_states={max_states}, "
@@ -124,6 +164,7 @@ def plan_cqa(
             unsupported_reason=error.reason,
             estimated_repairs=estimated,
             costs=costs,
+            repair_mode=repair_mode,
         )
 
     # Rewriting needs one scan per query atom plus hash lookups per residue;

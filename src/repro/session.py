@@ -189,6 +189,8 @@ class ConsistentDatabase:
         max_states: Optional[int] = 200_000,
         repair_mode: str = "incremental",
         estimate_repairs: bool = True,
+        workers: int = 0,
+        anytime: bool = False,
     ):
         if source is None:
             self._instance = DatabaseInstance()
@@ -214,6 +216,8 @@ class ConsistentDatabase:
             max_states=max_states,
             repair_mode=repair_mode,
             estimate_repairs=estimate_repairs,
+            workers=workers,
+            anytime=anytime,
         )
         get_engine(self._config.method)  # fail fast on an unknown default
         #: Name-independent structural fingerprint of the constraint set —
@@ -326,7 +330,16 @@ class ConsistentDatabase:
         return self._tracker
 
     def is_consistent(self) -> bool:
-        """Does the current instance satisfy every constraint under ``|=_N``?"""
+        """Does the current instance satisfy every constraint under ``|=_N``?
+
+        >>> from repro import ConsistentDatabase, parse_constraint
+        >>> key = parse_constraint("Emp(e, d), Emp(e, f) -> d = f")
+        >>> ConsistentDatabase({"Emp": [("e1", "sales")]}, [key]).is_consistent()
+        True
+        >>> ConsistentDatabase(
+        ...     {"Emp": [("e1", "sales"), ("e1", "hr")]}, [key]).is_consistent()
+        False
+        """
 
         return not self._ensure_tracker().has_violations()
 
@@ -357,11 +370,37 @@ class ConsistentDatabase:
         fact_or_predicate: Union[Fact, str],
         values: Optional[Sequence[Constant]] = None,
     ) -> bool:
-        """Insert one fact; returns True iff it was not already present.
+        """Insert one fact.
+
+        Args:
+            fact_or_predicate: a :class:`Fact`, or a predicate name
+                combined with *values*.
+            values: the tuple to insert when a predicate name is given.
+
+        Returns:
+            True iff the fact was not already present.
+
+        Raises:
+            TypeError: when a :class:`Fact` is combined with *values*,
+                or a predicate name comes without them.
 
         The warm tracker absorbs the change through one seeded
         per-constraint update; every generation-keyed cache entry is
         implicitly invalidated by the bumped counter.
+
+        >>> from repro import ConsistentDatabase, parse_constraint
+        >>> db = ConsistentDatabase(
+        ...     {"Course": [(21, "C15")]},
+        ...     [parse_constraint("Course(i, c) -> Student(i, n)")],
+        ... )
+        >>> db.is_consistent()
+        False
+        >>> db.insert("Student", (21, "Ann"))
+        True
+        >>> db.insert("Student", (21, "Ann"))  # already present
+        False
+        >>> db.is_consistent()
+        True
         """
 
         fact = self._as_fact(fact_or_predicate, values)
@@ -378,7 +417,23 @@ class ConsistentDatabase:
         fact_or_predicate: Union[Fact, str],
         values: Optional[Sequence[Constant]] = None,
     ) -> bool:
-        """Delete one fact; returns True iff it was present."""
+        """Delete one fact.
+
+        Args:
+            fact_or_predicate: a :class:`Fact`, or a predicate name
+                combined with *values*.
+            values: the tuple to delete when a predicate name is given.
+
+        Returns:
+            True iff the fact was present (and is now gone).
+
+        >>> from repro import ConsistentDatabase
+        >>> db = ConsistentDatabase({"Emp": [("e1", "sales")]})
+        >>> db.delete("Emp", ("e1", "sales"))
+        True
+        >>> db.delete("Emp", ("e1", "sales"))
+        False
+        """
 
         fact = self._as_fact(fact_or_predicate, values)
         if fact not in self._instance:
@@ -393,13 +448,26 @@ class ConsistentDatabase:
         self,
         data: Union[Mapping[str, Iterable[Sequence[Constant]]], Iterable[Fact]],
     ) -> int:
-        """Insert many facts; returns how many were new.
+        """Insert many facts.
 
-        Accepts the ``{"P": [rows]}`` mapping shape of
-        :meth:`DatabaseInstance.from_dict` or any iterable of
-        :class:`Fact`.  Before the tracker's first build this is pure
-        insertion (the sweep happens lazily, once, when a consumer first
-        needs violations).
+        Args:
+            data: the ``{"P": [rows]}`` mapping shape of
+                :meth:`DatabaseInstance.from_dict`, or any iterable of
+                :class:`Fact`.
+
+        Returns:
+            How many of the facts were new.
+
+        Before the tracker's first build this is pure insertion (the
+        sweep happens lazily, once, when a consumer first needs
+        violations).
+
+        >>> from repro import ConsistentDatabase
+        >>> db = ConsistentDatabase()
+        >>> db.bulk_load({"Emp": [("e1", "sales"), ("e2", "hr")]})
+        2
+        >>> len(db)
+        2
         """
 
         inserted = 0
@@ -490,10 +558,32 @@ class ConsistentDatabase:
     def report(self, query: Query, **overrides: Any) -> CQAResult:
         """Consistent answers plus repair statistics (the full CQAResult).
 
-        Keyword overrides are any :class:`CQAConfig` field, e.g.
-        ``db.report(q, method="direct", repair_mode="naive")``.  Results
-        are cached per (query, constraint fingerprint, generation,
-        config), so an identical repeat is one dictionary probe.
+        Args:
+            query: the conjunctive or first-order query.
+            **overrides: any :class:`repro.engines.CQAConfig` field,
+                e.g. ``db.report(q, method="direct",
+                repair_mode="parallel", workers=4)``.
+
+        Returns:
+            A fully populated :class:`repro.core.cqa.CQAResult`
+            (defensively copied — mutating it cannot corrupt the cache).
+
+        Raises:
+            TypeError: on an override that is not a config field.
+            ValueError: on an unregistered ``method``.
+
+        Results are cached per (query, constraint fingerprint,
+        generation, config), so an identical repeat is one dictionary
+        probe.
+
+        >>> from repro import ConsistentDatabase, parse_constraint, parse_query
+        >>> db = ConsistentDatabase(
+        ...     {"Emp": [("e1", "sales"), ("e1", "hr")]},
+        ...     [parse_constraint("Emp(e, d), Emp(e, f) -> d = f")],
+        ... )
+        >>> result = db.report(parse_query("ans(e) <- Emp(e, d)"))
+        >>> (sorted(result.answers), result.repair_count)
+        ([('e1',)], 2)
         """
 
         config = self._config.merged(overrides)
@@ -526,8 +616,25 @@ class ConsistentDatabase:
     ) -> FrozenSet[AnswerTuple]:
         """The consistent answers to *query* (Definition 8).
 
-        Skips the rewriting path's repair-count estimate unless asked
-        (``estimate_repairs=True``), exactly like the functional wrapper.
+        Args:
+            query: the conjunctive or first-order query.
+            **overrides: any :class:`repro.engines.CQAConfig` field.
+
+        Returns:
+            The tuples that are answers in **every** repair, as a
+            frozenset.  Skips the rewriting path's repair-count estimate
+            unless asked (``estimate_repairs=True``), exactly like the
+            functional wrapper.
+
+        >>> from repro import ConsistentDatabase, parse_constraint, parse_query
+        >>> db = ConsistentDatabase(
+        ...     {"Emp": [("e1", "sales"), ("e1", "hr"), ("e2", "hr")]},
+        ...     [parse_constraint("Emp(e, d), Emp(e, f) -> d = f")],
+        ... )
+        >>> sorted(db.consistent_answers(parse_query("ans(e) <- Emp(e, d)")))
+        [('e1',), ('e2',)]
+        >>> sorted(db.consistent_answers(parse_query("ans(d) <- Emp(e, d)")))
+        [('hr',)]
         """
 
         overrides.setdefault("estimate_repairs", False)
@@ -541,12 +648,46 @@ class ConsistentDatabase:
     ) -> bool:
         """Is *candidate* an answer in every repair?  (Boolean CQA.)
 
-        With no candidate the query must be boolean and the result is the
-        consistent yes/no answer; with a candidate tuple this is the
-        decision version of CQA for open queries.
+        Args:
+            query: the query under decision; must be boolean when
+                *candidate* is ``None``.
+            candidate: the answer tuple to certify, for open queries.
+            **overrides: any :class:`repro.engines.CQAConfig` field;
+                notably ``anytime=True`` asks the engine to
+                short-circuit: repairs stream from the anytime frontier
+                and the first one that refutes the candidate ends the
+                computation — the search never finishes on a "no".
+
+        Returns:
+            True iff the candidate is an answer (resp. the boolean query
+            holds) in **every** repair (Definition 8).
+
+        >>> from repro import ConsistentDatabase, parse_constraint, parse_query
+        >>> db = ConsistentDatabase(
+        ...     {"Emp": [("e1", "sales"), ("e1", "hr"), ("e2", "hr")]},
+        ...     [parse_constraint("Emp(e, d), Emp(e, f) -> d = f")],
+        ... )
+        >>> query = parse_query("ans(e) <- Emp(e, d)")
+        >>> db.certain(query, ("e2",), anytime=True)
+        True
+        >>> db.certain(query, ("e1",))  # e1 survives in both repairs
+        True
+        >>> db.certain(parse_query("ans(d) <- Emp(e, d)"), ("sales",), anytime=True)
+        False
         """
 
         overrides.setdefault("estimate_repairs", False)
+        config = self._config.merged(overrides)
+        if config.anytime:
+            engine = get_engine(config.method)
+            queries_before = self.statistics.queries
+            outcome = engine.certain_anytime(self, query, candidate, config)
+            if outcome is not None:
+                # Count the call exactly once: engines that route through
+                # report() (e.g. the rewriting path) already did.
+                if self.statistics.queries == queries_before:
+                    self.statistics.queries += 1
+                return outcome
         result = self.report(query, **overrides)
         if candidate is not None:
             return tuple(candidate) in result.answers
@@ -555,21 +696,72 @@ class ConsistentDatabase:
         return result.certain
 
     def explain(self, query: Query, **overrides: Any) -> "CQAPlan":
-        """The cost-based plan for *query* without executing anything."""
+        """The cost-based plan for *query* without executing anything.
+
+        Args:
+            query: the query to plan.
+            **overrides: any :class:`repro.engines.CQAConfig` field —
+                notably ``workers=N`` lets the plan recommend the
+                parallel repair search for enumeration fallbacks.
+
+        Returns:
+            The cached-per-generation
+            :class:`repro.rewriting.planner.CQAPlan`; a successful plan
+            also primes the rewriting cache.
+
+        >>> from repro import ConsistentDatabase, parse_constraint, parse_query
+        >>> db = ConsistentDatabase(
+        ...     {"Emp": [("e1", "sales"), ("e1", "hr")]},
+        ...     [parse_constraint("Emp(e, d), Emp(e, f) -> d = f")],
+        ... )
+        >>> db.explain(parse_query("ans(e) <- Emp(e, d)")).method
+        'rewriting'
+        """
 
         config = self._config.merged(overrides)
         return self.plan(query, config)
 
     def iter_repairs(
-        self, method: str = "direct", **overrides: Any
+        self,
+        method: str = "direct",
+        stream: Optional[bool] = None,
+        **overrides: Any,
     ) -> Iterator[DatabaseInstance]:
         """Lazily iterate the repairs of the current instance.
 
-        The enumeration itself runs on first advance (``≤_D``-minimality
-        is a global filter, so candidates are materialised then) and is
-        cached per generation; iteration yields copy-on-write copies, so
-        callers may mutate what they receive.  *method* is ``"direct"``
-        or ``"program"``.
+        Args:
+            method: ``"direct"`` (the repair engine) or ``"program"``
+                (the stable-model route).
+            stream: ``True`` yields each repair at the earliest moment
+                its ``≤_D``-minimality is *proven*, while the frontier
+                search is still running (see
+                :class:`repro.core.parallel.AnytimeRepairStream`);
+                ``False`` enumerates fully first and then iterates the
+                cached list.  ``None`` (default) streams exactly when
+                the effective ``repair_mode`` is ``"parallel"``.
+            **overrides: any :class:`repro.engines.CQAConfig` field.
+
+        Returns:
+            An iterator of independent copy-on-write instances; callers
+            may mutate what they receive.
+
+        Raises:
+            ValueError: for an unknown *method*, or ``stream=True``
+                combined with ``method="program"`` (stable models are
+                not produced frontier-wise).
+
+        The streamed repair *set* is always exactly the enumerated one —
+        streaming changes when each repair becomes available, never
+        which; a fully consumed stream also fills the session's repair
+        cache, so a follow-up query pays nothing extra.
+
+        >>> from repro import ConsistentDatabase, parse_constraint
+        >>> db = ConsistentDatabase(
+        ...     {"Emp": [("e1", "sales"), ("e1", "hr")]},
+        ...     [parse_constraint("Emp(e, d), Emp(e, f) -> d = f")],
+        ... )
+        >>> [sorted(map(repr, r.facts())) for r in db.iter_repairs(stream=True)]
+        [['Emp(e1, sales)'], ['Emp(e1, hr)']]
         """
 
         if method not in ("direct", "program"):
@@ -578,6 +770,18 @@ class ConsistentDatabase:
                 f"'program', not {method!r}"
             )
         config = self._config.merged(overrides)
+        if stream is None:
+            stream = method == "direct" and config.repair_mode == "parallel"
+        if stream and method != "direct":
+            raise ValueError("stream=True requires method='direct'")
+
+        if stream:
+
+            def generate_streaming() -> Iterator[DatabaseInstance]:
+                for repair in self.stream_repairs(config):
+                    yield repair.copy()
+
+            return generate_streaming()
 
         def generate() -> Iterator[DatabaseInstance]:
             for repair in self.repairs_list(method, config):
@@ -585,13 +789,111 @@ class ConsistentDatabase:
 
         return generate()
 
+    def stream_repairs(self, config: Optional[CQAConfig] = None) -> Iterator[DatabaseInstance]:
+        """Yield repairs as the anytime frontier search proves them minimal.
+
+        The engine-facing sibling of ``iter_repairs(stream=True)``:
+        yields the repairs of a copy-on-write snapshot of the current
+        instance (safe against concurrent session mutations) without
+        defensive copies.  When a cached repair list already exists for
+        this generation — under the configured repair mode *or* the
+        parallel one; every mode's list is bit-identical — it is
+        replayed instead, already "proven".  A fully drained stream
+        stores the canonical repair list under the **parallel** cache
+        key (the engine that actually produced it, so per-mode
+        statistics and budget semantics stay honest) and updates
+        ``last_repair_statistics``; an abandoned stream (e.g. an
+        anytime ``certain`` that found its counterexample) cancels the
+        remaining frontier tasks.
+
+        Note on budgets: the frontier search's ``max_states`` applies
+        to the *sum* of per-task states, which on constraint sets with
+        consequent atoms can exceed the sequential engines'
+        unique-state count — a streaming call may hit the budget where
+        an incremental enumeration of the same instance would not.
+
+        Args:
+            config: the merged :class:`repro.engines.CQAConfig`;
+                defaults to the session config.  ``workers >= 2``
+                distributes the search across processes.
+        """
+
+        from repro.core.repairs import PARALLEL_METHOD
+
+        config = config if config is not None else self._config
+        generation = self._instance.generation
+        parallel_config = (
+            config
+            if config.repair_mode == PARALLEL_METHOD
+            else config.merged({"repair_mode": PARALLEL_METHOD})
+        )
+        parallel_key = self._direct_repairs_key(parallel_config, generation)
+        for key in {self._direct_repairs_key(config, generation), parallel_key}:
+            cached = self._cache.get(key)
+            if cached is not None:
+                yield from cached
+                return
+
+        from repro.core.parallel import AnytimeRepairStream, ParallelRepairSearch
+
+        snapshot = self._instance.copy()
+        search = ParallelRepairSearch(
+            snapshot,
+            self._constraints,
+            workers=config.workers,
+            max_states=config.max_states,
+            violation_index=self._violation_index,
+        )
+        stream = AnytimeRepairStream(search, schema=snapshot.schema)
+        yield from stream
+        if stream.ordered_repairs is not None:
+            search.statistics.repairs_found = len(stream.ordered_repairs)
+            self.last_repair_statistics = search.statistics
+            self._cache.put(parallel_key, stream.ordered_repairs)
+
     def repair_count(self, method: str = "direct", **overrides: Any) -> int:
-        """The exact number of repairs (enumerates them, cached)."""
+        """The exact number of repairs (enumerates them, cached).
+
+        Args:
+            method: ``"direct"`` or ``"program"``.
+            **overrides: any :class:`repro.engines.CQAConfig` field.
+
+        Returns:
+            ``len(repairs)`` — exact, unlike the conflict-graph
+            estimate the rewriting engines report.
+
+        >>> from repro import ConsistentDatabase, parse_constraint
+        >>> db = ConsistentDatabase(
+        ...     {"Emp": [("e1", "sales"), ("e1", "hr")]},
+        ...     [parse_constraint("Emp(e, d), Emp(e, f) -> d = f")],
+        ... )
+        >>> db.repair_count()
+        2
+        """
 
         config = self._config.merged(overrides)
         return len(self.repairs_list(method, config))
 
     # ------------------------------------------------------------------ engine-facing cache surface
+    def _direct_repairs_key(self, config: CQAConfig, generation: int) -> Tuple:
+        """Cache key of the direct enumeration's repair list.
+
+        Deliberately excludes ``workers``: every repair mode (and any
+        worker count) returns a bit-identical list, so segmenting the
+        cache by it would only recompute identical entries.
+        ``repair_mode`` stays in the key because the modes differ in
+        the statistics they leave behind, which tests inspect.
+        """
+
+        return (
+            "repairs",
+            "direct",
+            self._fingerprint,
+            generation,
+            config.repair_mode,
+            config.max_states,
+        )
+
     def repairs_list(self, method: str, config: CQAConfig) -> List[DatabaseInstance]:
         """The repairs of the current instance, cached per generation.
 
@@ -605,14 +907,7 @@ class ConsistentDatabase:
 
         generation = self._instance.generation
         if method == "direct":
-            key = (
-                "repairs",
-                "direct",
-                self._fingerprint,
-                generation,
-                config.repair_mode,
-                config.max_states,
-            )
+            key = self._direct_repairs_key(config, generation)
         elif method == "program":
             key = ("repairs", "program", self._fingerprint, generation)
         else:
@@ -626,6 +921,7 @@ class ConsistentDatabase:
                 max_states=config.max_states,
                 method=config.repair_mode,
                 violation_index=self._violation_index,
+                workers=config.workers,
             )
             seed = (
                 self._ensure_tracker() if config.repair_mode == "incremental" else None
@@ -673,14 +969,25 @@ class ConsistentDatabase:
         rewriting once.
         """
 
-        key = ("plan", query, self._fingerprint, self._instance.generation, config.max_states)
+        key = (
+            "plan",
+            query,
+            self._fingerprint,
+            self._instance.generation,
+            config.max_states,
+            config.workers,
+        )
         cached = self._cache.get(key)
         if cached is not None:
             return cached
         from repro.rewriting import plan_cqa
 
         plan = plan_cqa(
-            self._instance, self._constraints, query, max_states=config.max_states
+            self._instance,
+            self._constraints,
+            query,
+            max_states=config.max_states,
+            workers=config.workers,
         )
         if plan.rewritten is not None:
             self._cache.put(("rewrite", query, self._fingerprint), plan.rewritten)

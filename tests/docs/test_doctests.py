@@ -1,0 +1,51 @@
+"""Run the public API's docstring examples as doctests.
+
+The documentation contract (docs pass, PR 4): every public method of
+the session façade, the engine registry and the functional CQA API
+carries a runnable example.  This module executes them in tier-1, so a
+signature or behaviour change that invalidates an example fails CI the
+same way a unit test would.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+#: Modules whose docstring examples must run clean.
+MODULES = [
+    "repro",
+    "repro.session",
+    "repro.core.cqa",
+    "repro.core.repairs",
+    "repro.core.parallel",
+    "repro.core.satisfaction",
+    "repro.engines.base",
+    "repro.engines.enumeration",
+    "repro.engines.rewriting",
+    "repro.engines.sqlite",
+    "repro.relational.instance",
+]
+
+#: Modules the docs contract requires to actually carry examples —
+#: a refactor that silently drops them all should fail, not pass vacuously.
+MUST_HAVE_EXAMPLES = {
+    "repro",
+    "repro.session",
+    "repro.core.cqa",
+    "repro.core.repairs",
+    "repro.engines.base",
+    "repro.engines.enumeration",
+    "repro.engines.sqlite",
+}
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_doctests(name):
+    module = importlib.import_module(name)
+    result = doctest.testmod(
+        module, verbose=False, optionflags=doctest.NORMALIZE_WHITESPACE
+    )
+    assert result.failed == 0, f"{result.failed} doctest(s) failed in {name}"
+    if name in MUST_HAVE_EXAMPLES:
+        assert result.attempted > 0, f"{name} lost all of its doctest examples"
