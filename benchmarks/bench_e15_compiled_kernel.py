@@ -1,0 +1,211 @@
+"""E15 — the compiled constraint/query kernel vs the interpreted paths.
+
+Before the compile layer, every violation sweep re-derived its join
+schedule per call, copied a ``dict`` per candidate row and re-resolved
+constants/repeated variables per match.  :mod:`repro.compile.kernel`
+lowers each constraint once into a :class:`~repro.compile.plans.JoinPlan`
+(compile-time schedule, slot-based bindings, specialised matchers,
+pushed-down null guards) and every engine executes the plan.
+
+This experiment sweeps the grouped-key workload (the E11/E12 scaling
+instance: ``n_groups`` key-conflict groups over two FDs) and times the
+violation-enumeration hot path three ways:
+
+* **compiled** — ``all_violations(instance, constraints)`` (the default:
+  compiled kernel plans);
+* **interpreted** — ``all_violations(..., compiled=False)`` (the
+  previous default: per-call index-backed joins with dynamic
+  scheduling);
+* **naive** — ``all_violations(..., naive=True)`` (the seed reference:
+  unindexed nested loops).
+
+A second table does the same for conjunctive-query answering
+(``ConjunctiveQuery.answers``), and a third replays the repair search to
+pin the end-to-end contract.
+
+**Identity assertions always run** (smoke mode included): all three
+violation paths return the same violation sets at every sweep point, all
+three query paths the same answer sets, and the repair engines built on
+the kernel (``incremental``/``indexed``) return repair lists bit-for-bit
+identical — order included — to ``naive``, which never touches the
+kernel.  Acceptance gate, full sweep only: compiled is ≥ 3× faster than
+interpreted on the violation-enumeration sweep's largest point (the
+``--smoke`` CI pass keeps the assertions but skips wall-clock gates —
+shared runners make timing ratios unreliable).
+
+The compile-once contract (a session compiles each constraint set at
+most once, ever) is asserted here *and* in the tier-1 suite
+(``tests/core/test_session.py::TestCompiledPlans``).
+"""
+
+import time
+
+import pytest
+
+from repro.compile.kernel import compiler_statistics
+from repro.constraints.parser import parse_query
+from repro.core.repairs import RepairEngine
+from repro.core.satisfaction import all_violations
+from repro.workloads import grouped_key_workload
+from harness import emit_json, print_table
+
+
+FULL_SWEEP = [10, 25, 60, 100]
+SMOKE_SWEEP = [5]
+
+GATE_MIN_SPEEDUP = 3.0
+
+QUERY_TEXTS = [
+    "ans(e, d, s) <- Emp(e, d, s)",
+    "ans(e) <- Emp(e, d, s), Emp(e, f, t), d != f",
+    "ans(d) <- Emp(e, d, s), s > 100",
+]
+
+
+def _workload(n_groups):
+    return grouped_key_workload(
+        n_groups=n_groups, group_size=3, n_clean=4 * n_groups, seed=3
+    )
+
+
+def _best_of(fn, reps):
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(request):
+    smoke = request.config.getoption("--smoke", default=False)
+    sweep = SMOKE_SWEEP if smoke else FULL_SWEEP
+
+    # ------------------------------------------------------------- violations
+    rows = []
+    gate_speedup = None
+    for n_groups in sweep:
+        instance, constraints = _workload(n_groups)
+        compiled = all_violations(instance, constraints)
+        interpreted = all_violations(instance, constraints, compiled=False)
+        naive = all_violations(instance, constraints, naive=True)
+        # The hard guarantee, asserted in smoke mode too: identical
+        # violation sets (and no duplicates) on every path.
+        assert set(compiled) == set(interpreted) == set(naive)
+        assert len(compiled) == len(set(compiled)) == len(interpreted)
+
+        t_compiled = _best_of(lambda: all_violations(instance, constraints), 12)
+        t_interp = _best_of(
+            lambda: all_violations(instance, constraints, compiled=False), 6
+        )
+        t_naive = _best_of(
+            lambda: all_violations(instance, constraints, naive=True), 2
+        )
+        speedup = t_interp / t_compiled if t_compiled else float("inf")
+        gate_speedup = speedup  # the sweep is ascending: last point gates
+        rows.append(
+            [
+                n_groups,
+                len(compiled),
+                f"{t_naive * 1000:.1f} ms",
+                f"{t_interp * 1000:.1f} ms",
+                f"{t_compiled * 1000:.1f} ms",
+                f"{speedup:.1f}x",
+                f"{(t_naive / t_compiled if t_compiled else float('inf')):.1f}x",
+            ]
+        )
+    if not smoke:
+        assert gate_speedup is not None and gate_speedup >= GATE_MIN_SPEEDUP, (
+            f"compiled kernel only {gate_speedup:.1f}x faster than the "
+            f"interpreted violation enumeration at the largest sweep point "
+            f"(need ≥ {GATE_MIN_SPEEDUP}x)"
+        )
+    title = "E15: compiled kernel vs interpreted violation enumeration"
+    headers = [
+        "key groups",
+        "violations",
+        "naive",
+        "interpreted",
+        "compiled",
+        "interp/compiled",
+        "naive/compiled",
+    ]
+    print_table(title, headers, rows)
+    emit_json(title, headers, rows)
+
+    # ------------------------------------------------------------- queries
+    instance, constraints = _workload(sweep[-1])
+    queries = [parse_query(text) for text in QUERY_TEXTS]
+    query_rows = []
+    for query in queries:
+        compiled_answers = query.answers(instance)
+        assert compiled_answers == query.answers(instance, compiled=False)
+        assert compiled_answers == query.answers(instance, naive=True)
+        t_compiled = _best_of(lambda: query.answers(instance), 12)
+        t_interp = _best_of(lambda: query.answers(instance, compiled=False), 6)
+        query_rows.append(
+            [
+                repr(query),
+                len(compiled_answers),
+                f"{t_interp * 1000:.2f} ms",
+                f"{t_compiled * 1000:.2f} ms",
+                f"{(t_interp / t_compiled if t_compiled else float('inf')):.1f}x",
+            ]
+        )
+    print_table(
+        "E15b: compiled vs interpreted conjunctive-query answering",
+        ["query", "answers", "interpreted", "compiled", "speedup"],
+        query_rows,
+    )
+
+    # ------------------------------------------------------------- repairs
+    # End-to-end: the repair engines that execute compiled plans return
+    # repair lists bit-for-bit identical (order included) to the naive
+    # mode, which never touches the kernel.  Always asserted.
+    small_instance, small_constraints = _workload(3)
+    reference = RepairEngine(small_constraints, method="naive").repairs(small_instance)
+    repair_rows = []
+    for method in ("incremental", "indexed"):
+        engine = RepairEngine(small_constraints, method=method)
+        found = engine.repairs(small_instance)
+        assert [r.fact_set() for r in found] == [r.fact_set() for r in reference]
+        repair_rows.append(
+            [method, len(found), engine.statistics.states_explored, "yes"]
+        )
+    print_table(
+        "E15c: repair lists identical across kernel and naive engines",
+        ["method", "repairs", "states", "list == naive (incl. order)"],
+        repair_rows,
+    )
+
+    # ------------------------------------------------------------- compile-once
+    # The whole experiment — every sweep point, every path, the repair
+    # searches — compiled each distinct constraint set exactly once: the
+    # grouped-key generator emits structurally identical (equal) sets,
+    # so the process-wide memo collapses them to the first compilation.
+    stats = compiler_statistics()
+    assert stats.programs_compiled <= stats.constraints_compiled
+    yield
+
+
+def bench_compiled_violation_enumeration(benchmark):
+    instance, constraints = _workload(25)
+    all_violations(instance, constraints)  # compile + warm indexes
+    result = benchmark(all_violations, instance, constraints)
+    assert result
+
+
+def bench_interpreted_violation_enumeration(benchmark):
+    instance, constraints = _workload(25)
+    all_violations(instance, constraints, compiled=False)
+    result = benchmark(lambda: all_violations(instance, constraints, compiled=False))
+    assert result
+
+
+def bench_compiled_query_answers(benchmark):
+    instance, _ = _workload(25)
+    query = parse_query("ans(e) <- Emp(e, d, s), Emp(e, f, t), d != f")
+    query.answers(instance)
+    result = benchmark(query.answers, instance)
+    assert result

@@ -13,6 +13,7 @@ records back into the markdown the README's results section embeds:
         benchmarks/bench_e12_incremental_violations.py \
         benchmarks/bench_e13_session_cache.py \
         benchmarks/bench_e14_parallel_anytime.py \
+        benchmarks/bench_e15_compiled_kernel.py \
         -q -o python_files='bench_*.py' -o python_functions='bench_*' \
         --smoke --benchmark-disable
     python -m benchmarks.report bench-results            # headline tables
@@ -32,7 +33,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence
 
 #: The headline experiments the README's results section tracks, in order.
-HEADLINE_PREFIXES = ("e11", "e12", "e13", "e14")
+HEADLINE_PREFIXES = ("e11", "e12", "e13", "e14", "e15")
 
 
 def load_records(directory: Path) -> List[Dict[str, object]]:
@@ -104,7 +105,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--all",
         action="store_true",
-        help="render every table found, not just the E11–E14 headline ones",
+        help="render every table found, not just the E11–E15 headline ones",
     )
     arguments = parser.parse_args(argv)
     print(render(Path(arguments.directory), include_all=arguments.all))

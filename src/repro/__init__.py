@@ -70,6 +70,17 @@ back to repair enumeration otherwise — it never raises
 evaluates it entirely inside SQLite.  New strategies register with
 ``@repro.engines.register_engine("name")`` and become reachable from
 both APIs immediately.
+
+Underneath every engine sits the **compiled kernel**
+(:mod:`repro.compile`): constraints and conjunctive queries are lowered
+once — per process, ever — into executable join plans (precomputed atom
+schedules, slot-based bindings, specialised matchers, seeded delta
+plans), and violation detection, the incremental tracker, query
+answering, the rewriting residues and the ASP grounder all execute the
+compiled plans.  ``ConsistentDatabase.compiled_program()`` exposes a
+session's plans; :func:`repro.compile.kernel.compiler_statistics`
+counts compilations (a healthy process compiles each constraint set at
+most once).
 """
 
 from repro.relational import (
@@ -153,8 +164,14 @@ from repro.engines import (
     register_engine,
 )
 from repro.session import CacheInfo, ConsistentDatabase, SessionStatistics
+from repro.compile.kernel import (
+    CompiledProgram,
+    compiled_constraint,
+    compiled_query,
+    compiler_statistics,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -162,6 +179,11 @@ __all__ = [
     "ConsistentDatabase",
     "SessionStatistics",
     "CacheInfo",
+    # compiled kernel
+    "CompiledProgram",
+    "compiled_constraint",
+    "compiled_query",
+    "compiler_statistics",
     "CQAConfig",
     "CQAEngine",
     "register_engine",

@@ -7,6 +7,15 @@ instantiate rules only with positive bodies drawn from that set.  Negative
 literals over atoms that can never be true are simply removed from the
 ground rule (they are trivially satisfied), which keeps the ground program
 small without changing its stable models.
+
+Rule bodies join through the same compiled kernel as constraints and
+queries: each rule's positive body is lowered once
+(:func:`repro.compile.kernel.compiled_body`) and executed against a
+:class:`repro.compile.kernel.GroundAtomRelations` view of the current
+possible-atom set — slot-based matching instead of one dictionary copy
+per candidate atom.  ``compiled=False`` on :func:`possible_atoms` /
+:func:`ground_program` keeps the original per-atom interpreted matching
+as the cross-validation reference.
 """
 
 from __future__ import annotations
@@ -106,10 +115,10 @@ def _comparisons_hold(comparisons: Sequence[Comparison], assignment: Assignment)
     return True
 
 
-def _body_instantiations(
+def _body_instantiations_interpreted(
     rule: Rule, available: Mapping[Tuple[str, int], Set[Atom]]
 ) -> Iterator[Assignment]:
-    """All assignments matching the positive body against *available* atoms."""
+    """Reference path: per-atom interpreted matching with dict copies."""
 
     def extend(index: int, assignment: Assignment) -> Iterator[Assignment]:
         if index == len(rule.positive):
@@ -126,18 +135,52 @@ def _body_instantiations(
     yield from extend(0, {})
 
 
-def possible_atoms(program: Program) -> FrozenSet[Atom]:
+def _body_instantiations(
+    rule: Rule,
+    available: Mapping[Tuple[str, int], Set[Atom]],
+    relations: Optional[object] = None,
+    compiled: bool = True,
+) -> Iterator[Assignment]:
+    """All assignments matching the positive body against *available* atoms.
+
+    The default executes the rule body's compiled join plan against the
+    (caller-provided, reused across rules) *relations* view of the
+    possible-atom sets; ``compiled=False`` keeps the interpreted
+    reference.  Both check the rule's built-in comparisons here, with
+    the grounder's semantics (unevaluable ⇒ the instantiation is
+    dropped).
+    """
+
+    if not compiled:
+        yield from _body_instantiations_interpreted(rule, available)
+        return
+    from repro.compile.kernel import GroundAtomRelations, compiled_body
+
+    if relations is None:
+        relations = GroundAtomRelations(available)
+    body = compiled_body(tuple(rule.positive))
+    for assignment in body.iter_assignments(relations):
+        if _comparisons_hold(rule.comparisons, assignment):
+            yield assignment
+
+
+def possible_atoms(program: Program, compiled: bool = True) -> FrozenSet[Atom]:
     """Fixpoint over-approximation of the atoms derivable by the program."""
+
+    from repro.compile.kernel import GroundAtomRelations
 
     possible: Set[Atom] = set(program.facts)
     changed = True
     while changed:
         changed = False
         grouped = _atoms_by_predicate(possible)
+        relations = GroundAtomRelations(grouped) if compiled else None
         for rule in program.rules:
             if not rule.head:
                 continue
-            for assignment in _body_instantiations(rule, grouped):
+            for assignment in _body_instantiations(
+                rule, grouped, relations=relations, compiled=compiled
+            ):
                 for head_atom in rule.head:
                     ground_head = head_atom.substitute(assignment)
                     if not ground_head.is_ground():
@@ -150,17 +193,22 @@ def possible_atoms(program: Program) -> FrozenSet[Atom]:
     return frozenset(possible)
 
 
-def ground_program(program: Program) -> GroundProgram:
+def ground_program(program: Program, compiled: bool = True) -> GroundProgram:
     """Ground *program* over its possible atoms."""
 
-    possible = possible_atoms(program)
+    from repro.compile.kernel import GroundAtomRelations
+
+    possible = possible_atoms(program, compiled=compiled)
     grouped = _atoms_by_predicate(possible)
+    relations = GroundAtomRelations(grouped) if compiled else None
     facts = frozenset(program.facts)
 
     ground_rules: List[GroundRule] = []
     seen: Set[Tuple[Tuple[Atom, ...], Tuple[Atom, ...], Tuple[Atom, ...]]] = set()
     for rule in program.rules:
-        for assignment in _body_instantiations(rule, grouped):
+        for assignment in _body_instantiations(
+            rule, grouped, relations=relations, compiled=compiled
+        ):
             head = tuple(atom.substitute(assignment) for atom in rule.head)
             positive = tuple(atom.substitute(assignment) for atom in rule.positive)
             negative_all = [atom.substitute(assignment) for atom in rule.negative]

@@ -1,0 +1,264 @@
+"""The executable IR: join plans with precomputed atom schedules and slots.
+
+A :class:`JoinPlan` is what the compiler of :mod:`repro.compile.kernel`
+lowers a constraint antecedent or a query body to:
+
+* variables are mapped to **slots** of one flat array, once, at compile
+  time — matching writes row values into the reusable array instead of
+  copying a ``dict`` per candidate row;
+* the **atom schedule** (which atom to join next) is chosen at compile
+  time from the binding pattern — most statically-bound positions first
+  — instead of being re-derived per call with ``bound_score``;
+* each scheduled atom becomes an :class:`AtomStep` with **specialised
+  checks**: constants and already-bound variables turn into index-probe
+  positions (filtered by the relation's hash index, never re-checked per
+  row), repeated variables within the atom turn into position-equality
+  checks, and first occurrences turn into slot writes;
+* relevant-variable null guards (the first condition of ``|=_N``) are
+  pushed down to the step that first binds the variable, so a doomed
+  partial match is abandoned as early as possible.
+
+Plans execute against anything that speaks the relation protocol of
+:class:`repro.relational.instance.DatabaseInstance` —
+``tuples_matching(predicate, bound)`` — which is how the ASP grounder
+joins through the same kernel over its ground-atom sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.relational.domain import Constant, is_null
+from repro.constraints.terms import Variable
+
+
+Row = Tuple[Constant, ...]
+
+_EMPTY_BOUND: Dict[int, Constant] = {}
+
+
+class Relations:
+    """Structural protocol a plan executes against (duck-typed).
+
+    ``DatabaseInstance`` satisfies it natively;
+    :class:`repro.compile.kernel.GroundAtomRelations` adapts the ASP
+    grounder's ground-atom sets to it.
+    """
+
+    def tuples_matching(self, predicate: str, bound: Mapping[int, Constant]) -> Iterable[Row]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AtomStep:
+    """One scheduled body atom, with its matching logic specialised.
+
+    ``const`` and ``bound`` describe the positions whose value is known
+    before the step runs (constants, and variables bound by earlier
+    steps or the plan's binding pattern): they form the probe map handed
+    to the relation index and are **not** re-checked per row.  ``eq``
+    holds within-atom repeated-variable checks (position, first
+    position); ``writes`` the (position, slot) pairs first binding a
+    variable here; ``guard`` the written slots that reject ``null``
+    (relevant-attribute pushdown — empty for query plans).
+    """
+
+    atom_index: int  #: position in the original body (keys ``rows[...]``)
+    predicate: str
+    arity: int
+    const: Tuple[Tuple[int, Constant], ...]
+    bound: Tuple[Tuple[int, int], ...]  #: (position, slot)
+    eq: Tuple[Tuple[int, int], ...]  #: (position, earlier position)
+    writes: Tuple[Tuple[int, int], ...]  #: (position, slot)
+    guard: Tuple[int, ...]  #: slots written here that must not be null
+
+    def probe(self, slots: Sequence[Constant]) -> Dict[int, Constant]:
+        """The position → value map probing the relation index."""
+
+        if not self.const and not self.bound:
+            return _EMPTY_BOUND
+        bound = dict(self.const)
+        for position, slot in self.bound:
+            bound[position] = slots[slot]
+        return bound
+
+
+@dataclass(frozen=True)
+class SeedMatcher:
+    """Match one pinned body atom against a given seed row (delta plans).
+
+    Mirrors :class:`AtomStep` but runs against a single row instead of a
+    relation probe: every position is checked (nothing was pre-filtered
+    by an index).
+    """
+
+    atom_index: int
+    arity: int
+    const: Tuple[Tuple[int, Constant], ...]
+    eq: Tuple[Tuple[int, int], ...]
+    writes: Tuple[Tuple[int, int], ...]
+    guard: Tuple[int, ...]
+
+    def match(self, row: Row, slots: List[Constant]) -> bool:
+        """Write the seed row into *slots*; False on any mismatch or guard."""
+
+        if len(row) != self.arity:
+            return False
+        for position, value in self.const:
+            if row[position] != value:
+                return False
+        for position, first in self.eq:
+            if row[position] != row[first]:
+                return False
+        for position, slot in self.writes:
+            slots[slot] = row[position]
+        for slot in self.guard:
+            if is_null(slots[slot]):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """A compiled join: scheduled steps over a fixed variable-slot layout.
+
+    ``initial`` lists the (variable, slot) pairs the binding pattern
+    pre-binds (written by the caller before execution);
+    ``initial_guard`` the pre-bound slots that must reject ``null``;
+    ``seed`` the pinned-atom matcher of a delta plan (``None`` for full
+    plans).
+    """
+
+    steps: Tuple[AtomStep, ...]
+    n_slots: int
+    n_atoms: int
+    var_slots: Tuple[Tuple[Variable, int], ...]  #: full layout, first-occurrence order
+    initial: Tuple[Tuple[Variable, int], ...] = ()
+    initial_guard: Tuple[int, ...] = ()
+    seed: Optional[SeedMatcher] = None
+
+
+def iter_plan_matches(
+    plan: JoinPlan,
+    relations: Relations,
+    slots: List[Constant],
+    rows: List[Optional[Row]],
+    seed_row: Optional[Row] = None,
+    initial_values: Optional[Mapping[Variable, Constant]] = None,
+) -> Iterator[None]:
+    """Enumerate the matches of *plan*, yielding once per full match.
+
+    The caller owns *slots* (length ``plan.n_slots``) and *rows* (length
+    ``plan.n_atoms``); on every yield they hold the current match — the
+    variable values at the plan's slots and the matched row per original
+    atom index.  Both arrays are reused across matches: read them during
+    the yield, copy what must survive.
+
+    *seed_row* feeds the plan's :class:`SeedMatcher` (delta plans);
+    *initial_values* feeds the binding pattern.  A guard or seed
+    mismatch yields nothing.
+    """
+
+    if plan.seed is not None:
+        if seed_row is None or not plan.seed.match(seed_row, slots):
+            return
+        rows[plan.seed.atom_index] = seed_row
+    if plan.initial:
+        assert initial_values is not None
+        for variable, slot in plan.initial:
+            slots[slot] = initial_values[variable]
+        for slot in plan.initial_guard:
+            if is_null(slots[slot]):
+                return
+
+    steps = plan.steps
+    count = len(steps)
+    if count == 0:
+        yield
+        return
+
+    iterators: List[Optional[Iterator[Row]]] = [None] * count
+    depth = 0
+    last = count - 1
+    iterators[0] = iter(relations.tuples_matching(steps[0].predicate, steps[0].probe(slots)))
+    while depth >= 0:
+        step = steps[depth]
+        iterator = iterators[depth]
+        arity = step.arity
+        eq = step.eq
+        writes = step.writes
+        guard = step.guard
+        atom_index = step.atom_index
+        if depth == last:
+            # Deepest step: drain the iterator in one tight loop,
+            # yielding once per surviving row.
+            for row in iterator:  # type: ignore[union-attr]
+                if len(row) != arity:
+                    continue
+                rejected = False
+                for position, first in eq:
+                    if row[position] != row[first]:
+                        rejected = True
+                        break
+                if rejected:
+                    continue
+                for position, slot in writes:
+                    slots[slot] = row[position]
+                for slot in guard:
+                    if is_null(slots[slot]):
+                        rejected = True
+                        break
+                if rejected:
+                    continue
+                rows[atom_index] = row
+                yield
+            iterators[depth] = None
+            depth -= 1
+            continue
+        matched = False
+        for row in iterator:  # type: ignore[union-attr]
+            if len(row) != arity:
+                continue
+            rejected = False
+            for position, first in eq:
+                if row[position] != row[first]:
+                    rejected = True
+                    break
+            if rejected:
+                continue
+            for position, slot in writes:
+                slots[slot] = row[position]
+            for slot in guard:
+                if is_null(slots[slot]):
+                    rejected = True
+                    break
+            if rejected:
+                continue
+            rows[atom_index] = row
+            matched = True
+            break
+        if not matched:
+            iterators[depth] = None
+            depth -= 1
+            continue
+        depth += 1
+        next_step = steps[depth]
+        iterators[depth] = iter(
+            relations.tuples_matching(next_step.predicate, next_step.probe(slots))
+        )
+
+
+def plan_has_match(
+    plan: JoinPlan,
+    relations: Relations,
+    seed_row: Optional[Row] = None,
+    initial_values: Optional[Mapping[Variable, Constant]] = None,
+) -> bool:
+    """Does the plan have at least one match?  (Early-exit execution.)"""
+
+    slots: List[Constant] = [None] * plan.n_slots  # type: ignore[list-item]
+    rows: List[Optional[Row]] = [None] * plan.n_atoms
+    for _ in iter_plan_matches(plan, relations, slots, rows, seed_row, initial_values):
+        return True
+    return False

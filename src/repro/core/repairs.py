@@ -50,9 +50,6 @@ from repro.core.satisfaction import (
     all_violations,
     is_consistent,
     row_witnesses_atom,
-    seeded_violations,
-    violations,
-    violations_under_assignment,
     witness_positions,
 )
 
@@ -215,10 +212,21 @@ class ViolationIndex:
 
     Built once per constraint set; the incremental tracker consults it to
     recompute only the affected constraints when a single fact changes.
+    The index also carries the set's
+    :class:`~repro.compile.kernel.CompiledProgram` (``.program``): one
+    compiled unit per constraint — full plan, seeded delta plans,
+    witness probes — resolved through the process-wide memo cache, so a
+    session, its repair engines and (per worker process) the parallel
+    search of :mod:`repro.core.parallel` all execute the same compiled
+    plans and each constraint set is compiled at most once, ever.
     """
 
     def __init__(self, constraints: Union[ConstraintSet, Iterable[AnyConstraint]]):
+        from repro.compile.kernel import compile_program
+
         self.constraints: List[AnyConstraint] = list(constraints)
+        #: The compiled plans, index-aligned with ``constraints``.
+        self.program = compile_program(tuple(self.constraints))
         self._body: Dict[str, List[int]] = {}
         self._head: Dict[str, List[int]] = {}
         self._affected: Dict[str, List[int]] = {}
@@ -286,10 +294,15 @@ class ViolationTracker:
     fact insertion (:meth:`notify_added`) or deletion
     (:meth:`notify_removed`) — performed on the instance *first* — it
     updates only the constraints whose body or head mentions the fact's
-    predicate, seeding the re-enumeration from the changed fact:
+    predicate, seeding the re-enumeration from the changed fact through
+    the constraint set's compiled delta plans (the
+    :class:`~repro.compile.kernel.CompiledProgram` carried by the
+    :class:`ViolationIndex` — compiled once per constraint set, shared
+    by every tracker over the same index):
 
-    * a fact added to a **body** predicate can only create violations that
-      use the fact itself (:func:`seeded_violations`);
+    * a fact added to a **body** predicate can only create violations
+      that use the fact itself (the seeded delta plans, the compiled
+      form of :func:`repro.core.satisfaction.seeded_violations`);
     * a fact removed from a **body** predicate only destroys the stored
       violations listing it among their ``body_facts``;
     * a fact added to a **head** predicate can only resolve stored
@@ -297,8 +310,9 @@ class ViolationTracker:
       per stored violation);
     * a fact removed from a **head** predicate can only surface matches
       whose witness it was — re-enumerated under the partial assignment
-      the deleted witness pins down
-      (:func:`violations_under_assignment`).
+      the deleted witness pins down (the binding-pattern delta plans,
+      the compiled form of
+      :func:`repro.core.satisfaction.violations_under_assignment`).
 
     Every update returns a :class:`ViolationDelta` that :meth:`revert`
     undoes exactly, which is what lets the repair search run as a
@@ -334,8 +348,8 @@ class ViolationTracker:
             ]
         else:
             self._store = [
-                dict.fromkeys(violations(instance, constraint))
-                for constraint in self.index.constraints
+                dict.fromkeys(unit.violations(instance))
+                for unit in self.index.program.units
             ]
         #: Counters surfaced through :class:`RepairStatistics`.
         self.updates = 0
@@ -398,9 +412,11 @@ class ViolationTracker:
                 for violation in resolved:
                     del store[violation]
                     delta.removed.append((index, violation))
-            # A new antecedent fact can only create violations involving it.
+            # A new antecedent fact can only create violations involving
+            # it — enumerated through the constraint's compiled delta plans.
             if index in body_indices:
-                for violation in seeded_violations(self.instance, constraint, fact):
+                unit = self.index.program.units[index]
+                for violation in unit.seeded_violations(self.instance, fact):
                     if violation not in store:
                         store[violation] = None
                         delta.added.append((index, violation))
@@ -429,10 +445,9 @@ class ViolationTracker:
                     del store[violation]
                     delta.removed.append((index, violation))
             if index in head_indices:
+                unit = self.index.program.units[index]
                 for partial in _lost_witness_assignments(constraint, fact):
-                    for violation in violations_under_assignment(
-                        self.instance, constraint, partial
-                    ):
+                    for violation in unit.violations_under(self.instance, partial):
                         if violation not in store:
                             store[violation] = None
                             delta.added.append((index, violation))
@@ -572,8 +587,8 @@ class RepairEngine:
       :class:`ViolationTracker`: each search step pays one seeded update
       for the constraints touching the changed fact instead of a full
       ``all_violations`` sweep, and no instance is copied per branch;
-    * ``"indexed"`` — recompute ``all_violations`` per state with the
-      hash-indexed joins (copies per branch are copy-on-write);
+    * ``"indexed"`` — recompute ``all_violations`` per state through the
+      compiled kernel plans (copies per branch are copy-on-write);
     * ``"naive"`` — the seed reference path: full recomputation per state
       with unindexed nested-loop joins;
     * ``"parallel"`` — split the mutate/undo frontier into bounded tasks

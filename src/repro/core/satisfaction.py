@@ -14,13 +14,18 @@ Two implementations are provided:
 The two are equivalent and cross-validated by the test-suite:
 ``satisfies(D, ψ)`` (no violations) iff ``satisfies_via_projection(D, ψ)``.
 
-The direct enumeration joins the antecedent atoms through the instance's
-per-position hash indexes with a most-bound-atom-first schedule; the
-original nested-loop implementations survive behind ``naive=True`` as the
-reference path the property tests cross-validate against.  The seeded
-variants (:func:`seeded_violations`, :func:`violations_under_assignment`)
-restrict the join to matches involving one given fact / partial
-assignment — the incremental violation maintenance of
+The direct enumeration executes **compiled plans** by default: each
+constraint is lowered once (per process) by :mod:`repro.compile.kernel`
+into a join plan with a precomputed atom schedule, slot-based bindings
+and specialised per-atom matchers, and every call after that runs the
+plan.  Two interpreted paths survive for cross-validation: the original
+nested-loop joins behind ``naive=True``, and the per-call index-backed
+join (:func:`indexed_body_matches` + :func:`violation_filter`) behind
+``compiled=False``.  All three produce the same violation sets.  The
+seeded variants (:func:`seeded_violations`,
+:func:`violations_under_assignment`) restrict the join to matches
+involving one given fact / partial assignment through the compiled
+**delta plans** — the incremental violation maintenance of
 :mod:`repro.core.repairs` is built on them, and so is the parallel
 frontier search of :mod:`repro.core.parallel`: every worker process
 keeps its own :class:`~repro.core.repairs.ViolationTracker` warm by
@@ -49,6 +54,7 @@ from repro.constraints.ic import (
     NotNullConstraint,
 )
 from repro.constraints.terms import Variable, is_variable
+from repro.compile.matchers import extend_match
 from repro.core.projection import project_for_constraint
 from repro.core.relevant import relevant_body_variables, relevant_positions
 from repro.core.transform import null_aware_formula
@@ -100,23 +106,34 @@ class Violation:
 
 # --------------------------------------------------------------------------- joins
 def body_matches(
-    instance: DatabaseInstance, body: Sequence[Atom], naive: bool = False
+    instance: DatabaseInstance,
+    body: Sequence[Atom],
+    naive: bool = False,
+    compiled: Optional[bool] = None,
 ) -> Iterator[Tuple[Assignment, Tuple[Fact, ...]]]:
     """Enumerate the matches of the antecedent atoms against the instance.
 
     ``null`` is treated as an ordinary constant (it joins with itself),
     exactly as in the evaluation of ``ψ_N`` over ``D^A`` (Example 12).
 
-    By default the atoms are joined through the instance's hash indexes
-    with a most-bound-atom-first schedule; ``naive=True`` selects the
-    original left-to-right nested-loop join, kept as the reference path
-    for cross-validation.  Both paths produce the same set of matches
-    (``body_facts`` always in antecedent-atom order); only the
-    enumeration order may differ.
+    By default the body is lowered once into a compiled join plan
+    (:func:`repro.compile.kernel.compiled_body` — schedule, slots and
+    per-atom matchers fixed at compile time) and every call executes the
+    plan.  ``compiled=False`` selects the per-call index-backed
+    interpreter, ``naive=True`` the original left-to-right nested-loop
+    join — both kept as reference paths for cross-validation.  All
+    paths produce the same set of matches (``body_facts`` always in
+    antecedent-atom order); only the enumeration order may differ.
     """
 
+    if compiled is None:
+        compiled = not naive
     if naive:
         yield from _body_matches_naive(instance, body)
+    elif compiled:
+        from repro.compile.kernel import compiled_body
+
+        yield from compiled_body(tuple(body)).iter_matches(instance)
     else:
         yield from indexed_body_matches(instance, body)
 
@@ -199,22 +216,11 @@ def indexed_body_matches(
     yield from extend(remaining, assignment)
 
 
-def _match_atom(
-    atom: Atom, row: Tuple[Constant, ...], assignment: Assignment
-) -> Optional[Assignment]:
-    if len(row) != atom.arity:
-        return None
-    extended = dict(assignment)
-    for term, value in zip(atom.terms, row):
-        if is_variable(term):
-            if term in extended:
-                if extended[term] != value:
-                    return None
-            else:
-                extended[term] = value
-        elif term != value:
-            return None
-    return extended
+#: The one atom-matching routine, shared with :mod:`repro.logic.queries`
+#: and the rewriting residues so null/constant/repeated-variable
+#: semantics can never drift between the layers (the compiled kernel
+#: specialises the same semantics at compile time).
+_match_atom = extend_match
 
 
 def row_witnesses_atom(
@@ -298,17 +304,29 @@ def _comparison_disjunction_holds(
 
 # --------------------------------------------------------------------------- |=_N
 def violations(
-    instance: DatabaseInstance, constraint: AnyConstraint, naive: bool = False
+    instance: DatabaseInstance,
+    constraint: AnyConstraint,
+    naive: bool = False,
+    compiled: Optional[bool] = None,
 ) -> List[Violation]:
     """All ground violations of *constraint* in *instance* under ``|=_N``.
 
-    ``naive=True`` selects the unindexed nested-loop joins (the original
-    reference implementation); the default uses the hash-indexed joins.
-    Both return the same violations, possibly in a different order.
+    The default executes the constraint's compiled plan
+    (:func:`repro.compile.kernel.compiled_constraint` — lowered once per
+    process).  ``compiled=False`` selects the per-call index-backed
+    interpreter and ``naive=True`` the unindexed nested-loop joins (the
+    original reference implementation).  All three return the same
+    violations, possibly in a different order.
     """
 
     if isinstance(constraint, NotNullConstraint):
         return not_null_violations(instance, constraint)
+    if compiled is None:
+        compiled = not naive
+    if compiled and not naive:
+        from repro.compile.kernel import compiled_constraint
+
+        return compiled_constraint(constraint).violations(instance)
     return _ic_violations(instance, constraint, naive=naive)
 
 
@@ -384,11 +402,14 @@ def violation_filter(
 def _ic_violations(
     instance: DatabaseInstance, constraint: IntegrityConstraint, naive: bool = False
 ) -> List[Violation]:
+    # The interpreted reference paths: compiled=False keeps the body
+    # join interpreted too, so cross-validation against the kernel is
+    # never circular.
     return list(
         violation_filter(
             instance,
             constraint,
-            body_matches(instance, constraint.body, naive=naive),
+            body_matches(instance, constraint.body, naive=naive, compiled=False),
             naive=naive,
         )
     )
@@ -396,16 +417,28 @@ def _ic_violations(
 
 # ------------------------------------------------------------------- seeded
 def seeded_violations(
-    instance: DatabaseInstance, constraint: IntegrityConstraint, fact: Fact
+    instance: DatabaseInstance,
+    constraint: IntegrityConstraint,
+    fact: Fact,
+    compiled: bool = True,
 ) -> Iterator[Violation]:
     """The violations of *constraint* whose body involves *fact*.
 
-    Pins *fact* at every antecedent atom of the same predicate in turn and
-    joins the remaining atoms through the indexes; matches using the fact
-    at several occurrences are deduplicated.  After inserting *fact* this
-    yields exactly the violations created by the insertion.
+    Pins *fact* at every antecedent atom of the same predicate in turn
+    and joins the remaining atoms; matches using the fact at several
+    occurrences are deduplicated.  After inserting *fact* this yields
+    exactly the violations created by the insertion.  The default runs
+    the constraint's compiled **delta plans** (one per body occurrence,
+    schedule seeded from the pinned atom's bindings);
+    ``compiled=False`` keeps the per-call interpreted enumeration as
+    the cross-validation reference.
     """
 
+    if compiled:
+        from repro.compile.kernel import compiled_constraint
+
+        yield from compiled_constraint(constraint).seeded_violations(instance, fact)
+        return
     seen: Set[Violation] = set()
     for index, atom in enumerate(constraint.body):
         if atom.predicate != fact.predicate or atom.arity != fact.arity:
@@ -421,15 +454,27 @@ def violations_under_assignment(
     instance: DatabaseInstance,
     constraint: IntegrityConstraint,
     partial: Mapping[Variable, Constant],
+    compiled: bool = True,
 ) -> Iterator[Violation]:
     """The violations of *constraint* compatible with the *partial* assignment.
 
     Used after deleting a fact of a consequent predicate: the partial
     assignment pins the universal variables the deleted witness agreed
     on, so only the body matches that may have lost their witness are
-    re-examined.
+    re-examined.  The default runs a compiled binding-pattern plan
+    (memoised per set of pre-bound variables); a partial assignment
+    mentioning a non-body variable — possible only through direct API
+    use, never from the tracker — falls back to the interpreter, whose
+    reported bindings include such extra variables.
     """
 
+    if compiled:
+        from repro.compile.kernel import compiled_constraint
+
+        unit = compiled_constraint(constraint)
+        if unit.covers_partial(partial):
+            yield from unit.violations_under(instance, partial)
+            return
     matches = indexed_body_matches(instance, constraint.body, initial=partial)
     yield from violation_filter(instance, constraint, matches)
 
@@ -454,12 +499,17 @@ def all_violations(
     instance: DatabaseInstance,
     constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
     naive: bool = False,
+    compiled: Optional[bool] = None,
 ) -> List[Violation]:
-    """Violations of every constraint, in constraint order."""
+    """Violations of every constraint, in constraint order.
+
+    ``naive``/``compiled`` select the evaluation path per constraint
+    exactly as in :func:`violations`.
+    """
 
     found: List[Violation] = []
     for constraint in constraints:
-        found.extend(violations(instance, constraint, naive=naive))
+        found.extend(violations(instance, constraint, naive=naive, compiled=compiled))
     return found
 
 

@@ -21,6 +21,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.relational.domain import Constant, is_null
 from repro.relational.instance import DatabaseInstance
+from repro.compile.matchers import extend_match
 from repro.constraints.atoms import Atom, BuiltinEvaluationError, Comparison
 from repro.constraints.terms import Variable, is_variable
 from repro.logic.evaluation import EvaluationError, query_answers
@@ -112,16 +113,29 @@ class ConjunctiveQuery(Query):
         instance: DatabaseInstance,
         null_is_unknown: bool = False,
         naive: bool = False,
+        compiled: Optional[bool] = None,
     ) -> AnswerSet:
         """Join-based evaluation of the query over *instance*.
 
-        The default schedules the positive atoms dynamically — at each
-        step the atom with the most already-bound positions (then the
-        smallest relation) is joined next through the instance's hash
-        indexes.  ``naive=True`` keeps the original static
-        smallest-relation-first nested-loop join as a reference path; the
-        two produce identical answer sets.
+        The default executes the query's **compiled plan**
+        (:func:`repro.compile.kernel.compiled_query`): the atom schedule,
+        the variable→slot layout and the specialised per-atom matchers
+        are fixed once per process, and each call runs the plan over the
+        instance's hash indexes with no per-row dictionary copies.  Two
+        interpreted paths remain for cross-validation: ``naive=True``
+        keeps the original smallest-relation-first nested-loop join (the
+        reference interpreter), and ``compiled=False`` keeps the
+        index-backed interpreter whose schedule is memoised per query
+        (see :meth:`_indexed_bindings`).  All three produce identical
+        answer sets.
         """
+
+        if compiled is None:
+            compiled = not naive
+        if compiled and not naive:
+            from repro.compile.kernel import compiled_query
+
+            return compiled_query(self).answers(instance, null_is_unknown)
 
         bindings: List[Dict[Variable, Constant]] = [{}]
         if naive:
@@ -157,36 +171,23 @@ class ConjunctiveQuery(Query):
     def _indexed_bindings(
         self, instance: DatabaseInstance
     ) -> List[Dict[Variable, Constant]]:
-        """Index-backed join of the positive atoms, most-bound atom first.
+        """Index-backed interpreted join of the positive atoms.
 
-        Which variables are bound is the same for every partial binding at
-        a given depth, so the schedule is chosen once per step; each
-        binding then probes the per-position hash indexes for its
-        candidate rows instead of scanning the relation.
+        The atom schedule is **not** re-derived per call any more: it is
+        the compile-time most-statically-bound-first order of the
+        query's compiled plan, memoised per (query, binding pattern) by
+        :func:`repro.compile.kernel.compiled_query` — so even the
+        interpreted reference path stops re-sorting atoms (the old
+        per-step ``bound_score`` scan) on every invocation.  Each
+        binding probes the per-position hash indexes for its candidate
+        rows instead of scanning the relation.
         """
 
+        from repro.compile.kernel import compiled_query
+
         bindings: List[Dict[Variable, Constant]] = [{}]
-        remaining = list(range(len(self.positive_atoms)))
-        bound_vars: Set[Variable] = set()
-
-        def bound_score(atom: Atom) -> int:
-            return sum(
-                1
-                for term in atom.terms
-                if not is_variable(term) or term in bound_vars
-            )
-
-        while remaining:
-            best = min(
-                remaining,
-                key=lambda i: (
-                    -bound_score(self.positive_atoms[i]),
-                    instance.row_count(self.positive_atoms[i].predicate),
-                    i,
-                ),
-            )
-            remaining.remove(best)
-            atom = self.positive_atoms[best]
+        for index in compiled_query(self).order:
+            atom = self.positive_atoms[index]
             new_bindings: List[Dict[Variable, Constant]] = []
             for binding in bindings:
                 bound = atom.bound_positions(binding)
@@ -197,7 +198,6 @@ class ConjunctiveQuery(Query):
             bindings = new_bindings
             if not bindings:
                 return []
-            bound_vars |= atom.variables()
         return bindings
 
     def __repr__(self) -> str:
@@ -232,24 +232,9 @@ class FirstOrderQuery(Query):
 
 
 # ---------------------------------------------------------------------- helpers
-def _match(
-    atom: Atom, row: Tuple[Constant, ...], binding: Mapping[Variable, Constant]
-) -> Optional[Dict[Variable, Constant]]:
-    """Extend *binding* so that *atom* matches *row*; None if impossible."""
-
-    if len(row) != atom.arity:
-        return None
-    extended = dict(binding)
-    for term, value in zip(atom.terms, row):
-        if is_variable(term):
-            bound = extended.get(term)
-            if bound is None and term not in extended:
-                extended[term] = value
-            elif bound != value:
-                return None
-        elif term != value:
-            return None
-    return extended
+#: Extend a binding so an atom matches a row — the one matching routine
+#: shared with constraint checking (see :mod:`repro.compile.matchers`).
+_match = extend_match
 
 
 def _comparisons_hold(

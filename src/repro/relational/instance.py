@@ -369,12 +369,17 @@ class DatabaseInstance:
             return rows
         index = self._index(predicate)
         assert index is not None
+        if len(bound) == 1:
+            # Single-position probe (the compiled kernel's common case):
+            # one dictionary lookup, no schedule scan.
+            ((position, value),) = bound.items()
+            if position >= index.arity:
+                return _EMPTY_ROWS
+            return index.rows_where(position, value)
         if any(position >= index.arity for position in bound):
             return _EMPTY_ROWS
         best = min(bound, key=lambda p: len(index.rows_where(p, bound[p])))
         candidates = index.rows_where(best, bound[best])
-        if len(bound) == 1:
-            return candidates
         return [
             row
             for row in candidates

@@ -14,8 +14,12 @@ structure of the violations:
   endpoint, and each endpoint survives in some repair.
 
 :meth:`ConflictGraph.build` materialises the graph directly from the
-instance with per-shape fast paths (hash-grouping for FDs, witness
-indexes for RICs) instead of the quadratic generic join;
+instance with per-shape fast paths — FD edges through the instance's
+cached key groupings, RIC marks through the compiled delta plans of the
+shared certainty residue (one early-exit
+:meth:`~repro.compile.kernel.CompiledConstraint.has_violation_at` run
+per fact), and everything else through the compiled violation
+enumeration — instead of the quadratic generic join;
 :meth:`ConflictGraph.from_sql` pushes the same work into SQLite through
 :func:`repro.sqlbackend.backend.violation_sql` for scale.  The two agree,
 and both agree with :func:`repro.core.satisfaction.violations`.

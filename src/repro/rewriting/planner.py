@@ -60,6 +60,12 @@ class CQAPlan:
     #: (keep the configured mode).  Parallel output is bit-identical to
     #: incremental, so following the recommendation never changes answers.
     repair_mode: Optional[str] = None
+    #: Filled by ``ConsistentDatabase.explain()``: True when the session
+    #: has already cached its constraint set's compiled plans
+    #: (:class:`repro.compile.kernel.CompiledProgram`) — a prior
+    #: violation-path call served them — so an enumeration fallback
+    #: pays no compilation.  ``None`` outside a session context.
+    compiled_program_cached: Optional[bool] = None
 
     def __repr__(self) -> str:
         extra = ""

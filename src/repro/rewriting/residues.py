@@ -29,6 +29,15 @@ Every residue evaluates three ways: fast in-memory (:meth:`holds`
 against :class:`RewriteIndexes`), as a first-order formula
 (:meth:`formula`, for the paper-faithful ``Q'``), and as SQL (rendered
 by :mod:`repro.rewriting.sqlgen`).
+
+The in-memory evaluators execute the **compiled delta plans** of
+:mod:`repro.compile.kernel`: "does this fact participate in a live
+violation?" is exactly one early-exit run of the constraint's seeded
+plan with the fact pinned at the relevant body occurrence
+(:meth:`~repro.compile.kernel.CompiledConstraint.has_violation_at`), so
+residue checking, constraint checking and the incremental tracker share
+one compiled definition of the violation conditions and can never
+drift.
 """
 
 from __future__ import annotations
@@ -38,11 +47,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.relational.domain import Constant, is_null
 from repro.relational.instance import DatabaseInstance
+from repro.compile.matchers import extend_match as _extend_match
+from repro.compile.matchers import match_atom as _shared_match_atom
 from repro.constraints.atoms import Atom, Comparison, IsNullAtom
 from repro.constraints.ic import IntegrityConstraint, NotNullConstraint
 from repro.constraints.terms import Term, Variable, is_variable
 from repro.core.relevant import relevant_body_variables, relevant_positions
-from repro.core.satisfaction import _comparison_disjunction_holds  # shared |=_N helper
 from repro.logic.formula import (
     AtomFormula,
     ComparisonFormula,
@@ -73,107 +83,67 @@ class FreshVariables:
         return Variable(f"{self._prefix}{self._count}")
 
 
-def extend_assignment(
-    atom: Atom, row: Row, assignment: Mapping[Variable, Constant]
-) -> Optional[Dict[Variable, Constant]]:
-    """Extend *assignment* so that *atom* matches *row*; None if impossible.
+#: Extend an assignment so an atom matches a row — the one unification
+#: routine shared with constraint checking and query answering (see
+#: :mod:`repro.compile.matchers`); ``null`` joins with itself, exactly
+#: as in the evaluation of ``|=_N``.
+extend_assignment = _extend_match
 
-    ``null`` joins with itself (an ordinary constant), exactly as in the
-    evaluation of ``|=_N`` — the one unification routine shared by the
-    residue evaluators, the rewriter's join and the conflict graph.
-    """
-
-    if len(row) != atom.arity:
-        return None
-    extended = dict(assignment)
-    for term, value in zip(atom.terms, row):
-        if is_variable(term):
-            if term in extended:
-                if extended[term] != value:
-                    return None
-            else:
-                extended[term] = value
-        elif term != value:
-            return None
-    return extended
-
-
-def match_atom(atom: Atom, row: Row) -> Optional[Dict[Variable, Constant]]:
-    """Match *atom* against *row* starting from the empty assignment."""
-
-    return extend_assignment(atom, row, {})
+#: Match an atom against a row from the empty assignment.
+match_atom = _shared_match_atom
 
 
 class RewriteIndexes:
-    """Lazy per-instance indexes shared by all residue evaluations."""
+    """The per-evaluation context the residue evaluators run against.
+
+    Historically this class carried private per-residue witness indexes
+    and key-group lookups; the compiled delta plans of
+    :mod:`repro.compile.kernel` replaced both (they probe the
+    instance's own hash indexes), so the context reduces to the
+    instance handle every :meth:`Residue.holds` receives.
+    """
 
     def __init__(self, instance: DatabaseInstance):
         self.instance = instance
-        self._witnesses: Dict[int, Dict[Row, List[Row]]] = {}
 
-    # ------------------------------------------------------------------ key groups
-    def group(self, key: KeyInfo, det_values: Row) -> List[Row]:
-        """The rows of the key's predicate sharing *det_values* (all non-null).
 
-        Delegates to the instance's cached composite-key grouping (also
-        used by the conflict graph's FD materialisation), so the grouping
-        is built once per instance rather than once per consumer; rows
-        whose determinant contains ``null`` land in buckets no caller
-        ever looks up (``det_values`` is always null-free).
-        """
+def _participates(
+    instance: DatabaseInstance, constraint: IntegrityConstraint, occurrence: int, row: Row
+) -> bool:
+    """Does *row*, pinned at body *occurrence*, join a live violation?
 
-        groups = self.instance.rows_grouped_by(key.predicate, key.determinant)
-        return groups.get(det_values, [])
+    One early-exit execution of the constraint's compiled seeded plan —
+    shared with the incremental tracker's delta maintenance, so the
+    violation conditions the residues negate are literally the ones the
+    repair search resolves.
+    """
 
-    # ------------------------------------------------------------------ witnesses
-    def has_witness(self, residue: "RICResidue", assignment: Mapping[Variable, Constant]) -> bool:
-        """Does the referenced relation hold a witness for *assignment*?"""
+    from repro.compile.kernel import compiled_constraint
 
-        index = self._witnesses.get(id(residue))
-        if index is None:
-            index = {}
-            head_atom = residue.head_atom
-            for row in self.instance.tuples(head_atom.predicate):
-                ok = True
-                for position in residue.constant_kept:
-                    if row[position] != head_atom.terms[position]:
-                        ok = False
-                        break
-                if not ok:
-                    continue
-                key = tuple(row[p] for p in residue.bound_kept)
-                index.setdefault(key, []).append(row)
-            self._witnesses[id(residue)] = index
-        key = tuple(
-            assignment[residue.head_atom.terms[p]] for p in residue.bound_kept
-        )
-        for candidate in index.get(key, ()):
-            bindings: Dict[Variable, Constant] = {}
-            agree = True
-            for position in residue.existential_kept:
-                term = residue.head_atom.terms[position]
-                bound = bindings.get(term)
-                if bound is None and term not in bindings:
-                    bindings[term] = candidate[position]
-                elif bound != candidate[position]:
-                    agree = False
-                    break
-            if agree:
-                return True
-        return False
+    unit = compiled_constraint(constraint)
+    return unit.has_violation_at(instance, occurrence, row)  # type: ignore[union-attr]
+
+
+class _NoRelations:
+    """A relation view with no rows (single-atom plans never probe it)."""
+
+    def tuples_matching(self, predicate: str, bound: Mapping[int, Constant]) -> Tuple[Row, ...]:
+        return ()
+
+
+_NO_RELATIONS = _NoRelations()
 
 
 def check_violates(check: IntegrityConstraint, row: Row) -> bool:
-    """Does *row* violate the single-atom *check* under ``|=_N``?"""
+    """Does *row* violate the single-atom *check* under ``|=_N``?
 
-    atom = check.body[0]
-    assignment = match_atom(atom, row)
-    if assignment is None:
-        return False
-    relevant = relevant_body_variables(check)
-    if any(is_null(assignment[v]) for v in relevant):
-        return False
-    return not _comparison_disjunction_holds(check.head_comparisons, assignment)
+    Runs the check constraint's compiled seeded plan: the fact is pinned
+    at the only body occurrence, so the relevant-null guard and the
+    built-in disjunction (both resolved at compile time) decide the
+    answer without touching any relation.
+    """
+
+    return _participates(_NO_RELATIONS, check, 0, row)  # type: ignore[arg-type]
 
 
 # --------------------------------------------------------------------------- residues
@@ -302,22 +272,14 @@ class FDResidue(Residue):
         return self.key.fds[0].constraint
 
     def holds(self, row: Row, indexes: RewriteIndexes) -> bool:
-        det_values = tuple(row[p] for p in self.key.determinant)
-        if any(is_null(v) for v in det_values):
-            return True  # the FD never fires on a null determinant
-        group = indexes.group(self.key, det_values)
-        if len(group) <= 1:
-            return True
+        # One compiled seeded run per FD of the key: a conflicting
+        # partner is exactly a live violation with this row pinned at
+        # the first body occurrence (the determinant join, the null
+        # guards on determinant and dependent, and the equality
+        # disjunct are all resolved in the compiled plan).
         for fd in self.key.fds:
-            mine = row[fd.dependent]
-            if is_null(mine):
-                continue
-            for partner in group:
-                if partner == row:
-                    continue
-                other = partner[fd.dependent]
-                if not is_null(other) and other != mine:
-                    return False
+            if _participates(indexes.instance, fd.constraint, 0, row):
+                return False
         return True
 
     def formula(self, terms: Sequence[Term], fresh: FreshVariables) -> Formula:
@@ -381,12 +343,10 @@ class RICResidue(Residue):
         )
 
     def holds(self, row: Row, indexes: RewriteIndexes) -> bool:
-        assignment = match_atom(self.body_atom, row)
-        if assignment is None:
-            return True
-        if any(is_null(assignment[v]) for v in self.relevant_vars):
-            return True
-        return indexes.has_witness(self, assignment)
+        # The fact satisfies the RIC in D itself iff it is not a live
+        # dangling antecedent: one compiled seeded run, whose witness
+        # probe replaces the hand-built per-residue witness index.
+        return not _participates(indexes.instance, self.constraint, 0, row)
 
     def formula(self, terms: Sequence[Term], fresh: FreshVariables) -> Formula:
         body_atom = self.body_atom
@@ -445,32 +405,11 @@ class DenialResidue(Residue):
     index: int
 
     def holds(self, row: Row, indexes: RewriteIndexes) -> bool:
-        atom = self.constraint.body[self.index]
-        assignment = match_atom(atom, row)
-        if assignment is None:
-            return True
-        others = [
-            a for i, a in enumerate(self.constraint.body) if i != self.index
-        ]
-        relevant = relevant_body_variables(self.constraint)
-        comparisons = self.constraint.head_comparisons
-        instance = indexes.instance
-
-        def extend(position: int, current: Dict[Variable, Constant]) -> bool:
-            """True iff some completion of *current* is a ground violation."""
-
-            if position == len(others):
-                if any(is_null(current[v]) for v in relevant):
-                    return False
-                return not _comparison_disjunction_holds(comparisons, current)
-            other = others[position]
-            for candidate in instance.tuples(other.predicate):
-                extended = extend_assignment(other, candidate, current)
-                if extended is not None and extend(position + 1, extended):
-                    return True
-            return False
-
-        return not extend(0, assignment)
+        # One compiled seeded run with the fact pinned at this body
+        # occurrence: the remaining body atoms join through the
+        # instance's hash indexes (the interpreted version scanned every
+        # candidate relation per row).
+        return not _participates(indexes.instance, self.constraint, self.index, row)
 
     def formula(self, terms: Sequence[Term], fresh: FreshVariables) -> Formula:
         atom = self.constraint.body[self.index]

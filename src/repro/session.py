@@ -86,6 +86,7 @@ from repro.relational.instance import DatabaseInstance, Fact
 from repro.relational.schema import DatabaseSchema
 
 if TYPE_CHECKING:
+    from repro.compile.kernel import CompiledProgram
     from repro.rewriting.conflicts import ConflictGraph
     from repro.rewriting.planner import CQAPlan
     from repro.rewriting.rewriter import RewrittenQuery
@@ -94,13 +95,22 @@ if TYPE_CHECKING:
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """A snapshot of the session cache's effectiveness counters."""
+    """A snapshot of the session cache's effectiveness counters.
+
+    ``compiled_builds``/``compiled_hits`` break out the compiled-plan
+    entries (the :class:`~repro.compile.kernel.CompiledProgram` cached
+    per constraint fingerprint — the key survives mutations): a healthy
+    session builds at most one and serves every later violation-path
+    query from the cache.
+    """
 
     hits: int
     misses: int
     size: int
     maxsize: int
     evictions: int
+    compiled_builds: int = 0
+    compiled_hits: int = 0
 
 
 class _LRUCache:
@@ -154,6 +164,8 @@ class SessionStatistics:
     mutations: int = 0  #: effective fact insertions/deletions
     tracker_rebuilds: int = 0  #: full violation sweeps (1 on first use; more only after out-of-band instance mutations)
     batches_rolled_back: int = 0
+    compiled_programs_built: int = 0  #: compiled-plan cache fills (≤ 1 per session — the fingerprint key survives mutations)
+    compiled_program_hits: int = 0  #: compiled-plan probes served from the session cache
 
 
 #: One journal entry of an open batch: ("insert"/"delete", fact, tracker delta).
@@ -236,6 +248,9 @@ class ConsistentDatabase:
         self._sql_backend_schema: Optional[DatabaseSchema] = None
         self._sql_backend_generation = -1
         self._constraint_relations: Optional[List[Tuple[str, int]]] = None
+        #: Guards the once-per-session ``compiled_programs_built`` count
+        #: (an LRU eviction may re-cache the program, never recompile it).
+        self._compiled_program_cached_once = False
         self.statistics = SessionStatistics()
         #: Counters of the most recent repair search run by this session
         #: (``None`` until a repair-enumerating query executes uncached).
@@ -283,9 +298,21 @@ class ConsistentDatabase:
         return self._instance.copy()
 
     def cache_info(self) -> CacheInfo:
-        """Hit/miss/size counters of the session's LRU cache."""
+        """Hit/miss/size counters of the session's LRU cache.
 
-        return self._cache.info()
+        The ``compiled_*`` fields single out the compiled-plan entry:
+        ``compiled_builds`` is how many times this session filled it
+        (at most once — the constraint fingerprint key survives
+        mutations) and ``compiled_hits`` how many violation-path
+        queries it subsequently served.
+        """
+
+        info = self._cache.info()
+        return replace(
+            info,
+            compiled_builds=self.statistics.compiled_programs_built,
+            compiled_hits=self.statistics.compiled_program_hits,
+        )
 
     def close(self) -> None:
         """Release held resources (the cached SQLite mirror) and the caches."""
@@ -310,6 +337,47 @@ class ConsistentDatabase:
             f"generation={self.generation})"
         )
 
+    # ------------------------------------------------------------------ compiled plans
+    def compiled_program(self) -> "CompiledProgram":
+        """The constraint set's compiled plans, cached across mutations.
+
+        The :class:`~repro.compile.kernel.CompiledProgram` depends only
+        on the constraints — never on the data — so it lives in the
+        session LRU under the mutation-surviving constraint fingerprint:
+        ``compiled_builds`` is incremented on the first fill only, so it
+        stays at 1 for the session's lifetime however much the LRU
+        churns.  Compilation itself happens at most once per (schema,
+        constraints) pair, ever: the program object is owned by the
+        session's :class:`~repro.core.repairs.ViolationIndex` (an LRU
+        eviction merely re-caches the same object, it never recompiles),
+        and the process-wide memo of :mod:`repro.compile.kernel` dedupes
+        even across sessions.  Every violation-path consumer — the warm
+        tracker, the repair engines, the parallel workers — executes
+        these plans.
+
+        >>> from repro import ConsistentDatabase, parse_constraint
+        >>> db = ConsistentDatabase(
+        ...     {"Emp": [("e1", "sales"), ("e1", "hr")]},
+        ...     [parse_constraint("Emp(e, d), Emp(e, f) -> d = f")],
+        ... )
+        >>> db.compiled_program() is db.compiled_program()
+        True
+        >>> db.cache_info().compiled_builds
+        1
+        """
+
+        key = ("compiled", self._fingerprint)
+        cached = self._cache.get(key)  # promotes: the hottest entry stays resident
+        if cached is not None:
+            self.statistics.compiled_program_hits += 1
+            return cached
+        program = self._violation_index.program
+        self._cache.put(key, program)
+        if not self._compiled_program_cached_once:
+            self._compiled_program_cached_once = True
+            self.statistics.compiled_programs_built += 1
+        return program
+
     # ------------------------------------------------------------------ violations
     def _ensure_tracker(self) -> ViolationTracker:
         """The warm violation tracker, (re)built only when missing or stale.
@@ -324,6 +392,7 @@ class ConsistentDatabase:
             self._tracker is None
             or self._tracker_generation != self._instance.generation
         ):
+            self.compiled_program()  # plans served from the fingerprint cache
             self._tracker = ViolationTracker(self._instance, self._violation_index)
             self._tracker_generation = self._instance.generation
             self.statistics.tracker_rebuilds += 1
@@ -716,10 +785,24 @@ class ConsistentDatabase:
         ... )
         >>> db.explain(parse_query("ans(e) <- Emp(e, d)")).method
         'rewriting'
+
+        The returned plan also reports whether the session already holds
+        the constraint set's compiled plans
+        (``plan.compiled_program_cached``), so the cost of an
+        enumeration fallback is visible up front:
+
+        >>> db.explain(parse_query("ans(e) <- Emp(e, d)")).compiled_program_cached
+        False
+        >>> _ = db.is_consistent()  # first violation-path call caches the plans
+        >>> db.explain(parse_query("ans(e) <- Emp(e, d)")).compiled_program_cached
+        True
         """
 
         config = self._config.merged(overrides)
-        return self.plan(query, config)
+        plan = self.plan(query, config)
+        return replace(
+            plan, compiled_program_cached=self._compiled_program_cached_once
+        )
 
     def iter_repairs(
         self,
@@ -916,6 +999,7 @@ class ConsistentDatabase:
         if cached is not None:
             return cached
         if method == "direct":
+            self.compiled_program()  # the search executes the cached plans
             engine = RepairEngine(
                 self._constraints,
                 max_states=config.max_states,

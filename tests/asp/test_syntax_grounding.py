@@ -126,3 +126,42 @@ class TestGrounding:
         ground = ground_program(program)
         assert Atom("P", ("a",)) in ground.atoms()
         assert Atom("Q", ("a",)) in ground.atoms()
+
+
+class TestCompiledGroundingEquivalence:
+    """Kernel-joined grounding == the interpreted reference grounder."""
+
+    def _programs(self):
+        a, b = Variable("a"), Variable("b")
+        chain = Program(
+            facts=(Atom("E", ("n1", "n2")), Atom("E", ("n2", "n3")), Atom("E", ("n3", "n1"))),
+            rules=(
+                Rule(head=(Atom("R", (a, b)),), positive=(Atom("E", (a, b)),)),
+                Rule(
+                    head=(Atom("R", (a, z)),),
+                    positive=(Atom("R", (a, b)), Atom("E", (b, z))),
+                ),
+                Rule(head=(), positive=(Atom("R", (a, a)),), negative=(Atom("Ok", (a,)),)),
+            ),
+        )
+        disjunctive = Program(
+            facts=(Atom("P", ("v", 1)), Atom("P", ("w", NULL))),
+            rules=(
+                Rule(
+                    head=(Atom("T", (a,)), Atom("F", (a,))),
+                    positive=(Atom("P", (a, b)),),
+                    comparisons=(Comparison("!=", b, NULL),),
+                ),
+            ),
+        )
+        return [chain, disjunctive]
+
+    def test_possible_atoms_and_rules_match(self):
+        for program in self._programs():
+            assert possible_atoms(program) == possible_atoms(program, compiled=False)
+            compiled = ground_program(program)
+            interpreted = ground_program(program, compiled=False)
+            assert compiled.facts == interpreted.facts
+            assert compiled.possible_atoms == interpreted.possible_atoms
+            assert set(compiled.rules) == set(interpreted.rules)
+            assert len(compiled.rules) == len(interpreted.rules)

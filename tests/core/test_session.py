@@ -411,3 +411,65 @@ class TestNullHandling:
             instance, [RIC], parse_query("ans(c) <- Course(i, c)"), method="sqlite"
         )
         assert "Student" not in instance.schema
+
+
+class TestCompiledPlans:
+    """The session's compiled-program cache (the E15 compile-once contract)."""
+
+    def test_session_compiles_each_constraint_set_at_most_once(self):
+        # Mirrors the E13 "exactly one tracker build" smoke check: over a
+        # session's whole lifetime — construction, queries, mutations,
+        # repairs — the compiler runs at most once for its constraint set.
+        from repro.compile.kernel import compiler_statistics
+
+        constraints = [
+            parse_constraint(
+                "SessionCompileOnce(a, b), SessionCompileOnce(a, c) -> b = c"
+            ),
+            parse_constraint("SessionCompileOnce(a, b) -> SessionRefTarget(b, z)"),
+        ]
+        before = compiler_statistics().snapshot()
+        db = ConsistentDatabase(
+            {"SessionCompileOnce": [("k", 1), ("k", 2)]}, constraints
+        )
+        query = parse_query("ans(a) <- SessionCompileOnce(a, b)")
+        db.is_consistent()
+        for _ in range(3):
+            db.consistent_answers(query, method="direct")
+        db.insert("SessionCompileOnce", ("k2", 7))
+        db.delete("SessionCompileOnce", ("k2", 7))
+        db.consistent_answers(query, method="direct")
+        list(db.iter_repairs())
+        after = compiler_statistics()
+        assert after.programs_compiled - before.programs_compiled <= 1
+        assert (
+            after.constraints_compiled - before.constraints_compiled
+            <= len(constraints)
+        )
+        assert db.statistics.compiled_programs_built <= 1
+
+    def test_compiled_program_is_cached_and_surfaced(self):
+        db = make_session()
+        info = db.cache_info()
+        assert info.compiled_builds == 0 and info.compiled_hits == 0
+        program = db.compiled_program()
+        assert db.cache_info().compiled_builds == 1
+        assert db.compiled_program() is program
+        assert db.cache_info().compiled_hits >= 1
+        # Mutations do not invalidate the compiled plans (fingerprint key).
+        db.insert("Student", (34, "Zoe"))
+        assert db.compiled_program() is program
+        assert db.cache_info().compiled_builds == 1
+
+    def test_explain_reports_compiled_program_state(self):
+        db = make_session()
+        plan = db.explain(QUERY)
+        assert plan.compiled_program_cached is False
+        db.is_consistent()  # first violation-path call caches the plans
+        assert db.explain(QUERY).compiled_program_cached is True
+
+    def test_violation_index_carries_the_program(self):
+        db = make_session()
+        program = db.compiled_program()
+        assert program.constraints == (RIC,)
+        assert db._violation_index.program is program
