@@ -24,7 +24,6 @@ make timing ratios unreliable, and the smoke contract is "same repairs
 as the seed path", not "same speedup as the dev box".
 """
 
-import time
 
 import pytest
 
@@ -35,7 +34,7 @@ from repro.constraints.terms import Variable
 from repro.logic.queries import ConjunctiveQuery
 from repro.constraints.atoms import Atom
 from repro.workloads import grouped_key_workload, scaled_course_student, scenarios
-from harness import emit_json, print_table
+from harness import emit_json, now, print_table
 
 
 #: Grouped-key sweep: (n_groups, group_size, n_clean).
@@ -63,9 +62,9 @@ def _workload(n_groups: int, group_size: int, n_clean: int):
 
 def _timed_repairs(instance, constraints, method):
     engine = RepairEngine(constraints, method=method, max_states=2_000_000)
-    started = time.perf_counter()
+    started = now()
     found = engine.repairs(instance)
-    elapsed = time.perf_counter() - started
+    elapsed = now() - started
     return {r.fact_set() for r in found}, elapsed, engine.statistics
 
 

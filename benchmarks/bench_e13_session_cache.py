@@ -31,7 +31,6 @@ the session's answers exactly equal to a cold recomputation over a
 snapshot — the cross-call state is fast *and* never stale.
 """
 
-import time
 
 import pytest
 
@@ -41,7 +40,7 @@ from repro.core.cqa import consistent_answers
 from repro.core.satisfaction import all_violations
 from repro.relational.instance import Fact
 from repro.workloads import foreign_key_workload
-from harness import emit_json, print_table
+from harness import emit_json, now, print_table
 
 
 #: The repeated-traffic sweep: total query calls, cycling over QUERIES.
@@ -72,21 +71,21 @@ def _queries():
 
 def _run_cold(instance, constraints, queries, calls):
     answers = []
-    started = time.perf_counter()
+    started = now()
     for index in range(calls):
         query = queries[index % len(queries)]
         answers.append(consistent_answers(instance, constraints, query, method="auto"))
-    return answers, time.perf_counter() - started
+    return answers, now() - started
 
 
 def _run_warm(instance, constraints, queries, calls):
     answers = []
-    started = time.perf_counter()
+    started = now()
     session = ConsistentDatabase(instance, constraints)  # construction included
     for index in range(calls):
         query = queries[index % len(queries)]
         answers.append(session.consistent_answers(query))
-    elapsed = time.perf_counter() - started
+    elapsed = now() - started
     return answers, elapsed, session.cache_info()
 
 

@@ -32,7 +32,6 @@ dev box".
 """
 
 import os
-import time
 
 import pytest
 
@@ -43,7 +42,7 @@ from repro.constraints.terms import Variable
 from repro.constraints.atoms import Atom
 from repro.logic.queries import ConjunctiveQuery
 from repro.workloads import grouped_key_workload, scenarios
-from harness import emit_json, print_table
+from harness import emit_json, now, print_table
 
 
 #: Grouped-key sweep: (n_groups, group_size, n_clean).
@@ -74,9 +73,9 @@ def _timed_repairs(instance, constraints, method, workers=0):
     engine = RepairEngine(
         constraints, method=method, max_states=5_000_000, workers=workers
     )
-    started = time.perf_counter()
+    started = now()
     found = engine.repairs(instance)
-    elapsed = time.perf_counter() - started
+    elapsed = now() - started
     return found, elapsed, engine.statistics
 
 

@@ -38,7 +38,6 @@ most once, ever) is asserted here *and* in the tier-1 suite
 (``tests/core/test_session.py::TestCompiledPlans``).
 """
 
-import time
 
 import pytest
 
@@ -47,7 +46,7 @@ from repro.constraints.parser import parse_query
 from repro.core.repairs import RepairEngine
 from repro.core.satisfaction import all_violations
 from repro.workloads import grouped_key_workload
-from harness import emit_json, print_table
+from harness import best_of, emit_json, print_table
 
 
 FULL_SWEEP = [10, 25, 60, 100]
@@ -69,11 +68,7 @@ def _workload(n_groups):
 
 
 def _best_of(fn, reps):
-    best = float("inf")
-    for _ in range(reps):
-        started = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - started)
+    _, best = best_of(fn, reps)
     return best
 
 

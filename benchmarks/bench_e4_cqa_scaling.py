@@ -8,14 +8,13 @@ independent violations (each doubles the repair set), not by the raw
 database size, matching the Π^p₂ complexity picture.
 """
 
-import time
 
 import pytest
 
 from repro.constraints.parser import parse_query
 from repro.core.cqa import consistent_answers_report
 from repro.workloads import scaled_course_student
-from harness import print_table
+from harness import now, print_table
 
 
 QUERY = parse_query("ans(c) <- Course(i, c)")
@@ -34,9 +33,9 @@ def report():
             instance, constraints = scaled_course_student(
                 n_courses=n_courses, dangling_ratio=ratio, seed=17
             )
-            started = time.perf_counter()
+            started = now()
             result = consistent_answers_report(instance, constraints, QUERY)
-            elapsed = time.perf_counter() - started
+            elapsed = now() - started
             rows.append(
                 [
                     n_courses,

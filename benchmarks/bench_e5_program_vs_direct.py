@@ -7,7 +7,6 @@ route pays for grounding and stable-model search, which is the price of
 its much greater generality).
 """
 
-import time
 
 import pytest
 
@@ -15,7 +14,7 @@ from repro.core.repair_program import build_repair_program, program_repairs
 from repro.core.repairs import repairs
 from repro.asp.grounding import ground_program
 from repro.workloads import scaled_course_student, scenarios
-from harness import print_table
+from harness import now, print_table
 
 
 CASES = {
@@ -42,12 +41,12 @@ def report():
     rows = []
     for name, factory in CASES.items():
         instance, constraints = factory()
-        started = time.perf_counter()
+        started = now()
         direct = repairs(instance, constraints)
-        direct_time = time.perf_counter() - started
-        started = time.perf_counter()
+        direct_time = now() - started
+        started = now()
         result = program_repairs(instance, constraints)
-        program_time = time.perf_counter() - started
+        program_time = now() - started
         ground = ground_program(result.program)
         rows.append(
             [

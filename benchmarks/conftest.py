@@ -1,5 +1,7 @@
 """Benchmark-suite configuration."""
 
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -23,3 +25,38 @@ def smoke(request):
     """True when the suite runs in the CI smoke configuration."""
 
     return request.config.getoption("--smoke")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def observability_artifacts():
+    """Dump the metrics registry and span trace next to the bench JSON.
+
+    When ``REPRO_BENCH_JSON`` names a directory, the end of the session
+    writes ``metrics-snapshot.json`` (the flat registry snapshot plus
+    the Prometheus text page) and — when tracing is on, e.g. under
+    ``REPRO_TRACE=1`` — ``trace-events.json``, loadable straight into
+    ``chrome://tracing`` / Perfetto.  The CI smoke job uploads the
+    directory as one artifact.
+    """
+
+    yield
+    json_dir = os.environ.get("REPRO_BENCH_JSON")
+    if not json_dir:
+        return
+    from repro.obs import metrics, trace
+
+    directory = Path(json_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    registry = metrics.registry()
+    (directory / "metrics-snapshot.json").write_text(
+        json.dumps(
+            {
+                "metrics": registry.snapshot(),
+                "prometheus": registry.prometheus_text(),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    if trace.enabled() and trace.tracer().roots:
+        trace.dump_chrome_trace(str(directory / "trace-events.json"))

@@ -45,7 +45,34 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.clock import now
+
+
+def timed(fn: Callable[[], object]) -> Tuple[object, float]:
+    """``(result, wall seconds)`` of one call, read off the obs clock.
+
+    Every benchmark times through :func:`repro.obs.clock.now` — the same
+    injectable clock the spans and engine statistics use — so a test can
+    install a :class:`repro.obs.clock.FakeClock` and make the whole
+    timing path deterministic.
+    """
+
+    started = now()
+    result = fn()
+    return result, now() - started
+
+
+def best_of(fn: Callable[[], object], reps: int = 3) -> Tuple[object, float]:
+    """The best (minimum) wall-clock over *reps* calls, damping scheduler noise."""
+
+    best = float("inf")
+    result: object = None
+    for _ in range(max(reps, 1)):
+        result, elapsed = timed(fn)
+        best = min(best, elapsed)
+    return result, best
 
 
 def _json_record(

@@ -77,18 +77,67 @@ def markdown_table(record: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def render(directory: Path, include_all: bool = False) -> str:
+def metrics_section(directory: Path) -> str:
+    """The ``metrics-snapshot.json`` artifacts as a markdown section.
+
+    The snapshot is the flat ``{name: value}`` registry dump the
+    benchmark session writes (see ``benchmarks/conftest.py``); any file
+    matching ``metrics*.json`` in *directory* is rendered, so per-run
+    snapshots (``metrics-<run>.json``) line up side by side.
+    """
+
+    sections: List[str] = []
+    for path in sorted(directory.glob("metrics*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping {path.name}: {error}", file=sys.stderr)
+            continue
+        snapshot = payload.get("metrics") if isinstance(payload, dict) else None
+        if not isinstance(snapshot, dict):
+            continue
+        lines = [
+            f"### Metrics ({path.name})",
+            "",
+            "| metric | value |",
+            "|---|---|",
+        ]
+        for name in sorted(snapshot):
+            value = snapshot[name]
+            rendered = (
+                str(int(value))
+                if isinstance(value, float) and value.is_integer()
+                else str(value)
+            )
+            lines.append(f"| `{name}` | {rendered} |")
+        sections.append("\n".join(lines))
+    if not sections:
+        return (
+            f"No metrics snapshot found in {directory}/ — run the benchmarks "
+            "with REPRO_BENCH_JSON set."
+        )
+    return "\n\n".join(sections)
+
+
+def render(
+    directory: Path, include_all: bool = False, include_metrics: bool = False
+) -> str:
     """The markdown report for every (headline) record in *directory*."""
 
     records = load_records(directory)
     if not include_all:
         records = [record for record in records if is_headline(record)]
-    if not records:
+    parts: List[str] = []
+    if records:
+        parts.append("\n\n".join(markdown_table(record) for record in records))
+    elif not include_metrics:
         return (
             f"No benchmark JSON found in {directory}/ — run the benchmarks with "
             "REPRO_BENCH_JSON set (see the module docstring)."
         )
-    return "\n\n".join(markdown_table(record) for record in records)
+    if include_metrics:
+        parts.append(metrics_section(directory))
+    return "\n\n".join(parts)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -107,8 +156,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="render every table found, not just the E11–E15 headline ones",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="append the metrics-registry snapshots (metrics*.json) as a section",
+    )
     arguments = parser.parse_args(argv)
-    print(render(Path(arguments.directory), include_all=arguments.all))
+    print(
+        render(
+            Path(arguments.directory),
+            include_all=arguments.all,
+            include_metrics=arguments.metrics,
+        )
+    )
     return 0
 
 

@@ -170,6 +170,9 @@ from repro.compile.kernel import (
     compiled_query,
     compiler_statistics,
 )
+from repro.obs import ExplainReport, FakeClock, MetricsRegistry, Tracer, tracing
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __version__ = "1.2.0"
 
@@ -264,4 +267,12 @@ __all__ = [
     "build_repair_program",
     "program_repairs",
     "database_from_model",
+    # observability
+    "ExplainReport",
+    "FakeClock",
+    "MetricsRegistry",
+    "Tracer",
+    "tracing",
+    "obs_metrics",
+    "obs_trace",
 ]

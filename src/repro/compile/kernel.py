@@ -74,6 +74,8 @@ from repro.constraints.ic import (
 from repro.constraints.terms import Variable, is_variable
 from repro.core.relevant import relevant_body_variables, relevant_positions
 from repro.core.satisfaction import Violation, not_null_violations
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.compile.plans import (
     AtomStep,
     JoinPlan,
@@ -841,9 +843,15 @@ def compiled_constraint(constraint: AnyConstraint) -> CompiledUnit:
     """The compiled unit of *constraint* — compiled once per process, ever."""
 
     _STATISTICS.constraints_compiled += 1
-    if isinstance(constraint, NotNullConstraint):
-        return CompiledNotNull(constraint)
-    return CompiledConstraint(constraint)
+    _metrics.counter(
+        "repro_compile_constraints_total", "constraint compilations (memo misses)"
+    ).inc()
+    with _trace.span("compile.constraint") as sp:
+        if sp:
+            sp.add(constraint=str(constraint))
+        if isinstance(constraint, NotNullConstraint):
+            return CompiledNotNull(constraint)
+        return CompiledConstraint(constraint)
 
 
 @lru_cache(maxsize=2048)
@@ -851,7 +859,13 @@ def compiled_query(query: "ConjunctiveQuery") -> CompiledQuery:  # noqa: F821
     """The compiled form of *query* — compiled once per process, ever."""
 
     _STATISTICS.queries_compiled += 1
-    return CompiledQuery(query)
+    _metrics.counter(
+        "repro_compile_queries_total", "query compilations (memo misses)"
+    ).inc()
+    with _trace.span("compile.query") as sp:
+        if sp:
+            sp.add(query=str(query))
+        return CompiledQuery(query)
 
 
 @lru_cache(maxsize=2048)
@@ -859,7 +873,11 @@ def compiled_body(atoms: Tuple[Atom, ...]) -> CompiledBody:
     """The compiled join of a bare atom sequence (grounding, body_matches)."""
 
     _STATISTICS.bodies_compiled += 1
-    return CompiledBody(atoms)
+    _metrics.counter(
+        "repro_compile_bodies_total", "bare-body compilations (memo misses)"
+    ).inc()
+    with _trace.span("compile.body"):
+        return CompiledBody(atoms)
 
 
 @lru_cache(maxsize=512)
@@ -871,7 +889,13 @@ def compile_program(constraints: Tuple[AnyConstraint, ...]) -> CompiledProgram:
     """
 
     _STATISTICS.programs_compiled += 1
-    return CompiledProgram(constraints)
+    _metrics.counter(
+        "repro_compile_programs_total", "program compilations (memo misses)"
+    ).inc()
+    with _trace.span("compile.program") as sp:
+        if sp:
+            sp.add(constraints=len(constraints))
+        return CompiledProgram(constraints)
 
 
 def program_for(

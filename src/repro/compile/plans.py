@@ -262,3 +262,56 @@ def plan_has_match(
     for _ in iter_plan_matches(plan, relations, slots, rows, seed_row, initial_values):
         return True
     return False
+
+
+class CountingRelations(Relations):
+    """A :class:`Relations` adapter that counts probes and rows served.
+
+    Wraps any relation provider (a ``DatabaseInstance`` included) and
+    tallies, per predicate, how many index probes each plan issued and
+    how many rows the executor actually consumed — rows an index probe
+    filtered out or an early-exiting step never pulled are *not*
+    counted, so ``rows`` is exactly the "rows scanned" figure an
+    EXPLAIN ANALYZE report wants.  The hot executor
+    (:func:`iter_plan_matches`) is untouched: all accounting lives in
+    this wrapper, which only exists while a caller (the session's
+    ``explain(analyze=True)``) asked for it.
+    """
+
+    __slots__ = ("base", "probes", "rows")
+
+    def __init__(self, base: Relations):
+        self.base = base
+        self.probes: Dict[str, int] = {}
+        self.rows: Dict[str, int] = {}
+
+    def tuples_matching(
+        self, predicate: str, bound: Mapping[int, Constant]
+    ) -> Iterator[Row]:
+        self.probes[predicate] = self.probes.get(predicate, 0) + 1
+        rows = self.rows
+        for row in self.base.tuples_matching(predicate, bound):
+            rows[predicate] = rows.get(predicate, 0) + 1
+            yield row
+
+    def facts(self, predicate: Optional[str] = None) -> Iterator[object]:
+        """Counted passthrough for consumers that scan whole relations."""
+
+        rows = self.rows
+        for fact in self.base.facts(predicate):  # type: ignore[attr-defined]
+            key = getattr(fact, "predicate", predicate or "*")
+            rows[key] = rows.get(key, 0) + 1
+            yield fact
+
+    def __getattr__(self, name: str):
+        return getattr(self.base, name)
+
+    def total_probes(self) -> int:
+        """All index probes issued through this adapter."""
+
+        return sum(self.probes.values())
+
+    def total_rows(self) -> int:
+        """All rows consumed through this adapter."""
+
+        return sum(self.rows.values())

@@ -48,6 +48,7 @@ from typing import (
     Union,
 )
 
+from repro.obs import trace as _trace
 from repro.relational.domain import Constant
 from repro.relational.instance import DatabaseInstance
 from repro.constraints.ic import AnyConstraint, ConstraintSet
@@ -108,18 +109,23 @@ def result_from_repairs(
     if not repairs:
         return CQAResult(answers=frozenset(), repair_count=0, method=method)
 
-    per_repair: List[FrozenSet[AnswerTuple]] = []
-    if query.is_boolean:
-        for repair in repairs:
-            holds = query.holds(repair, null_is_unknown=null_is_unknown)
-            per_repair.append(frozenset({()}) if holds else frozenset())
-    else:
-        for repair in repairs:
-            per_repair.append(query.answers(repair, null_is_unknown=null_is_unknown))
+    with _trace.span("answers.assemble") as sp:
+        if sp:
+            sp.add(repairs=len(repairs), query=str(query))
+        per_repair: List[FrozenSet[AnswerTuple]] = []
+        if query.is_boolean:
+            for repair in repairs:
+                holds = query.holds(repair, null_is_unknown=null_is_unknown)
+                per_repair.append(frozenset({()}) if holds else frozenset())
+        else:
+            for repair in repairs:
+                per_repair.append(query.answers(repair, null_is_unknown=null_is_unknown))
 
-    answers = set(per_repair[0])
-    for answer_set in per_repair[1:]:
-        answers &= answer_set
+        answers = set(per_repair[0])
+        for answer_set in per_repair[1:]:
+            answers &= answer_set
+        if sp:
+            sp.add(answers=len(answers))
     return CQAResult(
         answers=frozenset(answers),
         repair_count=len(repairs),

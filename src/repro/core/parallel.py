@@ -70,6 +70,8 @@ from typing import (
 )
 
 from repro.constraints.ic import AnyConstraint, ConstraintSet, NotNullConstraint
+from repro.obs import clock as _clock
+from repro.obs import trace as _trace
 from repro.core.repairs import (
     DeltaMinimality,
     RepairSearchBudgetExceeded,
@@ -144,12 +146,21 @@ Candidate = Tuple[Path, FrozenSet[Fact], FrozenSet[Fact]]
 
 @dataclass
 class TaskResult:
-    """What one executed task hands back to the scheduler."""
+    """What one executed task hands back to the scheduler.
+
+    ``spans`` carries the task's trace, captured inside the worker
+    process as picklable :class:`repro.obs.trace.SpanRecord` trees and
+    shipped home with the candidate deltas; the driver re-parents them
+    into its own trace (:func:`repro.obs.trace.attach`).  Empty unless
+    tracing is enabled; tasks run inline record straight into the
+    driver's tracer and ship nothing.
+    """
 
     task: FrontierTask
     candidates: List[Candidate]
     deferred: List[FrontierTask]
     statistics: RepairStatistics
+    spans: Tuple["_trace.SpanRecord", ...] = ()
 
 
 @dataclass
@@ -208,7 +219,12 @@ class SearchContext:
         visited: Set[Tuple[FrozenSet[Fact], FrozenSet[Fact]]] = set()
         states_used = 0
 
+        task_span = _trace.span("repair.task")
+        if task_span:
+            task_span.add(path=str(task.path), delta=len(task.delta()))
+        cpu_started = _clock.cpu_now()
         replay: List[Tuple[str, Fact, object]] = []
+        task_span.__enter__()
         try:
             for fact in sorted(task.deleted, key=Fact.sort_key):
                 self.working.discard(fact)
@@ -311,6 +327,14 @@ class SearchContext:
                     self.working.add(fact)
                 else:
                     self.working.discard(fact)
+            stats.task_cpu_seconds = _clock.cpu_now() - cpu_started
+            if task_span:
+                task_span.add(
+                    states=stats.states_explored,
+                    candidates=stats.candidates_found,
+                    deferred=len(deferred),
+                )
+            task_span.__exit__(None, None, None)
         stats.violation_updates = self.tracker.updates - updates_before
         stats.constraints_reevaluated = (
             self.tracker.constraints_reevaluated - reevaluated_before
@@ -324,11 +348,21 @@ _WORKER_CONTEXT: Optional[SearchContext] = None
 
 
 def _worker_init(
-    facts: Tuple[Fact, ...], constraints: Tuple[AnyConstraint, ...], exclusions: bool
+    facts: Tuple[Fact, ...],
+    constraints: Tuple[AnyConstraint, ...],
+    exclusions: bool,
+    tracing: bool = False,
 ) -> None:
     """Process-pool initializer: rebuild the instance, sweep violations once."""
 
     global _WORKER_CONTEXT
+    if tracing:
+        _trace.enable()
+    # Fork-started workers inherit the driver's tracer mid-request: its
+    # recorded roots (which would ship back as duplicates) and its open
+    # span stack (which would swallow this worker's spans as children of
+    # a phantom parent).  Start from a clean tracer either way.
+    _trace.reset()
     instance = DatabaseInstance.from_facts(facts)
     _WORKER_CONTEXT = SearchContext(
         instance, ConstraintSet(list(constraints)), exclusions=exclusions
@@ -339,7 +373,10 @@ def _worker_run(task: FrontierTask, budget: int) -> TaskResult:
     """Execute one task against the process-local context."""
 
     assert _WORKER_CONTEXT is not None, "worker used before initialization"
-    return _WORKER_CONTEXT.run_task(task, budget)
+    result = _WORKER_CONTEXT.run_task(task, budget)
+    if _trace.enabled():
+        result.spans = _trace.capture_records()
+    return result
 
 
 # --------------------------------------------------------------------------- driver
@@ -406,11 +443,17 @@ class ParallelRepairSearch:
         queue: deque[FrontierTask] = deque([root])
         open_tasks: Dict[Path, FrontierTask] = {root.path: root}
         total_states = 0
+        started = _clock.now()
 
         def absorb(result: TaskResult) -> SearchBatch:
             nonlocal total_states
             total_states += result.statistics.states_explored
             self.statistics.merge(result.statistics)
+            # Wall clock is the driver's elapsed time, never the sum of the
+            # per-task CPU seconds merge() accumulates separately.
+            self.statistics.search_seconds = _clock.now() - started
+            if result.spans:
+                _trace.attach(result.spans)
             del open_tasks[result.task.path]
             for sub_task in result.deferred:
                 open_tasks[sub_task.path] = sub_task
@@ -437,6 +480,7 @@ class ParallelRepairSearch:
             tuple(self._instance.facts()),
             tuple(self._constraints),
             self._exclusions,
+            _trace.enabled(),
         )
         executor = ProcessPoolExecutor(
             max_workers=self._workers,

@@ -30,7 +30,6 @@ tiny instances.
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, field, fields
 from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
@@ -45,6 +44,9 @@ from repro.constraints.ic import (
     NotNullConstraint,
 )
 from repro.constraints.terms import Variable, is_variable
+from repro.obs import clock as _clock
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.core.satisfaction import (
     Violation,
     all_violations,
@@ -347,13 +349,27 @@ class ViolationTracker:
                 dict(store) for store in seed._store
             ]
         else:
-            self._store = [
-                dict.fromkeys(unit.violations(instance))
-                for unit in self.index.program.units
-            ]
+            with _trace.span("violations.sweep") as sweep_span:
+                self._store = [
+                    dict.fromkeys(unit.violations(instance))
+                    for unit in self.index.program.units
+                ]
+                if sweep_span:
+                    swept = sum(len(store) for store in self._store)
+                    sweep_span.add(violations=swept, constraints=len(self._store))
+            _metrics.counter(
+                "repro_tracker_sweeps_total", "full violation sweeps (tracker builds)"
+            ).inc()
         #: Counters surfaced through :class:`RepairStatistics`.
         self.updates = 0
         self.constraints_reevaluated = 0
+        #: Delta-plan effectiveness counters (``explain(analyze=True)``):
+        #: how many seeded updates changed the store at all, and how many
+        #: violations the delta plans added/removed in total.  Cumulative
+        #: over the tracker's lifetime; ``revert`` does not roll them back.
+        self.delta_hits = 0
+        self.delta_violations_added = 0
+        self.delta_violations_removed = 0
 
     # ------------------------------------------------------------------ queries
     def violations(self) -> List[Violation]:
@@ -420,6 +436,7 @@ class ViolationTracker:
                     if violation not in store:
                         store[violation] = None
                         delta.added.append((index, violation))
+        self._count_delta(delta)
         return delta
 
     def notify_removed(self, fact: Fact) -> ViolationDelta:
@@ -451,7 +468,14 @@ class ViolationTracker:
                         if violation not in store:
                             store[violation] = None
                             delta.added.append((index, violation))
+        self._count_delta(delta)
         return delta
+
+    def _count_delta(self, delta: ViolationDelta) -> None:
+        if delta.added or delta.removed:
+            self.delta_hits += 1
+            self.delta_violations_added += len(delta.added)
+            self.delta_violations_removed += len(delta.removed)
 
     def revert(self, delta: ViolationDelta) -> None:
         """Undo one update (used when the search backtracks)."""
@@ -521,8 +545,15 @@ class RepairStatistics:
       ratio, the better the predicate → constraint index is pruning);
     * ``leq_d_comparisons`` — pairwise ``≤_D`` checks performed by the
       minimality filter;
-    * ``search_seconds`` / ``minimality_seconds`` — wall-clock split
-      between candidate enumeration and the ``≤_D`` filter.
+    * ``search_seconds`` / ``minimality_seconds`` — **wall-clock** split
+      between candidate enumeration and the ``≤_D`` filter, always
+      measured by the driving engine (never summed across concurrent
+      tasks — see :meth:`merge`);
+    * ``task_cpu_seconds`` — CPU seconds summed across the parallel
+      search's tasks (``method="parallel"`` only; 0.0 for the
+      sequential methods, whose CPU ≈ wall).  With ``workers`` > 1 this
+      legitimately exceeds ``search_seconds``; the ratio is the
+      effective parallelism.
     """
 
     states_explored: int = 0
@@ -534,6 +565,13 @@ class RepairStatistics:
     leq_d_comparisons: int = 0
     search_seconds: float = 0.0
     minimality_seconds: float = 0.0
+    task_cpu_seconds: float = 0.0
+
+    #: Fields :meth:`merge` must NOT sum: they are wall-clock measures
+    #: owned by the driving engine's parent span — summing them across
+    #: concurrent tasks would overstate elapsed time by up to the worker
+    #: count.  Per-task CPU time sums meaningfully and has its own field.
+    _WALL_CLOCK_FIELDS = ("search_seconds", "minimality_seconds")
 
     def merge(self, other: "RepairStatistics") -> "RepairStatistics":
         """Fold another run's counters into this one, in place, and return it.
@@ -542,20 +580,24 @@ class RepairStatistics:
         statistics object — incrementing a shared one from several
         workers would race (and across processes would silently update
         a copy) — and the scheduler folds the per-task objects together
-        as results arrive.  All counters sum; the two timing fields sum
-        too, which for concurrent tasks yields aggregate *CPU* seconds,
-        so the engine overwrites ``search_seconds`` with the wall clock
-        of the whole run once the search finishes.
+        as results arrive.  Every counter sums, ``task_cpu_seconds``
+        included; the two wall-clock fields do **not** (concurrent
+        intervals overlap, so their sum overstates elapsed time) — they
+        keep this object's value, and the driving engine assigns them
+        from its own clock around the whole run.
 
-        >>> a = RepairStatistics(states_explored=3, candidates_found=1)
-        >>> b = RepairStatistics(states_explored=2, dead_branches=1)
+        >>> a = RepairStatistics(states_explored=3, search_seconds=0.5)
+        >>> b = RepairStatistics(states_explored=2, search_seconds=0.4,
+        ...                      task_cpu_seconds=0.3)
         >>> a.merge(b) is a
         True
-        >>> (a.states_explored, a.candidates_found, a.dead_branches)
-        (5, 1, 1)
+        >>> (a.states_explored, a.search_seconds, a.task_cpu_seconds)
+        (5, 0.5, 0.3)
         """
 
         for spec in fields(self):
+            if spec.name in self._WALL_CLOCK_FIELDS:
+                continue
             setattr(
                 self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
             )
@@ -675,15 +717,18 @@ class RepairEngine:
         """
 
         self.statistics = RepairStatistics()
-        started = time.perf_counter()
-        try:
-            if self._method == "incremental":
-                return self._candidates_incremental(instance, seed_tracker)
-            if self._method == PARALLEL_METHOD:
-                return self._candidates_parallel(instance)
-            return self._candidates_recompute(instance, naive=self._method == "naive")
-        finally:
-            self.statistics.search_seconds = time.perf_counter() - started
+        with _trace.span("repair.search", method=self._method):
+            started = _clock.now()
+            try:
+                if self._method == "incremental":
+                    return self._candidates_incremental(instance, seed_tracker)
+                if self._method == PARALLEL_METHOD:
+                    return self._candidates_parallel(instance)
+                return self._candidates_recompute(
+                    instance, naive=self._method == "naive"
+                )
+            finally:
+                self.statistics.search_seconds = _clock.now() - started
 
     def _enter_state(
         self,
@@ -839,32 +884,36 @@ class RepairEngine:
         """
 
         self.statistics = RepairStatistics()
-        started = time.perf_counter()
+        started = _clock.now()
         search = self._make_search(instance)
-        try:
-            ordered = search.collect()
-            self.statistics.merge(search.statistics)
-        finally:
-            self.statistics.search_seconds = time.perf_counter() - started
-        minimality_started = time.perf_counter()
-        deltas = [inserted | deleted for _, inserted, deleted in ordered]
-        if (
-            self._workers >= 2
-            and len(deltas) >= self._PARALLEL_MINIMALITY_MIN
-        ):
-            from repro.core.parallel import parallel_minimal_flags
+        with _trace.span("repair.search", method=self._method, workers=self._workers):
+            try:
+                ordered = search.collect()
+                self.statistics.merge(search.statistics)
+            finally:
+                self.statistics.search_seconds = _clock.now() - started
+        minimality_started = _clock.now()
+        with _trace.span("repair.minimality", candidates=len(ordered)):
+            deltas = [inserted | deleted for _, inserted, deleted in ordered]
+            if (
+                self._workers >= 2
+                and len(deltas) >= self._PARALLEL_MINIMALITY_MIN
+            ):
+                from repro.core.parallel import parallel_minimal_flags
 
-            flags, comparisons = parallel_minimal_flags(deltas, self._workers)
-        else:
-            flags, comparisons = minimal_flags_counted(deltas)
-        schema = instance.schema
-        base_facts = instance.fact_set()
-        minimal = [
-            DatabaseInstance.from_facts((base_facts - deleted) | inserted, schema=schema)
-            for (_, inserted, deleted), keep in zip(ordered, flags)
-            if keep
-        ]
-        self.statistics.minimality_seconds = time.perf_counter() - minimality_started
+                flags, comparisons = parallel_minimal_flags(deltas, self._workers)
+            else:
+                flags, comparisons = minimal_flags_counted(deltas)
+            schema = instance.schema
+            base_facts = instance.fact_set()
+            minimal = [
+                DatabaseInstance.from_facts(
+                    (base_facts - deleted) | inserted, schema=schema
+                )
+                for (_, inserted, deleted), keep in zip(ordered, flags)
+                if keep
+            ]
+        self.statistics.minimality_seconds = _clock.now() - minimality_started
         self.statistics.leq_d_comparisons = comparisons
         self.statistics.repairs_found = len(minimal)
         return minimal
@@ -880,13 +929,17 @@ class RepairEngine:
         """The ``≤_D``-minimal consistent candidates (Definition 7)."""
 
         if self._method == PARALLEL_METHOD:
-            return self._repairs_parallel(instance)
+            minimal = self._repairs_parallel(instance)
+            _metrics.absorb_repair_statistics(self.statistics)
+            return minimal
         candidates = self.candidates(instance, seed_tracker=seed_tracker)
-        started = time.perf_counter()
-        minimal, comparisons = _minimal_under_leq_d_counted(instance, candidates)
-        self.statistics.minimality_seconds = time.perf_counter() - started
+        started = _clock.now()
+        with _trace.span("repair.minimality", candidates=len(candidates)):
+            minimal, comparisons = _minimal_under_leq_d_counted(instance, candidates)
+        self.statistics.minimality_seconds = _clock.now() - started
         self.statistics.leq_d_comparisons = comparisons
         self.statistics.repairs_found = len(minimal)
+        _metrics.absorb_repair_statistics(self.statistics)
         return minimal
 
 

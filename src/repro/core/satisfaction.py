@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from functools import cached_property, lru_cache
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
+from repro.obs import trace as _trace
 from repro.relational.domain import Constant, is_null
 from repro.relational.instance import DatabaseInstance, Fact
 from repro.constraints.atoms import Atom, BuiltinEvaluationError, Comparison
@@ -507,9 +508,16 @@ def all_violations(
     exactly as in :func:`violations`.
     """
 
-    found: List[Violation] = []
-    for constraint in constraints:
-        found.extend(violations(instance, constraint, naive=naive, compiled=compiled))
+    with _trace.span("violations.enumerate") as sp:
+        found: List[Violation] = []
+        count = 0
+        for constraint in constraints:
+            found.extend(
+                violations(instance, constraint, naive=naive, compiled=compiled)
+            )
+            count += 1
+        if sp:
+            sp.add(constraints=count, violations=len(found))
     return found
 
 

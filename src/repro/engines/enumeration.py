@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.engines.base import CQAConfig, CQAEngine, register_engine
+from repro.obs import trace as _trace
 
 if TYPE_CHECKING:
     from repro.core.cqa import CQAResult
@@ -44,10 +45,13 @@ class DirectEngine(CQAEngine):
     ) -> "CQAResult":
         from repro.core.cqa import result_from_repairs
 
-        repairs = session.repairs_list("direct", config)
-        return result_from_repairs(
-            repairs, query, null_is_unknown=config.null_is_unknown, method="direct"
-        )
+        with _trace.span("engine.direct") as sp:
+            repairs = session.repairs_list("direct", config)
+            if sp:
+                sp.add(repairs=len(repairs))
+            return result_from_repairs(
+                repairs, query, null_is_unknown=config.null_is_unknown, method="direct"
+            )
 
     def certain_anytime(
         self,
@@ -111,10 +115,13 @@ class ProgramEngine(CQAEngine):
     ) -> "CQAResult":
         from repro.core.cqa import result_from_repairs
 
-        repairs = session.repairs_list("program", config)
-        return result_from_repairs(
-            repairs, query, null_is_unknown=config.null_is_unknown, method="program"
-        )
+        with _trace.span("engine.program") as sp:
+            repairs = session.repairs_list("program", config)
+            if sp:
+                sp.add(repairs=len(repairs))
+            return result_from_repairs(
+                repairs, query, null_is_unknown=config.null_is_unknown, method="program"
+            )
 
     @staticmethod
     def enumeration_cost(instance, constraints, estimated_repairs):

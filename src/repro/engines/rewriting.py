@@ -15,6 +15,7 @@ from dataclasses import replace
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.engines.base import CQAConfig, CQAEngine, get_engine, register_engine
+from repro.obs import trace as _trace
 
 if TYPE_CHECKING:
     from repro.core.cqa import CQAResult
@@ -39,14 +40,17 @@ class RewritingEngine(CQAEngine):
     ) -> "CQAResult":
         from repro.core.cqa import CQAResult
 
-        rewritten = session.rewritten(query)
-        answers = rewritten.answers(
-            session.instance, null_is_unknown=config.null_is_unknown
-        )
-        if config.estimate_repairs:
-            estimate = session.conflict_graph().estimated_repair_count()
-        else:
-            estimate = -1
+        with _trace.span("engine.rewriting") as sp:
+            rewritten = session.rewritten(query)
+            answers = rewritten.answers(
+                session.instance, null_is_unknown=config.null_is_unknown
+            )
+            if config.estimate_repairs:
+                estimate = session.conflict_graph().estimated_repair_count()
+            else:
+                estimate = -1
+            if sp:
+                sp.add(answers=len(answers))
         return CQAResult(
             answers=answers,
             repair_count=estimate,
@@ -114,10 +118,13 @@ class AutoEngine(CQAEngine):
     def answers_report(
         self, session: "ConsistentDatabase", query: "Query", config: CQAConfig
     ) -> "CQAResult":
-        plan = session.plan(query, config)
-        result = get_engine(plan.method).answers_report(
-            session, query, self._planned_config(plan, config)
-        )
+        with _trace.span("engine.auto") as sp:
+            plan = session.plan(query, config)
+            if sp:
+                sp.add(chosen=plan.method)
+            result = get_engine(plan.method).answers_report(
+                session, query, self._planned_config(plan, config)
+            )
         result.plan = plan
         return result
 

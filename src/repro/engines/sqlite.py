@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.engines.base import CQAConfig, CQAEngine, register_engine
+from repro.obs import trace as _trace
 
 if TYPE_CHECKING:
     from repro.core.cqa import CQAResult
@@ -45,11 +46,14 @@ class SQLiteEngine(CQAEngine):
     ) -> "CQAResult":
         from repro.core.cqa import CQAResult
 
-        rewritten = session.rewritten(query)
-        backend = session.sql_backend(query=query)
-        answers = backend.consistent_answers(
-            query, rewritten=rewritten, null_is_unknown=config.null_is_unknown
-        )
+        with _trace.span("engine.sqlite") as sp:
+            rewritten = session.rewritten(query)
+            backend = session.sql_backend(query=query)
+            answers = backend.consistent_answers(
+                query, rewritten=rewritten, null_is_unknown=config.null_is_unknown
+            )
+            if sp:
+                sp.add(answers=len(answers))
         if config.estimate_repairs:
             estimate = session.conflict_graph().estimated_repair_count()
         else:

@@ -1,0 +1,442 @@
+"""A hierarchical span tracer for the CQA request path.
+
+One process-wide :class:`Tracer` records **spans** — named, attributed
+wall-clock intervals nested by a context-manager API::
+
+    from repro.obs import trace
+
+    with trace.span("session.report", method="direct") as sp:
+        ...                       # children opened here nest under sp
+        if sp:                    # live spans are truthy, the no-op is falsy
+            sp.add(cache_hit=False)
+
+Three properties carry the design:
+
+* **Strictly no-op when disabled.**  ``trace.span(...)`` with the
+  tracer off returns one shared :data:`_NULL_SPAN` whose ``__enter__``/
+  ``__exit__``/``add`` do nothing — no allocation, no clock read, no
+  stack push.  The disabled cost of an instrumented call is one
+  attribute check (the overhead gate in ``tests/obs`` holds it to ≤ 5%
+  on the E15 smoke sweep).  Because the null span is *falsy*, call
+  sites guard expensive attributes with ``if sp: sp.add(...)``.
+* **Cross-process capture.**  A ``ProcessPoolExecutor`` worker records
+  spans into its own process-local tracer; :func:`capture_records`
+  freezes them into picklable :class:`SpanRecord` trees that ship back
+  with the task's result, and :func:`attach` re-parents them under the
+  driver's currently open span.  Worker monotonic clocks share no
+  epoch with the parent's, so attach *shifts* each record's timebase
+  to end at the merge instant — durations are preserved exactly, and
+  the clamp in :meth:`Span.__exit__` (a parent never ends before its
+  last child) keeps the nesting invariant ``child ⊆ parent`` true for
+  every exported trace.
+* **Bounded retention.**  Force-enabled runs (``REPRO_TRACE=1``) keep
+  tracing through entire test sessions; the tracer caps both retained
+  root spans (:data:`MAX_ROOT_SPANS`, oldest dropped first) and
+  children per span (:data:`MAX_CHILD_SPANS`), counting what it drops,
+  so instrumentation can never grow memory without bound.
+
+Exports: :func:`render_tree` (human-readable, durations in ms) and
+:func:`chrome_trace_events` / :func:`dump_chrome_trace` (Chrome
+``chrome://tracing`` / Perfetto "trace event" JSON, one complete
+``"ph": "X"`` event per span, worker spans on their own ``tid`` lane).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs import clock as _clock
+
+#: Root spans retained by the tracer; the oldest is dropped (and counted
+#: in ``Tracer.dropped_roots``) once the cap is hit.
+MAX_ROOT_SPANS = 256
+
+#: Children retained per span; further children are dropped and counted
+#: in ``Span.dropped_children``.
+MAX_CHILD_SPANS = 1024
+
+#: Environment variable that force-enables tracing at import time.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A frozen, picklable snapshot of one finished span (and its subtree).
+
+    This is the wire format for shipping worker-side spans across the
+    process boundary: plain data, no tracer reference, tuple children.
+    """
+
+    name: str
+    start: float
+    end: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    children: Tuple["SpanRecord", ...] = ()
+    pid: int = 0
+    dropped_children: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Span:
+    """One live span: a named interval with attributes and children.
+
+    Used as a context manager; entering reads the clock and pushes the
+    span on the tracer's stack, exiting pops it and files it under its
+    parent (or as a root).  Spans are truthy — the disabled-path
+    :class:`_NullSpan` is falsy — so ``if sp:`` guards attribute
+    computation that would otherwise run with tracing off.
+    """
+
+    __slots__ = (
+        "name",
+        "start",
+        "end",
+        "attributes",
+        "children",
+        "pid",
+        "dropped_children",
+        "_tracer",
+    )
+
+    def __init__(
+        self, tracer: Optional["Tracer"], name: str, attributes: Dict[str, Any]
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.start = 0.0
+        self.end: Optional[float] = None
+        self.attributes = attributes
+        self.children: List["Span"] = []
+        self.pid = os.getpid()
+        self.dropped_children = 0
+
+    def __enter__(self) -> "Span":
+        self.start = _clock.now()
+        if self._tracer is not None:
+            self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = _clock.now()
+        # Clamp: attached worker spans end at their merge instant, which can
+        # land after this span's own close on a fast exit — a parent must
+        # never end before its last child or the nesting invariant breaks.
+        for child in self.children:
+            if child.end is not None and child.end > end:
+                end = child.end
+        self.end = end
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False
+
+    def __bool__(self) -> bool:
+        return True
+
+    def add(self, **attributes: Any) -> "Span":
+        """Attach attributes to the span; returns it for chaining."""
+
+        self.attributes.update(attributes)
+        return self
+
+    def add_child(self, child: "Span") -> None:
+        """File *child* under this span, honouring the retention cap."""
+
+        if len(self.children) >= MAX_CHILD_SPANS:
+            self.dropped_children += 1
+        else:
+            self.children.append(child)
+
+    @property
+    def duration(self) -> float:
+        """Seconds covered; 0.0 while the span is still open."""
+
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_record(self) -> SpanRecord:
+        """Freeze the finished span (and subtree) into a :class:`SpanRecord`."""
+
+        return SpanRecord(
+            name=self.name,
+            start=self.start,
+            end=self.end if self.end is not None else self.start,
+            attributes=dict(self.attributes),
+            children=tuple(child.to_record() for child in self.children),
+            pid=self.pid,
+            dropped_children=self.dropped_children,
+        )
+
+
+class _NullSpan:
+    """The shared disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def add(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def add_child(self, child: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _span_from_record(record: SpanRecord, shift: float) -> Span:
+    """Rebuild a detached :class:`Span` tree from a record, timebase-shifted."""
+
+    span = Span(None, record.name, dict(record.attributes))
+    span.start = record.start + shift
+    span.end = record.end + shift
+    span.pid = record.pid
+    span.dropped_children = record.dropped_children
+    span.children = [_span_from_record(child, shift) for child in record.children]
+    return span
+
+
+class Tracer:
+    """The process-wide span collector.
+
+    Not thread-safe by design: the repository's concurrency is process
+    based (each pool worker owns its own tracer instance), so a lock on
+    the hot path would buy nothing.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.roots: List[Span] = []
+        self.dropped_roots = 0
+        self._stack: List[Span] = []
+
+    # ------------------------------------------------------------------ recording
+    def span(self, name: str, **attributes: Any):
+        """A context-managed span, or the shared no-op when disabled."""
+
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, attributes)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+
+        return self._stack[-1] if self._stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.add_child(span)
+        else:
+            self._file_root(span)
+
+    def _file_root(self, span: Span) -> None:
+        if len(self.roots) >= MAX_ROOT_SPANS:
+            self.roots.pop(0)
+            self.dropped_roots += 1
+        self.roots.append(span)
+
+    # ------------------------------------------------------------------ merging
+    def attach(self, records: Sequence[SpanRecord]) -> None:
+        """Re-parent worker-captured *records* under the current open span.
+
+        Worker clocks share no epoch with this process, so each record
+        tree is shifted to end "now" — its duration is exact, its wall
+        position the merge instant — and clamped to start no earlier
+        than the enclosing span.
+        """
+
+        if not self.enabled or not records:
+            return
+        parent = self.current()
+        now = _clock.now()
+        for record in records:
+            span = _span_from_record(record, shift=now - record.end)
+            if parent is not None:
+                if span.start < parent.start:
+                    span.start = parent.start
+                parent.add_child(span)
+            else:
+                self._file_root(span)
+
+    def capture_records(self, clear: bool = True) -> Tuple[SpanRecord, ...]:
+        """Freeze the finished root spans for shipping; optionally clear them."""
+
+        records = tuple(span.to_record() for span in self.roots if span.end is not None)
+        if clear:
+            self.roots = [span for span in self.roots if span.end is None]
+        return records
+
+    def reset(self) -> None:
+        """Drop every recorded span and open-stack entry."""
+
+        self.roots = []
+        self._stack = []
+        self.dropped_roots = 0
+
+
+_TRACER = Tracer()
+if os.environ.get(TRACE_ENV_VAR, "").strip().lower() in _TRUTHY:
+    _TRACER.enabled = True
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+
+    return _TRACER
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the process-wide tracer (no-op when disabled)."""
+
+    if not _TRACER.enabled:
+        return _NULL_SPAN
+    return Span(_TRACER, name, attributes)
+
+
+def enabled() -> bool:
+    """Is the process-wide tracer recording?"""
+
+    return _TRACER.enabled
+
+
+def enable() -> None:
+    _TRACER.enabled = True
+
+
+def disable() -> None:
+    _TRACER.enabled = False
+
+
+def reset() -> None:
+    """Clear every recorded span (the enabled flag is untouched)."""
+
+    _TRACER.reset()
+
+
+def attach(records: Sequence[SpanRecord]) -> None:
+    """Module-level shorthand for :meth:`Tracer.attach`."""
+
+    _TRACER.attach(records)
+
+
+def capture_records(clear: bool = True) -> Tuple[SpanRecord, ...]:
+    """Module-level shorthand for :meth:`Tracer.capture_records`."""
+
+    return _TRACER.capture_records(clear=clear)
+
+
+class tracing:
+    """Context manager that sets the tracer's enabled flag and restores it.
+
+    >>> from repro.obs import trace
+    >>> before = trace.enabled()
+    >>> with trace.tracing(True) as t:
+    ...     t.enabled
+    True
+    >>> trace.enabled() == before
+    True
+    """
+
+    def __init__(self, on: bool = True):
+        self._on = on
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = _TRACER.enabled
+        _TRACER.enabled = self._on
+        return _TRACER
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _TRACER.enabled = bool(self._previous)
+        return False
+
+
+# --------------------------------------------------------------------------- exporters
+def _walk(span: Span, depth: int) -> Iterator[Tuple[Span, int]]:
+    yield span, depth
+    for child in span.children:
+        yield from _walk(child, depth + 1)
+
+
+def render_tree(spans: Optional[Sequence[Span]] = None) -> str:
+    """The recorded spans as an indented tree, durations in milliseconds."""
+
+    spans = _TRACER.roots if spans is None else list(spans)
+    lines: List[str] = []
+    for root in spans:
+        for node, depth in _walk(root, 0):
+            duration_ms = node.duration * 1e3
+            attrs = ""
+            if node.attributes:
+                rendered = ", ".join(
+                    f"{key}={value!r}" for key, value in sorted(node.attributes.items())
+                )
+                attrs = f"  [{rendered}]"
+            dropped = (
+                f"  (+{node.dropped_children} children dropped)"
+                if node.dropped_children
+                else ""
+            )
+            lines.append(f"{'  ' * depth}{node.name}  {duration_ms:.3f}ms{attrs}{dropped}")
+    if _TRACER.dropped_roots and spans is _TRACER.roots:
+        lines.append(f"(+{_TRACER.dropped_roots} root spans dropped)")
+    return "\n".join(lines)
+
+
+def chrome_trace_events(
+    spans: Optional[Sequence[Span]] = None,
+) -> List[Dict[str, Any]]:
+    """The spans as Chrome trace-event "complete" (``ph: X``) events.
+
+    Timestamps and durations are microseconds (the format's unit); the
+    span's origin process becomes the ``tid`` so re-parented worker
+    spans render on their own lane under the driver's process.
+    """
+
+    spans = _TRACER.roots if spans is None else list(spans)
+    pid = os.getpid()
+    events: List[Dict[str, Any]] = []
+    for root in spans:
+        for node, _ in _walk(root, 0):
+            events.append(
+                {
+                    "name": node.name,
+                    "ph": "X",
+                    "ts": node.start * 1e6,
+                    "dur": node.duration * 1e6,
+                    "pid": pid,
+                    "tid": node.pid,
+                    "args": dict(node.attributes),
+                }
+            )
+    return events
+
+
+def dump_chrome_trace(path: str, spans: Optional[Sequence[Span]] = None) -> None:
+    """Write the spans as a ``chrome://tracing``-loadable JSON file."""
+
+    payload = {"traceEvents": chrome_trace_events(spans), "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=None, separators=(",", ":"))

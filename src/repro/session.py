@@ -81,12 +81,15 @@ from repro.core.repairs import (
 from repro.core.satisfaction import Violation
 from repro.engines import CQAConfig, get_engine
 from repro.logic.queries import Query
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.relational.domain import Constant
 from repro.relational.instance import DatabaseInstance, Fact
 from repro.relational.schema import DatabaseSchema
 
 if TYPE_CHECKING:
     from repro.compile.kernel import CompiledProgram
+    from repro.obs.analyze import ExplainReport
     from repro.rewriting.conflicts import ConflictGraph
     from repro.rewriting.planner import CQAPlan
     from repro.rewriting.rewriter import RewrittenQuery
@@ -113,6 +116,39 @@ class CacheInfo:
     compiled_hits: int = 0
 
 
+#: Process-wide mirrors of the per-session cache counters.  Created once
+#: at import; ``MetricsRegistry.reset()`` zeroes them in place, so the
+#: cached objects never go stale.
+_CACHE_HITS = _metrics.counter(
+    "repro_session_cache_hits_total", "session LRU cache hits"
+)
+_CACHE_MISSES = _metrics.counter(
+    "repro_session_cache_misses_total", "session LRU cache misses"
+)
+_CACHE_EVICTIONS = _metrics.counter(
+    "repro_session_cache_evictions_total", "session LRU cache evictions"
+)
+_SESSION_QUERIES = _metrics.counter(
+    "repro_session_queries_total", "reports served (cached or computed)"
+)
+_SESSION_MUTATIONS = _metrics.counter(
+    "repro_session_mutations_total", "fact insertions/deletions applied"
+)
+_SESSION_ROLLED_BACK = _metrics.counter(
+    "repro_session_batches_rolled_back_total", "batch blocks rolled back"
+)
+_SESSION_TRACKER_REBUILDS = _metrics.counter(
+    "repro_session_tracker_rebuilds_total", "full violation-tracker rebuilds"
+)
+_SESSION_COMPILED_BUILDS = _metrics.counter(
+    "repro_session_compiled_programs_built_total", "compiled-plan cache fills"
+)
+_SESSION_COMPILED_HITS = _metrics.counter(
+    "repro_session_compiled_program_hits_total",
+    "compiled-plan probes served from the session cache",
+)
+
+
 class _LRUCache:
     """A small LRU keyed on hashable tuples, with hit/miss counters."""
 
@@ -130,9 +166,11 @@ class _LRUCache:
             value = self._data[key]
         except KeyError:
             self.misses += 1
+            _CACHE_MISSES.inc()
             return None
         self._data.move_to_end(key)
         self.hits += 1
+        _CACHE_HITS.inc()
         return value
 
     def put(self, key: Tuple, value: Any) -> None:
@@ -142,6 +180,7 @@ class _LRUCache:
         if len(self._data) > self.maxsize:
             self._data.popitem(last=False)
             self.evictions += 1
+            _CACHE_EVICTIONS.inc()
 
     def clear(self) -> None:
         self._data.clear()
@@ -370,12 +409,15 @@ class ConsistentDatabase:
         cached = self._cache.get(key)  # promotes: the hottest entry stays resident
         if cached is not None:
             self.statistics.compiled_program_hits += 1
+            _SESSION_COMPILED_HITS.inc()
             return cached
-        program = self._violation_index.program
+        with _trace.span("compile.session"):
+            program = self._violation_index.program
         self._cache.put(key, program)
         if not self._compiled_program_cached_once:
             self._compiled_program_cached_once = True
             self.statistics.compiled_programs_built += 1
+            _SESSION_COMPILED_BUILDS.inc()
         return program
 
     # ------------------------------------------------------------------ violations
@@ -396,6 +438,7 @@ class ConsistentDatabase:
             self._tracker = ViolationTracker(self._instance, self._violation_index)
             self._tracker_generation = self._instance.generation
             self.statistics.tracker_rebuilds += 1
+            _SESSION_TRACKER_REBUILDS.inc()
         return self._tracker
 
     def is_consistent(self) -> bool:
@@ -565,6 +608,7 @@ class ConsistentDatabase:
     def _record_mutation(self, kind: str, fact: Fact, delta: Optional[object]) -> None:
         self._tracker_generation = self._instance.generation
         self.statistics.mutations += 1
+        _SESSION_MUTATIONS.inc()  # gross count: rollbacks are tallied separately
         if self._journal is not None:
             self._journal.append((kind, fact, delta))
 
@@ -622,6 +666,7 @@ class ConsistentDatabase:
             self._tracker_generation = -1
         self.statistics.mutations -= len(journal)
         self.statistics.batches_rolled_back += 1
+        _SESSION_ROLLED_BACK.inc()
 
     # ------------------------------------------------------------------ queries
     def report(self, query: Query, **overrides: Any) -> CQAResult:
@@ -658,6 +703,7 @@ class ConsistentDatabase:
         config = self._config.merged(overrides)
         engine = get_engine(config.method)
         self.statistics.queries += 1
+        _SESSION_QUERIES.inc()
         key = (
             "answers",
             query,
@@ -668,7 +714,10 @@ class ConsistentDatabase:
         cached = self._cache.get(key)
         if cached is not None:
             return self._result_copy(cached)
-        result = engine.answers_report(self, query, config)
+        with _trace.span("session.report") as sp:
+            if sp:
+                sp.add(query=str(query), method=config.method)
+            result = engine.answers_report(self, query, config)
         self._cache.put(key, result)
         return self._result_copy(result)
 
@@ -756,6 +805,7 @@ class ConsistentDatabase:
                 # report() (e.g. the rewriting path) already did.
                 if self.statistics.queries == queries_before:
                     self.statistics.queries += 1
+                    _SESSION_QUERIES.inc()
                 return outcome
         result = self.report(query, **overrides)
         if candidate is not None:
@@ -764,19 +814,31 @@ class ConsistentDatabase:
             return False
         return result.certain
 
-    def explain(self, query: Query, **overrides: Any) -> "CQAPlan":
-        """The cost-based plan for *query* without executing anything.
+    def explain(
+        self, query: Query, *, analyze: bool = False, **overrides: Any
+    ) -> Union["CQAPlan", "ExplainReport"]:
+        """The cost-based plan for *query* — optionally executed and measured.
 
         Args:
             query: the query to plan.
+            analyze: ``True`` *executes* one full request under
+                instrumentation — EXPLAIN ANALYZE — and returns an
+                :class:`repro.obs.analyze.ExplainReport` annotating the
+                plan with actual rows scanned per ``JoinPlan`` step,
+                violations found, delta-plan hit rates, cache state,
+                wall-clock per phase and the captured span tree
+                (``report.render()`` pretty-prints it).  ``False`` (the
+                default) plans only and executes nothing.
             **overrides: any :class:`repro.engines.CQAConfig` field —
                 notably ``workers=N`` lets the plan recommend the
                 parallel repair search for enumeration fallbacks.
 
         Returns:
             The cached-per-generation
-            :class:`repro.rewriting.planner.CQAPlan`; a successful plan
-            also primes the rewriting cache.
+            :class:`repro.rewriting.planner.CQAPlan` (or the
+            :class:`~repro.obs.analyze.ExplainReport` wrapping it when
+            ``analyze=True``); a successful plan also primes the
+            rewriting cache.
 
         >>> from repro import ConsistentDatabase, parse_constraint, parse_query
         >>> db = ConsistentDatabase(
@@ -798,6 +860,10 @@ class ConsistentDatabase:
         True
         """
 
+        if analyze:
+            from repro.obs.analyze import analyze_request
+
+            return analyze_request(self, query, overrides)
         config = self._config.merged(overrides)
         plan = self.plan(query, config)
         return replace(
@@ -932,6 +998,7 @@ class ConsistentDatabase:
         if stream.ordered_repairs is not None:
             search.statistics.repairs_found = len(stream.ordered_repairs)
             self.last_repair_statistics = search.statistics
+            _metrics.absorb_repair_statistics(search.statistics)
             self._cache.put(parallel_key, stream.ordered_repairs)
 
     def repair_count(self, method: str = "direct", **overrides: Any) -> int:
@@ -1038,7 +1105,10 @@ class ConsistentDatabase:
                 raise RewritingUnsupportedError(cached.reason)
             return cached
         try:
-            result = rewrite_query(query, self._constraints)
+            with _trace.span("query.rewrite") as sp:
+                if sp:
+                    sp.add(query=str(query))
+                result = rewrite_query(query, self._constraints)
         except RewritingUnsupportedError as error:
             self._cache.put(key, error)
             raise
@@ -1066,13 +1136,18 @@ class ConsistentDatabase:
             return cached
         from repro.rewriting import plan_cqa
 
-        plan = plan_cqa(
-            self._instance,
-            self._constraints,
-            query,
-            max_states=config.max_states,
-            workers=config.workers,
-        )
+        with _trace.span("session.plan") as sp:
+            if sp:
+                sp.add(query=str(query))
+            plan = plan_cqa(
+                self._instance,
+                self._constraints,
+                query,
+                max_states=config.max_states,
+                workers=config.workers,
+            )
+            if sp:
+                sp.add(method=plan.method, supported=plan.supported)
         if plan.rewritten is not None:
             self._cache.put(("rewrite", query, self._fingerprint), plan.rewritten)
         self._cache.put(key, plan)
@@ -1087,7 +1162,8 @@ class ConsistentDatabase:
             return cached
         from repro.rewriting import ConflictGraph
 
-        graph = ConflictGraph.build(self._instance, self._constraints)
+        with _trace.span("conflicts.build"):
+            graph = ConflictGraph.build(self._instance, self._constraints)
         self._cache.put(key, graph)
         return graph
 
@@ -1123,7 +1199,10 @@ class ConsistentDatabase:
         for predicate, arity in needed:
             if predicate not in mirror.schema:
                 mirror.schema.relation_from_arity(predicate, arity)
-        self._sql_backend = SQLiteBackend(mirror, self._constraints)
+        with _trace.span("sql.mirror") as sp:
+            if sp:
+                sp.add(facts=len(mirror))
+            self._sql_backend = SQLiteBackend(mirror, self._constraints)
         self._sql_backend_schema = mirror.schema
         self._sql_backend_generation = generation
         return self._sql_backend

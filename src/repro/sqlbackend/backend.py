@@ -36,6 +36,8 @@ from repro.constraints.ic import (
 from repro.constraints.terms import Variable, is_variable
 from repro.core.relevant import relevant_body_variables, relevant_positions
 from repro.logic.queries import ConjunctiveQuery
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sqlbackend.ddl import create_table_statements, insert_statements
 
 
@@ -269,10 +271,17 @@ class SQLiteBackend:
 
     # ------------------------------------------------------------------ queries
     def execute(self, sql: str) -> List[Tuple[object, ...]]:
-        """Run raw SQL and fetch all rows."""
+        """Run raw SQL and fetch all rows (the single statement funnel)."""
 
-        cursor = self._connection.cursor()
-        return list(cursor.execute(sql).fetchall())
+        _metrics.counter(
+            "repro_sql_statements_total", "SQL statements executed on the mirror"
+        ).inc()
+        with _trace.span("sql.execute") as sp:
+            cursor = self._connection.cursor()
+            rows = list(cursor.execute(sql).fetchall())
+            if sp:
+                sp.add(sql=sql[:200], rows=len(rows))
+        return rows
 
     def violations(self, constraint: AnyConstraint) -> List[Tuple[object, ...]]:
         """Rows witnessing violations of *constraint* under ``|=_N``."""

@@ -159,7 +159,15 @@ class TestHypothesisEquivalence:
 
 
 class TestStatisticsMerge:
-    def test_merge_sums_every_field(self):
+    def test_merge_sums_counters_but_not_wall_clock(self):
+        """Counters and task CPU sum; wall-clock stays the driver's own.
+
+        Summing per-task wall clock under ``method="parallel"`` would
+        report more elapsed time than actually passed — the driver owns
+        ``search_seconds``/``minimality_seconds``, tasks contribute
+        ``task_cpu_seconds``.
+        """
+
         first = RepairStatistics(
             states_explored=10,
             candidates_found=2,
@@ -170,6 +178,7 @@ class TestStatisticsMerge:
             leq_d_comparisons=5,
             search_seconds=0.25,
             minimality_seconds=0.5,
+            task_cpu_seconds=0.2,
         )
         second = RepairStatistics(
             states_explored=7,
@@ -178,6 +187,7 @@ class TestStatisticsMerge:
             violation_updates=13,
             constraints_reevaluated=20,
             search_seconds=0.75,
+            task_cpu_seconds=0.6,
         )
         merged = first.merge(second)
         assert merged is first
@@ -188,8 +198,9 @@ class TestStatisticsMerge:
         assert first.violation_updates == 53
         assert first.constraints_reevaluated == 100
         assert first.leq_d_comparisons == 5
-        assert first.search_seconds == pytest.approx(1.0)
+        assert first.search_seconds == pytest.approx(0.25)
         assert first.minimality_seconds == pytest.approx(0.5)
+        assert first.task_cpu_seconds == pytest.approx(0.8)
 
     def test_workers_never_share_a_statistics_object(self):
         """Every task result carries its own object; the driver merges."""

@@ -25,6 +25,9 @@ MODULES = [
     "repro.engines.rewriting",
     "repro.engines.sqlite",
     "repro.relational.instance",
+    "repro.obs.clock",
+    "repro.obs.metrics",
+    "repro.obs.trace",
 ]
 
 #: Modules the docs contract requires to actually carry examples —

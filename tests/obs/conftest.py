@@ -1,0 +1,23 @@
+"""Observability-suite isolation.
+
+Every test in this directory runs against the process-wide tracer and
+clock; the autouse fixture snapshots the tracer's enabled flag (which
+``REPRO_TRACE=1`` CI runs force on), clears recorded spans on both
+sides and restores the real clock, so no obs test can leak state into
+the rest of the tier-1 suite — or depend on which tests ran before it.
+"""
+
+import pytest
+
+from repro.obs import clock, trace
+
+
+@pytest.fixture(autouse=True)
+def isolated_tracer():
+    tracer = trace.tracer()
+    was_enabled = tracer.enabled
+    tracer.reset()
+    yield tracer
+    tracer.enabled = was_enabled
+    tracer.reset()
+    clock.reset_clock()
