@@ -1,8 +1,10 @@
 """Benchmark-suite configuration."""
 
 import json
+import multiprocessing
 import os
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -60,3 +62,25 @@ def observability_artifacts():
     )
     if trace.enabled() and trace.tracer().roots:
         trace.dump_chrome_trace(str(directory / "trace-events.json"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def no_leaked_workers():
+    """The sweep must end with zero live child processes.
+
+    The parallel benchmarks (E14) spin up process pools; every exit
+    path of the scheduler is supposed to reap them.  A leak here would
+    hang CI runners and skew later timings, so the whole session fails
+    if any child survives a short grace period.
+    """
+
+    yield
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return
+        time.sleep(0.05)
+    leaked = multiprocessing.active_children()
+    for child in leaked:
+        child.terminate()
+    pytest.fail(f"benchmark session leaked worker processes: {leaked}")

@@ -81,6 +81,16 @@ compiled plans.  ``ConsistentDatabase.compiled_program()`` exposes a
 session's plans; :func:`repro.compile.kernel.compiler_statistics`
 counts compilations (a healthy process compiles each constraint set at
 most once).
+
+Every call can also carry a **budget** (:mod:`repro.resilience`):
+``deadline=``/``max_states=``/``max_memory=`` bound a request, strict
+surfaces raise a typed :class:`BudgetExceededError` subclass on
+exhaustion, and anytime surfaces (``iter_repairs(stream=True, degrade=True)``,
+``certain(anytime=True, degrade=True)``) return what was proven tagged
+with a :class:`Degradation` record.  The parallel repair scheduler
+survives worker crashes (retry, pool respawn, inline quarantine) and a
+seeded fault-injection harness (:func:`repro.resilience.chaos`) drives
+the chaos suite in ``tests/chaos/``.  See ``docs/robustness.md``.
 """
 
 from repro.relational import (
@@ -173,8 +183,26 @@ from repro.compile.kernel import (
 from repro.obs import ExplainReport, FakeClock, MetricsRegistry, Tracer, tracing
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
+from repro.errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    FaultInjectedError,
+    MemoryBudgetExceededError,
+    QueryCancelledError,
+    ReproError,
+    StateBudgetExceededError,
+    WorkerCrashedError,
+)
+from repro.resilience import (
+    Budget,
+    Degradation,
+    FaultSpec,
+    RetryPolicy,
+    chaos,
+    using_budget,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -275,4 +303,20 @@ __all__ = [
     "tracing",
     "obs_metrics",
     "obs_trace",
+    # resilience: budgets, degradation, retries, chaos
+    "Budget",
+    "Degradation",
+    "RetryPolicy",
+    "FaultSpec",
+    "chaos",
+    "using_budget",
+    # error taxonomy
+    "ReproError",
+    "BudgetExceededError",
+    "DeadlineExceededError",
+    "StateBudgetExceededError",
+    "MemoryBudgetExceededError",
+    "QueryCancelledError",
+    "WorkerCrashedError",
+    "FaultInjectedError",
 ]

@@ -76,6 +76,7 @@ from repro.core.relevant import relevant_body_variables, relevant_positions
 from repro.core.satisfaction import Violation, not_null_violations
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.resilience import budget as _budget
 from repro.compile.plans import (
     AtomStep,
     JoinPlan,
@@ -567,6 +568,9 @@ class CompiledConstraint:
     def violations(self, relations: Relations) -> List[Violation]:
         """All ground violations, via the full compiled plan."""
 
+        budget = _budget.active()
+        if budget:  # full sweeps are the kernel's coarsest unit of work
+            budget.checkpoint()
         return list(self._emit(relations, self.full_plan))
 
     def seeded_violations(self, relations: Relations, fact: Fact) -> Iterator[Violation]:

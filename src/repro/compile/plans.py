@@ -31,6 +31,7 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 
 from repro.relational.domain import Constant, is_null
 from repro.constraints.terms import Variable
+from repro.resilience import budget as _budget
 
 
 Row = Tuple[Constant, ...]
@@ -178,6 +179,12 @@ def iter_plan_matches(
         yield
         return
 
+    # The ambient request budget, read once per plan execution.  Checked
+    # at every join *descent* (a new iterator opening) rather than in the
+    # deepest drain loop: descents bound how long a runaway cross product
+    # can run between checks without taxing the per-row fast path — with
+    # no budget active the cost is one falsy check per descent.
+    budget = _budget.active()
     iterators: List[Optional[Iterator[Row]]] = [None] * count
     depth = 0
     last = count - 1
@@ -242,6 +249,8 @@ def iter_plan_matches(
             iterators[depth] = None
             depth -= 1
             continue
+        if budget:
+            budget.checkpoint()
         depth += 1
         next_step = steps[depth]
         iterators[depth] = iter(

@@ -144,6 +144,7 @@ def consistent_answers_report(
     estimate_repairs: bool = True,
     repair_mode: str = "incremental",
     workers: int = 0,
+    deadline: Optional[float] = None,
 ) -> CQAResult:
     """Full report: consistent answers plus repair statistics.
 
@@ -167,6 +168,9 @@ def consistent_answers_report(
             benchmarks E12 and E14 compare them.
         workers: processes for ``repair_mode="parallel"`` (``<= 1``
             runs the same decomposition inline).
+        deadline: wall-clock seconds for the whole request; past it the
+            typed :class:`repro.errors.DeadlineExceededError` is raised
+            (exact surfaces never return a silently partial answer set).
 
     Returns:
         A :class:`CQAResult` with the answers and repair statistics.
@@ -192,6 +196,7 @@ def consistent_answers_report(
         estimate_repairs=estimate_repairs,
         repair_mode=repair_mode,
         workers=workers,
+        deadline=deadline,
     )
 
 
@@ -204,6 +209,7 @@ def consistent_answers(
     max_states: Optional[int] = 200_000,
     repair_mode: str = "incremental",
     workers: int = 0,
+    deadline: Optional[float] = None,
 ) -> FrozenSet[AnswerTuple]:
     """The consistent answers to *query* in *instance* w.r.t. *constraints*.
 
@@ -230,6 +236,7 @@ def consistent_answers(
         estimate_repairs=False,
         repair_mode=repair_mode,
         workers=workers,
+        deadline=deadline,
     ).answers
 
 

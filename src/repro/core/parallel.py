@@ -53,10 +53,13 @@ atom outside ``∆(D, C)`` — or a null atom with no cover in ``∆(D, C)``
 from __future__ import annotations
 
 import os
+import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Iterable,
@@ -70,8 +73,13 @@ from typing import (
 )
 
 from repro.constraints.ic import AnyConstraint, ConstraintSet, NotNullConstraint
+from repro.errors import budget_error
 from repro.obs import clock as _clock
 from repro.obs import trace as _trace
+from repro.resilience import budget as _budget
+from repro.resilience import faults as _faults
+from repro.resilience.budget import Budget, Degradation
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.core.repairs import (
     DeltaMinimality,
     RepairSearchBudgetExceeded,
@@ -93,6 +101,16 @@ Path = Tuple[int, ...]
 #: Default number of states one task may explore before it must defer
 #: the rest of its subtree back to the scheduler.
 DEFAULT_CHUNK_STATES = 1024
+
+#: How long the driver blocks on worker futures between budget checks —
+#: bounds how stale a deadline/cancellation verdict can get while every
+#: worker is deep inside a long task.
+_BUDGET_POLL_SECONDS = 0.05
+
+#: Coarse per-fact cost (bytes) used to charge candidate and frontier
+#: deltas against a memory budget.  Deliberately rough: the budget is a
+#: tripwire against unbounded accumulation, not an allocator.
+_DELTA_COST = 96
 
 _EMPTY_FACTS: FrozenSet[Fact] = frozenset()
 
@@ -201,13 +219,25 @@ class SearchContext:
         )
 
     # ------------------------------------------------------------------ tasks
-    def run_task(self, task: FrontierTask, budget: int) -> TaskResult:
+    def run_task(
+        self,
+        task: FrontierTask,
+        budget: int,
+        request_budget: Optional[Budget] = None,
+    ) -> TaskResult:
         """Explore up to *budget* states of the task's subtree.
 
         Candidates are reported with their global path; the unexplored
         remainder of the subtree comes back as deferred tasks.  The
         working instance and tracker are restored exactly before
         returning, so contexts are reusable across tasks.
+
+        *request_budget* is the request's resource envelope (a worker
+        receives one rebuilt from the deadline seconds remaining at
+        submit).  Exhaustion mid-task never raises here: the current
+        state is *deferred* instead, exactly like a chunk-budget stop,
+        so the open frontier the scheduler sees stays sound — the
+        driver decides whether to raise or degrade.
         """
 
         budget = max(budget, 1)
@@ -244,7 +274,10 @@ class SearchContext:
                 state_key = (inserted, deleted)
                 if state_key in visited:
                     return
-                if states_used >= budget:
+                if states_used >= budget or (
+                    request_budget is not None
+                    and request_budget.exhausted() is not None
+                ):
                     deferred.append(
                         FrontierTask(
                             path,
@@ -258,6 +291,12 @@ class SearchContext:
                 visited.add(state_key)
                 states_used += 1
                 stats.states_explored += 1
+                if request_budget is not None:
+                    # Per-state accounting keeps a states/memory budget
+                    # precise *within* a chunk (the driver only charges
+                    # for results computed on other processes, so this
+                    # never double-counts).
+                    request_budget.charge_states(1)
 
                 current = self.tracker.violations()
                 if not current:
@@ -352,6 +391,7 @@ def _worker_init(
     constraints: Tuple[AnyConstraint, ...],
     exclusions: bool,
     tracing: bool = False,
+    fault_spec: Optional["_faults.FaultSpec"] = None,
 ) -> None:
     """Process-pool initializer: rebuild the instance, sweep violations once."""
 
@@ -363,17 +403,42 @@ def _worker_init(
     # span stack (which would swallow this worker's spans as children of
     # a phantom parent).  Start from a clean tracer either way.
     _trace.reset()
+    if _faults.armed() is not None:
+        # Fork-started workers inherit the driver's delay-only injector;
+        # start clean (re-armed below when this pool asked for chaos).
+        _faults.disarm()
     instance = DatabaseInstance.from_facts(facts)
     _WORKER_CONTEXT = SearchContext(
         instance, ConstraintSet(list(constraints)), exclusions=exclusions
     )
+    if fault_spec is not None:
+        # Chaos harness: this worker draws (salted, seeded) faults at its
+        # span boundaries — including kills, which it is allowed to serve.
+        # Armed *after* the context build so every injected fault lands
+        # during task execution (an initializer fault would break the
+        # pool before it ever ran a task — real, but a different failure
+        # than the scheduler-level tolerance this harness exercises).
+        _faults.arm_worker(fault_spec)
 
 
-def _worker_run(task: FrontierTask, budget: int) -> TaskResult:
-    """Execute one task against the process-local context."""
+def _worker_run(
+    task: FrontierTask, budget: int, deadline_remaining: Optional[float] = None
+) -> TaskResult:
+    """Execute one task against the process-local context.
+
+    *deadline_remaining* is the request deadline's remaining seconds at
+    submit time — monotonic clocks share no epoch across processes, so
+    the worker rebuilds a fresh :class:`Budget` from the remainder
+    rather than comparing against the driver's absolute deadline.
+    """
 
     assert _WORKER_CONTEXT is not None, "worker used before initialization"
-    result = _WORKER_CONTEXT.run_task(task, budget)
+    request_budget = (
+        Budget(deadline=max(deadline_remaining, 1e-6))
+        if deadline_remaining is not None
+        else None
+    )
+    result = _WORKER_CONTEXT.run_task(task, budget, request_budget=request_budget)
     if _trace.enabled():
         result.spans = _trace.capture_records()
     return result
@@ -406,6 +471,8 @@ class ParallelRepairSearch:
         max_states: Optional[int] = 200_000,
         chunk_states: int = DEFAULT_CHUNK_STATES,
         violation_index: Optional[ViolationIndex] = None,
+        budget: Optional[Budget] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self._instance = instance
         self._constraints = (
@@ -422,6 +489,13 @@ class ParallelRepairSearch:
         self._max_states = max_states
         self._chunk_states = max(chunk_states, 1)
         self._exclusions = exclusion_safe(self._constraints)
+        self._request_budget = budget
+        self._retry_policy = retry_policy or DEFAULT_RETRY_POLICY
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: Set when a ``degrade=True`` budget ran out mid-search: the
+        #: batches yielded so far cover a sound *prefix* of the frontier
+        #: and this record says why the rest was never explored.
+        self.degradation: Optional[Degradation] = None
         self.statistics = RepairStatistics()
 
     @property
@@ -437,15 +511,30 @@ class ParallelRepairSearch:
         short-circuited) shuts the pool down and cancels queued tasks.
         Raises :class:`RepairSearchBudgetExceeded` when the cumulative
         state count crosses ``max_states``.
+
+        A request :class:`Budget` (the constructor's, else the ambient
+        one) is checked between tasks: on exhaustion the generator
+        either raises the typed error (strict) or — with
+        ``degrade=True`` — records :attr:`degradation` and stops
+        cleanly, leaving the batches yielded so far as a sound partial
+        frontier.  Worker failures never surface to the consumer: a
+        crashed pool is respawned with exponential backoff (tasks
+        retried), and tasks that keep failing are quarantined and
+        re-run inline — task results are pure functions of (task, chunk
+        budget), so retries cannot change the answer.
         """
 
+        budget = self._request_budget
+        if budget is None:
+            ambient = _budget.active()
+            budget = ambient if ambient else None
         root = FrontierTask((), _EMPTY_FACTS, _EMPTY_FACTS)
         queue: deque[FrontierTask] = deque([root])
         open_tasks: Dict[Path, FrontierTask] = {root.path: root}
         total_states = 0
         started = _clock.now()
 
-        def absorb(result: TaskResult) -> SearchBatch:
+        def absorb(result: TaskResult, remote: bool = False) -> SearchBatch:
             nonlocal total_states
             total_states += result.statistics.states_explored
             self.statistics.merge(result.statistics)
@@ -458,6 +547,22 @@ class ParallelRepairSearch:
             for sub_task in result.deferred:
                 open_tasks[sub_task.path] = sub_task
                 queue.append(sub_task)
+            if budget is not None:
+                if remote:
+                    # Tasks run in this process charged the budget per
+                    # state already (run_task holds the same object); a
+                    # worker's charges landed on its ephemeral copy and
+                    # are folded in here.
+                    budget.charge_states(result.statistics.states_explored)
+                # A coarse estimate of what this round pinned in driver
+                # memory: candidate deltas plus deferred frontier roots.
+                budget.charge_memory(
+                    sum(
+                        _DELTA_COST * (len(inserted) + len(deleted))
+                        for _, inserted, deleted in result.candidates
+                    )
+                    + _DELTA_COST * sum(len(t.delta()) for t in result.deferred)
+                )
             if self._max_states is not None and total_states > self._max_states:
                 raise RepairSearchBudgetExceeded(
                     f"repair search exceeded {self._max_states} states; "
@@ -467,39 +572,198 @@ class ParallelRepairSearch:
                 result.candidates, tuple(open_tasks.values()), total_states
             )
 
+        def settle(reason: str) -> None:
+            """Budget ran out with the frontier still open: degrade or raise."""
+
+            if budget.degrade:
+                self.degradation = budget.degradation(
+                    detail=f"{len(open_tasks)} frontier tasks unexplored"
+                )
+                return
+            raise budget.error(reason)
+
         if self._workers <= 1:
             context = SearchContext(
                 self._instance, self._index, exclusions=self._exclusions
             )
             while queue:
+                if budget is not None:
+                    reason = budget.exhausted()
+                    if reason is not None:
+                        settle(reason)
+                        return
                 task = queue.popleft()
-                yield absorb(context.run_task(task, self._chunk_states))
+                yield absorb(
+                    context.run_task(task, self._chunk_states, request_budget=budget)
+                )
             return
 
+        policy = self._retry_policy
+        fault_spec = _faults.worker_spec()
         payload = (
             tuple(self._instance.facts()),
             tuple(self._constraints),
             self._exclusions,
             _trace.enabled(),
+            fault_spec,
         )
-        executor = ProcessPoolExecutor(
-            max_workers=self._workers,
-            initializer=_worker_init,
-            initargs=payload,
-        )
+        inline_context: Optional[SearchContext] = None
+
+        def run_inline(task: FrontierTask) -> TaskResult:
+            """Quarantine lane: execute a repeat-offender task in-process.
+
+            The result is bit-identical to a worker's — run_task is a
+            pure function of (task, chunk budget) — so falling back
+            never changes the answer, only where it was computed.
+            """
+
+            nonlocal inline_context
+            if inline_context is None:
+                inline_context = SearchContext(
+                    self._instance, self._index, exclusions=self._exclusions
+                )
+            return inline_context.run_task(
+                task, self._chunk_states, request_budget=budget
+            )
+
+        def spawn() -> ProcessPoolExecutor:
+            executor = ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=_worker_init,
+                initargs=payload,
+            )
+            self._executor = executor
+            return executor
+
+        executor: Optional[ProcessPoolExecutor] = spawn()
+        respawns = 0
+        attempts: Dict[Path, int] = {}
+        in_flight: Dict[Future, FrontierTask] = {}
+
+        def pool_broke(lost_tasks: List[FrontierTask]) -> None:
+            """A worker died: requeue everything, reap, respawn with backoff.
+
+            Past the respawn allowance the executor stays ``None`` and
+            the remaining frontier finishes inline.  Every requeued task
+            gains an attempt so a task that keeps breaking pools is
+            eventually quarantined even while respawns last.
+            """
+
+            nonlocal executor, respawns
+            for lost in [*lost_tasks, *in_flight.values()]:
+                attempts[lost.path] = attempts.get(lost.path, 0) + 1
+                queue.appendleft(lost)
+            in_flight.clear()
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            if respawns >= policy.max_pool_respawns:
+                executor = None
+            else:
+                respawns += 1
+                time.sleep(policy.backoff(respawns))
+                executor = spawn()
+
         try:
-            in_flight: Set[Future] = set()
             while queue or in_flight:
-                while queue and len(in_flight) < self._workers * 2:
+                if budget is not None:
+                    reason = budget.exhausted()
+                    if reason is not None:
+                        settle(reason)
+                        return
+                while (
+                    queue
+                    and executor is not None
+                    and len(in_flight) < self._workers * 2
+                ):
                     task = queue.popleft()
-                    in_flight.add(
-                        executor.submit(_worker_run, task, self._chunk_states)
-                    )
-                done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                    if attempts.get(task.path, 0) >= policy.max_attempts:
+                        # Quarantined: this task (or its pool cohort) has
+                        # failed max_attempts times — stop betting on the
+                        # pool for it and settle it inline.
+                        yield absorb(run_inline(task))
+                        continue
+                    # Workers never see the request budget (their state
+                    # charges would land on a separate object), so clamp
+                    # the chunk to the remaining state allowance: a cap
+                    # smaller than a chunk truncates the task itself
+                    # rather than being noticed only after it returns.
+                    chunk = self._chunk_states
+                    if budget is not None:
+                        allowance = budget.remaining_states()
+                        if allowance is not None:
+                            chunk = max(1, min(chunk, allowance))
+                    try:
+                        future = executor.submit(
+                            _worker_run,
+                            task,
+                            chunk,
+                            budget.task_deadline() if budget is not None else None,
+                        )
+                    except BrokenProcessPool:
+                        # The pool died between completions (e.g. a worker
+                        # killed mid-initialization) and submit noticed
+                        # first.
+                        pool_broke([task])
+                        break
+                    in_flight[future] = task
+                if executor is None and queue:
+                    # The pool broke past its respawn allowance: finish the
+                    # remaining frontier inline (budget checks continue at
+                    # the loop top).
+                    task = queue.popleft()
+                    yield absorb(run_inline(task))
+                    continue
+                if not in_flight:
+                    continue
+                # A finite wait (when a budget is active) keeps deadline and
+                # cancellation checks live even while every worker is deep
+                # in a long task.
+                done, _ = wait(
+                    set(in_flight),
+                    timeout=_BUDGET_POLL_SECONDS if budget is not None else None,
+                    return_when=FIRST_COMPLETED,
+                )
                 for future in done:
-                    yield absorb(future.result())
+                    task = in_flight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # A worker died (crash, kill, OOM): every future on
+                        # this pool is lost.  Requeue them all, reap the
+                        # wreck, and respawn with backoff — up to the
+                        # policy's allowance, then fall back inline.
+                        pool_broke([task])
+                        break
+                    except Exception:
+                        # A task-level failure (an injected exception, a
+                        # pickling surprise): the pool is still healthy, so
+                        # retry just this task with backoff, or quarantine
+                        # it inline once it exhausts its attempts.
+                        count = attempts.get(task.path, 0) + 1
+                        attempts[task.path] = count
+                        if count < policy.max_attempts:
+                            time.sleep(policy.backoff(count))
+                        queue.appendleft(task)
+                    else:
+                        attempts.pop(task.path, None)
+                        yield absorb(result, remote=True)
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+            self.close()
+
+    def close(self) -> None:
+        """Reap the process pool (idempotent; safe mid-search).
+
+        ``batches()`` calls this on every exit path — exhaustion, budget
+        raise, degradation, generator close — and abandonment-prone
+        consumers (the anytime stream's session wrapper) call it again
+        defensively: a merge error or an abandoned generator must never
+        leak worker processes.
+        """
+
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
 
     # ------------------------------------------------------------------ collection
     def collect(self) -> List[Tuple[Path, FrozenSet[Fact], FrozenSet[Fact]]]:
@@ -510,6 +774,14 @@ class ParallelRepairSearch:
         exactly the order the sequential depth-first search first
         discovers them in (a candidate's fact set determines its delta
         and vice versa, so delta-level dedup is fact-level dedup).
+
+        Always strict: a degraded (partial) frontier would make the
+        returned list silently wrong — some repair might never have been
+        discovered and some non-minimal candidate never dominated — so
+        if the budget degraded mid-search this raises the typed error
+        the strict mode would have.  Partial results only flow through
+        :class:`AnytimeRepairStream`, whose per-repair proofs stay sound
+        under truncation.
         """
 
         first_paths: Dict[Tuple[FrozenSet[Fact], FrozenSet[Fact]], Path] = {}
@@ -519,6 +791,11 @@ class ParallelRepairSearch:
                 previous = first_paths.get(key)
                 if previous is None or path < previous:
                     first_paths[key] = path
+        if self.degradation is not None:
+            raise budget_error(
+                self.degradation.reason,
+                "repair search degraded mid-collection: " + self.degradation.render(),
+            )
         ordered = sorted(first_paths.items(), key=lambda item: item[1])
         self.statistics.candidates_found = len(ordered)
         return [(path, key[0], key[1]) for key, path in ordered]
@@ -640,6 +917,16 @@ class AnytimeRepairStream:
         self.ordered_repairs: Optional[List[DatabaseInstance]] = None
         self.states_at_first_yield: Optional[int] = None
         self.yields_before_completion = 0
+        #: Set when the underlying search degraded: everything yielded is
+        #: a proven repair, but the enumeration may be incomplete and
+        #: :attr:`ordered_repairs` stays ``None`` (never cache a partial
+        #: list as the full answer).
+        self.degradation: Optional[Degradation] = None
+
+    def close(self) -> None:
+        """Release the underlying search's process pool (idempotent)."""
+
+        self._search.close()
 
     @property
     def statistics(self) -> RepairStatistics:
@@ -695,6 +982,17 @@ class AnytimeRepairStream:
                     entry.path = path
             for entry in provable(batch.open_tasks):
                 yield self._instance_for(entry)
+
+        if self._search.degradation is not None:
+            # The search stopped early under a degrade-mode budget: every
+            # repair yielded above carried a sound minimality proof, but
+            # the tail of the frontier was never explored — flag the
+            # truncation and leave ordered_repairs unset so nothing
+            # caches this as the complete repair set.
+            self.degradation = replace(
+                self._search.degradation, proven=self.yields_before_completion
+            )
+            return
 
         search_complete = True
         # The search is exhausted: settle the undecided candidates with the

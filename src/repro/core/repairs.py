@@ -44,9 +44,11 @@ from repro.constraints.ic import (
     NotNullConstraint,
 )
 from repro.constraints.terms import Variable, is_variable
+from repro.errors import StateBudgetExceededError
 from repro.obs import clock as _clock
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.resilience import budget as _budget
 from repro.core.satisfaction import (
     Violation,
     all_violations,
@@ -526,8 +528,15 @@ def _lost_witness_assignments(
 
 
 # --------------------------------------------------------------------------- engine
-class RepairSearchBudgetExceeded(RuntimeError):
-    """Raised when the repair search exceeds its configured state budget."""
+class RepairSearchBudgetExceeded(StateBudgetExceededError):
+    """Raised when the repair search exceeds its configured state budget.
+
+    Part of the :mod:`repro.errors` taxonomy since the resilience layer
+    landed: deriving from :class:`~repro.errors.StateBudgetExceededError`
+    (itself a :class:`RuntimeError` for backward compatibility) means
+    both ``except RepairSearchBudgetExceeded`` and the taxonomy-level
+    ``except BudgetExceededError`` keep working.
+    """
 
 
 @dataclass
@@ -748,6 +757,10 @@ class RepairEngine:
                 f"repair search exceeded {self._max_states} states; "
                 "raise max_states or simplify the instance"
             )
+        budget = _budget.active()
+        if budget:  # the ambient request budget: deadline / cancel / memory
+            budget.charge_states(1)
+            budget.checkpoint()
         return True
 
     def _candidates_recompute(

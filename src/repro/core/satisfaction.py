@@ -46,6 +46,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional,
 
 from repro.obs import trace as _trace
 from repro.relational.domain import Constant, is_null
+from repro.resilience import budget as _budget
 from repro.relational.instance import DatabaseInstance, Fact
 from repro.constraints.atoms import Atom, BuiltinEvaluationError, Comparison
 from repro.constraints.ic import (
@@ -508,10 +509,13 @@ def all_violations(
     exactly as in :func:`violations`.
     """
 
+    budget = _budget.active()
     with _trace.span("violations.enumerate") as sp:
         found: List[Violation] = []
         count = 0
         for constraint in constraints:
+            if budget:  # cooperative deadline/cancel check, once per constraint
+                budget.checkpoint()
             found.extend(
                 violations(instance, constraint, naive=naive, compiled=compiled)
             )

@@ -59,7 +59,17 @@ class CQAConfig:
       short-circuit through :meth:`CQAEngine.certain_anytime` as soon
       as one streamed repair refutes the candidate;
     * ``estimate_repairs`` — whether the non-enumerating engines should
-      pay one conflict-graph pass for a repair-count estimate.
+      pay one conflict-graph pass for a repair-count estimate;
+    * ``deadline`` — wall-clock seconds the whole request may take; a
+      :class:`repro.resilience.Budget` is installed for the call and
+      every layer (search, kernel, SQL backend) checks it
+      cooperatively;
+    * ``max_memory`` — coarse byte budget for accumulated result sets;
+    * ``degrade`` — on budget exhaustion return the sound partial
+      result with a :class:`repro.resilience.Degradation` record
+      instead of raising the typed
+      :class:`repro.errors.BudgetExceededError` (only anytime/streaming
+      surfaces can degrade; exact surfaces always raise).
     """
 
     method: str = "auto"
@@ -69,6 +79,9 @@ class CQAConfig:
     estimate_repairs: bool = True
     workers: int = 0
     anytime: bool = False
+    deadline: Optional[float] = None
+    max_memory: Optional[int] = None
+    degrade: bool = False
 
     def merged(self, overrides: Mapping[str, Any]) -> "CQAConfig":
         """A copy with *overrides* applied.
@@ -94,7 +107,8 @@ class CQAConfig:
         Traceback (most recent call last):
             ...
         TypeError: unknown CQA option(s): turbo; valid options are anytime, \
-estimate_repairs, max_states, method, null_is_unknown, repair_mode, workers
+deadline, degrade, estimate_repairs, max_memory, max_states, method, \
+null_is_unknown, repair_mode, workers
         """
 
         if not overrides:
@@ -113,7 +127,11 @@ estimate_repairs, max_states, method, null_is_unknown, repair_mode, workers
 
         ``anytime`` is deliberately absent: it changes *when* a certain
         answer can be decided, never what any query returns, so caching
-        per anytime flag would only split identical entries.
+        per anytime flag would only split identical entries.  The
+        resilience knobs (``deadline``, ``max_memory``, ``degrade``)
+        are absent for the same reason — a request that *completes*
+        returns the same answer under any budget, and a request that
+        does not never reaches the cache.
         """
 
         return (

@@ -68,6 +68,13 @@ class DirectEngine(CQAEngine):
         without finishing the search.  Open queries without a candidate
         tuple fall back (``None``): their answer *set* needs every
         repair anyway.
+
+        Under a ``degrade=True`` budget a truncated stream without a
+        counterexample returns the best-known answer ``True`` and
+        leaves ``session.last_degradation`` set — every repair proven
+        so far satisfied the candidate, but unexplored frontier could
+        still refute it; strict budgets raise instead.  A refutation
+        found *before* the budget ran out is exact either way.
         """
 
         config = config if config is not None else session.config
@@ -83,6 +90,11 @@ class DirectEngine(CQAEngine):
                     return False
             elif not query.holds(repair, null_is_unknown=config.null_is_unknown):
                 return False
+        if session.last_degradation is not None:
+            # Truncated without a counterexample: report the certified
+            # lower bound (True over everything proven), flagged by the
+            # session's degradation record.
+            return True
         if repair_count == 0:
             return False  # conflicting NNCs: no repairs, nothing is certain
         return True

@@ -300,6 +300,20 @@ _TRACER = Tracer()
 if os.environ.get(TRACE_ENV_VAR, "").strip().lower() in _TRUTHY:
     _TRACER.enabled = True
 
+#: The chaos harness's injection hook (:mod:`repro.resilience.faults`).
+#: Span boundaries are the stack's natural instrumentation points, so an
+#: armed harness sees every one of them — tracing enabled or not.  The
+#: disarmed cost is one global load and an ``is None`` check, covered by
+#: the same ≤ 5% overhead gate as the null span.
+_FAULT_HOOK: Optional[Any] = None
+
+
+def set_fault_hook(hook: Optional[Any]) -> None:
+    """Install (or with ``None`` remove) the span-boundary fault hook."""
+
+    global _FAULT_HOOK
+    _FAULT_HOOK = hook
+
 
 def tracer() -> Tracer:
     """The process-wide tracer."""
@@ -310,6 +324,8 @@ def tracer() -> Tracer:
 def span(name: str, **attributes: Any):
     """Open a span on the process-wide tracer (no-op when disabled)."""
 
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK(name)
     if not _TRACER.enabled:
         return _NULL_SPAN
     return Span(_TRACER, name, attributes)

@@ -1,0 +1,58 @@
+"""Deadlines, budgets, degradation, retries and chaos testing.
+
+The resilience layer is the substrate the ROADMAP's service front door
+sits on: every request gets a :class:`Budget` (wall-clock deadline,
+state budget, memory estimate, cooperative cancel) that propagates from
+the session boundary through the engines, the repair search, the
+compiled kernel and into parallel workers and the SQLite backend; on
+exhaustion the request either raises a typed
+:class:`~repro.errors.BudgetExceededError` (strict mode) or returns the
+partial answer already proven, tagged with a :class:`Degradation`
+record (``degrade=True``).  :class:`RetryPolicy` governs how the
+parallel scheduler survives worker crashes, and the
+:class:`FaultInjector` chaos harness drives the failure paths in tests.
+
+See ``docs/robustness.md`` for the semantics and
+``tests/chaos/`` for the invariant suite.
+"""
+
+from repro.resilience.budget import (
+    NULL_BUDGET,
+    Budget,
+    Degradation,
+    active,
+    using_budget,
+)
+from repro.resilience.faults import (
+    CHAOS_ENV_VAR,
+    FaultInjector,
+    FaultSpec,
+    arm,
+    arm_worker,
+    armed,
+    chaos,
+    chaos_enabled,
+    disarm,
+    worker_spec,
+)
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "Budget",
+    "Degradation",
+    "NULL_BUDGET",
+    "active",
+    "using_budget",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "FaultSpec",
+    "FaultInjector",
+    "CHAOS_ENV_VAR",
+    "arm",
+    "arm_worker",
+    "armed",
+    "chaos",
+    "chaos_enabled",
+    "disarm",
+    "worker_spec",
+]

@@ -1,0 +1,63 @@
+"""The retry policy of the fault-tolerant parallel search.
+
+One frozen :class:`RetryPolicy` describes how the scheduler in
+:mod:`repro.core.parallel` reacts to worker failures:
+
+* a task whose worker raised (or whose pool broke underneath it) is
+  retried up to ``max_attempts`` times, sleeping
+  ``backoff_base * backoff_factor**(attempt-1)`` (capped at
+  ``backoff_max``) before each retry — exponential backoff keeps a
+  crash-looping machine from spinning;
+* a broken pool (``BrokenProcessPool``: a worker was killed or died
+  un-picklably) is discarded and respawned, at most
+  ``max_pool_respawns`` times per search; after that every remaining
+  task runs inline in the driver;
+* a task that exhausts ``max_attempts`` is **quarantined**: re-run
+  inline in the driver process, where a deterministic failure
+  reproduces with a real traceback instead of dying silently in a
+  worker.  Task results are pure functions of (task, chunk budget), so
+  inline re-runs keep the merged repair list bit-identical.
+
+The defaults favour tests and interactive use (tens of milliseconds,
+not seconds); a service front door would install something slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed frontier tasks and broken pools are retried.
+
+    >>> policy = RetryPolicy()
+    >>> [round(policy.backoff(attempt), 3) for attempt in range(1, 5)]
+    [0.02, 0.04, 0.08, 0.16]
+    >>> RetryPolicy(backoff_max=0.05).backoff(10)
+    0.05
+    """
+
+    #: Times one task may run on a worker before quarantine (≥ 1).
+    max_attempts: int = 3
+    #: Sleep before the first retry, in seconds.
+    backoff_base: float = 0.02
+    #: Multiplier applied per further attempt.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single backoff sleep, in seconds.
+    backoff_max: float = 0.25
+    #: Pool respawns tolerated per search before falling back to inline
+    #: execution for everything still queued.
+    max_pool_respawns: int = 2
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before retry number *attempt* (1-based)."""
+
+        if attempt <= 0:
+            return 0.0
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        return min(delay, self.backoff_max)
+
+
+#: The policy used when a caller does not pass one.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -83,6 +83,7 @@ from repro.engines import CQAConfig, get_engine
 from repro.logic.queries import Query
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.resilience import Budget, Degradation, using_budget
 from repro.relational.domain import Constant
 from repro.relational.instance import DatabaseInstance, Fact
 from repro.relational.schema import DatabaseSchema
@@ -242,6 +243,9 @@ class ConsistentDatabase:
         estimate_repairs: bool = True,
         workers: int = 0,
         anytime: bool = False,
+        deadline: Optional[float] = None,
+        max_memory: Optional[int] = None,
+        degrade: bool = False,
     ):
         if source is None:
             self._instance = DatabaseInstance()
@@ -269,6 +273,9 @@ class ConsistentDatabase:
             estimate_repairs=estimate_repairs,
             workers=workers,
             anytime=anytime,
+            deadline=deadline,
+            max_memory=max_memory,
+            degrade=degrade,
         )
         get_engine(self._config.method)  # fail fast on an unknown default
         #: Name-independent structural fingerprint of the constraint set —
@@ -294,6 +301,10 @@ class ConsistentDatabase:
         #: Counters of the most recent repair search run by this session
         #: (``None`` until a repair-enumerating query executes uncached).
         self.last_repair_statistics: Optional[RepairStatistics] = None
+        #: The :class:`repro.resilience.Degradation` record of the most
+        #: recent degraded request, or ``None`` when the last budgeted
+        #: request (or any unbudgeted one) ran to completion.
+        self.last_degradation: Optional["Degradation"] = None
 
     # ------------------------------------------------------------------ state
     @property
@@ -668,6 +679,51 @@ class ConsistentDatabase:
         self.statistics.batches_rolled_back += 1
         _SESSION_ROLLED_BACK.inc()
 
+    # ------------------------------------------------------------------ budgets
+    def _budget_scope(self, config: CQAConfig):
+        """The ambient-budget context for one exact (non-streaming) request.
+
+        Builds a strict :class:`repro.resilience.Budget` from the
+        config's ``deadline``/``max_memory`` and installs it for the
+        call — every layer underneath (repair search, compiled kernel,
+        SQL backend) then checks it cooperatively and raises the typed
+        :class:`repro.errors.BudgetExceededError` on exhaustion.  Exact
+        surfaces never degrade: a partial answer set would be silently
+        wrong, so ``degrade=True`` only changes behaviour on the
+        streaming surfaces.  No-op when no knob is set, or when an
+        outer scope already installed a budget (a nested scope would
+        restart the deadline clock).
+        """
+
+        from repro.resilience import budget as _budget_module
+
+        if (
+            (config.deadline is None and config.max_memory is None)
+            or _budget_module.active()
+        ):
+            return using_budget(None)
+        return using_budget(
+            Budget(deadline=config.deadline, max_memory=config.max_memory)
+        )
+
+    def cancel_budget(self) -> bool:
+        """Cooperatively cancel the currently running budgeted request.
+
+        Intended to be called from another thread (or a signal
+        handler): the active request observes the flag at its next
+        checkpoint and raises
+        :class:`repro.errors.QueryCancelledError` (or degrades, on a
+        degrade-mode stream).  Returns False when no budget is active.
+        """
+
+        from repro.resilience import budget as _budget_module
+
+        active = _budget_module.active()
+        if not active:
+            return False
+        active.cancel()
+        return True
+
     # ------------------------------------------------------------------ queries
     def report(self, query: Query, **overrides: Any) -> CQAResult:
         """Consistent answers plus repair statistics (the full CQAResult).
@@ -717,7 +773,8 @@ class ConsistentDatabase:
         with _trace.span("session.report") as sp:
             if sp:
                 sp.add(query=str(query), method=config.method)
-            result = engine.answers_report(self, query, config)
+            with self._budget_scope(config):
+                result = engine.answers_report(self, query, config)
         self._cache.put(key, result)
         return self._result_copy(result)
 
@@ -985,16 +1042,42 @@ class ConsistentDatabase:
 
         from repro.core.parallel import AnytimeRepairStream, ParallelRepairSearch
 
+        budget: Optional[Budget] = None
+        if (
+            config.deadline is not None
+            or config.max_memory is not None
+            or config.degrade
+        ):
+            # Degrade mode moves the state cap into the budget (so running
+            # out yields a flagged partial stream instead of the strict
+            # RepairSearchBudgetExceeded the search would raise itself).
+            budget = Budget(
+                deadline=config.deadline,
+                max_states=config.max_states if config.degrade else None,
+                max_memory=config.max_memory,
+                degrade=config.degrade,
+            )
         snapshot = self._instance.copy()
         search = ParallelRepairSearch(
             snapshot,
             self._constraints,
             workers=config.workers,
-            max_states=config.max_states,
+            max_states=None if config.degrade else config.max_states,
             violation_index=self._violation_index,
+            budget=budget,
         )
         stream = AnytimeRepairStream(search, schema=snapshot.schema)
-        yield from stream
+        self.last_degradation = None
+        try:
+            # The finally also covers *abandonment*: closing this generator
+            # early (GeneratorExit) must reap the search's worker pool, not
+            # leak it — AnytimeRepairStream's own teardown runs first via
+            # the yield-from chain, this is the defensive second layer.
+            yield from stream
+        finally:
+            search.close()
+        if stream.degradation is not None:
+            self.last_degradation = stream.degradation
         if stream.ordered_repairs is not None:
             search.statistics.repairs_found = len(stream.ordered_repairs)
             self.last_repair_statistics = search.statistics
@@ -1077,12 +1160,14 @@ class ConsistentDatabase:
             seed = (
                 self._ensure_tracker() if config.repair_mode == "incremental" else None
             )
-            found = engine.repairs(self._instance, seed_tracker=seed)
+            with self._budget_scope(config):
+                found = engine.repairs(self._instance, seed_tracker=seed)
             self.last_repair_statistics = engine.statistics
         else:
             from repro.core.repair_program import program_repairs
 
-            found = program_repairs(self._instance, self._constraints).repairs
+            with self._budget_scope(config):
+                found = program_repairs(self._instance, self._constraints).repairs
         self._cache.put(key, found)
         return found
 

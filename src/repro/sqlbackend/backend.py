@@ -38,6 +38,7 @@ from repro.core.relevant import relevant_body_variables, relevant_positions
 from repro.logic.queries import ConjunctiveQuery
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.resilience import budget as _budget
 from repro.sqlbackend.ddl import create_table_statements, insert_statements
 
 
@@ -271,16 +272,39 @@ class SQLiteBackend:
 
     # ------------------------------------------------------------------ queries
     def execute(self, sql: str) -> List[Tuple[object, ...]]:
-        """Run raw SQL and fetch all rows (the single statement funnel)."""
+        """Run raw SQL and fetch all rows (the single statement funnel).
+
+        When an ambient request budget is active
+        (:func:`repro.resilience.budget.active`), a SQLite progress
+        handler polls it every few thousand VM instructions and aborts
+        the statement on exhaustion — real mid-statement cancellation,
+        surfaced as the budget's typed
+        :class:`~repro.errors.BudgetExceededError` instead of SQLite's
+        ``OperationalError: interrupted``.
+        """
 
         _metrics.counter(
             "repro_sql_statements_total", "SQL statements executed on the mirror"
         ).inc()
-        with _trace.span("sql.execute") as sp:
-            cursor = self._connection.cursor()
-            rows = list(cursor.execute(sql).fetchall())
-            if sp:
-                sp.add(sql=sql[:200], rows=len(rows))
+        budget = _budget.active()
+        if budget:
+            self._connection.set_progress_handler(
+                lambda: 1 if budget.exhausted() else 0, 4000
+            )
+        try:
+            with _trace.span("sql.execute") as sp:
+                cursor = self._connection.cursor()
+                try:
+                    rows = list(cursor.execute(sql).fetchall())
+                except sqlite3.OperationalError as error:
+                    if budget and "interrupt" in str(error).lower():
+                        raise budget.error() from error
+                    raise
+                if sp:
+                    sp.add(sql=sql[:200], rows=len(rows))
+        finally:
+            if budget:
+                self._connection.set_progress_handler(None, 0)
         return rows
 
     def violations(self, constraint: AnyConstraint) -> List[Tuple[object, ...]]:

@@ -1,0 +1,25 @@
+"""Chaos-suite fixtures: disarm between tests, assert no process leaks."""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.resilience import disarm
+
+
+@pytest.fixture(autouse=True)
+def chaos_hygiene():
+    """Every chaos test ends disarmed and with every worker reaped."""
+
+    yield
+    disarm()
+    deadline = time.monotonic() + 2.0
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return
+        time.sleep(0.02)
+    leaked = multiprocessing.active_children()
+    for child in leaked:
+        child.terminate()
+    pytest.fail(f"chaos test leaked worker processes: {leaked}")

@@ -1,0 +1,105 @@
+"""Rollback coverage for ``ConsistentDatabase.batch()`` under engine errors.
+
+The transactional contract: whatever raises inside the block — a caller
+bug, an engine raising mid-batch (budget exceeded, search overflow) —
+every mutation of the block is undone on both the instance and the warm
+violation tracker, and the session keeps answering correctly afterwards.
+"""
+
+import pytest
+
+from repro import ConsistentDatabase, parse_constraint, parse_query
+from repro.errors import DeadlineExceededError
+from repro.relational.instance import Fact
+
+KEY = parse_constraint("Emp(e, d), Emp(e, f) -> d = f")
+
+
+def fresh_db():
+    return ConsistentDatabase(
+        {"Emp": [("e1", "sales"), ("e2", "hr")]}, [KEY], method="direct"
+    )
+
+
+class TestEngineRaisesMidBatch:
+    def test_budget_error_mid_batch_rolls_back(self):
+        db = fresh_db()
+        facts_before = set(db.facts())
+        with pytest.raises(DeadlineExceededError):
+            with db.batch():
+                db.insert("Emp", ("e1", "ops"))  # introduces a violation
+                db.insert("Emp", ("e3", "dev"))
+                # The engine raising inside the block is exactly an
+                # exception inside the block: the batch must roll back.
+                db.report(parse_query("ans(e) <- Emp(e, d)"), deadline=1e-9)
+        assert set(db.facts()) == facts_before
+        assert db.is_consistent()
+
+    def test_search_overflow_mid_batch_rolls_back(self):
+        db = fresh_db()
+        facts_before = set(db.facts())
+        with pytest.raises(RuntimeError):  # RepairSearchBudgetExceeded
+            with db.batch():
+                for i in range(6):
+                    db.insert("Emp", (f"x{i}", "a"))
+                    db.insert("Emp", (f"x{i}", "b"))
+                db.report(parse_query("ans(e) <- Emp(e, d)"), max_states=3)
+        assert set(db.facts()) == facts_before
+
+    def test_tracker_consistent_after_engine_error_rollback(self):
+        db = fresh_db()
+        _ = db.violation_count()  # warm the tracker before the batch
+        with pytest.raises(DeadlineExceededError):
+            with db.batch():
+                db.insert("Emp", ("e1", "ops"))
+                db.report(parse_query("ans(e) <- Emp(e, d)"), deadline=1e-9)
+        # The reverted tracker must agree with a cold rebuild.
+        assert db.violation_count() == 0
+        assert db.is_consistent()
+        db.insert("Emp", ("e2", "legal"))  # incremental updates still work
+        assert db.violation_count() == 2  # one conflicting pair, both orders
+
+    def test_answers_unaffected_by_rolled_back_batch(self):
+        db = fresh_db()
+        query = parse_query("ans(e) <- Emp(e, d)")
+        before = db.consistent_answers(query)
+        with pytest.raises(DeadlineExceededError):
+            with db.batch():
+                db.delete("Emp", ("e2", "hr"))
+                db.report(query, deadline=1e-9)
+        assert db.consistent_answers(query) == before
+
+
+class TestRollbackMechanics:
+    def test_mixed_inserts_and_deletes_roll_back_in_order(self):
+        db = fresh_db()
+        facts_before = set(db.facts())
+        with pytest.raises(ValueError):
+            with db.batch():
+                db.delete("Emp", ("e1", "sales"))
+                db.insert("Emp", ("e1", "ops"))
+                db.insert("Emp", ("e9", "new"))
+                db.delete("Emp", ("e2", "hr"))
+                raise ValueError("caller bug")
+        assert set(db.facts()) == facts_before
+
+    def test_rollback_counts_in_statistics(self):
+        db = fresh_db()
+        with pytest.raises(ValueError):
+            with db.batch():
+                db.insert("Emp", ("e9", "new"))
+                raise ValueError("boom")
+        assert db.statistics.batches_rolled_back == 1
+        assert db.statistics.mutations == 0  # the gross count was netted out
+
+    def test_tracker_built_mid_batch_is_discarded_not_corrupted(self):
+        # Mutations recorded before the tracker exists cannot be reverted
+        # delta-wise; the rollback must fall back to a full rebuild.
+        db = fresh_db()  # tracker not yet built
+        with pytest.raises(ValueError):
+            with db.batch():
+                db.insert("Emp", ("e1", "ops"))
+                _ = db.violation_count()  # builds the tracker mid-batch
+                raise ValueError("boom")
+        assert Fact("Emp", ("e1", "ops")) not in db
+        assert db.is_consistent()

@@ -1,0 +1,118 @@
+"""Unit tests of the chaos harness: deterministic injection, arming, gating."""
+
+import pytest
+
+from repro.errors import FaultInjectedError
+from repro.obs import trace
+from repro.resilience import FaultSpec, arm, arm_worker, armed, chaos, disarm
+from repro.resilience import faults as faults_module
+
+
+@pytest.fixture(autouse=True)
+def always_disarm():
+    yield
+    disarm()
+
+
+class TestFaultSpec:
+    def test_validates_kinds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(seed=1, kinds=("exception", "meteor"))
+
+    def test_picklable(self):
+        import pickle
+
+        spec = FaultSpec(seed=7, rate=0.5)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestFaultInjector:
+    def test_deterministic_per_seed_and_salt(self):
+        def decisions(seed, salt, events=200):
+            injector = faults_module.FaultInjector(
+                FaultSpec(seed=seed, rate=0.3, kinds=("delay",), delay_seconds=0.0,
+                          max_faults=10**9),
+                salt=salt,
+                allow_kill=True,
+            )
+            fired = []
+            for index in range(events):
+                before = injector.fired
+                injector.on_span(f"span-{index}")
+                fired.append(injector.fired > before)
+            return fired
+
+        assert decisions(1, 0) == decisions(1, 0)
+        assert decisions(1, 0) != decisions(2, 0)
+        assert decisions(1, 0) != decisions(1, 99)
+
+    def test_max_faults_caps_firing(self):
+        injector = faults_module.FaultInjector(
+            FaultSpec(seed=3, rate=1.0, kinds=("delay",), delay_seconds=0.0,
+                      max_faults=4),
+            allow_kill=True,
+        )
+        for index in range(100):
+            injector.on_span(f"s{index}")
+        assert injector.fired == 4
+        assert injector.events == 100
+
+    def test_driver_never_raises_or_kills(self):
+        # allow_kill=False coerces every draw to a delay.
+        injector = faults_module.FaultInjector(
+            FaultSpec(seed=5, rate=1.0, kinds=("exception", "kill"),
+                      delay_seconds=0.0, max_faults=10),
+            allow_kill=False,
+        )
+        for index in range(20):
+            injector.on_span(f"s{index}")  # must not raise
+        assert injector.fired == 10
+
+    def test_worker_exception_kind(self):
+        injector = faults_module.FaultInjector(
+            FaultSpec(seed=5, rate=1.0, kinds=("exception",), max_faults=1),
+            allow_kill=True,
+        )
+        with pytest.raises(FaultInjectedError):
+            for index in range(10):
+                injector.on_span(f"s{index}")
+
+
+class TestArming:
+    def test_chaos_context_arms_and_disarms(self):
+        spec = FaultSpec(seed=11, rate=0.0)
+        assert armed() is None
+        with chaos(spec) as injector:
+            assert armed() is injector
+            assert faults_module.worker_spec() == spec
+        assert armed() is None
+        assert faults_module.worker_spec() is None
+
+    def test_span_consults_injector_when_armed(self):
+        spec = FaultSpec(seed=13, rate=0.0)
+        with chaos(spec) as injector:
+            trace.span("probe.one")
+            trace.span("probe.two")
+            assert injector.events == 2
+
+    def test_span_pays_nothing_when_disarmed(self):
+        # Structural: the hook slot is None, the disabled path unchanged.
+        assert trace._FAULT_HOOK is None
+        spans = {id(trace.span("x")) for _ in range(10)}
+        assert len(spans) == 1  # still the shared null span
+
+    def test_arm_worker_salts_by_pid(self):
+        injector = arm_worker(FaultSpec(seed=17, rate=0.5))
+        assert injector.allow_kill is True
+        driver = arm(FaultSpec(seed=17, rate=0.5))
+        assert driver.allow_kill is False
+
+
+class TestChaosGate:
+    def test_chaos_enabled_reads_env(self, monkeypatch):
+        monkeypatch.delenv(faults_module.CHAOS_ENV_VAR, raising=False)
+        assert not faults_module.chaos_enabled()
+        monkeypatch.setenv(faults_module.CHAOS_ENV_VAR, "1")
+        assert faults_module.chaos_enabled()
+        monkeypatch.setenv(faults_module.CHAOS_ENV_VAR, "off")
+        assert not faults_module.chaos_enabled()

@@ -1,0 +1,31 @@
+"""Unit tests of the retry/backoff policy."""
+
+import pytest
+
+from repro.resilience import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+def test_default_policy_values():
+    assert DEFAULT_RETRY_POLICY.max_attempts >= 2
+    assert DEFAULT_RETRY_POLICY.max_pool_respawns >= 1
+
+
+def test_backoff_grows_exponentially():
+    policy = RetryPolicy(backoff_base=0.02, backoff_factor=2.0, backoff_max=10.0)
+    delays = [policy.backoff(attempt) for attempt in range(1, 5)]
+    assert delays == [0.02, 0.04, 0.08, 0.16]
+
+
+def test_backoff_is_capped():
+    policy = RetryPolicy(backoff_base=0.1, backoff_factor=10.0, backoff_max=0.5)
+    assert policy.backoff(10) == 0.5
+
+
+def test_backoff_of_nonpositive_attempt_is_zero():
+    assert RetryPolicy().backoff(0) == 0.0
+    assert RetryPolicy().backoff(-3) == 0.0
+
+
+def test_policy_is_frozen():
+    with pytest.raises(Exception):
+        RetryPolicy().max_attempts = 99
