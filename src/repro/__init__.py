@@ -15,7 +15,8 @@ The primary entry point is :class:`repro.session.ConsistentDatabase`: a
 stateful session built from an instance (or a plain mapping) plus a
 constraint set.  It absorbs mutations while keeping its violation
 tracker warm, answers queries through a registry of pluggable engines
-(``"direct"``, ``"program"``, ``"rewriting"``, ``"auto"``, ``"sqlite"``)
+(``"direct"``, ``"program"``, ``"rewriting"``, ``"independent"``,
+``"auto"``, ``"sqlite"``)
 and caches plans, rewritings, repair lists and answers across calls —
 repeating a query on an unchanged database costs one dictionary probe.
 
@@ -174,6 +175,15 @@ from repro.engines import (
     register_engine,
 )
 from repro.session import CacheInfo, ConsistentDatabase, SessionStatistics
+from repro.analysis import (
+    AnalysisReport,
+    ConstraintProgramError,
+    Diagnostic,
+    QueryNotIndependentError,
+    Severity,
+    analyze,
+    is_independent,
+)
 from repro.compile.kernel import (
     CompiledProgram,
     compiled_constraint,
@@ -202,7 +212,7 @@ from repro.resilience import (
     using_budget,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -295,6 +305,14 @@ __all__ = [
     "build_repair_program",
     "program_repairs",
     "database_from_model",
+    # static analysis
+    "analyze",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "ConstraintProgramError",
+    "QueryNotIndependentError",
+    "is_independent",
     # observability
     "ExplainReport",
     "FakeClock",

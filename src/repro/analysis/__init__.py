@@ -1,0 +1,55 @@
+"""Static semantic analysis of constraint programs.
+
+The admission-control layer of the stack: everything the paper decides
+*before* touching data — RIC-acyclicity (Definition 1), the
+non-conflicting condition (Section 4), rewriting-fragment membership,
+and constraint–query independence — reported as structured
+:class:`Diagnostic` records with stable codes instead of opaque
+exception strings.
+
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` /
+  :class:`AnalysisReport` vocabulary and the code catalog;
+* :mod:`repro.analysis.analyzer` — :func:`analyze`, the checks;
+* :mod:`repro.analysis.independence` — the ``I302`` fast path predicate
+  used by the planner and the ``"independent"`` engine.
+
+Entry points: :meth:`repro.session.ConsistentDatabase.check` /
+``.analyze()`` for sessions, ``python -m repro.lint`` for files, and
+:func:`analyze` directly for programmatic use.
+"""
+
+from repro.analysis.analyzer import analyze, fragment_exclusion, static_truth
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    CodeInfo,
+    ConstraintProgramError,
+    Diagnostic,
+    Severity,
+    make_diagnostic,
+)
+from repro.analysis.independence import (
+    QueryNotIndependentError,
+    affected_predicates,
+    independence_diagnostic,
+    is_independent,
+    query_predicates,
+)
+
+__all__ = [
+    "CODES",
+    "AnalysisReport",
+    "CodeInfo",
+    "ConstraintProgramError",
+    "Diagnostic",
+    "QueryNotIndependentError",
+    "Severity",
+    "affected_predicates",
+    "analyze",
+    "fragment_exclusion",
+    "independence_diagnostic",
+    "is_independent",
+    "make_diagnostic",
+    "query_predicates",
+    "static_truth",
+]

@@ -1,0 +1,379 @@
+"""The static semantic analyzer for constraint programs.
+
+:func:`analyze` runs every check over a :class:`ConstraintSet` (and
+optionally a query) and returns an :class:`AnalysisReport` of structured
+:class:`Diagnostic` records — no data access, no exceptions for findings.
+The checks mirror the paper's static admission conditions:
+
+* **E101 ric-cycle** — Definition 1's RIC-acyclicity on the contracted
+  dependency graph (one diagnostic per simple cycle, listing it);
+* **E102 conflicting-set** — Section 4's non-conflicting condition (one
+  diagnostic per offending NOT-NULL constraint);
+* **E103 arity-mismatch** — a predicate used with two different arities
+  across constraints (or between constraints and the query), the classic
+  source of late ``KeyError``/index errors deep in evaluation;
+* **W201/W204** — consequents decidable without data: statically false
+  (a disguised denial) or statically true (the constraint never fires);
+* **W202 shadowed-fd** — an FD implied by another FD on the same
+  attribute with a strictly smaller determinant;
+* **W203 duplicate-constraint** — structurally identical constraints
+  (per :func:`repro.core.repairs.constraint_structural_key`);
+* **I301 rewriting-fragment-exclusion** — with a query: the pair falls
+  outside the first-order rewriting fragment, carrying the precise
+  interaction-freedom ``clause`` violated;
+* **I302 constraint-query-independence** — with a query: no constraint
+  touches the query's predicates, so plain evaluation is already the
+  consistent answer (:mod:`repro.analysis.independence`).
+
+``analyze`` never raises on findings; callers wanting a gate use
+``report.raise_for_errors()`` (e.g. ``ConsistentDatabase.check(strict=True)``
+or the ``python -m repro.lint`` CLI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analysis.diagnostics import (
+    ARITY_MISMATCH,
+    CONFLICTING_SET,
+    DUPLICATE_CONSTRAINT,
+    FRAGMENT_EXCLUSION,
+    RIC_CYCLE,
+    SHADOWED_FD,
+    TAUTOLOGICAL_CONSTRAINT,
+    UNSATISFIABLE_CONSTRAINT,
+    AnalysisReport,
+    Diagnostic,
+    make_diagnostic,
+    sorted_report,
+)
+from repro.analysis.independence import independence_diagnostic
+from repro.constraints.atoms import Atom, BuiltinEvaluationError, Comparison
+from repro.constraints.ic import (
+    AnyConstraint,
+    ConstraintSet,
+    IntegrityConstraint,
+    NotNullConstraint,
+)
+from repro.constraints.terms import is_variable
+from repro.logic.queries import ConjunctiveQuery, Query
+from repro.relational.domain import is_null
+
+
+def analyze(
+    constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
+    query: Optional[Query] = None,
+) -> AnalysisReport:
+    """Statically analyze *constraints* (and optionally *query*).
+
+    Purely syntactic/structural — no database instance is consulted.
+    With a query, the fragment-membership and independence checks run
+    too, so the report answers both "is this constraint program sane?"
+    and "how will this (constraints, query) pair be evaluated?".
+
+    >>> from repro.constraints.parser import parse_constraints
+    >>> report = analyze(parse_constraints(
+    ...     ["Emp(e, d) -> Boss(d, m)", "Boss(d, m) -> Emp(m, d)"]))
+    >>> report.codes()
+    ('E101',)
+    """
+
+    constraint_set = (
+        constraints
+        if isinstance(constraints, ConstraintSet)
+        else ConstraintSet(list(constraints))
+    )
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(_check_ric_cycles(constraint_set))
+    diagnostics.extend(_check_conflicting(constraint_set))
+    diagnostics.extend(_check_arities(constraint_set, query))
+    diagnostics.extend(_check_static_consequents(constraint_set))
+    diagnostics.extend(_check_shadowed_fds(constraint_set))
+    diagnostics.extend(_check_duplicates(constraint_set))
+    if query is not None:
+        diagnostics.extend(_check_query(constraint_set, query))
+    return sorted_report(iter(diagnostics))
+
+
+# ----------------------------------------------------------------- constraint checks
+def _check_ric_cycles(constraints: ConstraintSet) -> List[Diagnostic]:
+    """E101: one diagnostic per simple cycle of the contracted graph."""
+
+    if constraints.is_ric_acyclic():
+        return []
+    from repro.constraints.dependency_graph import ric_cycles
+
+    diagnostics: List[Diagnostic] = []
+    for cycle in ric_cycles(constraints):
+        names = [" / ".join(sorted(component)) for component in cycle]
+        path = " → ".join(names + names[:1])
+        diagnostics.append(
+            make_diagnostic(
+                RIC_CYCLE,
+                "the referential constraints are RIC-cyclic (Definition 1 "
+                f"fails): {path}; insertion cascades may not terminate and "
+                "the first-order rewriting is inapplicable",
+                subject=path,
+                cycle=[sorted(component) for component in cycle],
+            )
+        )
+    return diagnostics
+
+
+def _check_conflicting(constraints: ConstraintSet) -> List[Diagnostic]:
+    """E102: one diagnostic per NNC protecting an existential attribute."""
+
+    diagnostics: List[Diagnostic] = []
+    if constraints.is_non_conflicting():
+        return diagnostics
+    existential_sources: Dict[Tuple[str, int], List[IntegrityConstraint]] = {}
+    for ic in constraints.integrity_constraints:
+        exist = ic.existential_variables()
+        for atom in ic.head_atoms:
+            for position, term in enumerate(atom.terms):
+                if is_variable(term) and term in exist:
+                    existential_sources.setdefault((atom.predicate, position), []).append(ic)
+    for nnc in constraints.conflicting_not_nulls():
+        sources = existential_sources.get((nnc.predicate, nnc.position), [])
+        diagnostics.append(
+            make_diagnostic(
+                CONFLICTING_SET,
+                f"NOT NULL protects {nnc.predicate}[{nnc.position + 1}], which "
+                "is existentially quantified in "
+                f"{'; '.join(repr(ic) for ic in sources) or 'some constraint'}: "
+                "the set is conflicting (Section 4) and repairs need not exist "
+                "(Example 20)",
+                constraint=nnc,
+                subject=f"{nnc.predicate}[{nnc.position + 1}]",
+            )
+        )
+    return diagnostics
+
+
+def _check_arities(
+    constraints: ConstraintSet, query: Optional[Query]
+) -> List[Diagnostic]:
+    """E103: a predicate used with two different arities anywhere."""
+
+    usages: Dict[str, Dict[int, List[str]]] = {}
+
+    def record(predicate: str, arity: int, source: str) -> None:
+        usages.setdefault(predicate, {}).setdefault(arity, []).append(source)
+
+    for constraint in constraints:
+        if isinstance(constraint, IntegrityConstraint):
+            for atom in constraint.body + constraint.head_atoms:
+                record(atom.predicate, atom.arity, repr(constraint))
+        elif constraint.arity is not None:
+            record(constraint.predicate, constraint.arity, repr(constraint))
+    query_atoms: Tuple[Atom, ...] = ()
+    if isinstance(query, ConjunctiveQuery):
+        query_atoms = query.positive_atoms + query.negative_atoms
+        for atom in query_atoms:
+            record(atom.predicate, atom.arity, f"query {query!r}")
+
+    diagnostics: List[Diagnostic] = []
+    for predicate in sorted(usages):
+        by_arity = usages[predicate]
+        if len(by_arity) > 1:
+            described = "; ".join(
+                f"arity {arity} in {by_arity[arity][0]}" for arity in sorted(by_arity)
+            )
+            diagnostics.append(
+                make_diagnostic(
+                    ARITY_MISMATCH,
+                    f"predicate {predicate} is used with "
+                    f"{len(by_arity)} different arities: {described}",
+                    subject=predicate,
+                    arities=sorted(by_arity),
+                )
+            )
+    # An unsized NOT NULL whose position falls outside the arity every
+    # other use agrees on would KeyError at evaluation time; flag it now.
+    for nnc in constraints.not_null_constraints:
+        if nnc.arity is not None:
+            continue
+        by_arity = usages.get(nnc.predicate, {})
+        if len(by_arity) == 1:
+            (arity,) = by_arity
+            if nnc.position >= arity:
+                diagnostics.append(
+                    make_diagnostic(
+                        ARITY_MISMATCH,
+                        f"NOT NULL position {nnc.predicate}[{nnc.position + 1}] is "
+                        f"out of range: every other use of {nnc.predicate} has "
+                        f"arity {arity}",
+                        constraint=nnc,
+                        subject=f"{nnc.predicate}[{nnc.position + 1}]",
+                    )
+                )
+    return diagnostics
+
+
+def static_truth(comparison: Comparison) -> Optional[bool]:
+    """Decide *comparison* without data, or ``None`` when it depends on values.
+
+    Same-variable comparisons decide by reflexivity; ground constant
+    comparisons evaluate directly (null-involving and ill-typed ones stay
+    undecided — their truth depends on the ``null_is_unknown`` convention
+    or raises at runtime).
+    """
+
+    left, right = comparison.left, comparison.right
+    if is_variable(left) and is_variable(right):
+        if left == right:
+            return comparison.op in ("=", "<=", ">=")
+        return None
+    if is_variable(left) or is_variable(right):
+        return None
+    if is_null(left) or is_null(right):
+        return None  # convention-dependent (null_is_unknown)
+    try:
+        return comparison.evaluate({})
+    except BuiltinEvaluationError:
+        return None
+
+
+def _check_static_consequents(constraints: ConstraintSet) -> List[Diagnostic]:
+    """W201 (statically false consequent) / W204 (statically true disjunct)."""
+
+    diagnostics: List[Diagnostic] = []
+    for ic in constraints.integrity_constraints:
+        if not ic.head_comparisons:
+            continue
+        truths = [static_truth(comparison) for comparison in ic.head_comparisons]
+        true_comparisons = [
+            comparison
+            for comparison, truth in zip(ic.head_comparisons, truths)
+            if truth is True
+        ]
+        if true_comparisons:
+            diagnostics.append(
+                make_diagnostic(
+                    TAUTOLOGICAL_CONSTRAINT,
+                    f"the consequent disjunct {true_comparisons[0]!r} is "
+                    "statically true, so the constraint can never be violated "
+                    "and has no effect",
+                    constraint=ic,
+                )
+            )
+            continue
+        if not ic.head_atoms and all(truth is False for truth in truths):
+            diagnostics.append(
+                make_diagnostic(
+                    UNSATISFIABLE_CONSTRAINT,
+                    "every consequent disjunct is statically false: the "
+                    "constraint is a disguised denial that deletes every "
+                    "matching fact — if that is intended, write it as a "
+                    "denial (→ false)",
+                    constraint=ic,
+                )
+            )
+    return diagnostics
+
+
+def _check_shadowed_fds(constraints: ConstraintSet) -> List[Diagnostic]:
+    """W202: an FD implied by another FD with a strictly smaller determinant."""
+
+    from repro.rewriting.fragment import FDInfo, fd_shape
+
+    fds: List[FDInfo] = []
+    for ic in constraints.integrity_constraints:
+        info = fd_shape(ic)
+        if info is not None:
+            fds.append(info)
+    diagnostics: List[Diagnostic] = []
+    for shadowed in fds:
+        for implying in fds:
+            if (
+                implying is not shadowed
+                and implying.predicate == shadowed.predicate
+                and implying.dependent == shadowed.dependent
+                and set(implying.determinant) < set(shadowed.determinant)
+            ):
+                diagnostics.append(
+                    make_diagnostic(
+                        SHADOWED_FD,
+                        f"the FD {shadowed.constraint!r} is implied by "
+                        f"{implying.constraint!r}, whose determinant "
+                        f"{implying.determinant} is a strict subset of "
+                        f"{shadowed.determinant}: it adds no repairs and only "
+                        "widens the key family past the rewriting fragment",
+                        constraint=shadowed.constraint,
+                        subject=shadowed.predicate,
+                    )
+                )
+                break
+    return diagnostics
+
+
+def _check_duplicates(constraints: ConstraintSet) -> List[Diagnostic]:
+    """W203: structurally identical constraints (name-independent)."""
+
+    from repro.core.repairs import constraint_structural_key
+
+    groups: Dict[object, List[AnyConstraint]] = {}
+    for constraint in constraints:
+        groups.setdefault(constraint_structural_key(constraint), []).append(constraint)
+    diagnostics: List[Diagnostic] = []
+    for group in groups.values():
+        if len(group) > 1:
+            diagnostics.append(
+                make_diagnostic(
+                    DUPLICATE_CONSTRAINT,
+                    f"{len(group)} structurally identical constraints: "
+                    f"{'; '.join(repr(c) for c in group)} — duplicates change "
+                    "no repairs but pay repeated violation checks",
+                    constraint=group[0],
+                    count=len(group),
+                )
+            )
+    return diagnostics
+
+
+# ----------------------------------------------------------------- query checks
+def _check_query(constraints: ConstraintSet, query: Query) -> List[Diagnostic]:
+    """I302 independence and, when dependent, I301 fragment membership."""
+
+    diagnostics: List[Diagnostic] = []
+    independence = independence_diagnostic(constraints, query)
+    if independence is not None:
+        diagnostics.append(independence)
+        return diagnostics
+
+    from repro.rewriting.fragment import RewritingUnsupportedError
+    from repro.rewriting.rewriter import rewrite_query
+
+    try:
+        rewrite_query(query, constraints)
+    except RewritingUnsupportedError as error:
+        exclusion = error.diagnostic
+        # The cyclic / conflicting clauses are already reported as E101 /
+        # E102 above; repeating them as an I301 would be noise.
+        if error.clause not in ("ric-cyclic", "conflicting-set"):
+            diagnostics.append(exclusion)
+    return diagnostics
+
+
+def fragment_exclusion(
+    reason: str,
+    *,
+    clause: Optional[str],
+    constraint: Optional[AnyConstraint] = None,
+    subject: Optional[str] = None,
+) -> Diagnostic:
+    """The I301 diagnostic for one fragment-exclusion *reason* and *clause*.
+
+    Used by :class:`repro.rewriting.RewritingUnsupportedError` to
+    materialise its structured payload lazily (the error class cannot
+    import this package at module level without a cycle).
+    """
+
+    return make_diagnostic(
+        FRAGMENT_EXCLUSION,
+        reason,
+        constraint=constraint,
+        subject=subject,
+        clause=clause or "unclassified",
+    )

@@ -1,0 +1,315 @@
+"""Typed diagnostics for static analysis of constraint programs.
+
+Every check of :mod:`repro.analysis.analyzer` — and every construction- or
+planning-time rejection elsewhere in the stack — reports through one
+shared vocabulary: a :class:`Diagnostic` with a stable code, a severity,
+the offending constraint, and a human-readable explanation.  Codes are
+append-only so downstream tooling (the ``python -m repro.lint`` gate, CI,
+dashboards) can match on them without parsing prose:
+
+========  ========================  ========  =============================================
+Code      Slug                      Severity  Meaning
+========  ========================  ========  =============================================
+``E100``  parse-error               error     the constraint text does not parse
+``E101``  ric-cycle                 error     the referential constraints are RIC-cyclic
+                                              (Definition 1 fails; repairs may not exist)
+``E102``  conflicting-set           error     a NOT NULL protects an existentially
+                                              quantified attribute (Section 4); the set is
+                                              conflicting and repairs need not exist
+``E103``  arity-mismatch            error     one predicate is used with two different
+                                              arities
+``E104``  malformed-constraint      error     a constraint is structurally ill-formed
+                                              (vacuous FD, duplicate key positions, ...)
+``W201``  unsatisfiable-constraint  warning   the consequent is statically false — a
+                                              disguised denial deleting every matching fact
+``W202``  shadowed-fd               warning   an FD is implied by another FD with a smaller
+                                              determinant on the same attribute
+``W203``  duplicate-constraint      warning   two constraints are structurally identical
+``W204``  tautological-constraint   warning   the consequent is statically true — the
+                                              constraint can never be violated
+``I301``  rewriting-fragment-       info      the pair is outside the first-order rewriting
+          exclusion                           fragment; ``clause`` names the precise
+                                              interaction-freedom condition violated
+``I302``  constraint-query-         info      no constraint can touch the query's
+          independence                        predicates; consistent answers equal plain
+                                              answers (the independence fast path)
+========  ========================  ========  =============================================
+
+The module is a dependency leaf: it imports nothing from the rest of the
+package at module level, so construction-time code (``constraints/ic.py``,
+the parser, the fragment checker) can attach diagnostics to its existing
+typed errors without import cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Mapping, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.constraints.ic import AnyConstraint
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` means the constraint program should be rejected (the lint
+    gate exits non-zero); ``WARNING`` flags likely mistakes that do not
+    change soundness; ``INFO`` records static facts the planner exploits.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first, infos last."""
+
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Catalog entry for one stable diagnostic code."""
+
+    code: str
+    slug: str
+    severity: Severity
+    summary: str
+
+
+PARSE_ERROR = "E100"
+RIC_CYCLE = "E101"
+CONFLICTING_SET = "E102"
+ARITY_MISMATCH = "E103"
+MALFORMED_CONSTRAINT = "E104"
+UNSATISFIABLE_CONSTRAINT = "W201"
+SHADOWED_FD = "W202"
+DUPLICATE_CONSTRAINT = "W203"
+TAUTOLOGICAL_CONSTRAINT = "W204"
+FRAGMENT_EXCLUSION = "I301"
+QUERY_INDEPENDENCE = "I302"
+
+#: The append-only catalog of every diagnostic code the analyzer and the
+#: construction-time validators may emit.
+CODES: Mapping[str, CodeInfo] = {
+    info.code: info
+    for info in (
+        CodeInfo(PARSE_ERROR, "parse-error", Severity.ERROR, "constraint text does not parse"),
+        CodeInfo(
+            RIC_CYCLE,
+            "ric-cycle",
+            Severity.ERROR,
+            "referential constraints form a cycle (Definition 1 fails)",
+        ),
+        CodeInfo(
+            CONFLICTING_SET,
+            "conflicting-set",
+            Severity.ERROR,
+            "a NOT NULL protects an existentially quantified attribute (Section 4)",
+        ),
+        CodeInfo(
+            ARITY_MISMATCH,
+            "arity-mismatch",
+            Severity.ERROR,
+            "one predicate is used with two different arities",
+        ),
+        CodeInfo(
+            MALFORMED_CONSTRAINT,
+            "malformed-constraint",
+            Severity.ERROR,
+            "a constraint is structurally ill-formed",
+        ),
+        CodeInfo(
+            UNSATISFIABLE_CONSTRAINT,
+            "unsatisfiable-constraint",
+            Severity.WARNING,
+            "the consequent is statically false: a disguised denial",
+        ),
+        CodeInfo(
+            SHADOWED_FD,
+            "shadowed-fd",
+            Severity.WARNING,
+            "an FD is implied by another FD with a smaller determinant",
+        ),
+        CodeInfo(
+            DUPLICATE_CONSTRAINT,
+            "duplicate-constraint",
+            Severity.WARNING,
+            "two constraints are structurally identical",
+        ),
+        CodeInfo(
+            TAUTOLOGICAL_CONSTRAINT,
+            "tautological-constraint",
+            Severity.WARNING,
+            "the consequent is statically true: the constraint never fires",
+        ),
+        CodeInfo(
+            FRAGMENT_EXCLUSION,
+            "rewriting-fragment-exclusion",
+            Severity.INFO,
+            "outside the first-order rewriting fragment",
+        ),
+        CodeInfo(
+            QUERY_INDEPENDENCE,
+            "constraint-query-independence",
+            Severity.INFO,
+            "no constraint touches the query's predicates: plain answers are consistent",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    Immutable and hashable, so diagnostics can ride in cached plans and
+    be attached to exceptions without defensive copying.  ``details`` is
+    a tuple of ``(key, value)`` string pairs — machine-readable context
+    such as the predicates of a RIC cycle or the clause of a fragment
+    exclusion.
+    """
+
+    code: str
+    slug: str
+    severity: Severity
+    message: str
+    constraint: Optional["AnyConstraint"] = None
+    subject: Optional[str] = None  #: offending predicate / atom, when not a whole constraint
+    clause: Optional[str] = None  #: for I301: the interaction-freedom clause violated
+    details: Tuple[Tuple[str, str], ...] = ()
+
+    def detail(self, key: str) -> Optional[str]:
+        """The value recorded under *key* in ``details``, or ``None``."""
+
+        for name, value in self.details:
+            if name == key:
+                return value
+        return None
+
+    def render(self) -> str:
+        """One human-readable line, ``code slug [severity]: message``-style."""
+
+        parts = [f"{self.code} {self.slug} [{self.severity.value}]: {self.message}"]
+        if self.clause is not None:
+            parts.append(f"  clause: {self.clause}")
+        if self.subject is not None:
+            parts.append(f"  subject: {self.subject}")
+        if self.constraint is not None:
+            parts.append(f"  constraint: {self.constraint!r}")
+        for key, value in self.details:
+            parts.append(f"  {key}: {value}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return f"{self.code} {self.slug}: {self.message}"
+
+
+def make_diagnostic(
+    code: str,
+    message: str,
+    *,
+    constraint: Optional["AnyConstraint"] = None,
+    subject: Optional[str] = None,
+    clause: Optional[str] = None,
+    **details: object,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, filling slug/severity from :data:`CODES`.
+
+    Keyword *details* are stringified into the ``details`` pairs.
+
+    >>> d = make_diagnostic("E101", "cycle through Emp", subject="Emp")
+    >>> (d.slug, d.severity.value)
+    ('ric-cycle', 'error')
+    """
+
+    info = CODES[code]
+    return Diagnostic(
+        code=code,
+        slug=info.slug,
+        severity=info.severity,
+        message=message,
+        constraint=constraint,
+        subject=subject,
+        clause=clause,
+        details=tuple(sorted((key, str(value)) for key, value in details.items())),
+    )
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The ordered findings of one :func:`repro.analysis.analyze` run.
+
+    Diagnostics are sorted most-severe-first, stably by code within a
+    severity.  The report is immutable and iterable.
+    """
+
+    diagnostics: Tuple[Diagnostic, ...] = field(default=())
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    def codes(self) -> Tuple[str, ...]:
+        """The diagnostic codes in report order (duplicates preserved)."""
+
+        return tuple(d.code for d in self.diagnostics)
+
+    def by_code(self, code: str) -> Tuple[Diagnostic, ...]:
+        """Every diagnostic carrying *code*."""
+
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def render(self) -> str:
+        """The full report as text; ``"no diagnostics"`` when clean."""
+
+        if not self.diagnostics:
+            return "no diagnostics"
+        return "\n".join(d.render() for d in self.diagnostics)
+
+    def raise_for_errors(self) -> None:
+        """Raise :class:`ConstraintProgramError` if any error-severity finding exists."""
+
+        if self.has_errors:
+            raise ConstraintProgramError(self)
+
+
+def sorted_report(diagnostics: Iterator[Diagnostic]) -> AnalysisReport:
+    """An :class:`AnalysisReport` with severity-major, code-minor stable order."""
+
+    ordered = sorted(diagnostics, key=lambda d: (d.severity.rank, d.code))
+    return AnalysisReport(diagnostics=tuple(ordered))
+
+
+class ConstraintProgramError(ValueError):
+    """A constraint program was rejected by static analysis.
+
+    Carries the full :class:`AnalysisReport`; the message lists the
+    error-severity findings.
+    """
+
+    def __init__(self, report: AnalysisReport):
+        self.report = report
+        summary = "; ".join(str(d) for d in report.errors) or "constraint program rejected"
+        super().__init__(summary)

@@ -1,0 +1,116 @@
+"""Constraint–query independence: the ``I302`` fast path.
+
+Repairs differ from the original database only on predicates some
+constraint can touch: deletions remove facts of antecedent predicates,
+insertions add facts of consequent predicates, and NOT-NULL violations
+delete facts of the constrained predicate.  Those are exactly the
+vertices of the dependency graph ``G(IC)`` of
+:mod:`repro.constraints.dependency_graph` (Definition 1's graph: one
+vertex per predicate mentioned in ``IC``).
+
+So if a query's predicate set is disjoint from that closure **and** the
+constraint set is non-conflicting (Section 4 — so at least one repair
+exists, Proposition 1, and the intersection over repairs is not
+vacuously empty), every repair agrees with ``D`` on every relation the
+query reads, and the consistent answers are the plain answers.  The
+``"independent"`` engine (:mod:`repro.engines.independent`) exploits
+this: one ordinary evaluation pass, no repair machinery, bit-identical
+to full CQA.
+
+The non-conflicting guard is essential: with a conflicting set there are
+no repairs at all and the paper's semantics makes *nothing* certain
+(``consistent_answers`` returns the empty set), which plain evaluation
+would get wrong.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.analysis.diagnostics import QUERY_INDEPENDENCE, Diagnostic, make_diagnostic
+from repro.constraints.dependency_graph import dependency_graph
+from repro.constraints.ic import ConstraintSet
+from repro.logic.queries import Query
+
+
+class QueryNotIndependentError(ValueError):
+    """The ``"independent"`` engine was asked to answer a dependent query."""
+
+
+def affected_predicates(constraints: ConstraintSet) -> FrozenSet[str]:
+    """The affected-predicate closure: every predicate a repair can touch.
+
+    Computed as the vertex set of the dependency graph ``G(IC)``, which
+    by construction contains every predicate mentioned by any constraint
+    (NOT-NULL constraints contribute their predicate as an edge-less
+    vertex).
+
+    >>> from repro.constraints.parser import parse_constraints
+    >>> sorted(affected_predicates(parse_constraints(
+    ...     ["Course(i, c) -> Student(i, n)", "Room(r) -> isnull(r)"])))
+    ['Course', 'Room', 'Student']
+    """
+
+    return frozenset(dependency_graph(constraints).nodes)
+
+
+def query_predicates(query: Query) -> Optional[FrozenSet[str]]:
+    """The predicates *query* reads, or ``None`` when undecidable.
+
+    Duck-typed on a ``predicates()`` method returning a frozenset
+    (:class:`repro.logic.queries.ConjunctiveQuery` has one; both positive
+    and negated atoms are included there, which is what soundness needs).
+    Queries without one — e.g. raw first-order formulas — return ``None``
+    and are conservatively treated as dependent.
+    """
+
+    method = getattr(query, "predicates", None)
+    if not callable(method):
+        return None
+    predicates = method()
+    if not isinstance(predicates, frozenset):
+        return None
+    return predicates
+
+
+def independence_diagnostic(
+    constraints: ConstraintSet, query: Query
+) -> Optional[Diagnostic]:
+    """The ``I302`` diagnostic when *query* is constraint-independent, else ``None``.
+
+    Independence requires (a) the query's predicate set to be known and
+    disjoint from :func:`affected_predicates`, and (b) the constraint
+    set to be non-conflicting, so repairs exist and the intersection
+    semantics is not vacuous.
+
+    >>> from repro.constraints.parser import parse_constraints, parse_query
+    >>> ics = parse_constraints(["Emp(e, d), Emp(e, f) -> d = f"])
+    >>> independence_diagnostic(ics, parse_query("ans(p) <- Project(p, b)")).code
+    'I302'
+    >>> independence_diagnostic(ics, parse_query("ans(d) <- Emp(e, d)")) is None
+    True
+    """
+
+    reads = query_predicates(query)
+    if reads is None:
+        return None
+    if not constraints.is_non_conflicting():
+        return None  # no repairs may exist; plain evaluation would be unsound
+    affected = affected_predicates(constraints)
+    if reads & affected:
+        return None
+    return make_diagnostic(
+        QUERY_INDEPENDENCE,
+        "no constraint mentions any predicate the query reads; every repair "
+        "agrees with the database on those relations, so the consistent "
+        "answers are the plain answers",
+        subject=", ".join(sorted(reads)) or "(no predicates)",
+        query_predicates=sorted(reads),
+        affected_predicates=sorted(affected),
+    )
+
+
+def is_independent(constraints: ConstraintSet, query: Query) -> bool:
+    """Boolean form of :func:`independence_diagnostic`."""
+
+    return independence_diagnostic(constraints, query) is not None

@@ -14,7 +14,12 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.constraints.atoms import Atom, Comparison
-from repro.constraints.ic import ConstraintError, IntegrityConstraint, NotNullConstraint
+from repro.constraints.ic import (
+    ConstraintError,
+    IntegrityConstraint,
+    NotNullConstraint,
+    _construction_diagnostic,
+)
 from repro.constraints.terms import Variable
 
 
@@ -22,6 +27,14 @@ def _vars(prefix: str, count: int) -> List[Variable]:
     """``count`` fresh variables named ``prefix1 … prefixN``."""
 
     return [Variable(f"{prefix}{i + 1}") for i in range(count)]
+
+
+def _malformed(message: str, *, subject: str) -> ConstraintError:
+    """A :class:`ConstraintError` carrying the ``E104`` diagnostic."""
+
+    return ConstraintError(
+        message, diagnostic=_construction_diagnostic("E104", message, subject=subject)
+    )
 
 
 def universal_constraint(
@@ -82,7 +95,9 @@ def check_constraint(
     """A single-row check constraint ``P(x̄) → ϕ`` with ``ϕ`` a disjunction."""
 
     if not comparisons:
-        raise ConstraintError("a check constraint needs at least one comparison")
+        raise _malformed(
+            "a check constraint needs at least one comparison", subject=atom.predicate
+        )
     return IntegrityConstraint([atom], (), tuple(comparisons), name=name)
 
 
@@ -101,10 +116,32 @@ def functional_dependency(
     """
 
     if not determinant:
-        raise ConstraintError("a functional dependency needs a non-empty determinant")
+        raise _malformed(
+            "a functional dependency needs a non-empty determinant", subject=predicate
+        )
     for pos in list(determinant) + list(dependent):
         if not 0 <= pos < arity:
-            raise ConstraintError(f"position {pos} out of range for arity {arity}")
+            raise _malformed(
+                f"FD position {pos} out of range for {predicate} of arity {arity}",
+                subject=predicate,
+            )
+    if len(set(determinant)) != len(tuple(determinant)):
+        raise _malformed(
+            f"FD determinant {list(determinant)} on {predicate} repeats a position",
+            subject=predicate,
+        )
+    if len(set(dependent)) != len(tuple(dependent)):
+        raise _malformed(
+            f"FD dependent list {list(dependent)} on {predicate} repeats a position",
+            subject=predicate,
+        )
+    vacuous = set(determinant) & set(dependent)
+    if vacuous:
+        raise _malformed(
+            f"FD dependent position(s) {sorted(vacuous)} on {predicate} are part "
+            "of the determinant: the dependency is vacuously true",
+            subject=predicate,
+        )
     constraints: List[IntegrityConstraint] = []
     for index, dep in enumerate(dependent):
         left_terms: List[Variable] = _vars("x", arity)
@@ -138,6 +175,21 @@ def primary_key(
     followed by the NNCs.
     """
 
+    if not key_positions:
+        raise _malformed(
+            f"primary key on {predicate} needs at least one column", subject=predicate
+        )
+    for pos in key_positions:
+        if not 0 <= pos < arity:
+            raise _malformed(
+                f"key position {pos} out of range for {predicate} of arity {arity}",
+                subject=predicate,
+            )
+    if len(set(key_positions)) != len(tuple(key_positions)):
+        raise _malformed(
+            f"primary key {list(key_positions)} on {predicate} repeats a position",
+            subject=predicate,
+        )
     non_key = [i for i in range(arity) if i not in set(key_positions)]
     constraints: List[object] = []
     if non_key:
@@ -174,16 +226,38 @@ def foreign_key(
     """
 
     if len(child_positions) != len(parent_positions):
-        raise ConstraintError("foreign key column lists must have equal length")
+        raise _malformed(
+            f"foreign key {child}→{parent} column lists must have equal length "
+            f"({len(child_positions)} vs {len(parent_positions)})",
+            subject=child,
+        )
     if not child_positions:
-        raise ConstraintError("foreign key needs at least one column")
+        raise _malformed(
+            f"foreign key {child}→{parent} needs at least one column", subject=child
+        )
+    if len(set(parent_positions)) != len(tuple(parent_positions)):
+        # Without this check a repeated parent position would silently
+        # overwrite the earlier column pairing instead of constraining both.
+        raise _malformed(
+            f"foreign key {child}→{parent} repeats parent position(s) in "
+            f"{list(parent_positions)}: each referenced column may be paired once",
+            subject=parent,
+        )
     child_terms: List[Variable] = _vars("x", child_arity)
     parent_terms: List[Variable] = _vars("z", parent_arity)
     for c_pos, p_pos in zip(child_positions, parent_positions):
         if not 0 <= c_pos < child_arity:
-            raise ConstraintError(f"child position {c_pos} out of range")
+            raise _malformed(
+                f"child position {c_pos} out of range for {child} of arity "
+                f"{child_arity}",
+                subject=child,
+            )
         if not 0 <= p_pos < parent_arity:
-            raise ConstraintError(f"parent position {p_pos} out of range")
+            raise _malformed(
+                f"parent position {p_pos} out of range for {parent} of arity "
+                f"{parent_arity}",
+                subject=parent,
+            )
         parent_terms[p_pos] = child_terms[c_pos]
     constraint = IntegrityConstraint(
         [Atom(child, child_terms)], [Atom(parent, parent_terms)], name=name
@@ -232,9 +306,10 @@ def full_inclusion_dependency(
     for c_pos, p_pos in zip(child_positions, parent_positions):
         parent_terms[p_pos] = child_terms[c_pos]
     if any(v.name == "_dummy" for v in parent_terms):
-        raise ConstraintError(
+        raise _malformed(
             "full inclusion dependency must cover every parent attribute; "
-            "use inclusion_dependency/foreign_key for partial dependencies"
+            "use inclusion_dependency/foreign_key for partial dependencies",
+            subject=parent,
         )
     return IntegrityConstraint(
         [Atom(child, child_terms)], [Atom(parent, parent_terms)], name=name

@@ -39,7 +39,24 @@ from repro.constraints.terms import Variable, is_variable
 
 
 class ConstraintError(ValueError):
-    """Raised for syntactically malformed constraints."""
+    """Raised for syntactically malformed constraints.
+
+    May carry a structured :class:`repro.analysis.Diagnostic` (codes
+    ``E103`` arity-mismatch / ``E104`` malformed-constraint) so callers
+    gate on stable codes instead of message text.
+    """
+
+    def __init__(self, message: str, *, diagnostic: Optional[object] = None):
+        super().__init__(message)
+        self.diagnostic = diagnostic
+
+
+def _construction_diagnostic(code: str, message: str, **details: object) -> object:
+    """Build a diagnostic lazily (the analysis package imports this module)."""
+
+    from repro.analysis.diagnostics import make_diagnostic
+
+    return make_diagnostic(code, message, **details)
 
 
 @dataclass(frozen=True)
@@ -68,6 +85,23 @@ class IntegrityConstraint:
     def _validate(self) -> None:
         if len(self.body) < 1:
             raise ConstraintError("a constraint needs at least one antecedent atom (m ≥ 1)")
+        # One predicate, one arity — inside a single constraint this is
+        # always a typo, and catching it here beats a late KeyError /
+        # index error deep in satisfaction or the compiled kernel.
+        arities: Dict[str, int] = {}
+        for atom in self.body + self.head_atoms:
+            known = arities.setdefault(atom.predicate, atom.arity)
+            if known != atom.arity:
+                message = (
+                    f"predicate {atom.predicate} is used with arities {known} "
+                    f"and {atom.arity} in one constraint"
+                )
+                raise ConstraintError(
+                    message,
+                    diagnostic=_construction_diagnostic(
+                        "E103", message, subject=atom.predicate
+                    ),
+                )
         body_vars = self.body_variables()
         for comparison in self.head_comparisons:
             extra = comparison.variables() - body_vars

@@ -31,7 +31,7 @@ Queries use the same term syntax::
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.relational.domain import NULL, Constant
 from repro.constraints.atoms import Atom, Comparison, COMPARISON_OPS
@@ -45,7 +45,45 @@ from repro.constraints.terms import Term, Variable
 
 
 class ParseError(ValueError):
-    """Raised when the textual constraint/query syntax cannot be parsed."""
+    """Raised when the textual constraint/query syntax cannot be parsed.
+
+    May carry a structured :class:`repro.analysis.Diagnostic` (``E103``
+    arity-mismatch / ``E104`` malformed-constraint) for errors caught by
+    construction-time validation rather than tokenisation.
+    """
+
+    def __init__(self, message: str, *, diagnostic: Optional[object] = None):
+        super().__init__(message)
+        self.diagnostic = diagnostic
+
+
+def _parse_diagnostic(code: str, message: str, **details: object) -> object:
+    """Build a diagnostic lazily (the analysis package imports this module)."""
+
+    from repro.analysis.diagnostics import make_diagnostic
+
+    return make_diagnostic(code, message, **details)
+
+
+def _check_atom_arities(atoms: Iterable[Atom], text: str) -> None:
+    """Reject one predicate used with two arities inside a single statement.
+
+    Caught here it is a one-line :class:`ParseError`; uncaught it would
+    surface as a ``KeyError``/index error deep in evaluation.
+    """
+
+    arities: Dict[str, int] = {}
+    for atom in atoms:
+        known = arities.setdefault(atom.predicate, atom.arity)
+        if known != atom.arity:
+            message = (
+                f"predicate {atom.predicate} is used with arities {known} and "
+                f"{atom.arity} in {text!r}"
+            )
+            raise ParseError(
+                message,
+                diagnostic=_parse_diagnostic("E103", message, subject=atom.predicate),
+            )
 
 
 _TOKEN_RE = re.compile(
@@ -215,10 +253,22 @@ def parse_constraint(text: str, name: Optional[str] = None) -> Union[IntegrityCo
             raise ParseError(
                 f"isnull variable {variable} does not occur in the atom {atom!r}"
             )
+        if len(positions) > 1:
+            message = (
+                f"isnull variable {variable} occurs at positions "
+                f"{[p + 1 for p in positions]} of {atom!r}: a NOT NULL "
+                "constraint protects exactly one attribute — use distinct "
+                "variables and one isnull per protected position"
+            )
+            raise ParseError(
+                message,
+                diagnostic=_parse_diagnostic("E104", message, subject=atom.predicate),
+            )
         return NotNullConstraint(atom.predicate, positions[0], arity=atom.arity, name=name)
 
     if not body_atoms:
         raise ParseError("a constraint needs at least one database atom in the antecedent")
+    _check_atom_arities(body_atoms + head_atoms, text)
     return IntegrityConstraint(body_atoms, head_atoms, head_comparisons, name=name)
 
 
@@ -283,6 +333,7 @@ def parse_query(text: str):
         break
     if not stream.exhausted():
         raise ParseError(f"trailing tokens after query in {text!r}")
+    _check_atom_arities(positive + negative, text)
 
     head_vars = [t for t in head.terms if isinstance(t, Variable)]
     return ConjunctiveQuery(

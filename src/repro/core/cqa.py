@@ -18,10 +18,14 @@ registered engine of :mod:`repro.engines`:
   tractable fragment;
 * ``method="sqlite"`` — the same rewriting compiled to SQL and evaluated
   entirely inside SQLite (same applicability as ``"rewriting"``);
+* ``method="independent"`` — plain evaluation for queries statically
+  proven constraint-independent (no constraint touches any predicate the
+  query reads; diagnostic ``I302`` of :mod:`repro.analysis`).  Raises
+  :class:`repro.analysis.QueryNotIndependentError` otherwise;
 * ``method="auto"`` — let the cost-based planner of
-  :mod:`repro.rewriting.planner` choose: the rewriting whenever it
-  applies, otherwise repair enumeration.  Never raises
-  ``RewritingUnsupportedError``.
+  :mod:`repro.rewriting.planner` choose: the independence fast path when
+  it is proven, else the rewriting whenever it applies, otherwise repair
+  enumeration.  Never raises ``RewritingUnsupportedError``.
 
 All strategies return the same answers; the benchmarks compare their
 cost.  Query evaluation inside a repair uses the ``|=^q_N`` convention
@@ -63,7 +67,7 @@ AnswerTuple = Tuple[Constant, ...]
 #: The evaluation strategies accepted by the ``method`` parameter (the
 #: built-in engine names; :func:`repro.engines.available_engines` is the
 #: live registry, which third-party engines may extend).
-CQA_METHODS = ("direct", "program", "rewriting", "auto", "sqlite")
+CQA_METHODS = ("direct", "program", "rewriting", "independent", "auto", "sqlite")
 
 
 @dataclass

@@ -7,6 +7,9 @@ strategy family:
   ``"program"`` (stable models of the repair program);
 * :mod:`repro.engines.rewriting` — ``"rewriting"`` (first-order
   rewriting, polynomial) and ``"auto"`` (cost-based planner);
+* :mod:`repro.engines.independent` — ``"independent"`` (plain
+  evaluation for queries statically proven constraint-independent,
+  diagnostic ``I302``);
 * :mod:`repro.engines.sqlite` — ``"sqlite"`` (the rewriting compiled to
   SQL and evaluated inside SQLite).
 
@@ -35,6 +38,7 @@ from repro.engines.base import (
 # Importing the strategy modules registers the built-in engines.
 from repro.engines import enumeration as _enumeration  # noqa: F401
 from repro.engines import rewriting as _rewriting  # noqa: F401
+from repro.engines import independent as _independent  # noqa: F401
 from repro.engines import sqlite as _sqlite  # noqa: F401
 
 __all__ = [

@@ -1,0 +1,172 @@
+"""``python -m repro.lint`` — the static-analysis gate for constraint files.
+
+Reads constraint programs (one constraint per line, ``#`` comments and
+blank lines ignored, optional ``name:`` prefixes as accepted by
+:func:`repro.constraints.parser.parse_constraints`), runs the full static
+analyzer of :mod:`repro.analysis` and prints every diagnostic.  The exit
+status makes it a pre-load admission gate::
+
+    python -m repro.lint schema/constraints.cqa
+    python -m repro.lint --query "ans(x) <- Emp(x, d)" schema/constraints.cqa
+    python -m repro.lint --format json constraints.cqa   # machine-readable
+    python -m repro.lint --codes                          # print the taxonomy
+
+Exit codes: ``0`` — no error-severity diagnostics (warnings and infos
+are reported but do not fail the gate); ``1`` — at least one ``E``-code
+diagnostic (including parse/construction failures, reported as ``E100``
+/ ``E103`` / ``E104``); ``2`` — usage errors (unreadable file, bad query).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import analyze
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    make_diagnostic,
+)
+from repro.constraints.ic import ConstraintError, ConstraintSet
+from repro.constraints.parser import ParseError, parse_constraints, parse_query
+from repro.logic.queries import Query
+
+
+def _read_lines(path: str) -> List[Tuple[int, str]]:
+    """The constraint lines of *path* with their 1-based line numbers."""
+
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = handle.read()
+    lines: List[Tuple[int, str]] = []
+    for number, line in enumerate(raw.splitlines(), start=1):
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            lines.append((number, stripped))
+    return lines
+
+
+def _parse_file(path: str) -> Tuple[ConstraintSet, List[Diagnostic]]:
+    """Parse *path* into a ConstraintSet, collecting failures as diagnostics.
+
+    Parsing continues past a bad line so one typo does not hide every
+    later finding; each failure becomes its attached diagnostic when the
+    typed error carries one (``E103``/``E104``), else a generic ``E100``.
+    """
+
+    constraints = ConstraintSet()
+    failures: List[Diagnostic] = []
+    for number, line in _read_lines(path):
+        try:
+            parsed = parse_constraints([line])
+        except (ParseError, ConstraintError) as error:
+            attached = getattr(error, "diagnostic", None)
+            if isinstance(attached, Diagnostic):
+                failures.append(attached)
+            else:
+                failures.append(
+                    make_diagnostic("E100", f"{path}:{number}: {error}", subject=line)
+                )
+            continue
+        constraints.extend(parsed)
+    return constraints, failures
+
+
+def _diagnostic_json(diagnostic: Diagnostic) -> Dict[str, object]:
+    return {
+        "code": diagnostic.code,
+        "slug": diagnostic.slug,
+        "severity": diagnostic.severity.value,
+        "message": diagnostic.message,
+        "constraint": repr(diagnostic.constraint) if diagnostic.constraint else None,
+        "subject": diagnostic.subject,
+        "clause": diagnostic.clause,
+        "details": dict(diagnostic.details),
+    }
+
+
+def _print_codes() -> None:
+    print(f"{'code':<6} {'slug':<28} {'severity':<8} summary")
+    for info in CODES.values():
+        print(f"{info.code:<6} {info.slug:<28} {info.severity.value:<8} {info.summary}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="statically analyze constraint program files",
+    )
+    parser.add_argument("files", nargs="*", help="constraint files (one constraint per line)")
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        metavar="QUERY",
+        help="also run the query-dependent checks (I301/I302) for QUERY; repeatable",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--codes", action="store_true", help="print the diagnostic code taxonomy and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.codes:
+        _print_codes()
+        return 0
+    if not args.files:
+        parser.print_usage()
+        return 2
+
+    queries: List[Query] = []
+    for text in args.query:
+        try:
+            queries.append(parse_query(text))
+        except ParseError as error:
+            print(f"error: cannot parse query {text!r}: {error}", file=sys.stderr)
+            return 2
+
+    exit_status = 0
+    for path in args.files:
+        try:
+            constraints, failures = _parse_file(path)
+        except OSError as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        diagnostics: List[Diagnostic] = list(failures)
+        diagnostics.extend(analyze(constraints))
+        for query in queries:
+            for diagnostic in analyze(constraints, query):
+                if diagnostic not in diagnostics:
+                    diagnostics.append(diagnostic)
+        report = AnalysisReport(diagnostics=tuple(diagnostics))
+        if report.has_errors:
+            exit_status = 1
+        if args.format == "json":
+            print(
+                json.dumps(
+                    {
+                        "file": path,
+                        "errors": len(report.errors),
+                        "warnings": len(report.warnings),
+                        "infos": len(report.infos),
+                        "diagnostics": [_diagnostic_json(d) for d in report.diagnostics],
+                    },
+                    ensure_ascii=False,
+                )
+            )
+        else:
+            print(f"== {path}: {len(constraints)} constraint(s), {len(report)} diagnostic(s)")
+            if report.diagnostics:
+                print(report.render())
+    return exit_status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,7 +54,7 @@ out the cross-constraint cascades that would break locality:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.constraints.ic import (
     AnyConstraint,
@@ -64,17 +64,89 @@ from repro.constraints.ic import (
 )
 from repro.constraints.terms import Variable, is_variable
 
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import Diagnostic
+
 
 class RewritingUnsupportedError(ValueError):
     """The (constraints, query) pair is outside the first-order rewriting fragment.
 
-    Carries a human-readable ``reason``; the planner catches this error and
-    falls back to repair enumeration.
+    Carries a human-readable ``reason`` plus a structured payload: the
+    ``clause`` naming the fragment condition violated (one of
+    :data:`FRAGMENT_CLAUSES`), the offending ``constraint`` and/or
+    ``predicate`` when one is identifiable, and a lazily built
+    :class:`repro.analysis.Diagnostic` (code ``I301``) so the planner and
+    ``explain()`` report machine-readable fallback reasons instead of
+    matching on prose.
     """
 
-    def __init__(self, reason: str):
+    def __init__(
+        self,
+        reason: str,
+        *,
+        clause: Optional[str] = None,
+        constraint: Optional[AnyConstraint] = None,
+        predicate: Optional[str] = None,
+    ):
         super().__init__(reason)
         self.reason = reason
+        self.clause = clause
+        self.constraint = constraint
+        self.predicate = predicate
+
+    @property
+    def diagnostic(self) -> "Diagnostic":
+        """The structured ``I301 rewriting-fragment-exclusion`` record.
+
+        Built on access (the analysis package imports this module, so a
+        module-level import here would cycle).
+        """
+
+        from repro.analysis.analyzer import fragment_exclusion
+
+        return fragment_exclusion(
+            self.reason,
+            clause=self.clause,
+            constraint=self.constraint,
+            subject=self.predicate,
+        )
+
+    def copy(self) -> "RewritingUnsupportedError":
+        """A fresh instance with the same payload (for cached re-raising)."""
+
+        return RewritingUnsupportedError(
+            self.reason,
+            clause=self.clause,
+            constraint=self.constraint,
+            predicate=self.predicate,
+        )
+
+
+#: Every ``clause`` value a :class:`RewritingUnsupportedError` may carry —
+#: the constraint-shape and interaction-freedom conditions of this module
+#: plus the query-side conditions of :mod:`repro.rewriting.rewriter`.
+FRAGMENT_CLAUSES: Tuple[str, ...] = (
+    # constraint shapes (analyze_constraints)
+    "non-referential-consequent",
+    "mixed-fd-determinants",
+    # interaction freedom (_check_interactions)
+    "check-on-keyed-predicate",
+    "nnc-outside-determinant",
+    "conflicting-set",
+    "ric-cyclic",
+    "witness-deleting-constraint",
+    "witness-cascade",
+    "non-determinant-reference",
+    "repeated-existential",
+    "denial-interaction",
+    # query side (rewrite_query / _rewrite_atom)
+    "non-conjunctive-query",
+    "negated-query-atom",
+    "non-answer-variable-in-denial",
+    "joined-non-determinant",
+    "mixed-pinned-unpinned",
+    "unpinned-key-with-ric",
+)
 
 
 @dataclass(frozen=True)
@@ -225,7 +297,9 @@ def analyze_constraints(
             raise RewritingUnsupportedError(
                 f"constraint {constraint!r} has consequent atoms but is not a "
                 "referential constraint of form (3); repairs may insert "
-                "fully-determined tuples, which the rewriting does not model"
+                "fully-determined tuples, which the rewriting does not model",
+                clause="non-referential-consequent",
+                constraint=constraint,
             )
         fd = fd_shape(constraint)
         if fd is not None:
@@ -236,7 +310,10 @@ def analyze_constraints(
                 raise RewritingUnsupportedError(
                     f"predicate {fd.predicate} has functional dependencies with "
                     f"different determinants {key.determinant} and {fd.determinant}; "
-                    "only primary-key-style FD families are supported"
+                    "only primary-key-style FD families are supported",
+                    clause="mixed-fd-determinants",
+                    constraint=fd.constraint,
+                    predicate=fd.predicate,
                 )
             else:
                 key.fds.append(fd)
@@ -267,7 +344,9 @@ def _check_interactions(analysis: FragmentAnalysis) -> None:
                 f"predicate {predicate} carries both a key and a check/denial "
                 "constraint; a check-deleted tuple inside a key group makes "
                 "certainty depend on ≤_D null-coverage, which the rewriting "
-                "does not model"
+                "does not model",
+                clause="check-on-keyed-predicate",
+                predicate=predicate,
             )
         for nnc in analysis.not_nulls.get(predicate, []):
             if nnc.position not in set(key.determinant):
@@ -275,18 +354,25 @@ def _check_interactions(analysis: FragmentAnalysis) -> None:
                     f"NOT NULL on the non-determinant position "
                     f"{predicate}[{nnc.position + 1}] of a keyed predicate; a "
                     "forced deletion inside a key group makes certainty depend "
-                    "on ≤_D null-coverage, which the rewriting does not model"
+                    "on ≤_D null-coverage, which the rewriting does not model",
+                    clause="nnc-outside-determinant",
+                    constraint=nnc,
+                    predicate=predicate,
                 )
 
     if not constraint_set.is_non_conflicting():
+        conflicting = constraint_set.conflicting_not_nulls()
         raise RewritingUnsupportedError(
             "the constraint set is conflicting (a NOT NULL protects an "
-            "existentially quantified attribute); repairs need not exist"
+            "existentially quantified attribute); repairs need not exist",
+            clause="conflicting-set",
+            constraint=conflicting[0] if conflicting else None,
         )
     if analysis.rics and not constraint_set.is_ric_acyclic():
         raise RewritingUnsupportedError(
             "the referential constraints are RIC-cyclic; insertion cascades "
-            "make certainty non-local"
+            "make certainty non-local",
+            clause="ric-cyclic",
         )
 
     child_predicates = {ric.body[0].predicate for ric in analysis.rics}
@@ -295,12 +381,18 @@ def _check_interactions(analysis: FragmentAnalysis) -> None:
         if parent in analysis.checks or analysis.denials_mentioning(parent):
             raise RewritingUnsupportedError(
                 f"predicate {parent} is referenced by {ric!r} but also carries a "
-                "denial/check constraint that may delete witnesses"
+                "denial/check constraint that may delete witnesses",
+                clause="witness-deleting-constraint",
+                constraint=ric,
+                predicate=parent,
             )
         if parent in child_predicates:
             raise RewritingUnsupportedError(
                 f"predicate {parent} is referenced by {ric!r} but is itself the "
-                "antecedent of a referential constraint; witness deletions could cascade"
+                "antecedent of a referential constraint; witness deletions could cascade",
+                clause="witness-cascade",
+                constraint=ric,
+                predicate=parent,
             )
         key = analysis.keys.get(parent)
         if key is not None:
@@ -308,7 +400,10 @@ def _check_interactions(analysis: FragmentAnalysis) -> None:
             if not set(head_positions) <= set(key.determinant):
                 raise RewritingUnsupportedError(
                     f"{ric!r} references non-determinant positions of {parent}; a "
-                    "key-conflict deletion could remove the last witness"
+                    "key-conflict deletion could remove the last witness",
+                    clause="non-determinant-reference",
+                    constraint=ric,
+                    predicate=parent,
                 )
             head_atom = ric.head_atoms[0]
             existential = ric.existential_variables()
@@ -319,7 +414,10 @@ def _check_interactions(analysis: FragmentAnalysis) -> None:
                         raise RewritingUnsupportedError(
                             f"{ric!r} repeats an existential variable while {parent} "
                             "has functional dependencies; surviving group members "
-                            "need not preserve the repeated-null witness pattern"
+                            "need not preserve the repeated-null witness pattern",
+                            clause="repeated-existential",
+                            constraint=ric,
+                            predicate=parent,
                         )
                     seen.add(term)
 
@@ -340,5 +438,8 @@ def _check_interactions(analysis: FragmentAnalysis) -> None:
                 raise RewritingUnsupportedError(
                     f"predicate {predicate} appears in the multi-atom denial "
                     f"{denial!r} and in another constraint; interacting deletions "
-                    "make certainty non-local"
+                    "make certainty non-local",
+                    clause="denial-interaction",
+                    constraint=denial,
+                    predicate=predicate,
                 )

@@ -3,6 +3,10 @@
 ``plan_cqa`` inspects ``(instance, constraints, query)`` and decides how
 to compute the consistent answers:
 
+* ``independent`` — when static analysis proves the query's predicates
+  disjoint from every constraint's affected-predicate closure
+  (:mod:`repro.analysis.independence`, diagnostic ``I302``): the
+  consistent answers *are* the plain answers, one evaluation pass;
 * ``rewriting`` — whenever the pair is inside the tractable fragment of
   :mod:`repro.rewriting.fragment` / :mod:`repro.rewriting.rewriter`: one
   polynomial-time pass, always the cheapest option when available;
@@ -27,7 +31,7 @@ unsupported pairs simply fall back to enumeration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
 
 from repro.relational.instance import DatabaseInstance
 from repro.constraints.ic import AnyConstraint, ConstraintSet
@@ -35,6 +39,9 @@ from repro.logic.queries import Query
 from repro.rewriting.conflicts import ESTIMATE_CAP, ConflictGraph
 from repro.rewriting.fragment import RewritingUnsupportedError
 from repro.rewriting.rewriter import RewrittenQuery, rewrite_query
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import Diagnostic
 
 
 #: Estimated repairs above which the planner recommends the parallel
@@ -47,10 +54,19 @@ PARALLEL_REPAIR_THRESHOLD = 16
 class CQAPlan:
     """The outcome of planning one CQA computation."""
 
-    method: str  #: "rewriting" | "direct" | "program"
+    method: str  #: "independent" | "rewriting" | "direct" | "program"
     supported: bool  #: is the first-order rewriting applicable?
     reason: str  #: human-readable justification of the choice
     unsupported_reason: Optional[str] = None
+    #: The structured ``I301`` record behind ``unsupported_reason`` —
+    #: code, the fragment ``clause`` violated, the offending constraint —
+    #: so ``method="auto"`` fallbacks are machine-readable.
+    unsupported_diagnostic: Optional["Diagnostic"] = None
+    #: The ``I302`` record when the query is constraint-independent (its
+    #: predicates are disjoint from every constraint's affected-predicate
+    #: closure): plain evaluation is already the consistent answer and
+    #: ``method`` is ``"independent"``.
+    independence: Optional["Diagnostic"] = None
     estimated_repairs: Optional[int] = None
     costs: Dict[str, float] = field(default_factory=dict)
     rewritten: Optional[RewrittenQuery] = None
@@ -95,6 +111,56 @@ def _enumeration_costs(
     return enumeration_costs(instance, constraints, estimated_repairs)
 
 
+def _independent_plan(
+    instance: DatabaseInstance,
+    constraint_set: ConstraintSet,
+    query: Query,
+    independence: "Diagnostic",
+) -> CQAPlan:
+    """The plan for a constraint-independent query (the ``I302`` fast path).
+
+    ``supported`` / ``rewritten`` / ``unsupported_diagnostic`` are still
+    filled truthfully by attempting the rewriting, so ``explain()`` keeps
+    answering "would the rewriting have applied?" — but the chosen method
+    is ``"independent"``: one plain evaluation pass beats even the
+    rewriting (which would pay per-atom residue lookups for residues that
+    are all vacuous here).
+    """
+
+    rewritten: Optional[RewrittenQuery] = None
+    supported = False
+    unsupported_reason: Optional[str] = None
+    unsupported_diagnostic: Optional["Diagnostic"] = None
+    try:
+        rewritten = rewrite_query(query, constraint_set)
+        supported = True
+    except RewritingUnsupportedError as error:
+        unsupported_reason = error.reason
+        unsupported_diagnostic = error.diagnostic
+
+    from repro.analysis.independence import query_predicates
+
+    reads = query_predicates(query) or frozenset()
+    scan_cost = 0.0
+    for predicate in reads:
+        scan_cost += float(max(len(instance.tuples(predicate)), 1))
+    return CQAPlan(
+        method="independent",
+        supported=supported,
+        reason=(
+            "the query's predicates "
+            f"({', '.join(sorted(reads)) or 'none'}) are untouched by every "
+            "constraint and the set is non-conflicting: consistent answers "
+            "equal the plain answers (I302 independence fast path)"
+        ),
+        unsupported_reason=unsupported_reason,
+        unsupported_diagnostic=unsupported_diagnostic,
+        independence=independence,
+        costs={"independent": scan_cost},
+        rewritten=rewritten,
+    )
+
+
 def plan_cqa(
     instance: DatabaseInstance,
     constraints: Union[ConstraintSet, Iterable[AnyConstraint]],
@@ -124,6 +190,17 @@ def plan_cqa(
         if isinstance(constraints, ConstraintSet)
         else ConstraintSet(list(constraints))
     )
+
+    # Cheapest static fact first: a query whose predicates no constraint
+    # can touch (and a non-conflicting set, so repairs exist) has
+    # consistent answers equal to the plain answers — one ordinary
+    # evaluation pass, no repair machinery, no rewriting residues.
+    from repro.analysis.independence import independence_diagnostic
+
+    independence = independence_diagnostic(constraint_set, query)
+    if independence is not None:
+        return _independent_plan(instance, constraint_set, query, independence)
+
     try:
         rewritten = rewrite_query(query, constraint_set)
     except RewritingUnsupportedError as error:
@@ -168,6 +245,7 @@ def plan_cqa(
             supported=False,
             reason=reason,
             unsupported_reason=error.reason,
+            unsupported_diagnostic=error.diagnostic,
             estimated_repairs=estimated,
             costs=costs,
             repair_mode=repair_mode,

@@ -203,12 +203,14 @@ def rewrite_query(
     if not isinstance(query, ConjunctiveQuery):
         raise RewritingUnsupportedError(
             "only conjunctive queries can be rewritten; first-order queries "
-            "require repair enumeration"
+            "require repair enumeration",
+            clause="non-conjunctive-query",
         )
     if query.negative_atoms:
         raise RewritingUnsupportedError(
             "queries with negated atoms are not monotone under repair "
-            "insertions; the rewriting would be unsound"
+            "insertions; the rewriting would be unsound",
+            clause="negated-query-atom",
         )
 
     occurrences = _occurrence_counts(query)
@@ -259,7 +261,9 @@ def _rewrite_atom(
                     f"variable {term.name} at {predicate}[{position + 1}] is not an "
                     "answer variable, but the predicate is constrained by a "
                     "multi-atom denial: the certain answer may be supported by "
-                    "different facts in different repairs"
+                    "different facts in different repairs",
+                    clause="non-answer-variable-in-denial",
+                    predicate=predicate,
                 )
         for denial in denials:
             for index, body_atom in enumerate(denial.body):
@@ -285,13 +289,17 @@ def _rewrite_atom(
                     f"variable {term.name} at the non-determinant position "
                     f"{predicate}[{position + 1}] is joined, compared or repeated: "
                     "key repairs can co-vary with the join partner across repairs "
-                    "(outside the C_forest-style fragment)"
+                    "(outside the C_forest-style fragment)",
+                    clause="joined-non-determinant",
+                    predicate=predicate,
                 )
         if pinned and unpinned:
             raise RewritingUnsupportedError(
                 f"atom {atom!r} mixes pinned and unpinned non-determinant "
                 f"positions of the key on {predicate}: group survival does not "
-                "imply survival of a member matching the pinned values"
+                "imply survival of a member matching the pinned values",
+                clause="mixed-pinned-unpinned",
+                predicate=predicate,
             )
         if pinned:
             residues.append(FDResidue(key))
@@ -310,7 +318,9 @@ def _rewrite_atom(
                     f"on {predicate} unpinned while {predicate} is also the "
                     "antecedent of a referential constraint: a key group can be "
                     "emptied by interleaved key/referential deletions, so group "
-                    "survival is not guaranteed"
+                    "survival is not guaranteed",
+                    clause="unpinned-key-with-ric",
+                    predicate=predicate,
                 )
             mode = "key-group"
 

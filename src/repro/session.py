@@ -89,6 +89,7 @@ from repro.relational.instance import DatabaseInstance, Fact
 from repro.relational.schema import DatabaseSchema
 
 if TYPE_CHECKING:
+    from repro.analysis.diagnostics import AnalysisReport
     from repro.compile.kernel import CompiledProgram
     from repro.obs.analyze import ExplainReport
     from repro.rewriting.conflicts import ConflictGraph
@@ -927,6 +928,62 @@ class ConsistentDatabase:
             plan, compiled_program_cached=self._compiled_program_cached_once
         )
 
+    def analyze(self, query: Optional[Query] = None) -> "AnalysisReport":
+        """Statically analyze the constraint set (and optionally *query*).
+
+        Runs every check of :func:`repro.analysis.analyze` — RIC-acyclicity
+        (``E101``), the non-conflicting condition (``E102``), arity
+        consistency (``E103``), statically decidable consequents
+        (``W201``/``W204``), shadowed FDs (``W202``), duplicates
+        (``W203``) and, given a query, rewriting-fragment membership
+        (``I301``, with the precise clause violated) and constraint–query
+        independence (``I302``).  Purely syntactic: no data is read, and
+        the report is cached per constraint fingerprint, so it survives
+        mutations.
+
+        >>> from repro import ConsistentDatabase, parse_constraints, parse_query
+        >>> db = ConsistentDatabase(
+        ...     {"Emp": [("e1", "sales")]},
+        ...     parse_constraints(["Emp(e, d), Emp(e, f) -> d = f"]),
+        ... )
+        >>> db.analyze().codes()
+        ()
+        >>> db.analyze(parse_query("ans(p) <- Project(p, b)")).codes()
+        ('I302',)
+        """
+
+        key = ("analysis", self._fingerprint, query)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        from repro.analysis import analyze as analyze_constraints_and_query
+
+        with _trace.span("session.analyze") as sp:
+            report = analyze_constraints_and_query(self._constraints, query)
+            if sp:
+                sp.add(diagnostics=len(report))
+        self._cache.put(key, report)
+        return report
+
+    def check(self, *, strict: bool = False) -> "AnalysisReport":
+        """Admission-control view of :meth:`analyze` (constraints only).
+
+        Args:
+            strict: raise :class:`repro.analysis.ConstraintProgramError`
+                when the report contains any error-severity diagnostic
+                (RIC cycles, conflicting NNCs, arity mismatches) instead
+                of returning it — the load-time gate a service front door
+                wants.
+
+        Returns:
+            The (possibly empty) :class:`repro.analysis.AnalysisReport`.
+        """
+
+        report = self.analyze()
+        if strict:
+            report.raise_for_errors()
+        return report
+
     def iter_repairs(
         self,
         method: str = "direct",
@@ -1187,7 +1244,10 @@ class ConsistentDatabase:
         cached = self._cache.get(key)
         if cached is not None:
             if isinstance(cached, RewritingUnsupportedError):
-                raise RewritingUnsupportedError(cached.reason)
+                # copy() preserves the structured payload (clause,
+                # constraint, diagnostic) while keeping the cached
+                # instance's traceback out of the raise.
+                raise cached.copy()
             return cached
         try:
             with _trace.span("query.rewrite") as sp:

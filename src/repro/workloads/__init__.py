@@ -14,6 +14,7 @@ experiments sweep.
 from repro.workloads.generators import (
     foreign_key_workload,
     grouped_key_workload,
+    independence_workload,
     key_violation_workload,
     cyclic_ric_workload,
     random_constraint_set,
@@ -24,6 +25,7 @@ from repro.workloads import scenarios
 __all__ = [
     "foreign_key_workload",
     "grouped_key_workload",
+    "independence_workload",
     "key_violation_workload",
     "cyclic_ric_workload",
     "random_constraint_set",

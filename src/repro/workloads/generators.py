@@ -222,6 +222,64 @@ def scaled_course_student(
     return instance, ConstraintSet([ric])
 
 
+def independence_workload(
+    n_emp: int = 20,
+    n_log: int = 30,
+    violation_ratio: float = 0.2,
+    null_ratio: float = 0.1,
+    seed: int = 0,
+) -> Tuple[DatabaseInstance, ConstraintSet]:
+    """A schema split into constrained and constraint-free predicates.
+
+    ``Emp(eid, dept, salary)`` carries a key and a check constraint and the
+    generator injects key violations, so the instance is genuinely
+    inconsistent.  ``Log(ts, actor, action)`` and ``Tag(eid, label)`` carry
+    data but appear in **no** constraint, so any query touching only them
+    is constraint–query independent (diagnostic ``I302``): its consistent
+    answers coincide with plain evaluation on the inconsistent instance.
+    Queries touching ``Emp`` are not, which gives property tests both
+    sides of the independence boundary from one workload.
+    """
+
+    rng = random.Random(seed)
+    schema = DatabaseSchema.from_dict(
+        {
+            "Emp": ["eid", "dept", "salary"],
+            "Log": ["ts", "actor", "action"],
+            "Tag": ["eid", "label"],
+        }
+    )
+    instance = DatabaseInstance(schema=schema)
+    used_ids: List[str] = []
+    for index in range(n_emp):
+        if used_ids and rng.random() < violation_ratio:
+            eid = rng.choice(used_ids)
+            dept = f"dept{rng.randrange(4)}_dup"
+        else:
+            eid = f"e{index}"
+            used_ids.append(eid)
+            dept = f"dept{rng.randrange(4)}"
+        salary: object = NULL if rng.random() < null_ratio else rng.randrange(1, 100) * 10
+        instance.add_tuple("Emp", (eid, dept, salary))
+    actions = ("login", "logout", "update", "delete")
+    for index in range(n_log):
+        actor = rng.choice(used_ids) if used_ids else f"e{index}"
+        instance.add_tuple("Log", (index, actor, rng.choice(actions)))
+    for index, eid in enumerate(used_ids):
+        if rng.random() < 0.5:
+            instance.add_tuple("Tag", (eid, f"label{index % 3}"))
+
+    key_constraints = functional_dependency(
+        "Emp", 3, determinant=[0], dependent=[1, 2], name="emp_key"
+    )
+    check = check_constraint(
+        Atom("Emp", (_v("e"), _v("d"), _v("s"))),
+        [Comparison(">", _v("s"), 0)],
+        name="positive_salary",
+    )
+    return instance, ConstraintSet([*key_constraints, check])
+
+
 def random_constraint_set(
     n_predicates: int = 8,
     n_uics: int = 6,

@@ -1,0 +1,268 @@
+"""Pinned corpus: one canonical program per diagnostic code.
+
+Each test fixes the minimal constraint program (and query, for the
+``I``-codes) that triggers exactly the diagnostic under test, and asserts
+the stable fields consumers match on — code, slug, severity, subject,
+clause.  Editing a message is fine; changing what fires for these
+programs is a breaking change.
+"""
+
+import pytest
+
+from repro.analysis import Severity, analyze, make_diagnostic
+from repro.constraints.factories import foreign_key, functional_dependency, primary_key
+from repro.constraints.ic import ConstraintError
+from repro.constraints.parser import ParseError, parse_constraints, parse_query
+
+
+def codes(report):
+    return sorted(report.codes())
+
+
+class TestCleanPrograms:
+    def test_key_plus_check_is_silent(self):
+        constraints = parse_constraints(
+            ["Emp(e, d, s), Emp(e, f, t) -> d = f", "Emp(e, d, s) -> s > 0"]
+        )
+        assert analyze(constraints).diagnostics == ()
+
+    def test_example_19_schema_is_silent(self):
+        constraints = [
+            *primary_key("Student", 2, [0], name="student_pk"),
+            foreign_key("Course", 2, [0], "Student", 2, [0], name="course_fk"),
+        ]
+        assert analyze(constraints).diagnostics == ()
+
+
+class TestE100ParseError:
+    def test_parse_failures_surface_as_e100_via_the_lint_gate(self):
+        from repro.lint import _parse_file
+
+        path = "/tmp/corpus_e100.cqa"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("this is not a constraint ->\n")
+        _constraints, failures = _parse_file(path)
+        assert [d.code for d in failures] == ["E100"]
+        assert failures[0].severity is Severity.ERROR
+
+
+class TestE101RicCycle:
+    # Example 18: P(x,y) → T(x) and T(x) → ∃y P(y,x) form a RIC cycle,
+    # so Definition 1 fails and insertion cascades may not terminate.
+    PROGRAM = ["P(x, y) -> T(x)", "T(x) -> P(y, x)"]
+
+    def test_fires(self):
+        report = analyze(parse_constraints(self.PROGRAM))
+        assert codes(report) == ["E101"]
+        (diagnostic,) = report.by_code("E101")
+        assert diagnostic.slug == "ric-cycle"
+        assert diagnostic.severity is Severity.ERROR
+        assert "Definition 1" in diagnostic.message
+        assert "P" in diagnostic.message and "T" in diagnostic.message
+
+    def test_self_loop_is_a_cycle(self):
+        report = analyze(parse_constraints(["E(x, y) -> E(y, z)"]))
+        assert codes(report) == ["E101"]
+
+
+class TestE102ConflictingSet:
+    # Example 20: a RIC whose existential position carries NOT NULL — the
+    # cascade can only insert a null there, which the NNC deletes again.
+    PROGRAM = ["Emp(e, d) -> Mgr(e, m)", "Mgr(e, m), isnull(m) -> false"]
+
+    def test_fires(self):
+        report = analyze(parse_constraints(self.PROGRAM))
+        assert codes(report) == ["E102"]
+        (diagnostic,) = report.by_code("E102")
+        assert diagnostic.slug == "conflicting-set"
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.subject == "Mgr[2]"
+        assert diagnostic.constraint is not None
+        assert "Section 4" in diagnostic.message
+
+    def test_nnc_on_a_universal_position_is_fine(self):
+        # NOT NULL on the child key column is the non-conflicting pattern
+        # of Example 19.
+        report = analyze(
+            parse_constraints(
+                ["Emp(e, d) -> Mgr(e, m)", "Emp(e, d), isnull(e) -> false"]
+            )
+        )
+        assert codes(report) == []
+
+
+class TestE103ArityMismatch:
+    def test_cross_constraint_mismatch_fires_in_the_analyzer(self):
+        report = analyze(parse_constraints(["P(x, y) -> T(x)", "T(x, y) -> P(y, x)"]))
+        assert "E103" in codes(report)
+        diagnostic = report.by_code("E103")[0]
+        assert diagnostic.subject == "T"
+        assert diagnostic.severity is Severity.ERROR
+
+    def test_intra_statement_mismatch_fires_at_parse_time(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_constraints(["P(x, y), P(x) -> false"])
+        assert excinfo.value.diagnostic.code == "E103"
+        assert excinfo.value.diagnostic.subject == "P"
+
+    def test_query_vs_constraint_mismatch(self):
+        constraints = parse_constraints(["Emp(e, d), Emp(e, f) -> d = f"])
+        query = parse_query("ans(e) <- Emp(e)")
+        assert "E103" in codes(analyze(constraints, query))
+
+
+class TestE104MalformedConstraint:
+    def test_repeated_isnull_variable_fires_at_parse_time(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_constraints(["Q(x, x), isnull(x) -> false"])
+        assert excinfo.value.diagnostic.code == "E104"
+        assert excinfo.value.diagnostic.subject == "Q"
+
+    def test_factory_validation_carries_e104(self):
+        with pytest.raises(ConstraintError) as excinfo:
+            functional_dependency("Emp", 3, determinant=[0], dependent=[0, 2])
+        assert excinfo.value.diagnostic.code == "E104"
+        with pytest.raises(ConstraintError) as excinfo:
+            foreign_key("C", 2, [0, 1], "P", 2, [0, 0])
+        assert excinfo.value.diagnostic.code == "E104"
+        with pytest.raises(ConstraintError) as excinfo:
+            primary_key("Emp", 3, [])
+        assert excinfo.value.diagnostic.code == "E104"
+
+
+class TestW201Unsatisfiable:
+    def test_statically_false_consequent_fires(self):
+        # x < x can never hold, so the constraint silently deletes every
+        # P-fact: a disguised denial.
+        report = analyze(parse_constraints(["P(x, y) -> x < x"]))
+        assert codes(report) == ["W201"]
+        (diagnostic,) = report.by_code("W201")
+        assert diagnostic.slug == "unsatisfiable-constraint"
+        assert diagnostic.severity is Severity.WARNING
+
+    def test_ground_false_comparison_fires(self):
+        assert codes(analyze(parse_constraints(["P(x, y) -> 1 > 2"]))) == ["W201"]
+
+    def test_explicit_denial_is_intentional_and_silent(self):
+        assert codes(analyze(parse_constraints(["P(x, y), R(y, z) -> false"]))) == []
+
+
+class TestW204Tautological:
+    def test_reflexive_equality_fires(self):
+        report = analyze(parse_constraints(["P(x, y) -> x = x"]))
+        assert codes(report) == ["W204"]
+        assert report.by_code("W204")[0].slug == "tautological-constraint"
+
+    def test_one_true_disjunct_suffices(self):
+        assert codes(analyze(parse_constraints(["P(x, y) -> x > y | 1 < 2"]))) == ["W204"]
+
+    def test_satisfiable_checks_are_silent(self):
+        assert codes(analyze(parse_constraints(["P(x, y) -> x > y"]))) == []
+
+
+class TestW202ShadowedFd:
+    def test_coarser_determinant_shadows_the_finer_fd(self):
+        report = analyze(
+            parse_constraints(
+                [
+                    "wide: Emp(e, d, s), Emp(e, d, t) -> s = t",
+                    "narrow: Emp(e, d, s), Emp(e, f, t) -> s = t",
+                ]
+            )
+        )
+        assert codes(report) == ["W202"]
+        (diagnostic,) = report.by_code("W202")
+        assert diagnostic.slug == "shadowed-fd"
+        assert "strict subset" in diagnostic.message
+
+    def test_different_dependents_do_not_shadow(self):
+        report = analyze(
+            parse_constraints(
+                [
+                    "Emp(e, d, s), Emp(e, f, t) -> d = f",
+                    "Emp(e, d, s), Emp(e, f, t) -> s = t",
+                ]
+            )
+        )
+        assert codes(report) == []
+
+
+class TestW203Duplicate:
+    def test_structural_duplicates_fire_once(self):
+        report = analyze(
+            parse_constraints(["a: P(x, y) -> T(x)", "b: P(u, v) -> T(u)"])
+        )
+        assert codes(report) == ["W203"]
+        (diagnostic,) = report.by_code("W203")
+        assert diagnostic.slug == "duplicate-constraint"
+        assert "[a]" in diagnostic.message and "[b]" in diagnostic.message
+
+    def test_distinct_constraints_are_silent(self):
+        report = analyze(parse_constraints(["P(x, y) -> T(x)", "P(x, y) -> T(y)"]))
+        assert codes(report) == []
+
+
+class TestI301FragmentExclusion:
+    def test_negated_query_atom_reports_the_clause(self):
+        constraints = parse_constraints(["Emp(e, d), Emp(e, f) -> d = f"])
+        query = parse_query("ans(e) <- Emp(e, d), not Mgr(e)")
+        report = analyze(constraints, query)
+        assert codes(report) == ["I301"]
+        (diagnostic,) = report.by_code("I301")
+        assert diagnostic.slug == "rewriting-fragment-exclusion"
+        assert diagnostic.severity is Severity.INFO
+        assert diagnostic.clause == "negated-query-atom"
+
+    def test_constraint_side_exclusion_names_the_constraint(self):
+        # A check constraint on a predicate that also carries a key is
+        # outside the rewriting fragment (the interaction clause).
+        constraints = parse_constraints(
+            ["Emp(e, d, s), Emp(e, f, t) -> d = f", "Emp(e, d, s) -> s > 0"]
+        )
+        query = parse_query("ans(e) <- Emp(e, d, s)")
+        report = analyze(constraints, query)
+        assert codes(report) == ["I301"]
+        (diagnostic,) = report.by_code("I301")
+        assert diagnostic.clause == "check-on-keyed-predicate"
+
+    def test_supported_query_is_silent(self):
+        constraints = parse_constraints(["Emp(e, d), Emp(e, f) -> d = f"])
+        query = parse_query("ans(e) <- Emp(e, d)")
+        assert codes(analyze(constraints, query)) == []
+
+
+class TestI302Independence:
+    CONSTRAINTS = ["Emp(e, d), Emp(e, f) -> d = f"]
+
+    def test_disjoint_query_fires_with_both_closures(self):
+        constraints = parse_constraints(self.CONSTRAINTS)
+        query = parse_query("ans(p) <- Project(p, b)")
+        report = analyze(constraints, query)
+        assert codes(report) == ["I302"]
+        (diagnostic,) = report.by_code("I302")
+        assert diagnostic.slug == "constraint-query-independence"
+        assert diagnostic.severity is Severity.INFO
+        assert diagnostic.detail("affected_predicates") == "['Emp']"
+        assert diagnostic.detail("query_predicates") == "['Project']"
+
+    def test_overlapping_query_does_not_fire(self):
+        constraints = parse_constraints(self.CONSTRAINTS)
+        query = parse_query("ans(e) <- Emp(e, d), Project(e, b)")
+        assert "I302" not in codes(analyze(constraints, query))
+
+    def test_conflicting_set_blocks_independence(self):
+        # With zero repairs every query has empty consistent answers, so
+        # plain evaluation is NOT equivalent — I302 must stay silent.
+        constraints = parse_constraints(
+            ["Emp(e, d) -> Mgr(e, m)", "Mgr(e, m), isnull(m) -> false"]
+        )
+        query = parse_query("ans(p) <- Project(p, b)")
+        assert "I302" not in codes(analyze(constraints, query))
+
+
+class TestMakeDiagnosticContract:
+    def test_clause_round_trips(self):
+        diagnostic = make_diagnostic(
+            "I301", "excluded", clause="negated-query-atom", subject="Mgr"
+        )
+        assert diagnostic.clause == "negated-query-atom"

@@ -1,0 +1,113 @@
+"""The diagnostic data model: codes, severities, reports, rendering."""
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    AnalysisReport,
+    ConstraintProgramError,
+    Diagnostic,
+    Severity,
+    make_diagnostic,
+)
+from repro.analysis.diagnostics import sorted_report
+
+
+class TestCatalog:
+    def test_every_code_has_slug_severity_and_summary(self):
+        for code, info in CODES.items():
+            assert info.code == code
+            assert info.slug and info.summary
+            assert isinstance(info.severity, Severity)
+
+    def test_code_prefix_matches_severity(self):
+        prefix_for = {"E": Severity.ERROR, "W": Severity.WARNING, "I": Severity.INFO}
+        for code, info in CODES.items():
+            assert info.severity is prefix_for[code[0]]
+
+    def test_the_taxonomy_is_pinned(self):
+        # New codes are welcome; renumbering existing ones is a breaking
+        # change for everyone matching on them.
+        assert set(CODES) >= {
+            "E100", "E101", "E102", "E103", "E104",
+            "W201", "W202", "W203", "W204",
+            "I301", "I302",
+        }
+        assert CODES["E101"].slug == "ric-cycle"
+        assert CODES["E102"].slug == "conflicting-set"
+        assert CODES["W201"].slug == "unsatisfiable-constraint"
+        assert CODES["W202"].slug == "shadowed-fd"
+        assert CODES["I301"].slug == "rewriting-fragment-exclusion"
+        assert CODES["I302"].slug == "constraint-query-independence"
+
+
+class TestDiagnostic:
+    def test_make_diagnostic_fills_slug_and_severity(self):
+        diagnostic = make_diagnostic("E101", "cycle P -> T -> P", subject="P")
+        assert diagnostic.code == "E101"
+        assert diagnostic.slug == "ric-cycle"
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.subject == "P"
+
+    def test_unknown_code_is_rejected(self):
+        with pytest.raises(KeyError):
+            make_diagnostic("E999", "no such code")
+
+    def test_details_are_sorted_string_pairs(self):
+        diagnostic = make_diagnostic("I302", "independent", zebra=1, apple="x")
+        assert diagnostic.details == (("apple", "x"), ("zebra", "1"))
+        assert diagnostic.detail("zebra") == "1"
+        assert diagnostic.detail("missing") is None
+
+    def test_render_contains_code_slug_and_message(self):
+        diagnostic = make_diagnostic("W203", "duplicate of c1", subject="c2")
+        rendered = str(diagnostic)
+        assert "W203" in rendered and "duplicate-constraint" in rendered
+        assert "duplicate of c1" in rendered
+
+    def test_diagnostics_are_hashable_and_frozen(self):
+        diagnostic = make_diagnostic("I302", "independent")
+        assert diagnostic in {diagnostic}
+        with pytest.raises(AttributeError):
+            diagnostic.code = "E101"
+
+
+class TestAnalysisReport:
+    def _report(self):
+        return AnalysisReport(
+            diagnostics=(
+                make_diagnostic("I302", "independent"),
+                make_diagnostic("E101", "cycle"),
+                make_diagnostic("W203", "duplicate"),
+            )
+        )
+
+    def test_partitions_by_severity(self):
+        report = self._report()
+        assert [d.code for d in report.errors] == ["E101"]
+        assert [d.code for d in report.warnings] == ["W203"]
+        assert [d.code for d in report.infos] == ["I302"]
+        assert report.has_errors
+
+    def test_codes_and_by_code(self):
+        report = self._report()
+        assert set(report.codes()) == {"E101", "W203", "I302"}
+        assert [d.code for d in report.by_code("E101")] == ["E101"]
+        assert report.by_code("E102") == ()
+
+    def test_sorted_report_orders_by_severity_then_code(self):
+        ordered = sorted_report(self._report())
+        assert [d.code for d in ordered.diagnostics] == ["E101", "W203", "I302"]
+
+    def test_raise_for_errors(self):
+        with pytest.raises(ConstraintProgramError) as excinfo:
+            self._report().raise_for_errors()
+        assert "E101" in str(excinfo.value)
+        assert excinfo.value.report.has_errors
+        # No errors -> no raise.
+        AnalysisReport(diagnostics=(make_diagnostic("I302", "ok"),)).raise_for_errors()
+
+    def test_render_lists_every_diagnostic(self):
+        rendered = self._report().render()
+        for code in ("E101", "W203", "I302"):
+            assert code in rendered

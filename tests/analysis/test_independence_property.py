@@ -1,0 +1,140 @@
+"""Property: the I302 fast path is bit-identical to full CQA.
+
+The soundness claim behind ``method="independent"`` is that for a
+non-conflicting constraint set and a query reading only unconstrained
+predicates, plain evaluation equals the consistent answers.  These
+properties check it the expensive way — against ``method="direct"``,
+which enumerates every repair — on every paper scenario (augmented with
+an unconstrained relation), on the mixed-relevance workload generator,
+and on hypothesis-generated instances and queries straddling the
+independence boundary.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ConsistentDatabase
+from repro.analysis import is_independent
+from repro.constraints.parser import parse_constraints, parse_query
+from repro.workloads import independence_workload, scenarios
+
+#: Rows of the unconstrained relation grafted onto every scenario.
+AUX_ROWS = [("z1", "red"), ("z2", "blue"), ("z2", "red")]
+
+
+def nonconflicting_scenarios():
+    return sorted(
+        name
+        for name, scenario in scenarios.all_scenarios().items()
+        if scenario.constraints.is_non_conflicting()
+    )
+
+
+def with_aux_relation(scenario):
+    """The scenario instance plus an ``ZAux`` relation no constraint mentions."""
+
+    instance = scenario.instance.copy()
+    for row in AUX_ROWS:
+        instance.add_tuple("ZAux", row)
+    return instance
+
+
+@pytest.mark.parametrize("name", nonconflicting_scenarios())
+def test_scenario_fast_path_is_bit_identical_to_direct(name):
+    scenario = scenarios.all_scenarios()[name]
+    instance = with_aux_relation(scenario)
+    db = ConsistentDatabase(instance, scenario.constraints)
+    for text in ("ans(z, c) <- ZAux(z, c)", "ans(z) <- ZAux(z, c)", "ans() <- ZAux(z, c)"):
+        query = parse_query(text)
+        assert is_independent(scenario.constraints, query), (name, text)
+        assert db.explain(query).method == "independent"
+        direct = db.report(query, method="direct")
+        fast = db.report(query, method="independent")
+        auto = db.report(query, method="auto")
+        assert fast.answers == direct.answers == auto.answers, (name, text)
+        # The fast path reads the inconsistent instance directly — the
+        # equality above is exactly the plain-evaluation claim of I302.
+        assert fast.answers == query.answers(instance)
+
+
+@pytest.mark.parametrize("name", nonconflicting_scenarios())
+def test_scenario_constrained_queries_never_take_the_fast_path(name):
+    scenario = scenarios.all_scenarios()[name]
+    db = ConsistentDatabase(with_aux_relation(scenario), scenario.constraints)
+    for predicate in scenario.instance.predicates:
+        arity = scenario.instance.schema.arity(predicate)
+        variables = ", ".join(f"x{i}" for i in range(arity))
+        query = parse_query(f"ans({variables}) <- {predicate}({variables})")
+        if not is_independent(scenario.constraints, query):
+            assert db.explain(query).method != "independent"
+
+
+def test_workload_free_queries_are_independent_and_exact():
+    instance, constraints = independence_workload(
+        n_emp=12, n_log=15, violation_ratio=0.4, null_ratio=0.2, seed=3
+    )
+    db = ConsistentDatabase(instance, constraints)
+    assert not db.is_consistent()  # the property is vacuous on a clean instance
+    for text in (
+        "ans(t, a) <- Log(t, e, a)",
+        "ans(e, l) <- Tag(e, l)",
+        "ans(a) <- Log(t, e, a), Tag(e, l)",
+    ):
+        query = parse_query(text)
+        assert db.explain(query).method == "independent"
+        assert (
+            db.report(query, method="independent").answers
+            == db.report(query, method="direct").answers
+            == query.answers(instance)
+        )
+
+
+def test_workload_emp_queries_are_dependent():
+    instance, constraints = independence_workload(n_emp=8, n_log=5, seed=1)
+    db = ConsistentDatabase(instance, constraints)
+    query = parse_query("ans(e) <- Emp(e, d, s)")
+    assert not is_independent(constraints, query)
+    assert db.explain(query).method != "independent"
+
+
+# --------------------------------------------------------------- hypothesis
+# A keyed Emp relation (constrained, conflict-injected) next to a Log
+# relation no constraint mentions; queries drawn from both sides of the
+# independence boundary.
+
+KEY = parse_constraints(["Emp(e, d), Emp(e, f) -> d = f"])
+
+emp_rows = st.lists(
+    st.tuples(st.sampled_from(["e1", "e2", "e3"]), st.sampled_from(["a", "b", "c"])),
+    min_size=0,
+    max_size=5,
+)
+log_rows = st.lists(
+    st.tuples(st.integers(0, 3), st.sampled_from(["e1", "e9"]), st.sampled_from(["in", "out"])),
+    min_size=0,
+    max_size=5,
+)
+query_texts = st.sampled_from(
+    [
+        "ans(t, a) <- Log(t, e, a)",          # independent
+        "ans(e) <- Log(t, e, a)",             # independent
+        "ans() <- Log(t, e, 'in')",           # independent, boolean
+        "ans(e) <- Emp(e, d)",                # dependent
+        "ans(t) <- Log(t, e, a), Emp(e, d)",  # dependent via the join
+    ]
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(emp=emp_rows, log=log_rows, text=query_texts)
+def test_auto_is_bit_identical_across_the_boundary(emp, log, text):
+    instance = {"Emp": emp, "Log": log}
+    db = ConsistentDatabase(instance, KEY)
+    query = parse_query(text)
+    expected = db.report(query, method="direct").answers
+    assert db.report(query, method="auto").answers == expected
+    independent = is_independent(KEY, query)
+    assert (db.explain(query).method == "independent") == independent
+    if independent:
+        assert db.report(query, method="independent").answers == expected

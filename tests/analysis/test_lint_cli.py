@@ -1,0 +1,111 @@
+"""``python -m repro.lint``: exit codes, text/JSON output, the taxonomy."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import main
+
+CLEAN = "emp_key: Emp(e, d), Emp(e, f) -> d = f\n"
+WARN = (
+    "Emp(e, d), Emp(e, f) -> d = f\n"
+    "# a comment line and a blank line are ignored\n"
+    "\n"
+    "dup: Emp(x, y), Emp(x, z) -> y = z\n"
+)
+BROKEN = (
+    "P(x, y) -> T(x)\n"
+    "T(x) -> P(y, x)\n"        # closes a RIC cycle -> E101
+    "not a constraint\n"        # -> E100
+)
+
+
+def write(tmp_path, name, content):
+    path = tmp_path / name
+    path.write_text(content, encoding="utf-8")
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        assert main([write(tmp_path, "ok.cqa", CLEAN)]) == 0
+        out = capsys.readouterr().out
+        assert "1 constraint(s), 0 diagnostic(s)" in out
+
+    def test_warnings_do_not_fail_the_gate(self, tmp_path, capsys):
+        assert main([write(tmp_path, "warn.cqa", WARN)]) == 0
+        assert "W203" in capsys.readouterr().out
+
+    def test_errors_exit_one(self, tmp_path, capsys):
+        assert main([write(tmp_path, "bad.cqa", BROKEN)]) == 1
+        out = capsys.readouterr().out
+        assert "E100" in out and "E101" in out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["/nonexistent/missing.cqa"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_bad_query_exits_two(self, tmp_path, capsys):
+        path = write(tmp_path, "ok.cqa", CLEAN)
+        assert main(["--query", "not a query", path]) == 2
+        assert "cannot parse query" in capsys.readouterr().err
+
+    def test_no_files_is_a_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_any_bad_file_fails_the_whole_run(self, tmp_path, capsys):
+        good = write(tmp_path, "ok.cqa", CLEAN)
+        bad = write(tmp_path, "bad.cqa", BROKEN)
+        assert main([good, bad]) == 1
+
+
+class TestQueryChecks:
+    def test_query_flag_reports_independence(self, tmp_path, capsys):
+        path = write(tmp_path, "ok.cqa", CLEAN)
+        assert main(["--query", "ans(p) <- Project(p, b)", path]) == 0
+        assert "I302" in capsys.readouterr().out
+
+    def test_query_flag_reports_fragment_exclusion(self, tmp_path, capsys):
+        path = write(tmp_path, "ok.cqa", CLEAN)
+        assert main(["--query", "ans(e) <- Emp(e, d), not Mgr(e, d)", path]) == 0
+        assert "I301" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_json_is_one_object_per_file(self, tmp_path, capsys):
+        path = write(tmp_path, "bad.cqa", BROKEN)
+        assert main(["--format", "json", path]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["file"] == path
+        assert payload["errors"] >= 2
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert {"E100", "E101"} <= codes
+        for diagnostic in payload["diagnostics"]:
+            assert {"code", "slug", "severity", "message", "clause", "details"} <= set(
+                diagnostic
+            )
+
+    def test_codes_flag_prints_the_taxonomy(self, capsys):
+        assert main(["--codes"]) == 0
+        out = capsys.readouterr().out
+        for code in ("E101", "E102", "W201", "W202", "I301", "I302"):
+            assert code in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_runs(self, tmp_path):
+        path = write(tmp_path, "ok.cqa", CLEAN)
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.lint", path],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin"},
+            cwd=str(root),
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "0 diagnostic(s)" in completed.stdout

@@ -15,13 +15,11 @@ workload's best-of wall time.  A failing measurement re-runs a couple
 of times to damp scheduler interference before it is allowed to fail.
 """
 
-import time
-
 import pytest
 
 from repro.core.repairs import RepairEngine
 from repro.core.satisfaction import all_violations
-from repro.obs import trace
+from repro.obs import clock, trace
 from repro.workloads import grouped_key_workload
 
 #: The E15 smoke sweep point (``SMOKE_SWEEP = [5]`` with the experiment's
@@ -52,9 +50,9 @@ def count_spans(span):
 def best_of(fn, reps):
     best = float("inf")
     for _ in range(reps):
-        started = time.perf_counter()
+        started = clock.now()
         fn()
-        best = min(best, time.perf_counter() - started)
+        best = min(best, clock.now() - started)
     return best
 
 
