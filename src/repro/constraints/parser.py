@@ -292,6 +292,115 @@ def parse_constraints(texts: Iterable[str]) -> ConstraintSet:
     return constraints
 
 
+def _render_term(term: Term) -> str:
+    """Render one term in the textual syntax (the inverse of :func:`_parse_term`).
+
+    Raises :class:`ParseError` for terms the syntax cannot express
+    unambiguously (non-identifier variable names, strings containing a
+    quote, booleans).
+    """
+
+    from repro.constraints.terms import is_variable
+    from repro.relational.domain import is_null
+
+    if is_variable(term):
+        name = term.name
+        if not re.fullmatch(r"[a-z_][A-Za-z0-9_]*", name) or name.lower() in (
+            "null",
+            "false",
+            "not",
+            "isnull",
+        ):
+            raise ParseError(f"variable name {name!r} is not renderable")
+        return name
+    if is_null(term):
+        return "null"
+    if isinstance(term, bool):
+        raise ParseError(f"boolean constant {term!r} is not renderable")
+    if isinstance(term, (int, float)):
+        return repr(term)
+    if isinstance(term, str):
+        if "'" in term:
+            raise ParseError(f"string constant {term!r} contains a quote")
+        return f"'{term}'"
+    raise ParseError(f"constant {term!r} of type {type(term).__name__} is not renderable")
+
+
+def _render_atom(atom: Atom) -> str:
+    return f"{atom.predicate}({', '.join(_render_term(t) for t in atom.terms)})"
+
+
+def _render_comparison(comparison: Comparison) -> str:
+    return (
+        f"{_render_term(comparison.left)} {comparison.op} "
+        f"{_render_term(comparison.right)}"
+    )
+
+
+def _name_prefix(name: Optional[str]) -> str:
+    if name and re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", name):
+        return f"{name}: "
+    return ""
+
+
+def render_constraint(
+    constraint: Union[IntegrityConstraint, NotNullConstraint],
+    *,
+    named: bool = True,
+) -> str:
+    """Render *constraint* back into the textual syntax, parse round-trip safe.
+
+    The inverse of :func:`parse_constraint` (modulo whitespace): feeding
+    the result to :func:`parse_constraints` reconstructs a structurally
+    identical constraint, which is what the explorer's witness
+    serialisation relies on.  NOT NULL constraints need a known arity
+    (the parser's form mentions every attribute).
+
+    >>> render_constraint(parse_constraint("P(x, y), P(x, z) -> y = z"))
+    'P(x, y), P(x, z) -> y = z'
+    >>> render_constraint(parse_constraint("Q(x, y), isnull(y) -> false"))
+    'Q(x0, x1), isnull(x1) -> false'
+    >>> render_constraint(parse_constraint("key: P(x, y) -> R(x, z)"))
+    'key: P(x, y) -> R(x, z)'
+    """
+
+    prefix = _name_prefix(constraint.name) if named else ""
+    if isinstance(constraint, NotNullConstraint):
+        if constraint.arity is None:
+            raise ParseError(
+                f"cannot render {constraint!r}: NOT NULL constraints need a "
+                "known arity (construct with not_null(..., arity) or parse)"
+            )
+        variables = [f"x{i}" for i in range(constraint.arity)]
+        atom = f"{constraint.predicate}({', '.join(variables)})"
+        return f"{prefix}{atom}, isnull(x{constraint.position}) -> false"
+    body = ", ".join(_render_atom(a) for a in constraint.body)
+    head_parts = [_render_atom(a) for a in constraint.head_atoms] + [
+        _render_comparison(c) for c in constraint.head_comparisons
+    ]
+    head = " | ".join(head_parts) if head_parts else "false"
+    return f"{prefix}{body} -> {head}"
+
+
+def render_query(query) -> str:
+    """Render a :class:`~repro.logic.queries.ConjunctiveQuery` back to text.
+
+    The inverse of :func:`parse_query` (modulo whitespace).
+
+    >>> render_query(parse_query("ans(x) <- P(x, y), not R(y), y > 2"))
+    'ans(x) <- P(x, y), not R(y), y > 2'
+    >>> render_query(parse_query("ans() <- P(x, y)"))
+    'ans() <- P(x, y)'
+    """
+
+    head_terms = ", ".join(_render_term(v) for v in query.head_variables)
+    name = query.name if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", query.name) else "ans"
+    body_parts = [_render_atom(a) for a in query.positive_atoms]
+    body_parts += [f"not {_render_atom(a)}" for a in query.negative_atoms]
+    body_parts += [_render_comparison(c) for c in query.comparisons]
+    return f"{name}({head_terms}) <- {', '.join(body_parts)}"
+
+
 def parse_query(text: str):
     """Parse a query ``ans(x, y) <- P(x, y), not R(y), y > 2``.
 

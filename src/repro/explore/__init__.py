@@ -1,0 +1,93 @@
+"""Generative scenario explorer: differential engine fuzzing at scale.
+
+The layers, bottom up:
+
+* :mod:`repro.explore.registry` — pluggable scenario-source registry
+  with auto-discovery over :mod:`repro.explore.sources` (paper
+  examples, parametric workloads, the seeded random generator, the
+  pinned corpus);
+* :mod:`repro.explore.differential` — run every applicable engine/mode
+  pair on one scenario under a budget and classify agreement,
+  divergence (typed + signed), budget exhaustion and crashes;
+* :mod:`repro.explore.shrink` — ddmin-style reduction of a diverging
+  scenario to a 1-minimal witness;
+* :mod:`repro.explore.serialize` — canonical witness JSON, the format
+  ``tests/corpus/`` pins forever;
+* :mod:`repro.explore.explorer` — the campaign loop gluing it all
+  together, exposed as ``python -m repro.explore``.
+"""
+
+from repro.explore.differential import (
+    ALL_PROBES,
+    DEFAULT_PROBES,
+    DEFAULT_PROBE_BUDGET,
+    CaseOutcome,
+    Divergence,
+    ProbeResult,
+    ProbeSpec,
+    probe_specs,
+    run_case,
+    run_probe,
+)
+from repro.explore.explorer import (
+    DEFAULT_SOURCES,
+    DivergenceReport,
+    ExploreReport,
+    explore,
+)
+from repro.explore.registry import (
+    ScenarioSource,
+    UnknownSourceError,
+    available_sources,
+    child_seed,
+    discover_sources,
+    get_source,
+    iter_scenarios,
+    register_source,
+)
+from repro.explore.serialize import (
+    DivergenceRecord,
+    WitnessFormatError,
+    case_to_document,
+    document_to_case,
+    divergence_of,
+    dumps,
+    loads,
+    pinned_signatures_of,
+)
+from repro.explore.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "ALL_PROBES",
+    "DEFAULT_PROBES",
+    "DEFAULT_PROBE_BUDGET",
+    "DEFAULT_SOURCES",
+    "CaseOutcome",
+    "Divergence",
+    "DivergenceRecord",
+    "DivergenceReport",
+    "ExploreReport",
+    "ProbeResult",
+    "ProbeSpec",
+    "ScenarioSource",
+    "ShrinkResult",
+    "UnknownSourceError",
+    "WitnessFormatError",
+    "available_sources",
+    "case_to_document",
+    "child_seed",
+    "discover_sources",
+    "divergence_of",
+    "document_to_case",
+    "dumps",
+    "explore",
+    "get_source",
+    "iter_scenarios",
+    "loads",
+    "pinned_signatures_of",
+    "probe_specs",
+    "register_source",
+    "run_case",
+    "run_probe",
+    "shrink",
+]

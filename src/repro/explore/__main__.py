@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.explore``."""
+
+import sys
+
+from repro.explore.cli import main
+
+sys.exit(main())

@@ -1,0 +1,230 @@
+"""The explorer loop: generate → differentially check → shrink → pin.
+
+One :func:`explore` call is the whole campaign CI and humans share:
+draw scenarios from the requested sources until the wall-clock budget
+or the scenario cap runs out, run the differential check on each, and
+for any divergence whose signature is *not* pinned in the corpus,
+shrink it to a minimal witness and serialize the witness into the
+output directory.  The returned :class:`ExploreReport` says — in one
+JSON-able object — what ran, what agreed, what diverged, and whether
+any of it was news.
+
+The run is reproducible from ``(seed, scenario count)``: sources derive
+child seeds deterministically, so re-running with the same seed and an
+equal-or-larger budget revisits the same cases in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engines.base import CQAConfig
+from repro.obs import clock
+from repro.obs import metrics as _metrics
+from repro.explore.differential import (
+    DEFAULT_PROBE_BUDGET,
+    CaseOutcome,
+    ProbeSpec,
+    probe_specs,
+    run_case,
+)
+from repro.explore.registry import available_sources, iter_scenarios
+from repro.explore.serialize import (
+    DivergenceRecord,
+    case_to_document,
+    dumps,
+)
+from repro.explore.shrink import shrink
+from repro.explore.sources.corpus import pinned_signatures
+
+#: Sources a bare ``python -m repro.explore`` draws from.
+DEFAULT_SOURCES: Tuple[str, ...] = ("corpus", "paper", "workloads", "generated")
+
+#: Process-wide campaign counters (``MetricsRegistry.reset()`` zeroes the
+#: cached objects in place, so they never go stale).
+_SCENARIOS_RUN = _metrics.counter(
+    "repro_explore_scenarios_total", "scenarios the differential runner checked"
+)
+_DIVERGENCES_FOUND = _metrics.counter(
+    "repro_explore_divergences_total", "diverging scenarios found (pinned or new)"
+)
+_WITNESSES_SHRUNK = _metrics.counter(
+    "repro_explore_witnesses_shrunk_total", "new divergences reduced to witnesses"
+)
+
+
+@dataclass
+class DivergenceReport:
+    """One diverging scenario, as reported to humans/CI."""
+
+    case_name: str
+    source: str
+    seed: Optional[int]
+    signatures: List[str]
+    pinned: bool
+    details: List[str]
+    witness_path: Optional[str] = None
+
+
+@dataclass
+class ExploreReport:
+    """The outcome of one explorer campaign."""
+
+    seed: int
+    sources: List[str]
+    probes: List[str]
+    scenarios_run: int = 0
+    agreed: int = 0
+    skipped: int = 0
+    budget_exceeded: int = 0
+    divergences: List[DivergenceReport] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    min_scenarios: int = 0
+
+    @property
+    def new_divergences(self) -> List[DivergenceReport]:
+        return [d for d in self.divergences if not d.pinned]
+
+    @property
+    def known_divergences(self) -> List[DivergenceReport]:
+        return [d for d in self.divergences if d.pinned]
+
+    @property
+    def ok(self) -> bool:
+        """True iff the run is green: no news, and the floor was met."""
+
+        return not self.new_divergences and self.scenarios_run >= self.min_scenarios
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "sources": self.sources,
+            "probes": self.probes,
+            "scenarios_run": self.scenarios_run,
+            "agreed": self.agreed,
+            "skipped": self.skipped,
+            "budget_exceeded": self.budget_exceeded,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "min_scenarios": self.min_scenarios,
+            "ok": self.ok,
+            "known_divergences": [vars(d) for d in self.known_divergences],
+            "new_divergences": [vars(d) for d in self.new_divergences],
+        }
+
+
+def _witness_filename(report: DivergenceReport) -> str:
+    slug = report.case_name.replace("/", "-")
+    return f"witness-{slug}.json"
+
+
+def explore(
+    seed: int = 0,
+    *,
+    budget_seconds: float = 60.0,
+    max_scenarios: int = 10_000,
+    min_scenarios: int = 0,
+    sources: Optional[Sequence[str]] = None,
+    engines: Optional[Sequence[str]] = None,
+    probe_budget: CQAConfig = DEFAULT_PROBE_BUDGET,
+    shrink_new: bool = True,
+    out_dir: Optional[Path] = None,
+    corpus_directory: Optional[Path] = None,
+) -> ExploreReport:
+    """Run one differential-fuzzing campaign.
+
+    Args:
+        seed: root seed; child seeds derive deterministically.
+        budget_seconds: wall-clock budget for the whole campaign
+            (checked between scenarios; the probe budget bounds each
+            scenario so one case cannot blow through the wall).
+        max_scenarios: hard cap on scenarios regardless of time left.
+        min_scenarios: floor below which the run reports ``ok=False``
+            even with no divergence — keeps a CI smoke budget honest.
+        sources: scenario source names (default: corpus, paper,
+            workloads, generated).
+        engines: probe names for :func:`probe_specs` (default set, or
+            ``["all"]``).
+        probe_budget: per-probe ``max_states`` / ``deadline`` bounds.
+        shrink_new: reduce every *new* divergence to a minimal witness.
+        out_dir: where to write shrunk witness files (created on
+            demand; nothing is written when no new divergence shows).
+        corpus_directory: override the pinned-corpus location (tests).
+    """
+
+    started = clock.now()
+    source_names = list(sources) if sources is not None else list(DEFAULT_SOURCES)
+    unknown = [name for name in source_names if name not in available_sources()]
+    if unknown:
+        raise ValueError(
+            f"unknown sources {unknown}; available: {available_sources()}"
+        )
+    probes: Tuple[ProbeSpec, ...] = probe_specs(engines)
+    pinned = pinned_signatures(corpus_directory)
+    report = ExploreReport(
+        seed=seed,
+        sources=source_names,
+        probes=[spec.name for spec in probes],
+        min_scenarios=min_scenarios,
+    )
+
+    for case in iter_scenarios(source_names, seed, max_scenarios):
+        if clock.now() - started >= budget_seconds:
+            break
+        outcome = run_case(case, probes, probe_budget)
+        report.scenarios_run += 1
+        _SCENARIOS_RUN.inc()
+        if outcome.status == "agree":
+            report.agreed += 1
+            continue
+        if outcome.status == "budget":
+            report.budget_exceeded += 1
+            continue
+        if outcome.status == "skip":
+            report.skipped += 1
+            continue
+        signatures = outcome.signatures
+        divergence = DivergenceReport(
+            case_name=case.name,
+            source=case.source,
+            seed=case.seed,
+            signatures=signatures,
+            pinned=all(signature in pinned for signature in signatures),
+            details=[
+                f"{d.kind}: {d.left} vs {d.right}: {d.detail}"
+                for d in outcome.divergences
+            ],
+        )
+        report.divergences.append(divergence)
+        _DIVERGENCES_FOUND.inc()
+        if divergence.pinned or not shrink_new:
+            continue
+        target = next(s for s in signatures if s not in pinned)
+        shrunk = shrink(case, target, probes, probe_budget)
+        _WITNESSES_SHRUNK.inc()
+        primary = next(
+            (d for d in shrunk.outcome.divergences if d.signature == target),
+            None,
+        )
+        record = DivergenceRecord(
+            kind=primary.kind if primary else target.split(":", 1)[0],
+            left=primary.left if primary else "",
+            right=primary.right if primary else "",
+            signature=target,
+            detail=primary.detail if primary else "",
+        )
+        document = case_to_document(
+            shrunk.case,
+            status="open",
+            divergence=record,
+            signatures=shrunk.outcome.signatures,
+        )
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / _witness_filename(divergence)
+            path.write_text(dumps(document))
+            divergence.witness_path = str(path)
+
+    report.elapsed_seconds = clock.now() - started
+    return report

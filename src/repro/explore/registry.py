@@ -1,0 +1,132 @@
+"""Pluggable scenario-source registry with auto-discovery.
+
+Mirrors the engine registry of :mod:`repro.engines.base`: a source
+registers itself under a stable name with :func:`register_source`, and
+:func:`discover_sources` imports every module under
+:mod:`repro.explore.sources` so that dropping a new source file into
+that package is all it takes to make its scenarios explorable —
+``python -m repro.explore --sources mine`` picks it up with no central
+edit.
+
+A source is a callable ``(seed, count) -> Iterable[ScenarioCase]``.
+Finite sources (the paper's worked examples, the pinned corpus) simply
+ignore *seed* and yield what they have, at most *count* cases; generative
+sources derive one child seed per case so that a run is reproducible from
+the root seed alone.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.workloads.case import ScenarioCase
+
+SourceFactory = Callable[[int, int], Iterable[ScenarioCase]]
+
+
+@dataclass(frozen=True)
+class ScenarioSource:
+    """A named provider of scenarios."""
+
+    name: str
+    factory: SourceFactory
+    description: str = ""
+
+
+class UnknownSourceError(KeyError):
+    """Raised when a requested scenario source is not registered."""
+
+
+_SOURCES: Dict[str, ScenarioSource] = {}
+_DISCOVERED = False
+
+
+def register_source(
+    name: str, description: str = ""
+) -> Callable[[SourceFactory], SourceFactory]:
+    """Class/function decorator registering a scenario source.
+
+    Re-registering a name replaces the previous entry (same convention as
+    the engine registry — last writer wins, which keeps reloads in tests
+    harmless).
+    """
+
+    def decorate(factory: SourceFactory) -> SourceFactory:
+        _SOURCES[name] = ScenarioSource(name=name, factory=factory, description=description)
+        return factory
+
+    return decorate
+
+
+def discover_sources() -> None:
+    """Import every module in :mod:`repro.explore.sources` exactly once."""
+
+    global _DISCOVERED
+    if _DISCOVERED:
+        return
+    from repro.explore import sources as sources_pkg
+
+    for module_info in sorted(
+        pkgutil.iter_modules(sources_pkg.__path__), key=lambda m: m.name
+    ):
+        importlib.import_module(f"{sources_pkg.__name__}.{module_info.name}")
+    _DISCOVERED = True
+
+
+def get_source(name: str) -> ScenarioSource:
+    """The registered source called *name* (after discovery)."""
+
+    discover_sources()
+    try:
+        return _SOURCES[name]
+    except KeyError:
+        raise UnknownSourceError(
+            f"unknown scenario source {name!r}; available: {available_sources()}"
+        ) from None
+
+
+def available_sources() -> List[str]:
+    """Sorted names of all registered sources."""
+
+    discover_sources()
+    return sorted(_SOURCES)
+
+
+def child_seed(seed: int, index: int) -> int:
+    """The derived seed of case *index* within a run seeded with *seed*.
+
+    A fixed affine map — deliberately not ``hash()``-based, so the same
+    root seed enumerates the same cases in every process regardless of
+    ``PYTHONHASHSEED``.
+    """
+
+    return seed * 1_000_003 + index
+
+
+def iter_scenarios(
+    names: Sequence[str], seed: int, count: int
+) -> Iterator[ScenarioCase]:
+    """Interleaved scenarios from *names*, at most *count* in total.
+
+    Sources are drained round-robin, so a small run still samples every
+    requested source; finite sources (paper examples, corpus) drop out as
+    they exhaust and the remaining budget flows to the generative ones.
+    """
+
+    iterators = [iter(get_source(name).factory(seed, count)) for name in names]
+    emitted = 0
+    while iterators and emitted < count:
+        next_round: List[Iterator[ScenarioCase]] = []
+        for iterator in iterators:
+            if emitted >= count:
+                break
+            try:
+                yield next(iterator)
+            except StopIteration:
+                continue
+            emitted += 1
+            next_round.append(iterator)
+        iterators = next_round

@@ -1,0 +1,209 @@
+"""Witness serialization: :class:`ScenarioCase` ⇄ canonical JSON.
+
+A *witness* is a scenario the explorer wants to outlive the run that
+found it — a shrunk divergence pinned into ``tests/corpus/``, or a
+failing case attached to a CI report.  The format is deliberately plain:
+
+* the schema as ``{predicate: [attribute, ...]}``,
+* facts as ``["P", [v1, v2, ...]]`` rows where JSON ``null`` is the
+  paper's ``null`` constant,
+* constraints and the query in the textual syntax of
+  :mod:`repro.constraints.parser` (``render_constraint`` /
+  ``render_query`` guarantee the round trip),
+* the mutation trace as ``["insert" | "delete", "P", [values]]`` steps,
+* optional provenance: seed, source, divergence record and signature.
+
+``dumps`` is canonical — keys sorted, two-space indent, trailing
+newline — so the same witness is byte-identical across runs and
+processes, which the explorer's determinism acceptance test relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.constraints.parser import (
+    parse_constraints,
+    parse_query,
+    render_constraint,
+    render_query,
+)
+from repro.relational.domain import NULL, is_null
+from repro.relational.instance import DatabaseInstance
+from repro.relational.schema import DatabaseSchema
+from repro.workloads.case import ScenarioCase
+
+#: Format marker written into every witness file; bump on breaking change.
+FORMAT_VERSION = 1
+
+
+class WitnessFormatError(ValueError):
+    """Raised when a witness document cannot be (de)serialized."""
+
+
+@dataclass(frozen=True)
+class DivergenceRecord:
+    """What went wrong, as recorded in a witness file.
+
+    ``kind`` is one of the differential runner's divergence kinds
+    (``repairs``, ``repair-order``, ``answers``, ``certain``, ``crash``);
+    ``left``/``right`` name the disagreeing probes; ``signature`` is the
+    coarse key used to match a fresh divergence against pinned witnesses;
+    ``detail`` is a human-readable account of the disagreement.
+    """
+
+    kind: str
+    left: str
+    right: str
+    signature: str
+    detail: str = ""
+
+
+def _encode_value(value: Any) -> Any:
+    if is_null(value):
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise WitnessFormatError(
+            f"cannot serialize constant {value!r} of type {type(value).__name__}"
+        )
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if value is None:
+        return NULL
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise WitnessFormatError(
+            f"cannot deserialize constant {value!r} of type {type(value).__name__}"
+        )
+    return value
+
+
+def case_to_document(
+    case: ScenarioCase,
+    *,
+    status: str = "open",
+    divergence: Optional[DivergenceRecord] = None,
+    signatures: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """The JSON-ready document for *case* (deterministic content).
+
+    *divergence* records the primary finding; *signatures* is the full
+    sorted set of divergence signatures the witness's replay produces —
+    one root cause often surfaces as several kinds (the extra ≤_D repair
+    also shifts the answer intersection), and the witness pins them all.
+    """
+
+    schema: Dict[str, List[str]] = {
+        relation.name: list(relation.attributes)
+        for relation in case.instance.schema.relations()
+    }
+    facts = [
+        [fact.predicate, [_encode_value(v) for v in fact.values]]
+        for fact in case.instance.facts()
+    ]
+    document: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "name": case.name,
+        "description": case.description,
+        "source": case.source,
+        "seed": case.seed,
+        "schema": schema,
+        "facts": facts,
+        "constraints": [
+            render_constraint(constraint) for constraint in case.constraints
+        ],
+        "query": render_query(case.query),
+        "trace": [
+            [kind, predicate, [_encode_value(v) for v in values]]
+            for kind, predicate, values in case.trace
+        ],
+        "status": status,
+    }
+    if divergence is not None:
+        document["divergence"] = asdict(divergence)
+    if signatures:
+        document["signatures"] = sorted(signatures)
+    elif divergence is not None:
+        document["signatures"] = [divergence.signature]
+    return document
+
+
+def pinned_signatures_of(document: Mapping[str, Any]) -> List[str]:
+    """Every divergence signature a witness document pins."""
+
+    signatures = list(document.get("signatures", []))
+    divergence = divergence_of(document)
+    if divergence is not None and divergence.signature not in signatures:
+        signatures.append(divergence.signature)
+    return sorted(signatures)
+
+
+def document_to_case(document: Mapping[str, Any]) -> ScenarioCase:
+    """Rebuild the :class:`ScenarioCase` a document describes."""
+
+    version = document.get("format")
+    if version != FORMAT_VERSION:
+        raise WitnessFormatError(
+            f"unsupported witness format {version!r} (expected {FORMAT_VERSION})"
+        )
+    try:
+        schema = DatabaseSchema.from_dict(dict(document["schema"]))
+        instance = DatabaseInstance(schema=schema)
+        for predicate, values in document["facts"]:
+            instance.add_tuple(predicate, [_decode_value(v) for v in values])
+        constraints = parse_constraints(document["constraints"])
+        query = parse_query(document["query"])
+        trace = tuple(
+            (kind, predicate, tuple(_decode_value(v) for v in values))
+            for kind, predicate, values in document.get("trace", [])
+        )
+    except WitnessFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WitnessFormatError(f"malformed witness document: {exc}") from exc
+    return ScenarioCase(
+        name=str(document.get("name", "witness")),
+        instance=instance,
+        constraints=constraints,
+        query=query,
+        trace=trace,
+        seed=document.get("seed"),
+        source=str(document.get("source", "corpus")),
+        description=str(document.get("description", "")),
+    )
+
+
+def divergence_of(document: Mapping[str, Any]) -> Optional[DivergenceRecord]:
+    """The pinned divergence of a witness document, if any."""
+
+    raw = document.get("divergence")
+    if raw is None:
+        return None
+    return DivergenceRecord(
+        kind=str(raw["kind"]),
+        left=str(raw["left"]),
+        right=str(raw["right"]),
+        signature=str(raw["signature"]),
+        detail=str(raw.get("detail", "")),
+    )
+
+
+def dumps(document: Mapping[str, Any]) -> str:
+    """Canonical text for a witness document (byte-stable)."""
+
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def loads(text: str) -> Dict[str, Any]:
+    """Parse witness text back into a document."""
+
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WitnessFormatError(f"witness is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise WitnessFormatError("witness document must be a JSON object")
+    return document

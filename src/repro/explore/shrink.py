@@ -1,0 +1,273 @@
+"""Witness shrinking: reduce a diverging scenario to a minimal core.
+
+Greedy ddmin-style reduction: repeatedly try to remove one component —
+a trace step, a fact, a constraint, a query comparison/negated atom/
+positive atom — re-running the differential check after each candidate
+removal and keeping the removal iff the *target signature* still
+reproduces.  Passes repeat until a whole sweep removes nothing (a
+fixpoint), so the result is 1-minimal: removing any single remaining
+component makes the divergence disappear.
+
+Everything iterates in deterministic order (facts by sort key,
+constraints by their rendered text), so the same diverging scenario
+always shrinks to the same witness — the byte-identical corpus
+guarantee builds on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.constraints.ic import ConstraintSet
+from repro.constraints.parser import render_constraint
+from repro.engines.base import CQAConfig
+from repro.logic.evaluation import EvaluationError
+from repro.logic.queries import ConjunctiveQuery
+from repro.relational.instance import DatabaseInstance
+from repro.explore.differential import (
+    DEFAULT_PROBE_BUDGET,
+    DEFAULT_PROBES,
+    CaseOutcome,
+    ProbeSpec,
+    run_case,
+)
+from repro.workloads.case import ScenarioCase
+
+
+@dataclass
+class ShrinkResult:
+    """The reduced witness plus how the reduction went."""
+
+    case: ScenarioCase
+    outcome: CaseOutcome
+    evaluations: int
+    removed: int
+
+
+def _rebuild_instance(template: DatabaseInstance, facts: Sequence) -> DatabaseInstance:
+    instance = DatabaseInstance(schema=template.schema.copy())
+    for fact in facts:
+        instance.add(fact)
+    return instance
+
+
+class _Shrinker:
+    def __init__(
+        self,
+        signature: str,
+        probes: Sequence[ProbeSpec],
+        budget: CQAConfig,
+        max_evaluations: int,
+    ):
+        self.signature = signature
+        self.probes = probes
+        self.budget = budget
+        self.max_evaluations = max_evaluations
+        self.evaluations = 0
+        self.last_outcome: Optional[CaseOutcome] = None
+
+    def interesting(self, case: ScenarioCase) -> bool:
+        if self.evaluations >= self.max_evaluations:
+            return False
+        self.evaluations += 1
+        outcome = run_case(
+            case, self.probes, self.budget, check_certain=False
+        )
+        if self.signature in outcome.signatures:
+            self.last_outcome = outcome
+            return True
+        return False
+
+    # ------------------------------------------------------------ passes
+    def drop_trace(self, case: ScenarioCase) -> ScenarioCase:
+        if case.trace and self.interesting(case.with_(trace=())):
+            return case.with_(trace=())
+        index = 0
+        while index < len(case.trace):
+            candidate = case.with_(
+                trace=case.trace[:index] + case.trace[index + 1 :]
+            )
+            if self.interesting(candidate):
+                case = candidate
+            else:
+                index += 1
+        return case
+
+    def drop_facts(self, case: ScenarioCase) -> ScenarioCase:
+        index = 0
+        while index < len(case.instance):
+            facts = list(case.instance.facts())
+            if index >= len(facts):
+                break
+            candidate = case.with_(
+                instance=_rebuild_instance(
+                    case.instance, facts[:index] + facts[index + 1 :]
+                )
+            )
+            if self.interesting(candidate):
+                case = candidate
+            else:
+                index += 1
+        return case
+
+    def drop_constraints(self, case: ScenarioCase) -> ScenarioCase:
+        index = 0
+        while True:
+            constraints = sorted(case.constraints, key=render_constraint)
+            if index >= len(constraints):
+                break
+            candidate = case.with_(
+                constraints=ConstraintSet(
+                    constraints[:index] + constraints[index + 1 :]
+                )
+            )
+            if self.interesting(candidate):
+                case = candidate
+            else:
+                index += 1
+        return case
+
+    def simplify_query(self, case: ScenarioCase) -> ScenarioCase:
+        query = case.query
+        if not isinstance(query, ConjunctiveQuery):
+            return case
+
+        def try_query(**changes) -> Optional[ScenarioCase]:
+            fields = {
+                "head_variables": query.head_variables,
+                "positive_atoms": query.positive_atoms,
+                "negative_atoms": query.negative_atoms,
+                "comparisons": query.comparisons,
+                "name": query.name,
+            }
+            fields.update(changes)
+            try:
+                candidate_query = ConjunctiveQuery(**fields)
+            except EvaluationError:
+                return None  # removal would make the query unsafe
+            candidate = case.with_(query=candidate_query)
+            return candidate if self.interesting(candidate) else None
+
+        for attribute in ("comparisons", "negative_atoms"):
+            index = 0
+            while index < len(getattr(query, attribute)):
+                items = getattr(query, attribute)
+                candidate = try_query(
+                    **{attribute: items[:index] + items[index + 1 :]}
+                )
+                if candidate is not None:
+                    case = candidate
+                    query = candidate.query
+                else:
+                    index += 1
+        index = 0
+        while len(query.positive_atoms) > 1 and index < len(query.positive_atoms):
+            atoms = query.positive_atoms
+            candidate = try_query(
+                positive_atoms=atoms[:index] + atoms[index + 1 :]
+            )
+            if candidate is not None:
+                case = candidate
+                query = candidate.query
+            else:
+                index += 1
+        return case
+
+
+def _prune_schema(case: ScenarioCase) -> ScenarioCase:
+    """Drop schema relations nothing in the witness references.
+
+    Purely cosmetic — unused relations change no semantics — but the
+    witness file should read as the minimal reproduction it is.
+    """
+
+    from repro.relational.schema import DatabaseSchema
+
+    used = {fact.predicate for fact in case.instance.facts()}
+    for constraint in case.constraints:
+        if hasattr(constraint, "body"):
+            for atom in list(constraint.body) + list(constraint.head_atoms):
+                used.add(atom.predicate)
+        else:
+            used.add(constraint.predicate)
+    if isinstance(case.query, ConjunctiveQuery):
+        used |= set(case.query.predicates())
+    for _kind, predicate, _values in case.trace:
+        used.add(predicate)
+    kept = DatabaseSchema(
+        relation
+        for relation in case.instance.schema.relations()
+        if relation.name in used
+    )
+    if len(kept) == len(case.instance.schema):
+        return case
+    instance = DatabaseInstance(schema=kept)
+    for fact in case.instance.facts():
+        instance.add(fact)
+    return case.with_(instance=instance)
+
+
+def shrink(
+    case: ScenarioCase,
+    signature: str,
+    probes: Sequence[ProbeSpec] = DEFAULT_PROBES,
+    budget: CQAConfig = DEFAULT_PROBE_BUDGET,
+    *,
+    max_evaluations: int = 400,
+) -> ShrinkResult:
+    """Reduce *case* while *signature* keeps reproducing.
+
+    Returns the smallest case found, the outcome of its last differential
+    run, and reduction statistics.  If the signature does not reproduce on
+    the input case at all, the input is returned unshrunk.
+    """
+
+    shrinker = _Shrinker(signature, probes, budget, max_evaluations)
+    if not shrinker.interesting(case):
+        outcome = shrinker.last_outcome or run_case(
+            case, probes, budget, check_certain=False
+        )
+        return ShrinkResult(case=case, outcome=outcome, evaluations=1, removed=0)
+
+    before = (
+        len(case.instance)
+        + len(list(case.constraints))
+        + len(case.trace)
+    )
+    current = case
+    while True:
+        start_evaluations = shrinker.evaluations
+        reduced = shrinker.drop_trace(current)
+        reduced = shrinker.drop_facts(reduced)
+        reduced = shrinker.drop_constraints(reduced)
+        reduced = shrinker.simplify_query(reduced)
+        changed = (
+            len(reduced.instance) != len(current.instance)
+            or len(list(reduced.constraints)) != len(list(current.constraints))
+            or len(reduced.trace) != len(current.trace)
+            or reduced.query is not current.query
+        )
+        current = reduced
+        if not changed or shrinker.evaluations >= max_evaluations:
+            break
+        if shrinker.evaluations == start_evaluations:
+            break
+
+    current = _prune_schema(current)
+    current = current.with_(description=f"shrunk witness for {signature}")
+    outcome = shrinker.last_outcome
+    assert outcome is not None
+    if outcome.case is not current:
+        outcome = run_case(current, probes, budget, check_certain=False)
+    after = (
+        len(current.instance)
+        + len(list(current.constraints))
+        + len(current.trace)
+    )
+    return ShrinkResult(
+        case=current,
+        outcome=outcome,
+        evaluations=shrinker.evaluations,
+        removed=before - after,
+    )

@@ -1,0 +1,7 @@
+"""Auto-discovered scenario sources.
+
+Every module in this package is imported by
+:func:`repro.explore.registry.discover_sources`; a module makes itself
+useful by decorating a factory with ``@register_source``.  Nothing else
+is required — no central list to edit.
+"""

@@ -1,0 +1,64 @@
+"""Pinned witnesses from ``tests/corpus/`` as replayable scenarios.
+
+Every shrunk witness the explorer has ever pinned is replayed by this
+source (and by the tier-1 corpus test), so a divergence that was fixed
+stays fixed and one that is still open keeps matching its pinned
+signature instead of failing fresh runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+from repro.explore.registry import register_source
+from repro.explore.serialize import (
+    DivergenceRecord,
+    divergence_of,
+    document_to_case,
+    loads,
+    pinned_signatures_of,
+)
+from repro.workloads.case import ScenarioCase
+
+
+def corpus_dir() -> Path:
+    """The pinned-witness directory (repo's ``tests/corpus/``)."""
+
+    return Path(__file__).resolve().parents[4] / "tests" / "corpus"
+
+
+def corpus_entries(
+    directory: Path | None = None,
+) -> List[Tuple[Path, ScenarioCase, DivergenceRecord | None]]:
+    """Every witness in *directory*, sorted by file name."""
+
+    base = directory if directory is not None else corpus_dir()
+    entries: List[Tuple[Path, ScenarioCase, DivergenceRecord | None]] = []
+    if not base.is_dir():
+        return entries
+    for path in sorted(base.glob("*.json")):
+        document = loads(path.read_text())
+        entries.append((path, document_to_case(document), divergence_of(document)))
+    return entries
+
+
+def pinned_signatures(directory: Path | None = None) -> Dict[str, Path]:
+    """Signature → witness path for every pinned divergence signature."""
+
+    base = directory if directory is not None else corpus_dir()
+    pinned: Dict[str, Path] = {}
+    if not base.is_dir():
+        return pinned
+    for path in sorted(base.glob("*.json")):
+        for signature in pinned_signatures_of(loads(path.read_text())):
+            pinned.setdefault(signature, path)
+    return pinned
+
+
+@register_source("corpus", "pinned witnesses replayed from tests/corpus/")
+def corpus_scenarios(seed: int, count: int) -> Iterator[ScenarioCase]:
+    for index, (_path, case, _divergence) in enumerate(corpus_entries()):
+        if index >= count:
+            return
+        yield case

@@ -1,0 +1,48 @@
+"""The paper's worked examples as differential-testing scenarios.
+
+Wraps every :class:`repro.workloads.scenarios.Scenario` into a
+:class:`ScenarioCase`.  The examples carry no query of their own, so each
+one is paired with a full-scan conjunctive query over its (alphabetically)
+first populated predicate — enough to exercise certain-answer agreement on
+the exact instances the paper reasons about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.constraints.atoms import Atom
+from repro.constraints.terms import Variable
+from repro.logic.queries import ConjunctiveQuery
+from repro.explore.registry import register_source
+from repro.workloads.case import ScenarioCase
+from repro.workloads.scenarios import all_scenarios
+
+
+@register_source("paper", "the paper's worked examples (fixed, finite)")
+def paper_scenarios(seed: int, count: int) -> Iterator[ScenarioCase]:
+    scenarios = all_scenarios()
+    emitted = 0
+    for name in sorted(scenarios):
+        if emitted >= count:
+            return
+        scenario = scenarios[name]
+        predicates = scenario.instance.predicates
+        if not predicates:
+            continue
+        predicate = predicates[0]
+        arity = len(next(iter(scenario.instance.tuples(predicate))))
+        terms = tuple(Variable(f"q{i}") for i in range(arity))
+        query = ConjunctiveQuery(
+            head_variables=terms, positive_atoms=(Atom(predicate, terms),)
+        )
+        yield ScenarioCase(
+            name=f"paper-{name}",
+            instance=scenario.instance,
+            constraints=scenario.constraints,
+            query=query,
+            seed=None,
+            source="paper",
+            description=scenario.description,
+        )
+        emitted += 1

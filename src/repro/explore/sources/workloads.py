@@ -1,0 +1,64 @@
+"""Small instances of the parametric workload generators.
+
+The scaling generators of :mod:`repro.workloads.generators` encode
+violation structures (foreign-key dangling references, key-conflict
+groups, cyclic UIC/RIC interplay, constraint-independent predicates) that
+the fully random generator only hits by chance; running them at small
+sizes keeps those shapes in every differential sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence, Tuple
+
+from repro.constraints.atoms import Atom
+from repro.constraints.ic import ConstraintSet
+from repro.constraints.terms import Variable
+from repro.logic.queries import ConjunctiveQuery
+from repro.relational.instance import DatabaseInstance
+from repro.explore.registry import child_seed, register_source
+from repro.workloads.case import ScenarioCase
+from repro.workloads.generators import (
+    cyclic_ric_workload,
+    foreign_key_workload,
+    independence_workload,
+    key_violation_workload,
+    scaled_course_student,
+)
+
+_WORKLOADS: Sequence[
+    Tuple[str, Callable[[int], Tuple[DatabaseInstance, ConstraintSet]]]
+] = (
+    ("foreign-key", lambda s: foreign_key_workload(n_parents=3, n_children=5, seed=s)),
+    ("key-violation", lambda s: key_violation_workload(n_rows=6, seed=s)),
+    ("cyclic-ric", lambda s: cyclic_ric_workload(n_rows=3, seed=s)),
+    ("course-student", lambda s: scaled_course_student(n_courses=4, seed=s)),
+    ("independence", lambda s: independence_workload(n_emp=4, n_log=4, seed=s)),
+)
+
+
+def _scan_query(instance: DatabaseInstance) -> ConjunctiveQuery:
+    predicate = instance.predicates[0]
+    arity = len(next(iter(instance.tuples(predicate))))
+    terms = tuple(Variable(f"q{i}") for i in range(arity))
+    return ConjunctiveQuery(head_variables=terms, positive_atoms=(Atom(predicate, terms),))
+
+
+@register_source("workloads", "small seeded instances of the parametric workloads")
+def workload_scenarios(seed: int, count: int) -> Iterator[ScenarioCase]:
+    # Two seeded passes over the catalogue, then stop: this source exists
+    # to keep the curated violation shapes in the mix, not to compete with
+    # the random generator for the case budget.
+    for index in range(min(count, 2 * len(_WORKLOADS))):
+        label, build = _WORKLOADS[index % len(_WORKLOADS)]
+        case_seed = child_seed(seed, index)
+        instance, constraints = build(case_seed)
+        yield ScenarioCase(
+            name=f"workload-{label}-{seed}-{index}",
+            instance=instance,
+            constraints=constraints,
+            query=_scan_query(instance),
+            seed=case_seed,
+            source="workloads",
+            description=f"{label} workload at differential-testing size",
+        )

@@ -11,6 +11,7 @@ with controllable size, null ratio and violation ratio, which the scaling
 experiments sweep.
 """
 
+from repro.workloads.case import ScenarioCase, TraceStep
 from repro.workloads.generators import (
     foreign_key_workload,
     grouped_key_workload,
@@ -18,17 +19,21 @@ from repro.workloads.generators import (
     key_violation_workload,
     cyclic_ric_workload,
     random_constraint_set,
+    random_scenario,
     scaled_course_student,
 )
 from repro.workloads import scenarios
 
 __all__ = [
+    "ScenarioCase",
+    "TraceStep",
     "foreign_key_workload",
     "grouped_key_workload",
     "independence_workload",
     "key_violation_workload",
     "cyclic_ric_workload",
     "random_constraint_set",
+    "random_scenario",
     "scaled_course_student",
     "scenarios",
 ]

@@ -1,0 +1,90 @@
+"""One executable scenario: instance, constraints, query and mutation trace.
+
+:class:`ScenarioCase` is the unit of work the generative explorer
+(:mod:`repro.explore`) feeds to the differential runner: everything a
+session needs to reproduce one CQA computation end to end.  Unlike the
+paper's :class:`repro.workloads.scenarios.Scenario` (which records
+*expected* outcomes), a case carries no expectations — the differential
+runner derives the ground truth by cross-checking engines against each
+other.
+
+The *trace* is a sequence of session mutations applied after the initial
+instance is loaded.  Replaying it through :meth:`ScenarioCase.session`
+exercises the warm violation tracker and the generation-keyed caches on
+every probe, so tracker/caching bugs are part of the fuzzed surface, not
+just engine semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+
+from repro.constraints.ic import ConstraintSet
+from repro.logic.queries import Query
+from repro.relational.instance import DatabaseInstance
+
+if TYPE_CHECKING:
+    from repro.session import ConsistentDatabase
+
+#: One mutation step: ``("insert" | "delete", predicate, values)``.
+TraceStep = Tuple[str, str, Tuple[Any, ...]]
+
+
+@dataclass(frozen=True)
+class ScenarioCase:
+    """A named, self-contained differential-testing scenario."""
+
+    name: str
+    instance: DatabaseInstance
+    constraints: ConstraintSet
+    query: Query
+    trace: Tuple[TraceStep, ...] = ()
+    seed: Optional[int] = None
+    source: str = ""
+    description: str = ""
+
+    def session(self, **config: Any) -> "ConsistentDatabase":
+        """A fresh session over a copy of the instance, trace replayed.
+
+        Every call builds an independent :class:`ConsistentDatabase`
+        (the case's own instance is never mutated) and applies the trace
+        through the session's mutation surface, so the returned session
+        arrives with a warm violation tracker and an advanced
+        generation counter — exactly the state a long-lived service
+        session would be in.
+        """
+
+        from repro.session import ConsistentDatabase
+
+        session = ConsistentDatabase(self.instance, self.constraints, **config)
+        for kind, predicate, values in self.trace:
+            if kind == "insert":
+                session.insert(predicate, values)
+            elif kind == "delete":
+                session.delete(predicate, values)
+            else:
+                raise ValueError(f"unknown trace step kind {kind!r} in {self.name}")
+        return session
+
+    def final_instance(self) -> DatabaseInstance:
+        """The instance after the trace, as an independent copy."""
+
+        instance = self.instance.copy()
+        for kind, predicate, values in self.trace:
+            from repro.relational.instance import Fact
+
+            fact = Fact(predicate, values)
+            if kind == "insert":
+                if fact not in instance:
+                    instance.add(fact)
+            elif kind == "delete":
+                instance.discard(fact)
+            else:
+                raise ValueError(f"unknown trace step kind {kind!r} in {self.name}")
+        return instance
+
+    def with_(self, **changes: Any) -> "ScenarioCase":
+        """A copy with *changes* applied (the shrinker's workhorse)."""
+
+        return replace(self, **changes)

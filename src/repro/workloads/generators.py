@@ -14,11 +14,12 @@ import random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.relational.domain import NULL
-from repro.relational.instance import DatabaseInstance
+from repro.relational.instance import DatabaseInstance, Fact
 from repro.relational.schema import DatabaseSchema
 from repro.constraints.atoms import Atom, Comparison
 from repro.constraints.factories import (
     check_constraint,
+    denial_constraint,
     functional_dependency,
     not_null,
     referential_constraint,
@@ -26,6 +27,8 @@ from repro.constraints.factories import (
 )
 from repro.constraints.ic import ConstraintSet
 from repro.constraints.terms import Variable
+from repro.logic.queries import ConjunctiveQuery
+from repro.workloads.case import ScenarioCase, TraceStep
 
 
 def _v(name: str) -> Variable:
@@ -291,32 +294,373 @@ def random_constraint_set(
 
     Used by the dependency-graph experiment (E8) to measure how often
     random constraint sets are RIC-acyclic and how expensive the check is.
+
+    Emitted constraints are structurally distinct: each ``(source, target)``
+    pair is resampled (bounded) until its name-independent signature is
+    unseen, so the analyzer never reports ``W203`` duplicates on these
+    sets.  The requested UIC/RIC counts are always honoured; if the
+    predicate pool is too small to offer enough distinct pairs, the last
+    resample is kept even when it repeats an earlier signature.
     """
+
+    from repro.core.repairs import constraint_structural_key
 
     rng = random.Random(seed)
     predicates = [f"R{i}" for i in range(n_predicates)]
     constraints = ConstraintSet()
+    seen: set = set()
     variables = [_v(f"x{i}") for i in range(arity)]
+
+    def add_distinct(build) -> None:
+        candidate = build()
+        for _ in range(64):
+            if constraint_structural_key(candidate) not in seen:
+                break
+            candidate = build()
+        seen.add(constraint_structural_key(candidate))
+        constraints.add(candidate)
+
     for index in range(n_uics):
-        source, target = rng.sample(predicates, 2)
-        constraints.add(
-            universal_constraint(
+
+        def build_uic(index: int = index):
+            source, target = rng.sample(predicates, 2)
+            return universal_constraint(
                 [Atom(source, tuple(variables))],
                 [Atom(target, tuple(variables))],
                 name=f"uic{index}",
             )
-        )
+
+        add_distinct(build_uic)
     for index in range(n_rics):
-        source, target = rng.sample(predicates, 2)
-        body_vars = tuple(variables)
-        head_terms = (variables[0],) + tuple(
-            _v(f"z{index}_{i}") for i in range(arity - 1)
-        )
-        constraints.add(
-            referential_constraint(
+
+        def build_ric(index: int = index):
+            source, target = rng.sample(predicates, 2)
+            body_vars = tuple(variables)
+            head_terms = (variables[0],) + tuple(
+                _v(f"z{index}_{i}") for i in range(arity - 1)
+            )
+            return referential_constraint(
                 Atom(source, body_vars),
                 Atom(target, head_terms),
                 name=f"ric{index}",
             )
-        )
+
+        add_distinct(build_ric)
     return constraints
+
+
+# --------------------------------------------------------------------------
+# Full scenario generation (instance + constraints + query + mutation trace)
+# --------------------------------------------------------------------------
+
+#: Weighted constraint-kind mix for :func:`random_scenario`.  Keys and
+#: referential constraints dominate because their interaction (through
+#: nulls) is where the ≤_D semantics has teeth; checks, disjunctive UICs,
+#: NNCs and conditional denials keep the satisfaction surface covered.
+_KIND_WEIGHTS: Sequence[Tuple[str, int]] = (
+    ("fd", 30),
+    ("ric", 30),
+    ("uic", 15),
+    ("check", 10),
+    ("nnc", 10),
+    ("denial", 5),
+)
+
+
+def _pick_kind(rng: random.Random) -> str:
+    total = sum(weight for _, weight in _KIND_WEIGHTS)
+    roll = rng.randrange(total)
+    for kind, weight in _KIND_WEIGHTS:
+        roll -= weight
+        if roll < 0:
+            return kind
+    return _KIND_WEIGHTS[-1][0]  # pragma: no cover - unreachable
+
+
+def random_scenario(
+    seed: int = 0,
+    *,
+    n_predicates: Optional[int] = None,
+    max_arity: int = 3,
+    n_constraints: Optional[int] = None,
+    n_facts: Optional[int] = None,
+    null_density: float = 0.25,
+    n_trace_steps: Optional[int] = None,
+    allow_cyclic_rics: bool = False,
+    domain_size: int = 3,
+    source: str = "generated",
+    name: Optional[str] = None,
+) -> ScenarioCase:
+    """A random-but-seeded full differential-testing scenario.
+
+    Grows :func:`random_constraint_set` into an instance + query + trace
+    generator: random schemas and arities, a weighted constraint mix
+    (keys/FDs, RICs — cyclic only when *allow_cyclic_rics* — disjunctive
+    UICs, checks, NNCs, conditional denials), a tunable null density over
+    a deliberately tiny integer domain (so key conflicts and dangling
+    references arise naturally), a safe conjunctive query and a short
+    insert/delete mutation trace.
+
+    Determinism contract: the same arguments produce a structurally
+    identical :class:`ScenarioCase` in any process (no ``hash()``
+    dependence), which is what lets the explorer replay and shrink by
+    seed alone.  Generated constraint sets are analyzer-clean by
+    construction — structurally deduplicated (no ``W203``), at most one
+    FD per predicate (no ``W202``), NNCs never protect existentially
+    quantified positions (no ``E102``) and RIC cycles (``E101``) only
+    appear when explicitly allowed.
+
+    Unspecified size knobs (``n_predicates``, ``n_constraints``,
+    ``n_facts``, ``n_trace_steps``) are sampled from small ranges so the
+    differential runner can afford hundreds of scenarios per minute.
+    """
+
+    rng = random.Random(seed)
+    if n_predicates is None:
+        n_predicates = rng.randint(2, 4)
+    if n_constraints is None:
+        n_constraints = rng.randint(2, 4)
+    if n_facts is None:
+        n_facts = rng.randint(4, 9)
+    if n_trace_steps is None:
+        n_trace_steps = rng.randint(0, 3)
+
+    predicates = [f"R{i}" for i in range(n_predicates)]
+    arities = {pred: rng.randint(1, max_arity) for pred in predicates}
+    schema = DatabaseSchema.from_dict(
+        {pred: [f"a{i}" for i in range(arities[pred])] for pred in predicates}
+    )
+
+    from repro.core.repairs import constraint_structural_key
+
+    constraints = ConstraintSet()
+    seen: set = set()
+    fd_predicates: set = set()
+    existential_positions: set = set()
+
+    def body_atom(pred: str, prefix: str = "x") -> Atom:
+        return Atom(pred, tuple(_v(f"{prefix}{i}") for i in range(arities[pred])))
+
+    def build_candidate(kind: str, slot: int):
+        """One candidate constraint of *kind*, or ``None`` when the schema
+        cannot host it (e.g. an FD needs arity ≥ 2)."""
+
+        if kind == "fd":
+            wide = [p for p in predicates if arities[p] >= 2 and p not in fd_predicates]
+            if not wide:
+                return None
+            pred = rng.choice(wide)
+            determinant = rng.randrange(arities[pred])
+            dependents = [i for i in range(arities[pred]) if i != determinant]
+            dependent = rng.choice(dependents)
+            return functional_dependency(
+                pred,
+                arities[pred],
+                determinant=[determinant],
+                dependent=[dependent],
+                name=f"fd{slot}",
+            )[0]
+        if kind == "ric":
+            pred, target = rng.sample(predicates, 2)
+            # A RIC needs at least one existential position in its head (a
+            # no-existential head is a full inclusion, i.e. a UIC).
+            if arities[target] < 2:
+                return None
+            join = rng.randrange(arities[pred])
+            body = body_atom(pred)
+            head_terms = (body.terms[join],) + tuple(
+                _v(f"z{i}") for i in range(arities[target] - 1)
+            )
+            return referential_constraint(
+                body,
+                Atom(target, head_terms),
+                name=f"ric{slot}",
+            )
+        if kind == "uic":
+            pred = rng.choice(predicates)
+            narrower = [
+                p for p in predicates if p != pred and arities[p] <= arities[pred]
+            ]
+            if not narrower:
+                return None
+            n_disjuncts = min(len(narrower), rng.randint(1, 2))
+            targets = rng.sample(narrower, n_disjuncts)
+            body = body_atom(pred)
+            head_atoms = [
+                Atom(t, tuple(rng.sample(body.terms, arities[t]))) for t in targets
+            ]
+            head_comparisons = []
+            if rng.random() < 0.3:
+                position = rng.randrange(arities[pred])
+                head_comparisons.append(
+                    Comparison("!=", body.terms[position], rng.randrange(domain_size))
+                )
+            return universal_constraint(
+                [body], head_atoms, head_comparisons, name=f"uic{slot}"
+            )
+        if kind == "check":
+            pred = rng.choice(predicates)
+            body = body_atom(pred)
+            position = rng.randrange(arities[pred])
+            op = rng.choice(("<", "<=", ">", ">=", "!="))
+            return check_constraint(
+                body,
+                [Comparison(op, body.terms[position], rng.randrange(domain_size))],
+                name=f"check{slot}",
+            )
+        if kind == "nnc":
+            open_positions = [
+                (pred, position)
+                for pred in predicates
+                for position in range(arities[pred])
+                if (pred, position) not in existential_positions
+            ]
+            if not open_positions:
+                return None
+            pred, position = rng.choice(open_positions)
+            return not_null(pred, position, arities[pred], name=f"nn{slot}")
+        if kind == "denial":
+            pred = rng.choice(predicates)
+            body = body_atom(pred)
+            position = rng.randrange(arities[pred])
+            return denial_constraint(
+                [body],
+                [Comparison("=", body.terms[position], rng.randrange(domain_size))],
+                name=f"no{slot}",
+            )
+        raise ValueError(f"unknown constraint kind {kind!r}")
+
+    kinds = [_pick_kind(rng) for _ in range(n_constraints)]
+    kinds.sort(key=lambda kind: kind == "nnc")  # NNCs last: they must dodge
+    # the existential positions the RICs introduce, whichever slot drew them.
+    for slot, kind in enumerate(kinds):
+        for _ in range(20):
+            candidate = build_candidate(kind, slot)
+            if candidate is None:
+                continue
+            key = constraint_structural_key(candidate)
+            if key in seen:
+                continue
+            if kind in ("ric", "uic") and not allow_cyclic_rics:
+                # Definition 1's acyclicity is on the *contracted* graph —
+                # UIC edges merge components, so a UIC can close a RIC
+                # cycle.  Check on a trial set rather than re-deriving the
+                # contraction here.
+                trial = ConstraintSet([*constraints, candidate])
+                if not trial.is_ric_acyclic():
+                    continue
+            seen.add(key)
+            constraints.add(candidate)
+            if kind == "fd":
+                fd_predicates.add(candidate.body[0].predicate)
+            elif kind == "ric":
+                head = candidate.head_atoms[0]
+                existentials = candidate.existential_variables()
+                for position, term in enumerate(head.terms):
+                    if term in existentials:
+                        existential_positions.add((head.predicate, position))
+            break
+    if not len(list(constraints)):
+        # Degenerate knob combinations must still yield a scenario with a
+        # constraint surface; a check is always constructible.
+        body = body_atom(predicates[0])
+        constraints.add(
+            check_constraint(
+                body, [Comparison("!=", body.terms[0], 0)], name="check_fallback"
+            )
+        )
+
+    instance = DatabaseInstance(schema=schema)
+    for _ in range(n_facts):
+        pred = rng.choice(predicates)
+        values = tuple(
+            NULL if rng.random() < null_density else rng.randrange(domain_size)
+            for _ in range(arities[pred])
+        )
+        instance.add_tuple(pred, values)
+
+    # ------------------------------------------------------------- query
+    n_atoms = 1 if rng.random() < 0.6 else 2
+    query_preds = [rng.choice(predicates) for _ in range(n_atoms)]
+    positive_atoms: List[Atom] = []
+    counter = 0
+    for atom_index, pred in enumerate(query_preds):
+        terms: List[Variable] = []
+        for _ in range(arities[pred]):
+            terms.append(_v(f"q{counter}"))
+            counter += 1
+        if atom_index > 0 and positive_atoms:
+            # Join the second atom to the first on one shared variable.
+            shared = rng.choice(positive_atoms[0].terms)
+            terms[rng.randrange(len(terms))] = shared
+        positive_atoms.append(Atom(pred, tuple(terms)))
+    positive_vars: List[Variable] = []
+    for atom in positive_atoms:
+        for term in atom.terms:
+            if term not in positive_vars:
+                positive_vars.append(term)
+    negative_atoms: List[Atom] = []
+    if rng.random() < 0.2:
+        neg_pred = rng.choice(predicates)
+        negative_atoms.append(
+            Atom(
+                neg_pred,
+                tuple(rng.choice(positive_vars) for _ in range(arities[neg_pred])),
+            )
+        )
+    comparisons: List[Comparison] = []
+    if rng.random() < 0.3:
+        # Stick to (in)equality: order comparisons against nulls depend on
+        # the null_is_unknown convention and would make probes diverge for
+        # convention reasons rather than engine bugs.
+        comparisons.append(
+            Comparison(
+                rng.choice(("=", "!=")),
+                rng.choice(positive_vars),
+                rng.randrange(domain_size),
+            )
+        )
+    if rng.random() < 0.15:
+        head_variables: Tuple[Variable, ...] = ()
+    else:
+        n_head = rng.randint(1, min(2, len(positive_vars)))
+        head_variables = tuple(rng.sample(positive_vars, n_head))
+    query = ConjunctiveQuery(
+        head_variables=head_variables,
+        positive_atoms=tuple(positive_atoms),
+        negative_atoms=tuple(negative_atoms),
+        comparisons=tuple(comparisons),
+    )
+
+    # ------------------------------------------------------------- trace
+    working = instance.copy()
+    trace: List[TraceStep] = []
+    for _ in range(n_trace_steps):
+        facts = list(working.facts())
+        if facts and rng.random() < 0.4:
+            victim = rng.choice(facts)
+            trace.append(("delete", victim.predicate, victim.values))
+            working.discard(victim)
+        else:
+            pred = rng.choice(predicates)
+            values = tuple(
+                NULL if rng.random() < null_density else rng.randrange(domain_size)
+                for _ in range(arities[pred])
+            )
+            trace.append(("insert", pred, values))
+            working.add(Fact(pred, values))
+
+    return ScenarioCase(
+        name=name or f"rand-{seed}",
+        instance=instance,
+        constraints=constraints,
+        query=query,
+        trace=tuple(trace),
+        seed=seed,
+        source=source,
+        description=(
+            f"random scenario: {n_predicates} predicates, "
+            f"{len(list(constraints))} constraints, {len(instance)} facts, "
+            f"null density {null_density}, {len(trace)} trace steps"
+        ),
+    )

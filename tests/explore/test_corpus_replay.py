@@ -1,0 +1,86 @@
+"""Tier-1 replay of every pinned witness in ``tests/corpus/``.
+
+Three guarantees per witness file:
+
+* it is byte-canonical (``dumps(loads(text)) == text``), so corpus
+  diffs stay reviewable;
+* replaying it through the differential runner reproduces *exactly* the
+  divergence signatures it pins — a pinned bug that stops reproducing,
+  or starts reproducing differently, fails here and forces a corpus
+  update in the same change;
+* for every ``status: open`` witness there is additionally a
+  ``strict`` xfail asserting the engines AGREE — today that x-fails
+  (the ≤_D divergence is real), and the day the bug is fixed the XPASS
+  turns the suite red until the witness is flipped to
+  ``status: regression``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.explore.differential import run_case
+from repro.explore.serialize import dumps, loads, pinned_signatures_of
+from repro.explore.sources.corpus import corpus_dir, corpus_entries, pinned_signatures
+
+WITNESSES = sorted(corpus_dir().glob("*.json"))
+WITNESS_IDS = [path.stem for path in WITNESSES]
+
+
+def test_corpus_is_not_empty():
+    # The ROADMAP's open ≤_D direct-vs-program divergence must stay pinned.
+    assert WITNESSES, "tests/corpus/ lost its pinned witnesses"
+    assert "repairs:direct/program" in pinned_signatures()
+
+
+@pytest.mark.parametrize("path", WITNESSES, ids=WITNESS_IDS)
+def test_witness_file_is_byte_canonical(path: Path):
+    text = path.read_text()
+    assert dumps(loads(text)) == text, f"{path.name} is not canonical JSON"
+
+
+@pytest.mark.parametrize("path", WITNESSES, ids=WITNESS_IDS)
+def test_witness_document_is_well_formed(path: Path):
+    document = loads(path.read_text())
+    assert document["status"] in ("open", "regression")
+    assert pinned_signatures_of(document), f"{path.name} pins no signature"
+
+
+@pytest.mark.parametrize("path", WITNESSES, ids=WITNESS_IDS)
+def test_replay_reproduces_exactly_the_pinned_signatures(path: Path):
+    document = loads(path.read_text())
+    entry = next(
+        (case for p, case, _d in corpus_entries() if p == path), None
+    )
+    assert entry is not None
+    outcome = run_case(entry)
+    if document["status"] == "open":
+        assert outcome.signatures == pinned_signatures_of(document), (
+            f"{path.name}: pinned divergence drifted — re-shrink and re-pin"
+        )
+    else:
+        assert outcome.status == "agree", (
+            f"{path.name}: fixed divergence regressed: {outcome.signatures}"
+        )
+
+
+OPEN_WITNESSES = [
+    path for path in WITNESSES if loads(path.read_text())["status"] == "open"
+]
+
+
+@pytest.mark.parametrize(
+    "path", OPEN_WITNESSES, ids=[path.stem for path in OPEN_WITNESSES]
+)
+@pytest.mark.xfail(
+    strict=True,
+    reason=(
+        "open witness: the ≤_D null-coverage clause makes the direct engine "
+        "and the Definition 9 repair program disagree (see ROADMAP.md); an "
+        "XPASS here means the bug was fixed — flip the witness to "
+        "status: regression"
+    ),
+)
+def test_open_witness_engines_agree(path: Path):
+    entry = next(case for p, case, _d in corpus_entries() if p == path)
+    assert run_case(entry).status == "agree"

@@ -1,0 +1,123 @@
+"""Scenario-source registry: discovery, determinism, round-robin draining."""
+
+import pytest
+
+from repro.explore import registry
+from repro.explore.registry import (
+    UnknownSourceError,
+    available_sources,
+    child_seed,
+    get_source,
+    iter_scenarios,
+    register_source,
+)
+from repro.explore.serialize import case_to_document, dumps
+from repro.workloads import random_scenario
+from repro.workloads.case import ScenarioCase
+
+
+class TestDiscovery:
+    def test_builtin_sources_are_discovered(self):
+        names = available_sources()
+        for expected in ("corpus", "generated", "paper", "workloads"):
+            assert expected in names
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(UnknownSourceError, match="available"):
+            get_source("no-such-source")
+
+    def test_register_source_last_writer_wins(self):
+        @register_source("_test_temp", "first")
+        def first(seed, count):  # pragma: no cover - never drained
+            return []
+
+        @register_source("_test_temp", "second")
+        def second(seed, count):  # pragma: no cover - never drained
+            return []
+
+        try:
+            assert get_source("_test_temp").factory is second
+            assert get_source("_test_temp").description == "second"
+        finally:
+            registry._SOURCES.pop("_test_temp", None)
+
+    def test_sources_carry_descriptions(self):
+        for name in ("corpus", "generated", "paper", "workloads"):
+            assert get_source(name).description
+
+
+class TestChildSeed:
+    def test_affine_and_collision_free_within_a_run(self):
+        seeds = [child_seed(0, index) for index in range(100)]
+        assert seeds == list(range(100))
+        seeds = [child_seed(7, index) for index in range(100)]
+        assert len(set(seeds)) == 100
+        assert child_seed(7, 0) == 7 * 1_000_003
+
+    def test_distinct_roots_do_not_collide_early(self):
+        a = {child_seed(1, index) for index in range(500)}
+        b = {child_seed(2, index) for index in range(500)}
+        assert not (a & b)
+
+
+class TestIterScenarios:
+    def test_respects_total_cap(self):
+        cases = list(iter_scenarios(["generated"], seed=0, count=5))
+        assert len(cases) == 5
+
+    def test_round_robin_interleaves_sources(self):
+        cases = list(iter_scenarios(["paper", "generated"], seed=0, count=4))
+        assert [case.source for case in cases] == [
+            "paper",
+            "generated",
+            "paper",
+            "generated",
+        ]
+
+    def test_finite_sources_drop_out(self):
+        corpus_size = len(list(iter_scenarios(["corpus"], seed=0, count=1000)))
+        cases = list(
+            iter_scenarios(["corpus", "generated"], seed=0, count=corpus_size + 6)
+        )
+        assert sum(1 for case in cases if case.source == "corpus") == corpus_size
+        assert sum(1 for case in cases if case.source == "generated") == 6
+
+    def test_deterministic_across_calls(self):
+        first = [
+            dumps(case_to_document(case))
+            for case in iter_scenarios(["generated", "workloads"], seed=9, count=8)
+        ]
+        second = [
+            dumps(case_to_document(case))
+            for case in iter_scenarios(["generated", "workloads"], seed=9, count=8)
+        ]
+        assert first == second
+
+
+class TestBuiltinSources:
+    def test_generated_source_derives_child_seeds(self):
+        cases = list(iter_scenarios(["generated"], seed=3, count=4))
+        for index, case in enumerate(cases):
+            expected = random_scenario(
+                child_seed(3, index),
+                allow_cyclic_rics=(index % 8 == 7),
+                name=f"gen-3-{index}",
+            )
+            assert dumps(case_to_document(case)) == dumps(case_to_document(expected))
+
+    def test_paper_source_wraps_the_catalogue(self):
+        cases = list(iter_scenarios(["paper"], seed=0, count=1000))
+        assert len(cases) >= 16
+        assert all(isinstance(case, ScenarioCase) for case in cases)
+        assert all(case.name.startswith("paper-") for case in cases)
+        assert [case.name for case in cases] == sorted(case.name for case in cases)
+
+    def test_workloads_source_yields_parametric_cases(self):
+        cases = list(iter_scenarios(["workloads"], seed=0, count=1000))
+        assert cases
+        assert all(case.source == "workloads" for case in cases)
+
+    def test_corpus_source_replays_pinned_witnesses(self):
+        cases = list(iter_scenarios(["corpus"], seed=0, count=1000))
+        assert len(cases) >= 2
+        assert all(case.source == "corpus" for case in cases)

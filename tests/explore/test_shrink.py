@@ -1,0 +1,84 @@
+"""Witness shrinking: minimality, determinism, signature preservation."""
+
+import pytest
+
+from repro.explore.differential import run_case
+from repro.explore.registry import child_seed
+from repro.explore.serialize import case_to_document, dumps
+from repro.explore.shrink import shrink
+from repro.workloads import random_scenario
+
+#: The first random case (root seed 0) that hits the known ≤_D
+#: direct-vs-program divergence — the explorer's rediscovery target.
+DIVERGING_SEED = child_seed(0, 5)
+SIGNATURE = "repairs:direct/program"
+
+
+@pytest.fixture(scope="module")
+def diverging_case():
+    case = random_scenario(DIVERGING_SEED, name="gen-0-5")
+    outcome = run_case(case, check_certain=False)
+    assert SIGNATURE in outcome.signatures, "fuzz target moved; update DIVERGING_SEED"
+    return case
+
+
+@pytest.fixture(scope="module")
+def shrunk(diverging_case):
+    return shrink(diverging_case, SIGNATURE)
+
+
+class TestShrink:
+    def test_witness_is_small(self, shrunk):
+        # The acceptance bar from the issue: ≤ 4 facts, ≤ 2 constraints.
+        assert len(shrunk.case.instance) <= 4
+        assert len(list(shrunk.case.constraints)) <= 2
+        assert shrunk.removed > 0
+
+    def test_witness_still_reproduces_the_signature(self, shrunk):
+        outcome = run_case(shrunk.case, check_certain=False)
+        assert SIGNATURE in outcome.signatures
+        assert SIGNATURE in shrunk.outcome.signatures
+
+    def test_witness_is_one_minimal_on_constraints(self, shrunk):
+        from repro.constraints.ic import ConstraintSet
+
+        constraints = list(shrunk.case.constraints)
+        for index in range(len(constraints)):
+            reduced = shrunk.case.with_(
+                constraints=ConstraintSet(
+                    constraints[:index] + constraints[index + 1 :]
+                )
+            )
+            outcome = run_case(reduced, check_certain=False)
+            assert SIGNATURE not in outcome.signatures
+
+    def test_schema_is_pruned_to_referenced_relations(self, shrunk):
+        used = {fact.predicate for fact in shrunk.case.instance.facts()}
+        used |= set(shrunk.case.query.predicates())
+        for relation in shrunk.case.instance.schema.relations():
+            assert relation.name in used or any(
+                relation.name == atom.predicate
+                for constraint in shrunk.case.constraints
+                if hasattr(constraint, "body")
+                for atom in list(constraint.body) + list(constraint.head_atoms)
+            )
+
+    def test_shrinking_is_deterministic(self, shrunk):
+        again = shrink(random_scenario(DIVERGING_SEED, name="gen-0-5"), SIGNATURE)
+        assert dumps(case_to_document(again.case)) == dumps(
+            case_to_document(shrunk.case)
+        )
+        assert again.evaluations == shrunk.evaluations
+
+    def test_description_names_the_signature(self, shrunk):
+        assert SIGNATURE in shrunk.case.description
+
+    def test_non_reproducing_signature_returns_input_unshrunk(self):
+        case = random_scenario(0, name="agreeing")
+        result = shrink(case, "repairs:never/seen", max_evaluations=10)
+        assert result.case is case
+        assert result.removed == 0
+
+    def test_evaluation_cap_is_respected(self, diverging_case):
+        result = shrink(diverging_case, SIGNATURE, max_evaluations=3)
+        assert result.evaluations <= 3

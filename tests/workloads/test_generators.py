@@ -1,7 +1,12 @@
 """Tests for the synthetic workload generators and the scenario catalogue."""
 
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+from repro.analysis import analyze
 from repro.constraints.dependency_graph import is_ric_acyclic
 from repro.core.satisfaction import all_violations, is_consistent
 from repro.core.semantics import Semantics, is_consistent_under
@@ -10,6 +15,7 @@ from repro.workloads import (
     foreign_key_workload,
     key_violation_workload,
     random_constraint_set,
+    random_scenario,
     scaled_course_student,
     scenarios,
 )
@@ -106,6 +112,108 @@ class TestRandomConstraintSet:
 
     def test_deterministic(self):
         assert repr(random_constraint_set(seed=5)) == repr(random_constraint_set(seed=5))
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_no_duplicate_or_shadowed_constraints(self, seed):
+        # Regression: before structural dedup the sampler could emit the
+        # same UIC twice (W203) or a key shadowing another (W202) while
+        # still reporting the requested counts.
+        constraints = random_constraint_set(
+            n_predicates=3, n_uics=4, n_rics=3, seed=seed
+        )
+        codes = analyze(constraints).codes()
+        assert "W202" not in codes and "W203" not in codes, (seed, codes)
+
+    def test_requested_counts_survive_dedup(self):
+        for seed in range(20):
+            constraints = random_constraint_set(
+                n_predicates=2, n_uics=5, n_rics=2, seed=seed
+            )
+            assert len(constraints.universal_constraints) == 5
+            assert len(constraints.referential_constraints) == 2
+
+
+#: Analyzer codes a default (acyclic) random scenario may legitimately
+#: carry: informational fragment/independence notes only.
+ACCEPTABLE_CODES = {"I301", "I302"}
+
+
+class TestRandomScenario:
+    @pytest.mark.parametrize("seed", range(50))
+    def test_well_formed_for_default_settings(self, seed):
+        case = random_scenario(seed)
+        session = case.session()
+        # strict=False returns the report; no error-severity diagnostics
+        # and no generator-induced warnings may appear.
+        codes = set(session.analyze(case.query).codes())
+        assert codes <= ACCEPTABLE_CODES, (seed, codes)
+        session.check(strict=True)  # must not raise
+        assert len(case.instance) >= 1
+        assert list(case.constraints)
+        # The query is safe and evaluable on the raw instance.
+        case.query.answers(case.instance)
+        # The trace replays cleanly (session() already applied it).
+        case.final_instance()
+
+    @pytest.mark.parametrize("seed", [7, 15, 23])
+    def test_cyclic_mode_only_adds_ric_cycles(self, seed):
+        case = random_scenario(seed, allow_cyclic_rics=True)
+        codes = set(analyze(case.constraints, case.query).codes())
+        assert codes <= ACCEPTABLE_CODES | {"E101"}, (seed, codes)
+
+    def test_facts_conform_to_schema(self):
+        for seed in range(20):
+            case = random_scenario(seed)
+            for fact in case.instance.facts():
+                relation = case.instance.schema.relation(fact.predicate)
+                assert len(fact.values) == len(relation.attributes)
+
+    def test_null_density_zero_yields_no_nulls(self):
+        for seed in range(10):
+            assert not random_scenario(seed, null_density=0.0).instance.has_nulls()
+
+    def test_null_density_one_yields_nulls(self):
+        assert any(
+            random_scenario(seed, null_density=1.0).instance.has_nulls()
+            for seed in range(5)
+        )
+
+    def test_deterministic_within_a_process(self):
+        from repro.explore.serialize import case_to_document, dumps
+
+        for seed in (0, 3, 14):
+            first = dumps(case_to_document(random_scenario(seed)))
+            second = dumps(case_to_document(random_scenario(seed)))
+            assert first == second
+
+    def test_deterministic_across_processes(self, tmp_path):
+        # The explorer's replay-by-seed contract: two fresh interpreters
+        # with different PYTHONHASHSEEDs must generate byte-identical
+        # scenarios — no hash() or set-iteration dependence allowed.
+        repo = Path(__file__).resolve().parents[2]
+        script = (
+            "from repro.workloads import random_scenario\n"
+            "from repro.explore.serialize import case_to_document, dumps\n"
+            "import sys\n"
+            "for seed in (0, 5, 14, 1000003):\n"
+            "    sys.stdout.write(dumps(case_to_document(random_scenario(seed))))\n"
+        )
+        outputs = []
+        for hash_seed in ("0", "424242"):
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                cwd=repo,
+                env={
+                    "PYTHONPATH": "src",
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": "/usr/bin:/bin",
+                },
+            )
+            assert completed.returncode == 0, completed.stderr
+            outputs.append(completed.stdout)
+        assert outputs[0] == outputs[1]
 
 
 class TestScenarioCatalogue:

@@ -79,7 +79,7 @@ REFERENCE_MODULES = frozenset(
     }
 )
 #: CLI front ends whose job is to print.
-PRINT_ALLOWED = frozenset({"src/repro/lint.py"})
+PRINT_ALLOWED = frozenset({"src/repro/lint.py", "src/repro/explore/cli.py"})
 
 TIMING_NAMES = frozenset({"perf_counter", "process_time"})
 BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
