@@ -29,9 +29,18 @@ wall-clock gate, exactly like E12: shared or single-core runners make
 timing ratios meaningless, and the smoke contract is "same repairs,
 same answers, streaming yields early", not "same speedup as a 4-core
 dev box".
+
+A fourth table (E14d) audits the pool's process-boundary traffic under
+``REPRO_SHIP_AUDIT=1``: the codec-encoded task/result wire format (see
+:mod:`repro.core.parallel`) plus the columnar shared-memory instance
+segment, against what pickling the raw objects would have shipped.
+Byte counts are deterministic, so its ≥ 5× acceptance gate runs in
+every mode — smoke and single-core included — and the JSON artifact is
+re-checked in CI by ``python -m benchmarks.report --check-gates``.
 """
 
 import os
+import pickle
 
 import pytest
 
@@ -61,6 +70,17 @@ GATE_MIN_SPEEDUP = 2.0
 
 #: The streaming demonstration instance: 125 repairs.
 STREAM_CONFIG = (3, 5, 8)
+
+#: Ship-bytes audit: workload, chunk budget and the acceptance ratio —
+#: the wire encoding (codec-interned tasks and results, relative paths,
+#: tuple statistics) must ship ≥ 5× fewer bytes than pickling the raw
+#: ``FrontierTask``/``TaskResult`` objects would.  Byte counts are
+#: deterministic, so unlike the wall-clock gate this one runs in smoke
+#: mode (and on single-core runners) too.
+SHIP_CONFIG = (5, 3, 40)
+SHIP_SMOKE_CONFIG = (3, 3, 10)
+SHIP_CHUNK_STATES = 16
+SHIP_GATE_MIN_RATIO = 5.0
 
 
 def _workload(n_groups, group_size, n_clean):
@@ -209,6 +229,71 @@ def report(request):
         ["scenario", "repairs", "certain answers", "agree"],
         scenario_rows,
     )
+
+    # ---------------------------------------------------------------- shipping
+    # What actually crosses the pool's process boundary.  The driver
+    # ships tasks/results through the shared FactCodec (base facts as
+    # integers, paths as subtree-relative suffixes, statistics as a
+    # value tuple) and the base instance as one columnar shared-memory
+    # segment; REPRO_SHIP_AUDIT=1 makes it also pickle the raw objects
+    # purely to measure what the old encoding would have cost.  Byte
+    # counts are deterministic, so the ≥5x gate runs in every mode.
+    ship_config = SHIP_SMOKE_CONFIG if smoke else SHIP_CONFIG
+    instance, constraints = _workload(*ship_config)
+    reference, _, _ = _timed_repairs(instance, constraints, "incremental")
+    previous_audit = os.environ.get("REPRO_SHIP_AUDIT")
+    os.environ["REPRO_SHIP_AUDIT"] = "1"
+    try:
+        search = ParallelRepairSearch(
+            instance,
+            constraints,
+            workers=2,
+            max_states=5_000_000,
+            chunk_states=SHIP_CHUNK_STATES,
+        )
+        first_paths = {}
+        for batch in search.batches():
+            for path, inserted, deleted in batch.candidates:
+                key = (inserted, deleted)
+                if key not in first_paths or path < first_paths[key]:
+                    first_paths[key] = path
+    finally:
+        if previous_audit is None:
+            del os.environ["REPRO_SHIP_AUDIT"]
+        else:
+            os.environ["REPRO_SHIP_AUDIT"] = previous_audit
+    assert len(first_paths) >= len(reference)
+    ship = search.statistics
+    assert ship.tasks_shipped > 0 and ship.task_ship_bytes > 0
+    ship_ratio = ship.task_ship_bytes_raw / ship.task_ship_bytes
+    instance_raw = ship.instance_ship_bytes_raw or len(
+        pickle.dumps(tuple(instance.facts()), pickle.HIGHEST_PROTOCOL)
+    )
+    assert ship_ratio >= SHIP_GATE_MIN_RATIO, (
+        f"task shipment only {ship_ratio:.2f}x smaller than raw pickling "
+        f"(need ≥ {SHIP_GATE_MIN_RATIO}x)"
+    )
+    ship_headers = [
+        "tasks shipped",
+        "wire bytes",
+        "raw bytes",
+        "raw/wire",
+        "instance wire (shm)",
+        "instance raw",
+    ]
+    ship_rows = [
+        [
+            ship.tasks_shipped,
+            ship.task_ship_bytes,
+            ship.task_ship_bytes_raw,
+            f"{ship_ratio:.1f}x",
+            ship.instance_ship_bytes,
+            instance_raw,
+        ]
+    ]
+    ship_title = "E14d: task ship bytes across the pool boundary"
+    print_table(ship_title, ship_headers, ship_rows)
+    emit_json(ship_title, ship_headers, ship_rows)
     yield
 
 

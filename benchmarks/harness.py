@@ -45,9 +45,12 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.clock import now
+
+if TYPE_CHECKING:
+    from repro.workloads.case import ScenarioCase
 
 
 def timed(fn: Callable[[], object]) -> Tuple[object, float]:
@@ -73,6 +76,35 @@ def best_of(fn: Callable[[], object], reps: int = 3) -> Tuple[object, float]:
         result, elapsed = timed(fn)
         best = min(best, elapsed)
     return result, best
+
+
+#: Where the pinned regression corpus lives, relative to this file.
+_CORPUS_DIR = Path(__file__).resolve().parent.parent / "tests" / "corpus"
+
+
+def corpus_workload(
+    n_random: int = 6, seed: int = 2001
+) -> List["ScenarioCase"]:
+    """A mixed benchmark workload: the pinned corpus plus seeded scenarios.
+
+    Loads every witness document under ``tests/corpus/`` (the explorer's
+    shrunk regression cases — small, adversarial, null-heavy) and tops
+    the list up with *n_random* :func:`repro.workloads.random_scenario`
+    cases derived from *seed*.  Deterministic for fixed arguments, so a
+    benchmark sweeping this workload measures the same cases on every
+    run; E15 uses it to check the execution backends agree beyond the
+    synthetic grouped-key instances.
+    """
+
+    from repro.explore.serialize import document_to_case, loads
+    from repro.workloads import random_scenario
+
+    cases: List["ScenarioCase"] = []
+    for path in sorted(_CORPUS_DIR.glob("*.json")):
+        cases.append(document_to_case(loads(path.read_text())))
+    for index in range(max(n_random, 0)):
+        cases.append(random_scenario(seed=seed + index))
+    return cases
 
 
 def _json_record(

@@ -140,6 +140,71 @@ def render(
     return "\n\n".join(parts)
 
 
+#: The acceptance gates ``--check-gates`` re-verifies from the JSON
+#: artifacts: (experiment match, gating column, minimum value).  The
+#: gated number is read from the *last* row — the sweeps are ascending,
+#: so the last row is the largest point.
+GATES = (
+    ("e15", "naive/kernel", 10.0),
+    ("e14d", "raw/wire", 5.0),
+)
+
+
+def _gate_value(record: Dict[str, object], column: str) -> float:
+    """The float in *column* of the record's last row (``"12.3x"`` → 12.3)."""
+
+    headers: Sequence[str] = record["headers"]  # type: ignore[assignment]
+    rows: Sequence[Sequence[object]] = record.get("rows", ())  # type: ignore[assignment]
+    if not rows:
+        raise ValueError("no rows")
+    index = list(headers).index(column)
+    cell = str(rows[-1][index]).strip().rstrip("x×")
+    return float(cell)
+
+
+def check_gates(directory: Path) -> int:
+    """Re-verify the benchmark acceptance gates from the JSON artifacts.
+
+    For each entry of :data:`GATES`, finds the experiment record whose
+    name/file matches and whose headers contain the gating column, and
+    requires the last row's value to clear the minimum.  A missing
+    record or an unparsable cell fails too — a gate that cannot be
+    checked is not a passing gate.  Returns a process exit code.
+    """
+
+    records = load_records(directory)
+    failures: List[str] = []
+    for match, column, minimum in GATES:
+        found = None
+        for record in records:
+            name = (
+                str(record.get("experiment", "")) + str(record.get("_file", ""))
+            ).lower()
+            headers = record.get("headers", ())
+            if match in name and column in headers:  # type: ignore[operator]
+                found = record
+                break
+        if found is None:
+            failures.append(
+                f"gate {match!r}/{column!r}: no matching record in {directory}/"
+            )
+            continue
+        try:
+            value = _gate_value(found, column)
+        except (ValueError, IndexError) as error:
+            failures.append(f"gate {match!r}/{column!r}: unreadable ({error})")
+            continue
+        verdict = "ok" if value >= minimum else "FAIL"
+        print(f"gate {match}: {column} = {value:g} (need >= {minimum:g}) {verdict}")
+        if value < minimum:
+            failures.append(
+                f"gate {match!r}/{column!r}: {value:g} below the required {minimum:g}"
+            )
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m benchmarks.report", description=__doc__.split("\n")[0]
@@ -161,7 +226,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="append the metrics-registry snapshots (metrics*.json) as a section",
     )
+    parser.add_argument(
+        "--check-gates",
+        action="store_true",
+        help="re-verify the E15/E14 acceptance gates from the JSON artifacts "
+        "(exit 1 on regression or missing record) instead of rendering",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.check_gates:
+        return check_gates(Path(arguments.directory))
     print(
         render(
             Path(arguments.directory),

@@ -76,14 +76,15 @@ from repro.core.relevant import relevant_body_variables, relevant_positions
 from repro.core.satisfaction import Violation, not_null_violations
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.relational import columnar as _columnar
 from repro.resilience import budget as _budget
+from repro.compile import codegen as _codegen
 from repro.compile.plans import (
     AtomStep,
     JoinPlan,
     Relations,
     Row,
     SeedMatcher,
-    iter_plan_matches,
 )
 
 
@@ -366,7 +367,7 @@ class WitnessProbe:
         atom: Atom,
         var_slots: Mapping[Variable, int],
         kept: Sequence[int],
-    ):
+    ) -> None:
         self.predicate = atom.predicate
         self.arity = atom.arity
         body_vars = constraint.body_variables()
@@ -422,7 +423,7 @@ class CompiledConstraint:
     built-in disjuncts — everything resolved once, at compile time.
     """
 
-    def __init__(self, constraint: IntegrityConstraint):
+    def __init__(self, constraint: IntegrityConstraint) -> None:
         self.constraint = constraint
         body = constraint.body
         self.body_predicates: Tuple[str, ...] = tuple(atom.predicate for atom in body)
@@ -505,23 +506,22 @@ class CompiledConstraint:
     def _filtered_matches(
         self,
         relations: Relations,
-        plan: JoinPlan,
+        matches: Iterator[None],
         slots: List[Constant],
-        rows: List[Optional[Row]],
-        seed_row: Optional[Row] = None,
-        initial: Optional[Mapping[Variable, Constant]] = None,
     ) -> Iterator[None]:
         """Body matches that survive the built-in and witness conditions.
 
-        The relevant-null guard already ran inside the join (pushed down
-        to the binding step); the remaining ``|=_N`` conditions run here,
-        in the interpreter's order: built-in disjunction, then head-atom
-        witnesses.
+        *matches* is any plan-match iterator over caller-owned arrays —
+        the code-generated executor, the interpreter, or the columnar
+        batch path all plug in here.  The relevant-null guard already ran
+        inside the join (pushed down to the binding step); the remaining
+        ``|=_N`` conditions run here, in the interpreter's order:
+        built-in disjunction, then head-atom witnesses.
         """
 
         comparisons = self.comparisons
         witnesses = self.witnesses
-        for _ in iter_plan_matches(plan, relations, slots, rows, seed_row, initial):
+        for _ in matches:
             if comparisons:
                 satisfied = False
                 for disjunct in comparisons:
@@ -549,11 +549,30 @@ class CompiledConstraint:
     ) -> Iterator[Violation]:
         slots: List[Constant] = [None] * self.n_slots  # type: ignore[list-item]
         rows: List[Optional[Row]] = [None] * len(self.body_predicates)
+        matches = _codegen.matcher(plan)(relations, slots, rows, seed_row, initial)
+        return self._emit_from(relations, matches, slots, rows)
+
+    def _emit_batch(self, relations: DatabaseInstance) -> Iterator[Violation]:
+        """Full-plan enumeration over the columnar store (batch path)."""
+
+        store = _columnar.store_for(relations)
+        slots: List[Constant] = [None] * self.n_slots  # type: ignore[list-item]
+        rows: List[Optional[Row]] = [None] * len(self.body_predicates)
+        matches = _columnar.iter_batch_matches(self.full_plan, store, slots, rows)
+        return self._emit_from(relations, matches, slots, rows)
+
+    def _emit_from(
+        self,
+        relations: Relations,
+        matches: Iterator[None],
+        slots: List[Constant],
+        rows: List[Optional[Row]],
+    ) -> Iterator[Violation]:
         bindings_layout = self.sorted_bindings
         predicates = self.body_predicates
         constraint = self.constraint
         fast_fact = self._fast_fact
-        for _ in self._filtered_matches(relations, plan, slots, rows, seed_row, initial):
+        for _ in self._filtered_matches(relations, matches, slots):
             bindings = tuple(
                 [(variable, slots[slot]) for variable, slot in bindings_layout]
             )
@@ -571,6 +590,8 @@ class CompiledConstraint:
         budget = _budget.active()
         if budget:  # full sweeps are the kernel's coarsest unit of work
             budget.checkpoint()
+        if _columnar.usable(relations) and _columnar.batch_program(self.full_plan):
+            return list(self._emit_batch(relations))  # type: ignore[arg-type]
         return list(self._emit(relations, self.full_plan))
 
     def seeded_violations(self, relations: Relations, fact: Fact) -> Iterator[Violation]:
@@ -642,7 +663,8 @@ class CompiledConstraint:
         plan = self.seed_plans[index]
         slots: List[Constant] = [None] * self.n_slots  # type: ignore[list-item]
         rows: List[Optional[Row]] = [None] * len(self.body_predicates)
-        for _ in self._filtered_matches(relations, plan, slots, rows, seed_row=row):
+        matches = _codegen.matcher(plan)(relations, slots, rows, row)
+        for _ in self._filtered_matches(relations, matches, slots):
             return True
         return False
 
@@ -650,7 +672,7 @@ class CompiledConstraint:
 class CompiledNotNull:
     """The (trivial) compiled unit of a NOT-NULL constraint."""
 
-    def __init__(self, constraint: NotNullConstraint):
+    def __init__(self, constraint: NotNullConstraint) -> None:
         self.constraint = constraint
 
     def violations(self, relations: DatabaseInstance) -> List[Violation]:
@@ -666,7 +688,7 @@ CompiledUnit = Union[CompiledConstraint, CompiledNotNull]
 class CompiledQuery:
     """A conjunctive query lowered to join + compare + negate over slots."""
 
-    def __init__(self, query: "ConjunctiveQuery"):  # noqa: F821 (import cycle)
+    def __init__(self, query: "ConjunctiveQuery") -> None:  # noqa: F821 (import cycle)
         atoms = query.positive_atoms
         self.query = query
         self._var_slots = _slot_layout(atoms)
@@ -713,7 +735,13 @@ class CompiledQuery:
         comparisons = self.comparisons
         negatives = self.negatives
         head_slots = self.head_slots
-        for _ in iter_plan_matches(self.plan, instance, slots, rows):
+        if _columnar.usable(instance) and _columnar.batch_program(self.plan):
+            matches = _columnar.iter_batch_matches(
+                self.plan, _columnar.store_for(instance), slots, rows
+            )
+        else:
+            matches = _codegen.matcher(self.plan)(instance, slots, rows)
+        for _ in matches:
             ok = True
             for check in comparisons:
                 if not check(slots, null_is_unknown):
@@ -739,7 +767,7 @@ class CompiledQuery:
 class CompiledBody:
     """A bare body join (no constraint semantics): assignments + facts."""
 
-    def __init__(self, atoms: Tuple[Atom, ...]):
+    def __init__(self, atoms: Tuple[Atom, ...]) -> None:
         self.atoms = atoms
         self._var_slots = _slot_layout(atoms)
         self.n_slots = len(self._var_slots)
@@ -759,7 +787,7 @@ class CompiledBody:
         slots: List[Constant] = [None] * self.n_slots  # type: ignore[list-item]
         rows: List[Optional[Row]] = [None] * self.plan.n_atoms
         layout = self._layout
-        for _ in iter_plan_matches(self.plan, relations, slots, rows):
+        for _ in _codegen.matcher(self.plan)(relations, slots, rows):
             yield {variable: slots[slot] for variable, slot in layout}
 
     def iter_matches(
@@ -771,7 +799,7 @@ class CompiledBody:
         rows: List[Optional[Row]] = [None] * self.plan.n_atoms
         layout = self._layout
         atoms = self.atoms
-        for _ in iter_plan_matches(self.plan, relations, slots, rows):
+        for _ in _codegen.matcher(self.plan)(relations, slots, rows):
             yield (
                 {variable: slots[slot] for variable, slot in layout},
                 tuple(
@@ -791,7 +819,7 @@ class GroundAtomRelations(Relations):
     the per-step arity check of the executor handles that.
     """
 
-    def __init__(self, grouped: Mapping[Tuple[str, int], Iterable[Atom]]):
+    def __init__(self, grouped: Mapping[Tuple[str, int], Iterable[Atom]]) -> None:
         self._rows: Dict[str, List[Row]] = {}
         for (predicate, _arity), atoms in grouped.items():
             self._rows.setdefault(predicate, []).extend(atom.terms for atom in atoms)
@@ -821,7 +849,7 @@ class CompiledProgram:
     compiled plans.
     """
 
-    def __init__(self, constraints: Tuple[AnyConstraint, ...]):
+    def __init__(self, constraints: Tuple[AnyConstraint, ...]) -> None:
         self.constraints = constraints
         self.units: Tuple[CompiledUnit, ...] = tuple(
             compiled_constraint(constraint) for constraint in constraints

@@ -27,7 +27,7 @@ joins through the same kernel over its ground-atom sets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.relational.domain import Constant, is_null
 from repro.constraints.terms import Variable
@@ -289,7 +289,7 @@ class CountingRelations(Relations):
 
     __slots__ = ("base", "probes", "rows")
 
-    def __init__(self, base: Relations):
+    def __init__(self, base: Relations) -> None:
         self.base = base
         self.probes: Dict[str, int] = {}
         self.rows: Dict[str, int] = {}
@@ -312,7 +312,7 @@ class CountingRelations(Relations):
             rows[key] = rows.get(key, 0) + 1
             yield fact
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self.base, name)
 
     def total_probes(self) -> int:

@@ -53,11 +53,12 @@ atom outside ``∆(D, C)`` — or a null atom with no cover in ``∆(D, C)``
 from __future__ import annotations
 
 import os
+import pickle
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import (
     Any,
     Dict,
@@ -93,6 +94,7 @@ from repro.core.repairs import (
     minimal_flags_for_deltas,
     violation_choice_key,
 )
+from repro.relational import columnar as _columnar
 from repro.relational.instance import DatabaseInstance, Fact
 
 #: Branch-index path of a search state, relative to the search root.
@@ -113,6 +115,27 @@ _BUDGET_POLL_SECONDS = 0.05
 _DELTA_COST = 96
 
 _EMPTY_FACTS: FrozenSet[Fact] = frozenset()
+
+#: ``REPRO_SHM=0`` in the environment disables shipping the base
+#: instance to pool workers through ``multiprocessing.shared_memory``
+#: (the pickled facts-tuple fallback is used instead).  Purely a
+#: transport knob — answers are identical either way.
+_SHM_FLAG = "REPRO_SHM"
+
+#: ``REPRO_SHIP_AUDIT=1`` makes the driver measure the pickled size of
+#: every shipped task/result payload — and of the un-encoded objects
+#: they replace — into the ship-bytes fields of
+#: :class:`~repro.core.repairs.RepairStatistics`.  Off by default: the
+#: audit pays one extra pickle per shipment.
+_AUDIT_FLAG = "REPRO_SHIP_AUDIT"
+
+
+def _shm_enabled() -> bool:
+    return os.environ.get(_SHM_FLAG, "") != "0"
+
+
+def _ship_audit() -> bool:
+    return os.environ.get(_AUDIT_FLAG, "") == "1"
 
 
 def exclusion_safe(constraints: Union[ConstraintSet, Iterable[AnyConstraint]]) -> bool:
@@ -179,6 +202,128 @@ class TaskResult:
     deferred: List[FrontierTask]
     statistics: RepairStatistics
     spans: Tuple["_trace.SpanRecord", ...] = ()
+
+
+# ----------------------------------------------------------------- wire format
+#: A :class:`FrontierTask` on the wire: its path plus the four fact sets
+#: encoded through the shared :class:`repro.relational.columnar.FactCodec`
+#: — base-instance facts ship as small integers, inserted witnesses as
+#: ``(predicate, values)`` pairs.  Both pool ends derive the codec
+#: independently from the deterministic ``facts()`` order, so the
+#: mapping itself is never shipped.
+_TaskWire = Tuple[
+    Path,
+    Tuple["_columnar.FactToken", ...],
+    Tuple["_columnar.FactToken", ...],
+    Tuple["_columnar.FactToken", ...],
+    Tuple["_columnar.FactToken", ...],
+]
+
+#: A :class:`TaskResult` on the wire.  The task itself never ships back
+#: — the driver kept it (``in_flight``) and passes it to
+#: :func:`_decode_result`.  Everything else is shipped relative to it:
+#: paths as suffixes of the task's path (every state in a subtree
+#: shares the root's prefix) and fact sets as differences against the
+#: task's corresponding sets (the search only ever *grows* them down a
+#: subtree, so the differences are exactly what the subtree added).
+#: Statistics travel as a bare value tuple — a pickled dataclass would
+#: repeat the class reference and every field name per result.
+_ResultWire = Tuple[
+    List[Tuple[Path, Tuple["_columnar.FactToken", ...], Tuple["_columnar.FactToken", ...]]],
+    List[_TaskWire],
+    Tuple[Any, ...],
+    Tuple["_trace.SpanRecord", ...],
+]
+
+
+def _encode_statistics(statistics: RepairStatistics) -> Tuple[Any, ...]:
+    return tuple(
+        getattr(statistics, spec.name) for spec in fields(RepairStatistics)
+    )
+
+
+def _decode_statistics(values: Tuple[Any, ...]) -> RepairStatistics:
+    return RepairStatistics(*values)
+
+
+def _encode_task(codec: "_columnar.FactCodec", task: FrontierTask) -> _TaskWire:
+    return (
+        task.path,
+        codec.encode_facts(task.inserted),
+        codec.encode_facts(task.deleted),
+        codec.encode_facts(task.excluded_deletions),
+        codec.encode_facts(task.excluded_insertions),
+    )
+
+
+def _decode_task(codec: "_columnar.FactCodec", wire: _TaskWire) -> FrontierTask:
+    path, inserted, deleted, excluded_deletions, excluded_insertions = wire
+    return FrontierTask(
+        path,
+        codec.decode_facts(inserted),
+        codec.decode_facts(deleted),
+        codec.decode_facts(excluded_deletions),
+        codec.decode_facts(excluded_insertions),
+    )
+
+
+def _encode_result(codec: "_columnar.FactCodec", result: TaskResult) -> _ResultWire:
+    task = result.task
+    prefix = len(task.path)
+    encode = codec.encode_facts
+    return (
+        [
+            (
+                path[prefix:],
+                encode(inserted - task.inserted),
+                encode(deleted - task.deleted),
+            )
+            for path, inserted, deleted in result.candidates
+        ],
+        [
+            (
+                sub.path[prefix:],
+                encode(sub.inserted - task.inserted),
+                encode(sub.deleted - task.deleted),
+                encode(sub.excluded_deletions - task.excluded_deletions),
+                encode(sub.excluded_insertions - task.excluded_insertions),
+            )
+            for sub in result.deferred
+        ],
+        _encode_statistics(result.statistics),
+        result.spans,
+    )
+
+
+def _decode_result(
+    codec: "_columnar.FactCodec", wire: _ResultWire, task: FrontierTask
+) -> TaskResult:
+    candidates, deferred, statistics, spans = wire
+    prefix = task.path
+    decode = codec.decode_facts
+    return TaskResult(
+        task,
+        [
+            (
+                prefix + path,
+                task.inserted | decode(inserted),
+                task.deleted | decode(deleted),
+            )
+            for path, inserted, deleted in candidates
+        ],
+        [
+            FrontierTask(
+                prefix + path,
+                task.inserted | decode(inserted),
+                task.deleted | decode(deleted),
+                task.excluded_deletions | decode(excluded_deletions),
+                task.excluded_insertions | decode(excluded_insertions),
+            )
+            for path, inserted, deleted, excluded_deletions, excluded_insertions in deferred
+        ],
+        _decode_statistics(statistics),
+        spans,
+    )
 
 
 @dataclass
@@ -385,9 +530,42 @@ class SearchContext:
 #: Per-process search context, built once by the pool initializer.
 _WORKER_CONTEXT: Optional[SearchContext] = None
 
+#: Per-process fact codec, derived from the rebuilt instance (identical
+#: to the driver's: both number the deterministic ``facts()`` order).
+_WORKER_CODEC: Optional["_columnar.FactCodec"] = None
+
+#: The base instance on the wire: ``("shm", name, size)`` — a columnar
+#: pack (:func:`repro.relational.columnar.pack_instance`) living in a
+#: ``multiprocessing.shared_memory`` segment the driver owns — or the
+#: ``("facts", tuple)`` pickle fallback.
+_InstancePayload = Union[Tuple[str, str, int], Tuple[str, Tuple[Fact, ...]]]
+
+
+def _attach_instance(payload: _InstancePayload) -> DatabaseInstance:
+    """Rebuild the base instance from the initializer payload (worker side)."""
+
+    if payload[0] == "shm":
+        from multiprocessing import shared_memory
+
+        _, name, size = payload
+        # Python < 3.13 registers attached segments with the resource
+        # tracker exactly like created ones (bpo-39959).  Pool workers
+        # share the driver's tracker process, where registration is
+        # set-semantics per name — the re-registration is a no-op and
+        # the driver's unlink in ``close()`` clears it, so no
+        # per-worker unregister is needed (and sending one would race
+        # the other workers' attach messages).
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            data = bytes(segment.buf[:size])
+        finally:
+            segment.close()
+        return _columnar.unpack_instance(data)
+    return DatabaseInstance.from_facts(payload[1])
+
 
 def _worker_init(
-    facts: Tuple[Fact, ...],
+    instance_payload: _InstancePayload,
     constraints: Tuple[AnyConstraint, ...],
     exclusions: bool,
     tracing: bool = False,
@@ -395,7 +573,7 @@ def _worker_init(
 ) -> None:
     """Process-pool initializer: rebuild the instance, sweep violations once."""
 
-    global _WORKER_CONTEXT
+    global _WORKER_CONTEXT, _WORKER_CODEC
     if tracing:
         _trace.enable()
     # Fork-started workers inherit the driver's tracer mid-request: its
@@ -407,7 +585,8 @@ def _worker_init(
         # Fork-started workers inherit the driver's delay-only injector;
         # start clean (re-armed below when this pool asked for chaos).
         _faults.disarm()
-    instance = DatabaseInstance.from_facts(facts)
+    instance = _attach_instance(instance_payload)
+    _WORKER_CODEC = _columnar.FactCodec.from_instance(instance)
     _WORKER_CONTEXT = SearchContext(
         instance, ConstraintSet(list(constraints)), exclusions=exclusions
     )
@@ -422,9 +601,9 @@ def _worker_init(
 
 
 def _worker_run(
-    task: FrontierTask, budget: int, deadline_remaining: Optional[float] = None
-) -> TaskResult:
-    """Execute one task against the process-local context.
+    task_wire: _TaskWire, budget: int, deadline_remaining: Optional[float] = None
+) -> _ResultWire:
+    """Execute one (wire-encoded) task against the process-local context.
 
     *deadline_remaining* is the request deadline's remaining seconds at
     submit time — monotonic clocks share no epoch across processes, so
@@ -433,6 +612,8 @@ def _worker_run(
     """
 
     assert _WORKER_CONTEXT is not None, "worker used before initialization"
+    assert _WORKER_CODEC is not None, "worker used before initialization"
+    task = _decode_task(_WORKER_CODEC, task_wire)
     request_budget = (
         Budget(deadline=max(deadline_remaining, 1e-6))
         if deadline_remaining is not None
@@ -441,7 +622,7 @@ def _worker_run(
     result = _WORKER_CONTEXT.run_task(task, budget, request_budget=request_budget)
     if _trace.enabled():
         result.spans = _trace.capture_records()
-    return result
+    return _encode_result(_WORKER_CODEC, result)
 
 
 # --------------------------------------------------------------------------- driver
@@ -492,6 +673,10 @@ class ParallelRepairSearch:
         self._request_budget = budget
         self._retry_policy = retry_policy or DEFAULT_RETRY_POLICY
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: The driver-owned shared-memory segment holding the columnar
+        #: instance pack, alive from first pool spawn until :meth:`close`
+        #: (workers only attach; see ``_attach_instance``).
+        self._shm: Optional[Any] = None
         #: Set when a ``degrade=True`` budget ran out mid-search: the
         #: batches yielded so far cover a sound *prefix* of the frontier
         #: and this record says why the rest was never explored.
@@ -503,6 +688,46 @@ class ParallelRepairSearch:
         """True when sibling-exclusion partitioning is active (denial-only)."""
 
         return self._exclusions
+
+    def _instance_payload(self, audit: bool) -> "_InstancePayload":
+        """The base-instance payload for the pool initializer.
+
+        Preferred transport: pack the instance as interned columns
+        (:func:`repro.relational.columnar.pack_instance`) into one
+        driver-owned ``multiprocessing.shared_memory`` segment and ship
+        only ``("shm", name, size)`` — every distinct constant pickles
+        once, and respawned pools re-attach to the same segment instead
+        of re-pickling the facts per worker.  ``REPRO_SHM=0`` (or any
+        shared-memory failure, e.g. an unmounted ``/dev/shm``) falls
+        back to the classic ``("facts", tuple)`` pickle; workers behave
+        identically either way.
+        """
+
+        if audit:
+            self.statistics.instance_ship_bytes_raw += len(
+                pickle.dumps(tuple(self._instance.facts()), pickle.HIGHEST_PROTOCOL)
+            )
+        if _shm_enabled():
+            try:
+                from multiprocessing import shared_memory
+
+                data = _columnar.pack_instance(self._instance)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(len(data), 1)
+                )
+                segment.buf[: len(data)] = data
+            except Exception:
+                pass
+            else:
+                self._shm = segment
+                self.statistics.instance_ship_bytes += len(data)
+                return ("shm", segment.name, len(data))
+        facts = tuple(self._instance.facts())
+        if audit:
+            self.statistics.instance_ship_bytes += len(
+                pickle.dumps(facts, pickle.HIGHEST_PROTOCOL)
+            )
+        return ("facts", facts)
 
     def batches(self) -> Iterator[SearchBatch]:
         """Run the search, yielding one :class:`SearchBatch` per finished task.
@@ -600,14 +825,41 @@ class ParallelRepairSearch:
 
         policy = self._retry_policy
         fault_spec = _faults.worker_spec()
+        audit = _ship_audit()
+        codec = _columnar.FactCodec.from_instance(self._instance)
         payload = (
-            tuple(self._instance.facts()),
+            self._instance_payload(audit),
             tuple(self._constraints),
             self._exclusions,
             _trace.enabled(),
             fault_spec,
         )
         inline_context: Optional[SearchContext] = None
+
+        def charge_shipment(wire: Any, raw: Any) -> None:
+            """Ship-bytes audit: what crossed the pool boundary vs. what
+            the un-encoded object would have cost (``REPRO_SHIP_AUDIT=1``
+            only — each measure is one extra pickle).
+
+            Captured trace spans (shipped verbatim when tracing is on)
+            are excluded from both sides: they are opt-in diagnostics
+            with no encoded form on either side, and their wall-clock
+            payload would make the byte counts non-deterministic — the
+            audit measures the *search* wire format.
+            """
+
+            if not audit:
+                return
+            if isinstance(wire, tuple) and len(wire) == 4:  # a result wire
+                wire = wire[:3] + ((),)
+            if isinstance(raw, TaskResult) and raw.spans:
+                raw = replace(raw, spans=())
+            self.statistics.task_ship_bytes += len(
+                pickle.dumps(wire, pickle.HIGHEST_PROTOCOL)
+            )
+            self.statistics.task_ship_bytes_raw += len(
+                pickle.dumps(raw, pickle.HIGHEST_PROTOCOL)
+            )
 
         def run_inline(task: FrontierTask) -> TaskResult:
             """Quarantine lane: execute a repeat-offender task in-process.
@@ -693,10 +945,13 @@ class ParallelRepairSearch:
                         allowance = budget.remaining_states()
                         if allowance is not None:
                             chunk = max(1, min(chunk, allowance))
+                    task_wire = _encode_task(codec, task)
+                    self.statistics.tasks_shipped += 1
+                    charge_shipment(task_wire, task)
                     try:
                         future = executor.submit(
                             _worker_run,
-                            task,
+                            task_wire,
                             chunk,
                             budget.task_deadline() if budget is not None else None,
                         )
@@ -727,7 +982,7 @@ class ParallelRepairSearch:
                 for future in done:
                     task = in_flight.pop(future)
                     try:
-                        result = future.result()
+                        result_wire = future.result()
                     except BrokenProcessPool:
                         # A worker died (crash, kill, OOM): every future on
                         # this pool is lost.  Requeue them all, reap the
@@ -747,6 +1002,8 @@ class ParallelRepairSearch:
                         queue.appendleft(task)
                     else:
                         attempts.pop(task.path, None)
+                        result = _decode_result(codec, result_wire, task)
+                        charge_shipment(result_wire, result)
                         yield absorb(result, remote=True)
         finally:
             self.close()
@@ -764,6 +1021,13 @@ class ParallelRepairSearch:
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True, cancel_futures=True)
+        segment, self._shm = self._shm, None
+        if segment is not None:
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------ collection
     def collect(self) -> List[Tuple[Path, FrozenSet[Fact], FrozenSet[Fact]]]:

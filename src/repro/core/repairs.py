@@ -563,6 +563,22 @@ class RepairStatistics:
       sequential methods, whose CPU ≈ wall).  With ``workers`` > 1 this
       legitimately exceeds ``search_seconds``; the ratio is the
       effective parallelism.
+
+    The ship-bytes group measures the parallel pool's process-boundary
+    traffic (``method="parallel"`` with ``workers >= 2`` only; all 0
+    otherwise).  ``tasks_shipped`` always counts; the byte fields are
+    only filled when ``REPRO_SHIP_AUDIT=1`` is set, because measuring
+    them costs an extra pickle per shipment:
+
+    * ``tasks_shipped`` — task payloads submitted to pool workers;
+    * ``task_ship_bytes`` / ``task_ship_bytes_raw`` — pickled bytes of
+      the codec-encoded task+result payloads actually shipped, vs. what
+      the un-encoded objects would have cost (benchmark E14 reports the
+      ratio);
+    * ``instance_ship_bytes`` / ``instance_ship_bytes_raw`` — the base
+      instance's columnar shared-memory pack per pool spawn, vs. the
+      pickled facts tuple it replaces (``instance_ship_bytes`` is
+      recorded even without the audit flag — the pack size is free).
     """
 
     states_explored: int = 0
@@ -575,6 +591,11 @@ class RepairStatistics:
     search_seconds: float = 0.0
     minimality_seconds: float = 0.0
     task_cpu_seconds: float = 0.0
+    tasks_shipped: int = 0
+    task_ship_bytes: int = 0
+    task_ship_bytes_raw: int = 0
+    instance_ship_bytes: int = 0
+    instance_ship_bytes_raw: int = 0
 
     #: Fields :meth:`merge` must NOT sum: they are wall-clock measures
     #: owned by the driving engine's parent span — summing them across

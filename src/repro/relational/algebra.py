@@ -16,7 +16,7 @@ behaviour of commercial DBMSs).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.relational.domain import Constant, constant_sort_key, is_null
 from repro.relational.instance import DatabaseInstance
@@ -29,7 +29,7 @@ Row = Tuple[Constant, ...]
 class Relation:
     """An immutable relation: attribute names plus a set of rows."""
 
-    def __init__(self, attributes: Sequence[str], rows: Iterable[Sequence[Constant]] = ()):  # noqa: D401
+    def __init__(self, attributes: Sequence[str], rows: Iterable[Sequence[Constant]] = ()) -> None:  # noqa: D401
         attrs = tuple(attributes)
         if len(set(attrs)) != len(attrs):
             raise SchemaError(f"duplicate attribute names: {attrs}")
@@ -67,7 +67,7 @@ class Relation:
     def __len__(self) -> int:
         return len(self._rows)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Row]":
         return iter(self.sorted_rows())
 
     def __contains__(self, row: object) -> bool:

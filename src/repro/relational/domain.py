@@ -61,7 +61,7 @@ class Null:
     def __ge__(self, other: Any) -> bool:
         return isinstance(other, Null)
 
-    def __reduce__(self):
+    def __reduce__(self) -> "Tuple[type, Tuple[()]]":
         # Preserve the singleton across pickling (used by hypothesis shrinking).
         return (Null, ())
 

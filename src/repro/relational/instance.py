@@ -47,7 +47,7 @@ class Fact:
     predicate: str
     values: Tuple[Constant, ...]
 
-    def __init__(self, predicate: str, values: Sequence[Constant]):
+    def __init__(self, predicate: str, values: Sequence[Constant]) -> None:
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(
             self, "values", tuple(normalise_constant(v) for v in values)
@@ -106,7 +106,7 @@ class _PredicateIndex:
 
     __slots__ = ("arity", "by_position")
 
-    def __init__(self, arity: int, rows: Iterable[Row] = ()):
+    def __init__(self, arity: int, rows: Iterable[Row] = ()) -> None:
         self.arity = arity
         self.by_position: Tuple[Dict[Constant, Set[Row]], ...] = tuple(
             {} for _ in range(arity)
@@ -157,7 +157,7 @@ class DatabaseInstance:
         self,
         schema: Optional[DatabaseSchema] = None,
         facts: Iterable[Fact] = (),
-    ):
+    ) -> None:
         self._schema = schema if schema is not None else DatabaseSchema()
         #: Monotone mutation counter: bumped on every effective insert or
         #: delete, never decremented (a rolled-back change still advances

@@ -24,7 +24,7 @@ class RelationSchema:
     name: str
     attributes: Tuple[str, ...]
 
-    def __init__(self, name: str, attributes: Sequence[str]):
+    def __init__(self, name: str, attributes: Sequence[str]) -> None:
         if not name or not isinstance(name, str):
             raise SchemaError("relation name must be a non-empty string")
         attrs = tuple(attributes)
@@ -89,7 +89,7 @@ class RelationSchema:
 class DatabaseSchema:
     """A set of relation schemas keyed by relation name."""
 
-    def __init__(self, relations: Iterable[RelationSchema] = ()):  # noqa: D401
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:  # noqa: D401
         self._relations: Dict[str, RelationSchema] = {}
         for rel in relations:
             self.add_relation(rel)

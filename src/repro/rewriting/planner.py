@@ -82,6 +82,12 @@ class CQAPlan:
     #: violation-path call served them — so an enumeration fallback
     #: pays no compilation.  ``None`` outside a session context.
     compiled_program_cached: Optional[bool] = None
+    #: Filled by ``ConsistentDatabase.explain()``: how many join plans
+    #: the session's requests have specialized through
+    #: :mod:`repro.compile.codegen` so far (the session-local slice of
+    #: the process-wide memo, mirroring ``CacheInfo.codegen_builds``).
+    #: ``None`` outside a session context.
+    codegen_builds: Optional[int] = None
 
     def __repr__(self) -> str:
         extra = ""

@@ -116,6 +116,11 @@ class CacheInfo:
     evictions: int
     compiled_builds: int = 0
     compiled_hits: int = 0
+    #: Specialized plan executors (:mod:`repro.compile.codegen`) built
+    #: since this session started — the generated closures live in the
+    #: process-wide memo next to the compiled constraints, so a warm
+    #: process reports 0.
+    codegen_builds: int = 0
 
 
 #: Process-wide mirrors of the per-session cache counters.  Created once
@@ -247,6 +252,8 @@ class ConsistentDatabase:
         deadline: Optional[float] = None,
         max_memory: Optional[int] = None,
         degrade: bool = False,
+        codegen: bool = True,
+        columnar: bool = True,
     ):
         if source is None:
             self._instance = DatabaseInstance()
@@ -277,6 +284,8 @@ class ConsistentDatabase:
             deadline=deadline,
             max_memory=max_memory,
             degrade=degrade,
+            codegen=codegen,
+            columnar=columnar,
         )
         get_engine(self._config.method)  # fail fast on an unknown default
         #: Name-independent structural fingerprint of the constraint set —
@@ -298,6 +307,14 @@ class ConsistentDatabase:
         #: Guards the once-per-session ``compiled_programs_built`` count
         #: (an LRU eviction may re-cache the program, never recompile it).
         self._compiled_program_cached_once = False
+        #: Baseline of the process-wide code-generator counter, so
+        #: ``cache_info().codegen_builds`` reports the specialized-plan
+        #: builds *this session's* requests triggered (a warm process
+        #: that already generated the plans reports 0 — the memo next to
+        #: the compiled constraints is shared).
+        from repro.compile.codegen import codegen_statistics
+
+        self._codegen_baseline = codegen_statistics().plans_generated
         self.statistics = SessionStatistics()
         #: Counters of the most recent repair search run by this session
         #: (``None`` until a repair-enumerating query executes uncached).
@@ -358,11 +375,16 @@ class ConsistentDatabase:
         queries it subsequently served.
         """
 
+        from repro.compile.codegen import codegen_statistics
+
         info = self._cache.info()
         return replace(
             info,
             compiled_builds=self.statistics.compiled_programs_built,
             compiled_hits=self.statistics.compiled_program_hits,
+            codegen_builds=(
+                codegen_statistics().plans_generated - self._codegen_baseline
+            ),
         )
 
     def close(self) -> None:
@@ -707,6 +729,27 @@ class ConsistentDatabase:
             Budget(deadline=config.deadline, max_memory=config.max_memory)
         )
 
+    @contextmanager
+    def _execution_scope(self, config: CQAConfig):
+        """Budget plus execution-backend overrides for one request.
+
+        Installs the request budget (see :meth:`_budget_scope`) and, when
+        the config opts *out* of a speed layer (``codegen=False`` /
+        ``columnar=False``), scopes the corresponding fallback override
+        for the duration of the call.  The default ``True`` deliberately
+        forces nothing, so process-wide test/benchmark overrides and the
+        ``REPRO_CODEGEN=0`` / ``REPRO_COLUMNAR=0`` escape hatches keep
+        working underneath a session.
+        """
+
+        from repro.compile import codegen as _codegen_module
+        from repro.relational import columnar as _columnar_module
+
+        with self._budget_scope(config):
+            with _codegen_module.overridden(None if config.codegen else False):
+                with _columnar_module.overridden(None if config.columnar else False):
+                    yield
+
     def cancel_budget(self) -> bool:
         """Cooperatively cancel the currently running budgeted request.
 
@@ -774,7 +817,7 @@ class ConsistentDatabase:
         with _trace.span("session.report") as sp:
             if sp:
                 sp.add(query=str(query), method=config.method)
-            with self._budget_scope(config):
+            with self._execution_scope(config):
                 result = engine.answers_report(self, query, config)
         self._cache.put(key, result)
         return self._result_copy(result)
@@ -925,7 +968,9 @@ class ConsistentDatabase:
         config = self._config.merged(overrides)
         plan = self.plan(query, config)
         return replace(
-            plan, compiled_program_cached=self._compiled_program_cached_once
+            plan,
+            compiled_program_cached=self._compiled_program_cached_once,
+            codegen_builds=self.cache_info().codegen_builds,
         )
 
     def analyze(self, query: Optional[Query] = None) -> "AnalysisReport":
@@ -1217,13 +1262,13 @@ class ConsistentDatabase:
             seed = (
                 self._ensure_tracker() if config.repair_mode == "incremental" else None
             )
-            with self._budget_scope(config):
+            with self._execution_scope(config):
                 found = engine.repairs(self._instance, seed_tracker=seed)
             self.last_repair_statistics = engine.statistics
         else:
             from repro.core.repair_program import program_repairs
 
-            with self._budget_scope(config):
+            with self._execution_scope(config):
                 found = program_repairs(self._instance, self._constraints).repairs
         self._cache.put(key, found)
         return found

@@ -104,6 +104,39 @@ class TestINV004KernelFreeReferences:
         assert rules_for("src/repro/core/repairs.py", "import repro.compile\n") == []
 
 
+class TestINV006CodegenFreeInterpreters:
+    def test_interpreter_importing_codegen_is_flagged(self):
+        for source in (
+            "import repro.compile.codegen\n",
+            "from repro.compile import codegen\n",
+            "from repro.compile.codegen import matcher\n",
+        ):
+            assert rules_for("src/repro/compile/plans.py", source) == ["INV006"]
+
+    def test_relative_imports_are_resolved(self):
+        for source in (
+            "from . import codegen\n",
+            "from .codegen import matcher\n",
+        ):
+            assert rules_for("src/repro/compile/matchers.py", source) == ["INV006"]
+
+    def test_columnar_store_is_codegen_free(self):
+        source = "from repro.compile import codegen\n"
+        assert rules_for("src/repro/relational/columnar.py", source) == ["INV006"]
+
+    def test_reference_modules_are_covered_too(self):
+        source = "from repro.compile.codegen import matcher\n"
+        assert rules_for("src/repro/core/classic.py", source) == ["INV004", "INV006"]
+
+    def test_the_kernel_orchestrator_may_import_codegen(self):
+        source = "from repro.compile import codegen\n"
+        assert rules_for("src/repro/compile/kernel.py", source) == []
+
+    def test_other_sibling_imports_stay_allowed(self):
+        source = "from .matchers import build_matchers\n"
+        assert rules_for("src/repro/compile/plans.py", source) == []
+
+
 class TestINV005NoPrint:
     def test_print_in_library_code_is_flagged(self):
         assert rules_for("src/repro/core/x.py", "print('hi')\n") == ["INV005"]
@@ -138,5 +171,5 @@ class TestRepository:
     def test_cli_list_rules(self, capsys):
         assert lint.main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("INV001", "INV002", "INV003", "INV004", "INV005"):
+        for rule in ("INV001", "INV002", "INV003", "INV004", "INV005", "INV006"):
             assert rule in out

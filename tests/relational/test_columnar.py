@@ -1,0 +1,197 @@
+"""repro.relational.columnar: store sync, batching, pack/unpack, FactCodec."""
+
+import pytest
+
+from repro.compile.kernel import compiled_constraint, compiled_query
+from repro.constraints.parser import parse_constraint, parse_query
+from repro.relational import columnar
+from repro.relational.domain import NULL
+from repro.relational.instance import DatabaseInstance, Fact
+from repro.resilience.budget import Budget, using_budget
+
+
+FD = "Emp(e, d, s), Emp(e, f, t) -> d = f"
+
+
+def _instance():
+    return DatabaseInstance.from_dict(
+        {
+            "Emp": [
+                ("a", "sales", 1),
+                ("a", "hr", 2),
+                ("b", "sales", 3),
+                ("c", NULL, 4),
+            ],
+            "Dept": [("sales",), ("hr",)],
+        }
+    )
+
+
+class TestEnableGates:
+    def test_env_flag_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "0")
+        assert not columnar.enabled()
+        with columnar.overridden(True):
+            assert not columnar.enabled()
+
+    def test_overridden_is_scoped(self):
+        assert columnar.enabled()
+        with columnar.overridden(False):
+            assert not columnar.enabled()
+        assert columnar.enabled()
+
+    def test_usable_requires_a_real_instance(self):
+        assert columnar.usable(_instance())
+        assert not columnar.usable({"Emp": []})
+        assert not columnar.usable(object())
+
+    def test_usable_stays_off_under_a_budget(self):
+        instance = _instance()
+        assert columnar.usable(instance)
+        with using_budget(Budget(max_states=10_000)):
+            assert not columnar.usable(instance)
+
+    def test_usable_respects_the_enable_flag(self):
+        with columnar.overridden(False):
+            assert not columnar.usable(_instance())
+
+
+class TestStore:
+    def test_null_interns_to_the_sentinel_id(self):
+        store = columnar.store_for(_instance())
+        assert store.values[columnar.NULL_ID] is NULL
+        assert store.lookup(NULL) == columnar.NULL_ID
+        assert NULL not in store.ids
+
+    def test_columns_round_trip_the_rows(self):
+        instance = _instance()
+        store = columnar.store_for(instance)
+        rel = store.relations["Emp"]
+        assert rel.arity == 3
+        decoded = {
+            tuple(store.values[rel.columns[p][r]] for p in range(rel.arity))
+            for r in range(len(rel.rows))
+        }
+        assert decoded == set(instance.rows("Emp"))
+        assert decoded == set(rel.rows)
+
+    def test_store_is_cached_per_generation(self):
+        instance = _instance()
+        first = columnar.store_for(instance)
+        assert columnar.store_for(instance) is first
+        instance.add(Fact("Dept", ("ops",)))
+        rebuilt = columnar.store_for(instance)
+        assert rebuilt is not first
+        assert rebuilt.generation == instance.generation
+        assert ("ops",) in set(rebuilt.relations["Dept"].rows)
+
+    def test_index_maps_value_ids_to_row_ids(self):
+        store = columnar.store_for(_instance())
+        rel = store.relations["Emp"]
+        index = rel.index(1)  # the department column
+        sales_id = store.lookup("sales")
+        assert sales_id is not None
+        assert [rel.rows[r][1] for r in index[sales_id]] == ["sales", "sales"]
+        nulls = index.get(columnar.NULL_ID, [])
+        assert [rel.rows[r][1] for r in nulls] == [NULL]
+
+
+class TestBatchPrograms:
+    def test_full_plans_batch(self):
+        plan = compiled_constraint(parse_constraint(FD)).full_plan
+        program = columnar.batch_program(plan)
+        assert program is not None
+        assert columnar.batch_program(plan) is program  # cached on the plan
+
+    def test_seeded_plans_do_not_batch(self):
+        unit = compiled_constraint(parse_constraint(FD))
+        for seed_plan in unit.seed_plans.values():
+            assert columnar.batch_program(seed_plan) is None
+
+    def test_batch_matches_equal_the_row_path(self):
+        plan = compiled_query(
+            parse_query("ans(e) <- Emp(e, d, s), Emp(e, f, t), d != f")
+        ).plan
+        instance = _instance()
+        store = columnar.store_for(instance)
+        from repro.compile.plans import iter_plan_matches
+
+        def collect(iterator_factory):
+            slots = [None] * plan.n_slots
+            rows = [None] * plan.n_atoms
+            return {
+                (tuple(slots), tuple(rows))
+                for _ in iterator_factory(slots, rows)
+            }
+
+        batch = collect(
+            lambda slots, rows: columnar.iter_batch_matches(plan, store, slots, rows)
+        )
+        interpreted = collect(
+            lambda slots, rows: iter_plan_matches(plan, instance, slots, rows)
+        )
+        assert batch == interpreted
+        assert batch  # employee "a" joins with itself across departments
+
+    def test_missing_relation_yields_nothing(self):
+        plan = compiled_constraint(parse_constraint(FD)).full_plan
+        empty = DatabaseInstance.from_dict({"Dept": [("sales",)]})
+        store = columnar.store_for(empty)
+        slots = [None] * plan.n_slots
+        rows = [None] * plan.n_atoms
+        assert list(columnar.iter_batch_matches(plan, store, slots, rows)) == []
+
+
+class TestPack:
+    def test_pack_unpack_round_trips_the_instance(self):
+        instance = _instance()
+        restored = columnar.unpack_instance(columnar.pack_instance(instance))
+        assert set(restored.facts()) == set(instance.facts())
+        assert restored.predicates == instance.predicates
+
+    def test_pack_is_deterministic_for_equal_instances(self):
+        assert columnar.pack_instance(_instance()) == columnar.pack_instance(
+            _instance()
+        )
+
+    def test_unpack_rejects_foreign_payloads(self):
+        import pickle
+
+        with pytest.raises(ValueError, match="columnar pack"):
+            columnar.unpack_instance(pickle.dumps(("other", (), ())))
+
+
+class TestFactCodec:
+    def test_base_facts_ship_as_integers(self):
+        instance = _instance()
+        codec = columnar.FactCodec.from_instance(instance)
+        for fact in instance.facts():
+            token = codec.encode_fact(fact)
+            assert isinstance(token, int)
+            assert codec.decode_fact(token) == fact
+
+    def test_foreign_facts_ship_as_pairs(self):
+        codec = columnar.FactCodec.from_instance(_instance())
+        foreign = Fact("Emp", ("z", "ops", 9))
+        token = codec.encode_fact(foreign)
+        assert token == ("Emp", ("z", "ops", 9))
+        assert codec.decode_fact(token) == foreign
+
+    def test_both_ends_derive_the_same_numbering(self):
+        instance = _instance()
+        driver = columnar.FactCodec.from_instance(instance)
+        worker = columnar.FactCodec.from_instance(
+            columnar.unpack_instance(columnar.pack_instance(instance))
+        )
+        assert len(driver) == len(worker)
+        for fact in instance.facts():
+            assert driver.encode_fact(fact) == worker.encode_fact(fact)
+
+    def test_fact_sets_round_trip(self):
+        instance = _instance()
+        codec = columnar.FactCodec.from_instance(instance)
+        facts = frozenset(list(instance.facts())[:2]) | {Fact("Emp", ("q", "x", 0))}
+        tokens = codec.encode_facts(facts)
+        assert codec.decode_facts(tokens) == facts
+        # Equal sets encode equally (sorted), whatever the input order.
+        assert tokens == codec.encode_facts(sorted(facts, key=Fact.sort_key))

@@ -24,6 +24,11 @@ INV004    kernel-free reference paths: the naive/interpreted modules that
           would be circular
 INV005    no ``print()`` under ``src/repro`` outside the CLI front ends —
           library output goes through tracing/metrics
+INV006    codegen-free interpreters: the reference modules *and* the plan
+          step interpreter (``repro.compile.plans`` / ``matchers``) must
+          never import ``repro.compile.codegen`` — the interpreter is the
+          oracle the generated executors are cross-validated against, so
+          the dependency must only ever point codegen → interpreter
 ========  ====================================================================
 
 A line may opt out with the pragma comment ``lint: allow(INVxxx)`` and a
@@ -48,6 +53,7 @@ RULES: Dict[str, str] = {
     "INV003": "broad exception handler in a hot evaluation path",
     "INV004": "reference (kernel-free) module imports repro.compile",
     "INV005": "print() in library code under src/repro",
+    "INV006": "codegen-free module imports repro.compile.codegen",
 }
 
 CLOCK_OWNER = "src/repro/obs/clock.py"
@@ -78,8 +84,26 @@ REFERENCE_MODULES = frozenset(
         "src/repro/asp/syntax.py",
     }
 )
+#: Modules that must never import the generated-executor path: every
+#: kernel-free reference module, plus the plan step interpreter itself —
+#: ``codegen.matcher`` falls back to (and is cross-validated against)
+#: ``iter_plan_matches``, so an interpreter → codegen import would make
+#: that oracle circular.
+CODEGEN_FREE_MODULES = REFERENCE_MODULES | frozenset(
+    {
+        "src/repro/compile/plans.py",
+        "src/repro/compile/matchers.py",
+        "src/repro/relational/columnar.py",
+    }
+)
 #: CLI front ends whose job is to print.
-PRINT_ALLOWED = frozenset({"src/repro/lint.py", "src/repro/explore/cli.py"})
+PRINT_ALLOWED = frozenset(
+    {
+        "src/repro/lint.py",
+        "src/repro/explore/cli.py",
+        "src/repro/compile/__main__.py",
+    }
+)
 
 TIMING_NAMES = frozenset({"perf_counter", "process_time"})
 BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
@@ -119,6 +143,30 @@ def _broad_handler_name(handler: ast.ExceptHandler) -> Optional[str]:
         if isinstance(expr, ast.Name) and expr.id in BROAD_EXCEPTIONS:
             return expr.id
     return None
+
+
+def _resolve_import_from(rel_path: str, node: ast.ImportFrom) -> Optional[str]:
+    """The absolute dotted module an ``ImportFrom`` targets, or ``None``.
+
+    Relative imports are resolved against the importing file's package so
+    ``from . import codegen`` inside ``src/repro/compile/plans.py`` is seen
+    as ``repro.compile`` (and its ``codegen`` alias as
+    ``repro.compile.codegen``).  Files outside ``src/`` cannot anchor a
+    relative import, so those return ``None``.
+    """
+
+    if node.level == 0:
+        return node.module
+    parts = rel_path.split("/")
+    if parts[0] != "src" or not parts[-1].endswith(".py"):
+        return None
+    package = parts[1:-1]  # the file's package, e.g. ["repro", "compile"]
+    if node.level - 1 > len(package):
+        return None
+    anchor = package[: len(package) - (node.level - 1)]
+    if node.module:
+        anchor = anchor + node.module.split(".")
+    return ".".join(anchor) if anchor else None
 
 
 def check_source(rel_path: str, source: str) -> List[Violation]:
@@ -235,6 +283,32 @@ def check_source(rel_path: str, source: str) -> List[Violation]:
                         "reference module imports repro.compile; the naive and "
                         "interpreted paths must stay kernel-free so the "
                         "bit-identical cross-validation is never circular",
+                    )
+                )
+
+        # INV006 — codegen-free interpreters
+        if rel_path in CODEGEN_FREE_MODULES and not allowed(node, "INV006"):
+            imported = []
+            if isinstance(node, ast.Import):
+                imported = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                base = _resolve_import_from(rel_path, node)
+                if base is not None:
+                    imported = [base] + [f"{base}.{alias.name}" for alias in node.names]
+            if any(
+                name == "repro.compile.codegen"
+                or name.startswith("repro.compile.codegen.")
+                for name in imported
+            ):
+                violations.append(
+                    Violation(
+                        "INV006",
+                        rel_path,
+                        node.lineno,
+                        "codegen-free module imports repro.compile.codegen; "
+                        "the interpreter is the oracle the generated "
+                        "executors are validated against — the dependency "
+                        "must only point codegen → interpreter",
                     )
                 )
 
